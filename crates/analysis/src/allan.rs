@@ -1,0 +1,132 @@
+//! Allan variance of period series.
+//!
+//! The Allan (two-sample) variance separates white period noise (slope
+//! `-1` in `log sigma^2_A(m)` vs `log m`) from drift and flicker — a
+//! useful companion to the accumulation curve when validating that the
+//! simulated jitter really is white, as the paper's model assumes.
+
+use crate::error::{require_finite, AnalysisError};
+
+/// Allan variance at averaging factor `m`: half the mean squared
+/// difference of successive non-overlapping means of `m` periods.
+///
+/// # Errors
+///
+/// Returns an error if `m == 0` or fewer than `2m` samples are given.
+pub fn allan_variance(periods: &[f64], m: usize) -> Result<f64, AnalysisError> {
+    if m == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "m",
+            constraint: "must be at least 1",
+        });
+    }
+    require_finite(periods, 2 * m)?;
+    let means: Vec<f64> = periods
+        .chunks_exact(m)
+        .map(|c| c.iter().sum::<f64>() / m as f64)
+        .collect();
+    if means.len() < 2 {
+        return Err(AnalysisError::NotEnoughData {
+            needed: 2 * m,
+            got: periods.len(),
+        });
+    }
+    let sum_sq: f64 = means.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum();
+    Ok(sum_sq / (2.0 * (means.len() - 1) as f64))
+}
+
+/// Allan deviation (`sqrt` of the variance) at averaging factor `m`.
+///
+/// # Errors
+///
+/// Same conditions as [`allan_variance`].
+pub fn allan_deviation(periods: &[f64], m: usize) -> Result<f64, AnalysisError> {
+    Ok(allan_variance(periods, m)?.sqrt())
+}
+
+/// The Allan deviation curve for `m = 1, 2, 4, ...` while at least
+/// `min_windows` windows remain.
+///
+/// # Errors
+///
+/// Returns an error if even `m = 1` cannot be computed.
+pub fn allan_curve(
+    periods: &[f64],
+    min_windows: usize,
+) -> Result<Vec<(usize, f64)>, AnalysisError> {
+    require_finite(periods, 2)?;
+    let mut out = Vec::new();
+    let mut m = 1;
+    while periods.len() / m >= min_windows.max(2) {
+        out.push((m, allan_deviation(periods, m)?));
+        m *= 2;
+    }
+    if out.is_empty() {
+        return Err(AnalysisError::NotEnoughData {
+            needed: min_windows.max(2),
+            got: periods.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::normal_quantile;
+
+    fn white_periods(count: usize, mean: f64, sigma: f64) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..count)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / count as f64;
+                mean + sigma * normal_quantile(u)
+            })
+            .collect();
+        let mut state = 0x1234_5678_9abc_def0_u64;
+        for i in (1..v.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn white_noise_allan_equals_classical_variance_at_m1() {
+        let periods = white_periods(50_000, 1000.0, 2.0);
+        let avar = allan_variance(&periods, 1).expect("valid");
+        // For white noise AVAR(1) ~ sigma^2.
+        assert!((avar - 4.0).abs() < 0.3, "avar {avar}");
+    }
+
+    #[test]
+    fn white_noise_allan_falls_as_one_over_m() {
+        let periods = white_periods(65_536, 1000.0, 2.0);
+        let curve = allan_curve(&periods, 64).expect("valid");
+        for &(m, adev) in &curve {
+            let expected = 2.0 / (m as f64).sqrt();
+            assert!(
+                (adev / expected - 1.0).abs() < 0.3,
+                "m={m}: adev {adev} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_drift_floors_the_curve() {
+        // Pure drift: successive means differ by a constant -> ADEV flat
+        // (proportional to m * drift per sample, which grows with m).
+        let periods: Vec<f64> = (0..4096).map(|i| 1000.0 + i as f64 * 0.01).collect();
+        let a1 = allan_deviation(&periods, 1).expect("valid");
+        let a64 = allan_deviation(&periods, 64).expect("valid");
+        assert!(a64 > a1, "drift must grow with averaging: {a1} vs {a64}");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(allan_variance(&[1.0, 2.0], 0).is_err());
+        assert!(allan_variance(&[1.0], 1).is_err());
+        assert!(allan_variance(&[1.0, 2.0, 3.0], 2).is_err());
+        assert!(allan_curve(&[1.0], 2).is_err());
+    }
+}

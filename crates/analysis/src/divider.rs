@@ -1,0 +1,157 @@
+//! The paper's on-chip jitter measurement method (Sec. V-D.2, Eq. 6).
+//!
+//! A counter inside the chip generates `osc_mes` by counting `2n` rising
+//! events of the ring output `osc`, so one `osc_mes` period is the sum of
+//! `2n` consecutive `osc` periods. If the random period contribution is
+//! `N(T_mean, sigma_p^2)` and the deterministic drift between successive
+//! `osc_mes` periods is negligible (an assumption verified by checking
+//! that the `osc_mes` cycle-to-cycle histogram is normal), then
+//!
+//! ```text
+//! delta T_mes ~ N(0, 4 n sigma_p^2)   =>   sigma_p = sigma_cc_mes / (2 sqrt(n))
+//! ```
+//!
+//! On real silicon this sidesteps the scope's resolution floor; in the
+//! simulator it lets us *validate* the method against ground truth
+//! (experiment EXT-METHOD).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, AnalysisError};
+use crate::jitter;
+use crate::normality::{jarque_bera, TestResult};
+use crate::stats::Summary;
+
+/// Result of a divider-based jitter measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DividerMeasurement {
+    /// The divider setting `n` (the counter counts `2n` rising events).
+    pub n: usize,
+    /// Number of complete `osc_mes` periods formed.
+    pub mes_periods: usize,
+    /// Mean `osc_mes` period, picoseconds.
+    pub mes_mean_ps: f64,
+    /// Cycle-to-cycle jitter of `osc_mes`, picoseconds.
+    pub sigma_cc_mes_ps: f64,
+    /// The recovered per-period jitter `sigma_p` (Eq. 6), picoseconds.
+    pub sigma_p_ps: f64,
+    /// Normality check of the `osc_mes` cycle-to-cycle differences — the
+    /// method's validity hypothesis.
+    pub normality: TestResult,
+}
+
+/// Applies the divider method to a series of `osc` periods.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0` or the series is too short to form at
+/// least 20 complete `osc_mes` periods (the hypothesis check needs a
+/// population), or data is non-finite.
+pub fn measure(periods: &[f64], n: usize) -> Result<DividerMeasurement, AnalysisError> {
+    if n == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "n",
+            constraint: "must be at least 1",
+        });
+    }
+    let k = 2 * n;
+    require_finite(periods, k * 20)?;
+    // Form osc_mes periods: non-overlapping sums of 2n osc periods.
+    let mes: Vec<f64> = periods.chunks_exact(k).map(|c| c.iter().sum()).collect();
+    let diffs: Vec<f64> = mes.windows(2).map(|w| w[1] - w[0]).collect();
+    let sigma_cc = Summary::from_slice(&diffs).std_dev();
+    let normality = jarque_bera(&diffs)?;
+    Ok(DividerMeasurement {
+        n,
+        mes_periods: mes.len(),
+        mes_mean_ps: Summary::from_slice(&mes).mean(),
+        sigma_cc_mes_ps: sigma_cc,
+        sigma_p_ps: sigma_cc / (2.0 * (n as f64).sqrt()),
+        normality,
+    })
+}
+
+/// Compares the divider estimate against the directly computed period
+/// jitter, returning `(direct, estimated, relative error)`.
+///
+/// # Errors
+///
+/// Propagates errors from either measurement.
+pub fn validate_against_direct(
+    periods: &[f64],
+    n: usize,
+) -> Result<(f64, f64, f64), AnalysisError> {
+    let direct = jitter::period_jitter(periods)?;
+    let est = measure(periods, n)?.sigma_p_ps;
+    if direct == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero direct jitter"));
+    }
+    Ok((direct, est, (est - direct).abs() / direct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::normal_quantile;
+
+    fn gaussian_periods(count: usize, mean: f64, sigma: f64) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..count)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / count as f64;
+                mean + sigma * normal_quantile(u)
+            })
+            .collect();
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        for i in (1..v.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn recovers_sigma_p_for_iid_periods() {
+        let sigma_p = 2.0;
+        let periods = gaussian_periods(64_000, 3000.0, sigma_p);
+        for n in [4, 16, 64] {
+            let m = measure(&periods, n).expect("valid");
+            assert!(
+                (m.sigma_p_ps - sigma_p).abs() < 0.25,
+                "n={n}: estimated {} vs {sigma_p}",
+                m.sigma_p_ps
+            );
+            assert!(m.normality.passes(0.001), "hypothesis check fails");
+            assert_eq!(m.mes_periods, 64_000 / (2 * n));
+            assert!((m.mes_mean_ps - 3000.0 * 2.0 * n as f64).abs() < 5.0);
+        }
+    }
+
+    #[test]
+    fn validation_reports_small_relative_error() {
+        let periods = gaussian_periods(64_000, 3000.0, 3.0);
+        let (direct, est, rel) = validate_against_direct(&periods, 16).expect("valid");
+        assert!((direct - 3.0).abs() < 0.1);
+        assert!(rel < 0.1, "direct {direct} vs est {est} (rel {rel})");
+    }
+
+    #[test]
+    fn deterministic_drift_inflates_estimate_without_normality_failure_check() {
+        // A slow linear drift adds a constant to successive differences,
+        // which cancels in delta T_mes: the estimate should stay close.
+        let mut periods = gaussian_periods(32_000, 3000.0, 2.0);
+        for (i, p) in periods.iter_mut().enumerate() {
+            *p += i as f64 * 1e-5; // slow drift
+        }
+        let m = measure(&periods, 16).expect("valid");
+        assert!((m.sigma_p_ps - 2.0).abs() < 0.3, "estimate {}", m.sigma_p_ps);
+    }
+
+    #[test]
+    fn error_cases() {
+        let periods = gaussian_periods(100, 3000.0, 2.0);
+        assert!(measure(&periods, 0).is_err());
+        assert!(measure(&periods, 64).is_err()); // needs 2*64*20 periods
+        assert!(validate_against_direct(&[3000.0; 2000], 4).is_err()); // zero jitter
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the analysis toolkit.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by analysis routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A routine needed more samples than it was given.
+    NotEnoughData {
+        /// Minimum number of samples required.
+        needed: usize,
+        /// Number actually provided.
+        got: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+    /// Input contained a NaN or infinity.
+    NonFiniteData,
+    /// Data was degenerate for the requested operation (e.g. zero
+    /// variance where a spread is required).
+    DegenerateData(&'static str),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NotEnoughData { needed, got } => {
+                write!(f, "needed at least {needed} samples, got {got}")
+            }
+            AnalysisError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter {name} must satisfy: {constraint}")
+            }
+            AnalysisError::NonFiniteData => write!(f, "input contained non-finite values"),
+            AnalysisError::DegenerateData(what) => write!(f, "degenerate data: {what}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+/// Validates that a slice holds at least `needed` finite samples.
+pub(crate) fn require_finite(data: &[f64], needed: usize) -> Result<(), AnalysisError> {
+    if data.len() < needed {
+        return Err(AnalysisError::NotEnoughData {
+            needed,
+            got: data.len(),
+        });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(AnalysisError::NonFiniteData);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AnalysisError::NotEnoughData { needed: 3, got: 1 }
+            .to_string()
+            .contains("3"));
+        assert!(AnalysisError::InvalidParameter {
+            name: "bins",
+            constraint: "must be positive"
+        }
+        .to_string()
+        .contains("bins"));
+        assert!(AnalysisError::NonFiniteData.to_string().contains("finite"));
+        assert!(AnalysisError::DegenerateData("zero variance")
+            .to_string()
+            .contains("zero variance"));
+    }
+
+    #[test]
+    fn require_finite_checks_both_conditions() {
+        assert!(require_finite(&[1.0, 2.0], 2).is_ok());
+        assert_eq!(
+            require_finite(&[1.0], 2),
+            Err(AnalysisError::NotEnoughData { needed: 2, got: 1 })
+        );
+        assert_eq!(
+            require_finite(&[1.0, f64::NAN], 2),
+            Err(AnalysisError::NonFiniteData)
+        );
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<AnalysisError>();
+    }
+}

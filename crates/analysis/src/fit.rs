@@ -1,0 +1,308 @@
+//! Least-squares fits used by the paper's figures.
+//!
+//! * [`linear`] — `y = a + b*x` (Fig. 8's near-linear frequency/voltage);
+//! * [`sqrt_law`] — `y = c * sqrt(x)` (Fig. 11's jitter accumulation:
+//!   `sigma_p = sqrt(2k) * sigma_g` means `c = sqrt(2) * sigma_g`);
+//! * [`charlie_hyperbola`] — recovers `(Ds, Dcharlie)` from measured
+//!   `(s, delay)` pairs of a Charlie diagram (Fig. 7) via the exact
+//!   linearization `d^2 - s^2 = 2*Ds*d - (Ds^2 - Dch^2)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, AnalysisError};
+
+/// Result of a linear fit `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Ordinary least squares for `y = a + b*x`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two points, mismatched lengths
+/// (reported as `NotEnoughData`), non-finite data or zero x-spread.
+pub fn linear(x: &[f64], y: &[f64]) -> Result<LinearFit, AnalysisError> {
+    if x.len() != y.len() {
+        return Err(AnalysisError::InvalidParameter {
+            name: "x/y",
+            constraint: "equal lengths",
+        });
+    }
+    require_finite(x, 2)?;
+    require_finite(y, 2)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|&xi| (xi - mx) * (xi - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(&xi, &yi)| (xi - mx) * (yi - my)).sum();
+    if sxx == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero x spread"));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let r = yi - (intercept + slope * xi);
+            r * r
+        })
+        .sum();
+    let ss_tot: f64 = y.iter().map(|&yi| (yi - my) * (yi - my)).sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    })
+}
+
+/// Result of a square-root-law fit `y = c * sqrt(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SqrtFit {
+    /// The coefficient `c`.
+    pub coefficient: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl SqrtFit {
+    /// Evaluates the fitted law at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        assert!(x >= 0.0, "sqrt law needs x >= 0");
+        self.coefficient * x.sqrt()
+    }
+}
+
+/// Least squares for `y = c * sqrt(x)` (no intercept):
+/// `c = sum(y*sqrt(x)) / sum(x)`.
+///
+/// For the IRO jitter law `sigma_p = sqrt(2k)*sigma_g`, fitting `sigma_p`
+/// against `k` yields `c = sqrt(2)*sigma_g`, i.e. `sigma_g = c/sqrt(2)`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two points, mismatched lengths,
+/// non-finite data, or non-positive `x`.
+pub fn sqrt_law(x: &[f64], y: &[f64]) -> Result<SqrtFit, AnalysisError> {
+    if x.len() != y.len() {
+        return Err(AnalysisError::InvalidParameter {
+            name: "x/y",
+            constraint: "equal lengths",
+        });
+    }
+    require_finite(x, 2)?;
+    require_finite(y, 2)?;
+    if x.iter().any(|&xi| xi <= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "x",
+            constraint: "strictly positive for a sqrt-law fit",
+        });
+    }
+    let num: f64 = x.iter().zip(y).map(|(&xi, &yi)| yi * xi.sqrt()).sum();
+    let den: f64 = x.iter().sum();
+    let coefficient = num / den;
+    let my = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let r = yi - coefficient * xi.sqrt();
+            r * r
+        })
+        .sum();
+    let ss_tot: f64 = y.iter().map(|&yi| (yi - my) * (yi - my)).sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(SqrtFit {
+        coefficient,
+        r_squared,
+    })
+}
+
+/// Result of a Charlie-diagram hyperbola fit
+/// `delay = Ds + sqrt(Dcharlie^2 + s^2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharlieFit {
+    /// Static delay `Ds`, picoseconds.
+    pub static_delay_ps: f64,
+    /// Charlie magnitude `Dcharlie`, picoseconds.
+    pub charlie_delay_ps: f64,
+    /// Root-mean-square residual of the fit, picoseconds.
+    pub rms_residual_ps: f64,
+}
+
+impl CharlieFit {
+    /// Evaluates the fitted Charlie curve at separation `s` (ps).
+    #[must_use]
+    pub fn predict(&self, s: f64) -> f64 {
+        self.static_delay_ps + (self.charlie_delay_ps.powi(2) + s * s).sqrt()
+    }
+}
+
+/// Recovers `(Ds, Dcharlie)` from `(separation, delay)` samples of a
+/// Charlie diagram.
+///
+/// Squaring `d - Ds = sqrt(Dch^2 + s^2)` gives the exact linear relation
+/// `d^2 - s^2 = 2*Ds*d - (Ds^2 - Dch^2)`, so an ordinary linear fit of
+/// `d^2 - s^2` against `d` yields both parameters in closed form.
+///
+/// # Errors
+///
+/// Returns an error for fewer than three points, mismatched lengths,
+/// non-finite data, a degenerate delay spread, or if the recovered
+/// `Dcharlie^2` is negative (data inconsistent with a Charlie curve).
+pub fn charlie_hyperbola(
+    separation_ps: &[f64],
+    delay_ps: &[f64],
+) -> Result<CharlieFit, AnalysisError> {
+    if separation_ps.len() != delay_ps.len() {
+        return Err(AnalysisError::InvalidParameter {
+            name: "separation/delay",
+            constraint: "equal lengths",
+        });
+    }
+    require_finite(separation_ps, 3)?;
+    require_finite(delay_ps, 3)?;
+    let y: Vec<f64> = separation_ps
+        .iter()
+        .zip(delay_ps)
+        .map(|(&s, &d)| d * d - s * s)
+        .collect();
+    let lin = linear(delay_ps, &y)?;
+    let ds = lin.slope / 2.0;
+    let dch2 = ds * ds - (-lin.intercept);
+    if dch2 < 0.0 {
+        return Err(AnalysisError::DegenerateData(
+            "fit yields negative Dcharlie^2: data is not a Charlie curve",
+        ));
+    }
+    let fit = CharlieFit {
+        static_delay_ps: ds,
+        charlie_delay_ps: dch2.sqrt(),
+        rms_residual_ps: 0.0,
+    };
+    let ss: f64 = separation_ps
+        .iter()
+        .zip(delay_ps)
+        .map(|(&s, &d)| {
+            let r = d - fit.predict(s);
+            r * r
+        })
+        .sum();
+    Ok(CharlieFit {
+        rms_residual_ps: (ss / separation_ps.len() as f64).sqrt(),
+        ..fit
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_recovers_exact_line() {
+        let x: Vec<f64> = (0..10).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| 3.0 + 2.0 * xi).collect();
+        let fit = linear(&x, &y).expect("valid");
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_r2_degrades_with_noise() {
+        let x: Vec<f64> = (0..50).map(f64::from).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &xi)| xi + if i % 2 == 0 { 8.0 } else { -8.0 })
+            .collect();
+        let fit = linear(&x, &y).expect("valid");
+        assert!(fit.r_squared < 1.0);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn sqrt_law_recovers_iro_jitter_coefficient() {
+        // sigma_p = sqrt(2k) * sigma_g with sigma_g = 2 ps.
+        let k: Vec<f64> = vec![3.0, 5.0, 9.0, 15.0, 25.0, 41.0, 60.0, 80.0];
+        let sigma: Vec<f64> = k.iter().map(|&ki| (2.0 * ki).sqrt() * 2.0).collect();
+        let fit = sqrt_law(&k, &sigma).expect("valid");
+        let sigma_g = fit.coefficient / std::f64::consts::SQRT_2;
+        assert!((sigma_g - 2.0).abs() < 1e-12, "sigma_g = {sigma_g}");
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(50.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charlie_fit_recovers_parameters() {
+        let ds = 255.0;
+        let dch = 128.0;
+        let s: Vec<f64> = (-20..=20).map(|i| f64::from(i) * 25.0).collect();
+        let d: Vec<f64> = s.iter().map(|&si| ds + (dch * dch + si * si).sqrt()).collect();
+        let fit = charlie_hyperbola(&s, &d).expect("valid");
+        assert!((fit.static_delay_ps - ds).abs() < 1e-6, "Ds {}", fit.static_delay_ps);
+        assert!(
+            (fit.charlie_delay_ps - dch).abs() < 1e-6,
+            "Dch {}",
+            fit.charlie_delay_ps
+        );
+        assert!(fit.rms_residual_ps < 1e-6);
+    }
+
+    #[test]
+    fn charlie_fit_tolerates_noise() {
+        let ds = 100.0;
+        let dch = 50.0;
+        let s: Vec<f64> = (-40..=40).map(|i| f64::from(i) * 10.0).collect();
+        let d: Vec<f64> = s
+            .iter()
+            .enumerate()
+            .map(|(i, &si)| {
+                ds + (dch * dch + si * si).sqrt() + if i % 2 == 0 { 0.5 } else { -0.5 }
+            })
+            .collect();
+        let fit = charlie_hyperbola(&s, &d).expect("valid");
+        assert!((fit.static_delay_ps - ds).abs() < 2.0);
+        assert!((fit.charlie_delay_ps - dch).abs() < 3.0);
+        assert!(fit.rms_residual_ps < 1.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(linear(&[1.0], &[1.0]).is_err());
+        assert!(linear(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(linear(&[1.0, 1.0], &[1.0, 2.0]).is_err()); // zero x spread
+        assert!(sqrt_law(&[0.0, 1.0], &[1.0, 2.0]).is_err()); // non-positive x
+        assert!(charlie_hyperbola(&[1.0, 2.0], &[1.0, 2.0]).is_err()); // too few
+    }
+}

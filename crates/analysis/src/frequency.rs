@@ -1,0 +1,178 @@
+//! Frequency metrics: `F`, normalized excursion `dF` and `sigma_rel`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, AnalysisError};
+use crate::stats;
+
+/// Mean frequency in MHz from a series of periods in picoseconds.
+///
+/// # Errors
+///
+/// Returns an error for an empty series, non-finite data or non-positive
+/// periods.
+///
+/// # Examples
+///
+/// ```
+/// use strent_analysis::frequency::frequency_mhz;
+///
+/// // ~3333 ps period -> ~300 MHz.
+/// let f = frequency_mhz(&[3333.0, 3334.0, 3332.0])?;
+/// assert!((f - 300.0).abs() < 0.2);
+/// # Ok::<(), strent_analysis::AnalysisError>(())
+/// ```
+pub fn frequency_mhz(periods_ps: &[f64]) -> Result<f64, AnalysisError> {
+    require_finite(periods_ps, 1)?;
+    if periods_ps.iter().any(|&p| p <= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "periods",
+            constraint: "strictly positive",
+        });
+    }
+    let mean_ps = stats::mean(periods_ps)?;
+    Ok(1e6 / mean_ps)
+}
+
+/// One `(voltage, frequency)` sample of a voltage sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Core voltage, volts.
+    pub voltage: f64,
+    /// Measured frequency, MHz.
+    pub frequency_mhz: f64,
+}
+
+/// Result of normalizing a voltage sweep (Fig. 8 / Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedSweep {
+    /// Frequency at the nominal voltage, MHz (the paper's `Fnom`).
+    pub f_nominal_mhz: f64,
+    /// `(voltage, F/Fnom)` series.
+    pub normalized: Vec<(f64, f64)>,
+    /// Normalized excursion `dF = (Fmax - Fmin) / Fnom`.
+    pub excursion: f64,
+}
+
+/// Normalizes a frequency/voltage sweep to the frequency at
+/// `nominal_voltage` and computes the excursion `dF` over the sweep.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two points, non-finite data, or if no
+/// sweep point lies within 1 mV of the nominal voltage.
+pub fn normalize_sweep(
+    points: &[SweepPoint],
+    nominal_voltage: f64,
+) -> Result<NormalizedSweep, AnalysisError> {
+    if points.len() < 2 {
+        return Err(AnalysisError::NotEnoughData {
+            needed: 2,
+            got: points.len(),
+        });
+    }
+    if points
+        .iter()
+        .any(|p| !(p.voltage.is_finite() && p.frequency_mhz.is_finite()))
+    {
+        return Err(AnalysisError::NonFiniteData);
+    }
+    let f_nominal = points
+        .iter()
+        .find(|p| (p.voltage - nominal_voltage).abs() < 1e-3)
+        .map(|p| p.frequency_mhz)
+        .ok_or(AnalysisError::InvalidParameter {
+            name: "points",
+            constraint: "must contain a sample at the nominal voltage",
+        })?;
+    if f_nominal <= 0.0 {
+        return Err(AnalysisError::DegenerateData("non-positive nominal frequency"));
+    }
+    let f_max = points.iter().map(|p| p.frequency_mhz).fold(f64::MIN, f64::max);
+    let f_min = points.iter().map(|p| p.frequency_mhz).fold(f64::MAX, f64::min);
+    Ok(NormalizedSweep {
+        f_nominal_mhz: f_nominal,
+        normalized: points
+            .iter()
+            .map(|p| (p.voltage, p.frequency_mhz / f_nominal))
+            .collect(),
+        excursion: (f_max - f_min) / f_nominal,
+    })
+}
+
+/// Relative standard deviation of per-board frequencies — the paper's
+/// `sigma_rel` (Table II).
+///
+/// # Errors
+///
+/// Returns an error for fewer than two boards, non-finite data or a zero
+/// mean.
+pub fn sigma_rel(frequencies_mhz: &[f64]) -> Result<f64, AnalysisError> {
+    stats::relative_std_dev(frequencies_mhz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_from_periods() {
+        let f = frequency_mhz(&[1000.0]).expect("valid");
+        assert!((f - 1000.0).abs() < 1e-9);
+        assert!(frequency_mhz(&[]).is_err());
+        assert!(frequency_mhz(&[-1.0]).is_err());
+    }
+
+    #[test]
+    fn sweep_normalization_matches_paper_definition() {
+        // A 50% excursion sweep like a small IRO.
+        let points: Vec<SweepPoint> = [
+            (1.0, 300.0),
+            (1.1, 340.0),
+            (1.2, 376.0),
+            (1.3, 452.0),
+            (1.4, 488.0),
+        ]
+        .iter()
+        .map(|&(v, f)| SweepPoint {
+            voltage: v,
+            frequency_mhz: f,
+        })
+        .collect();
+        let s = normalize_sweep(&points, 1.2).expect("valid");
+        assert_eq!(s.f_nominal_mhz, 376.0);
+        assert!((s.excursion - (488.0 - 300.0) / 376.0).abs() < 1e-12);
+        assert!((s.normalized[2].1 - 1.0).abs() < 1e-12);
+        assert_eq!(s.normalized.len(), 5);
+    }
+
+    #[test]
+    fn sweep_requires_nominal_point() {
+        let points = vec![
+            SweepPoint {
+                voltage: 1.0,
+                frequency_mhz: 100.0,
+            },
+            SweepPoint {
+                voltage: 1.4,
+                frequency_mhz: 150.0,
+            },
+        ];
+        assert!(matches!(
+            normalize_sweep(&points, 1.2),
+            Err(AnalysisError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn sigma_rel_replicates_table_ii_style_numbers() {
+        // Table II, STR 96C row.
+        let f = [328.16, 328.54, 327.55, 328.47, 327.46];
+        let s = sigma_rel(&f).expect("valid");
+        assert!((s - 0.0015).abs() < 3e-4, "sigma_rel {s}");
+        // Table II, IRO 3C row.
+        let f = [654.42, 646.84, 641.56, 645.60, 642.12];
+        let s = sigma_rel(&f).expect("valid");
+        assert!((s - 0.0079).abs() < 3e-4, "sigma_rel {s}");
+    }
+}

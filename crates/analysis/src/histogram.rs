@@ -1,0 +1,290 @@
+//! Uniform-bin histograms (the scope's "period histogram" view, Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, AnalysisError};
+use crate::special::normal_cdf;
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// # Examples
+///
+/// ```
+/// use strent_analysis::Histogram;
+///
+/// let data = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 9.0];
+/// let hist = Histogram::from_data(&data, 4)?;
+/// assert_eq!(hist.total(), 7);
+/// assert_eq!(hist.bin_count(), 4);
+/// # Ok::<(), strent_analysis::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` uniform bins spanning the data
+    /// range (the top edge is widened infinitesimally so the maximum
+    /// lands in the last bin).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/non-finite data, zero bins, or
+    /// degenerate data with zero spread.
+    pub fn from_data(data: &[f64], bins: usize) -> Result<Self, AnalysisError> {
+        require_finite(data, 1)?;
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo == hi {
+            return Err(AnalysisError::DegenerateData("zero data spread"));
+        }
+        // Widen the top edge so `max` falls inside the last bin.
+        let hi = hi + (hi - lo) * 1e-9;
+        let mut hist = Histogram::with_range(lo, hi, bins)?;
+        for &x in data {
+            hist.add(x);
+        }
+        Ok(hist)
+    }
+
+    /// Builds an empty histogram over an explicit `[lo, hi)` range.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bins == 0` or the range is empty/non-finite.
+    pub fn with_range(lo: f64, hi: f64, bins: usize) -> Result<Self, AnalysisError> {
+        if bins == 0 {
+            return Err(AnalysisError::InvalidParameter {
+                name: "bins",
+                constraint: "must be at least 1",
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "range",
+                constraint: "lo < hi, both finite",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Adds one sample; values outside `[lo, hi)` are clamped into the
+    /// edge bins (scope-style saturation).
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Lower edge of the histogram range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bin_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of one bin.
+    #[must_use]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the most populated bin (first on ties).
+    #[must_use]
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map_or(0, |(i, _)| i)
+    }
+
+    /// Normalized densities (counts / (total * bin width)); integrates
+    /// to ~1 like a PDF.
+    #[must_use]
+    pub fn densities(&self) -> Vec<f64> {
+        let norm = self.total() as f64 * self.bin_width();
+        self.counts
+            .iter()
+            .map(|&c| {
+                if norm == 0.0 {
+                    0.0
+                } else {
+                    c as f64 / norm
+                }
+            })
+            .collect()
+    }
+
+    /// Expected counts per bin under `N(mean, sigma^2)` with this
+    /// histogram's total — the reference distribution for chi-square
+    /// goodness-of-fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive.
+    #[must_use]
+    pub fn expected_gaussian_counts(&self, mean: f64, sigma: f64) -> Vec<f64> {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        let total = self.total() as f64;
+        let w = self.bin_width();
+        (0..self.counts.len())
+            .map(|i| {
+                let a = self.lo + i as f64 * w;
+                let b = a + w;
+                let p = normal_cdf((b - mean) / sigma) - normal_cdf((a - mean) / sigma);
+                total * p
+            })
+            .collect()
+    }
+
+    /// Renders the histogram as ASCII rows `center count |bar|`, wide
+    /// enough for terminal inspection (used by the repro binaries).
+    #[must_use]
+    pub fn to_ascii(&self, max_bar: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as usize * max_bar) / peak as usize;
+            out.push_str(&format!(
+                "{:>12.3} {:>8} |{}\n",
+                self.bin_center(i),
+                c,
+                "#".repeat(bar)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_totals() {
+        let hist = Histogram::from_data(&[0.0, 1.0, 2.0, 3.0, 4.0], 5).expect("valid");
+        assert_eq!(hist.total(), 5);
+        assert_eq!(hist.counts(), &[1, 1, 1, 1, 1]);
+        assert!((hist.bin_center(0) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let hist = Histogram::from_data(&[0.0, 10.0], 10).expect("valid");
+        assert_eq!(hist.counts()[9], 1);
+        assert_eq!(hist.counts()[0], 1);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp() {
+        let mut hist = Histogram::with_range(0.0, 10.0, 2).expect("valid");
+        hist.add(-100.0);
+        hist.add(100.0);
+        hist.add(10.0); // hi edge is exclusive -> last bin
+        assert_eq!(hist.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn densities_integrate_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| f64::from(i) * 0.01).collect();
+        let hist = Histogram::from_data(&data, 20).expect("valid");
+        let integral: f64 = hist
+            .densities()
+            .iter()
+            .map(|d| d * hist.bin_width())
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_expectation_matches_samples_shape() {
+        // A symmetric range around the mean: expected counts symmetric,
+        // peaked in the center.
+        let mut hist = Histogram::with_range(-4.0, 4.0, 8).expect("valid");
+        for _ in 0..100 {
+            hist.add(0.0);
+        }
+        let expected = hist.expected_gaussian_counts(0.0, 1.0);
+        assert_eq!(expected.len(), 8);
+        let total: f64 = expected.iter().sum();
+        assert!((total - 100.0).abs() < 0.1, "nearly all mass in range");
+        for i in 0..4 {
+            assert!((expected[i] - expected[7 - i]).abs() < 1e-9, "symmetry");
+        }
+        assert!(expected[3] > expected[0]);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut hist = Histogram::with_range(0.0, 3.0, 3).expect("valid");
+        hist.add(0.5);
+        hist.add(1.5);
+        hist.add(1.6);
+        assert_eq!(hist.mode_bin(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(Histogram::from_data(&[], 4).is_err());
+        assert!(Histogram::from_data(&[1.0, 1.0], 4).is_err());
+        assert!(Histogram::from_data(&[1.0, f64::NAN], 4).is_err());
+        assert!(Histogram::with_range(0.0, 1.0, 0).is_err());
+        assert!(Histogram::with_range(1.0, 0.0, 4).is_err());
+    }
+
+    #[test]
+    fn ascii_rendering_has_one_row_per_bin() {
+        let hist = Histogram::from_data(&[0.0, 1.0, 2.0], 3).expect("valid");
+        let text = hist.to_ascii(10);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains('#'));
+    }
+}

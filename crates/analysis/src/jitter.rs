@@ -1,0 +1,222 @@
+//! Jitter metrics on period series.
+//!
+//! Conventions follow the paper (Sec. IV): the **period jitter**
+//! `sigma_period` is the standard deviation of the period population; the
+//! **cycle-to-cycle jitter** is the standard deviation of the difference
+//! between successive periods; the **accumulated jitter** over `m`
+//! periods is the standard deviation of sums of `m` consecutive periods.
+
+use crate::error::{require_finite, AnalysisError};
+use crate::stats::Summary;
+
+/// Period jitter: sample standard deviation of the periods.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two periods or non-finite data.
+///
+/// # Examples
+///
+/// ```
+/// use strent_analysis::jitter::period_jitter;
+///
+/// let sigma = period_jitter(&[100.0, 102.0, 98.0, 101.0, 99.0])?;
+/// assert!(sigma > 1.0 && sigma < 2.0);
+/// # Ok::<(), strent_analysis::AnalysisError>(())
+/// ```
+pub fn period_jitter(periods: &[f64]) -> Result<f64, AnalysisError> {
+    require_finite(periods, 2)?;
+    Ok(Summary::from_slice(periods).std_dev())
+}
+
+/// Cycle-to-cycle jitter: standard deviation of `T[i+1] - T[i]`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than three periods or non-finite data.
+pub fn cycle_to_cycle_jitter(periods: &[f64]) -> Result<f64, AnalysisError> {
+    require_finite(periods, 3)?;
+    let diffs: Vec<f64> = periods.windows(2).map(|w| w[1] - w[0]).collect();
+    Ok(Summary::from_slice(&diffs).std_dev())
+}
+
+/// Accumulated jitter over `m` periods: standard deviation of sums of `m`
+/// consecutive, non-overlapping periods.
+///
+/// For independent periods it grows as `sqrt(m) * sigma_period` — the
+/// accumulation law the measurement method of Sec. V-D.2 relies on.
+///
+/// # Errors
+///
+/// Returns an error if `m == 0`, or fewer than `2m` periods are
+/// available (at least two windows are needed for a deviation).
+pub fn accumulated_jitter(periods: &[f64], m: usize) -> Result<f64, AnalysisError> {
+    if m == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "m",
+            constraint: "must be at least 1",
+        });
+    }
+    require_finite(periods, 2 * m)?;
+    let sums: Vec<f64> = periods.chunks_exact(m).map(|c| c.iter().sum()).collect();
+    if sums.len() < 2 {
+        return Err(AnalysisError::NotEnoughData {
+            needed: 2 * m,
+            got: periods.len(),
+        });
+    }
+    Ok(Summary::from_slice(&sums).std_dev())
+}
+
+/// Sample autocorrelation of the period series at the given lag:
+/// `corr(T[i], T[i+lag])`, in `[-1, 1]`.
+///
+/// Independent periods (IRO) give ~0 at every lag; the Charlie servo of
+/// a self-timed ring *anti-correlates* successive periods (negative
+/// lag-1 value) — the effect that biases the Eq. 6 divider method.
+///
+/// # Errors
+///
+/// Returns an error if `lag == 0`, fewer than `lag + 8` periods are
+/// given, the data is non-finite, or the variance is zero.
+pub fn period_autocorrelation(periods: &[f64], lag: usize) -> Result<f64, AnalysisError> {
+    if lag == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "lag",
+            constraint: "must be at least 1",
+        });
+    }
+    require_finite(periods, lag + 8)?;
+    let n = periods.len();
+    let mean = periods.iter().sum::<f64>() / n as f64;
+    let var = periods.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero period variance"));
+    }
+    let cov = (0..n - lag)
+        .map(|i| (periods[i] - mean) * (periods[i + lag] - mean))
+        .sum::<f64>()
+        / (n - lag) as f64;
+    Ok(cov / var)
+}
+
+/// The accumulation curve `(m, sigma_acc(m))` for `m = 1, 2, 4, ...` up
+/// to the largest power of two with at least `min_windows` windows.
+///
+/// # Errors
+///
+/// Returns an error if even `m = 1` cannot be computed.
+pub fn accumulation_curve(
+    periods: &[f64],
+    min_windows: usize,
+) -> Result<Vec<(usize, f64)>, AnalysisError> {
+    require_finite(periods, 2)?;
+    let mut out = Vec::new();
+    let mut m = 1;
+    while periods.len() / m >= min_windows.max(2) {
+        out.push((m, accumulated_jitter(periods, m)?));
+        m *= 2;
+    }
+    if out.is_empty() {
+        return Err(AnalysisError::NotEnoughData {
+            needed: min_windows.max(2),
+            got: periods.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::normal_quantile;
+
+    /// Deterministic pseudo-Gaussian period series (shuffled quantiles).
+    fn gaussian_periods(n: usize, mean: f64, sigma: f64) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                mean + sigma * normal_quantile(u)
+            })
+            .collect();
+        // Deterministic shuffle to break the sorted order.
+        let mut state = 0x243f_6a88_85a3_08d3_u64;
+        for i in (1..v.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn period_jitter_matches_configured_sigma() {
+        let periods = gaussian_periods(20_000, 3333.0, 2.5);
+        let sigma = period_jitter(&periods).expect("valid");
+        assert!((sigma - 2.5).abs() < 0.05, "sigma {sigma}");
+    }
+
+    #[test]
+    fn cycle_to_cycle_is_sqrt2_of_period_for_iid() {
+        // For i.i.d. periods, var(T[i+1]-T[i]) = 2 var(T).
+        let periods = gaussian_periods(40_000, 1000.0, 3.0);
+        let cc = cycle_to_cycle_jitter(&periods).expect("valid");
+        let expected = 3.0 * std::f64::consts::SQRT_2;
+        assert!((cc - expected).abs() < 0.1, "cc {cc} vs {expected}");
+    }
+
+    #[test]
+    fn accumulation_follows_sqrt_m_for_iid() {
+        let periods = gaussian_periods(65_536, 500.0, 2.0);
+        let curve = accumulation_curve(&periods, 64).expect("valid");
+        assert!(curve.len() >= 8);
+        for &(m, sigma) in &curve {
+            let expected = 2.0 * (m as f64).sqrt();
+            assert!(
+                (sigma / expected - 1.0).abs() < 0.25,
+                "m={m}: sigma {sigma} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulated_jitter_window_bookkeeping() {
+        let periods: Vec<f64> = (0..10).map(|i| 100.0 + f64::from(i % 2)).collect();
+        // m=5 -> two windows.
+        assert!(accumulated_jitter(&periods, 5).is_ok());
+        // m=6 -> only one full window: not enough.
+        assert!(accumulated_jitter(&periods, 6).is_err());
+        assert!(accumulated_jitter(&periods, 0).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_signs() {
+        // i.i.d. periods: near-zero autocorrelation at small lags.
+        let iid = gaussian_periods(20_000, 1000.0, 2.0);
+        let r1 = period_autocorrelation(&iid, 1).expect("enough");
+        assert!(r1.abs() < 0.03, "iid lag-1 {r1}");
+        // Alternating (anti-correlated) series: strongly negative lag 1,
+        // positive lag 2.
+        let alt: Vec<f64> = (0..1000)
+            .map(|i| 1000.0 + if i % 2 == 0 { 2.0 } else { -2.0 })
+            .collect();
+        assert!(period_autocorrelation(&alt, 1).expect("enough") < -0.99);
+        assert!(period_autocorrelation(&alt, 2).expect("enough") > 0.99);
+        // Slowly drifting series: positive at small lags.
+        let drift: Vec<f64> = (0..1000)
+            .map(|i| 1000.0 + (f64::from(i) * 0.05).sin() * 3.0)
+            .collect();
+        assert!(period_autocorrelation(&drift, 1).expect("enough") > 0.9);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(period_jitter(&[1.0]).is_err());
+        assert!(cycle_to_cycle_jitter(&[1.0, 2.0]).is_err());
+        assert!(period_jitter(&[1.0, f64::INFINITY]).is_err());
+        assert!(accumulation_curve(&[1.0], 2).is_err());
+        assert!(period_autocorrelation(&[1.0; 100], 0).is_err());
+        assert!(period_autocorrelation(&[1.0; 5], 1).is_err());
+        assert!(period_autocorrelation(&[1.0; 100], 1).is_err()); // zero var
+    }
+}

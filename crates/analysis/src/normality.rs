@@ -1,0 +1,236 @@
+//! Normality tests.
+//!
+//! Fig. 9 of the paper shows that both STR and IRO period jitter is
+//! Gaussian and the divider method (Sec. V-D.2) *requires* checking that
+//! the divided-clock cycle-to-cycle histogram is normal before applying
+//! Eq. 6. Three complementary tests are provided:
+//!
+//! * [`chi_square_gof`] — binned goodness-of-fit against a fitted normal;
+//! * [`jarque_bera`] — moment-based (skewness/kurtosis) test;
+//! * [`anderson_darling`] — EDF-based test, most sensitive in the tails.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, AnalysisError};
+use crate::histogram::Histogram;
+use crate::special::{chi_square_sf, normal_cdf};
+use crate::stats::Summary;
+
+/// Outcome of a statistical hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// The p-value under the null hypothesis (here: data is normal).
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis survives at significance `alpha`.
+    #[must_use]
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Chi-square goodness-of-fit of the data against `N(mean, sigma^2)`
+/// fitted from the data itself.
+///
+/// Bins with expected count below 5 are merged into their neighbour
+/// (standard practice); degrees of freedom are `bins - 3` (two estimated
+/// parameters).
+///
+/// # Errors
+///
+/// Returns an error for fewer than 25 samples, non-finite data, zero
+/// spread, or if merging leaves fewer than 4 bins.
+pub fn chi_square_gof(data: &[f64], bins: usize) -> Result<TestResult, AnalysisError> {
+    require_finite(data, 25)?;
+    let summary = Summary::from_slice(data);
+    let sigma = summary.std_dev();
+    if sigma == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero variance"));
+    }
+    let hist = Histogram::from_data(data, bins)?;
+    let expected = hist.expected_gaussian_counts(summary.mean(), sigma);
+    let observed: Vec<f64> = hist.counts().iter().map(|&c| c as f64).collect();
+
+    // Merge adjacent bins until every expected count is >= 5.
+    let mut merged_obs = Vec::new();
+    let mut merged_exp = Vec::new();
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &e) in observed.iter().zip(&expected) {
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= 5.0 {
+            merged_obs.push(acc_o);
+            merged_exp.push(acc_e);
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    // Fold the tail into the last merged bin.
+    if acc_e > 0.0 {
+        if let (Some(o), Some(e)) = (merged_obs.last_mut(), merged_exp.last_mut()) {
+            *o += acc_o;
+            *e += acc_e;
+        }
+    }
+    if merged_obs.len() < 4 {
+        return Err(AnalysisError::NotEnoughData {
+            needed: 4,
+            got: merged_obs.len(),
+        });
+    }
+    let statistic: f64 = merged_obs
+        .iter()
+        .zip(&merged_exp)
+        .map(|(o, e)| (o - e) * (o - e) / e)
+        .sum();
+    let dof = u32::try_from(merged_obs.len() - 3).expect("bin count fits u32");
+    Ok(TestResult {
+        statistic,
+        p_value: chi_square_sf(statistic, dof),
+    })
+}
+
+/// Jarque–Bera normality test (`JB = n/6 (S^2 + K^2/4)`, chi-square with
+/// 2 dof under the null).
+///
+/// # Errors
+///
+/// Returns an error for fewer than 20 samples, non-finite data or zero
+/// variance.
+pub fn jarque_bera(data: &[f64]) -> Result<TestResult, AnalysisError> {
+    require_finite(data, 20)?;
+    let s = Summary::from_slice(data);
+    if s.variance() == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero variance"));
+    }
+    let n = data.len() as f64;
+    let skew = s.skewness();
+    let kurt = s.excess_kurtosis();
+    let statistic = n / 6.0 * (skew * skew + kurt * kurt / 4.0);
+    Ok(TestResult {
+        statistic,
+        p_value: chi_square_sf(statistic, 2),
+    })
+}
+
+/// Anderson–Darling normality test (case 3: mean and variance estimated),
+/// with the D'Agostino small-sample correction and p-value approximation.
+///
+/// # Errors
+///
+/// Returns an error for fewer than 8 samples, non-finite data or zero
+/// variance.
+pub fn anderson_darling(data: &[f64]) -> Result<TestResult, AnalysisError> {
+    require_finite(data, 8)?;
+    let s = Summary::from_slice(data);
+    let sigma = s.std_dev();
+    if sigma == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero variance"));
+    }
+    let mut z: Vec<f64> = data.iter().map(|&x| (x - s.mean()) / sigma).collect();
+    z.sort_by(f64::total_cmp);
+    let n = z.len();
+    let nf = n as f64;
+    let mut a2 = -nf;
+    for i in 0..n {
+        // Clamp CDF values away from 0/1 to keep the logs finite.
+        let phi_i = normal_cdf(z[i]).clamp(1e-300, 1.0 - 1e-16);
+        let phi_rev = normal_cdf(z[n - 1 - i]).clamp(1e-300, 1.0 - 1e-16);
+        a2 -= (2.0 * (i as f64) + 1.0) / nf * (phi_i.ln() + (1.0 - phi_rev).ln());
+    }
+    // Case-3 small-sample adjustment.
+    let a2_star = a2 * (1.0 + 0.75 / nf + 2.25 / (nf * nf));
+    // D'Agostino (1986) p-value approximation for the adjusted statistic.
+    let p = if a2_star >= 0.6 {
+        (1.2937 - 5.709 * a2_star + 0.0186 * a2_star * a2_star).exp()
+    } else if a2_star >= 0.34 {
+        (0.9177 - 4.279 * a2_star - 1.38 * a2_star * a2_star).exp()
+    } else if a2_star >= 0.2 {
+        1.0 - (-8.318 + 42.796 * a2_star - 59.938 * a2_star * a2_star).exp()
+    } else {
+        1.0 - (-13.436 + 101.14 * a2_star - 223.73 * a2_star * a2_star).exp()
+    };
+    Ok(TestResult {
+        statistic: a2_star,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-Gaussian samples via the normal quantile of a
+    /// low-discrepancy sequence.
+    fn gaussian_samples(n: usize, mean: f64, sigma: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                mean + sigma * crate::special::normal_quantile(u)
+            })
+            .collect()
+    }
+
+    fn uniform_samples(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / n as f64).collect()
+    }
+
+    /// Heavily bimodal samples: half at -3, half at +3 with tiny scatter.
+    fn bimodal_samples(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let side = if i % 2 == 0 { -3.0 } else { 3.0 };
+                side + (i as f64 % 7.0) * 0.01
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chi_square_accepts_gaussian_rejects_bimodal() {
+        let good = chi_square_gof(&gaussian_samples(5000, 10.0, 2.0), 40).expect("valid");
+        assert!(good.passes(0.01), "gaussian rejected: p={}", good.p_value);
+        let bad = chi_square_gof(&bimodal_samples(5000), 40).expect("valid");
+        assert!(!bad.passes(0.01), "bimodal accepted: p={}", bad.p_value);
+    }
+
+    #[test]
+    fn jarque_bera_accepts_gaussian_rejects_uniform() {
+        let good = jarque_bera(&gaussian_samples(5000, 0.0, 1.0)).expect("valid");
+        assert!(good.passes(0.01), "gaussian rejected: p={}", good.p_value);
+        // Uniform has kurtosis -1.2 -> decisively rejected.
+        let bad = jarque_bera(&uniform_samples(5000)).expect("valid");
+        assert!(!bad.passes(0.01), "uniform accepted: p={}", bad.p_value);
+    }
+
+    #[test]
+    fn anderson_darling_accepts_gaussian_rejects_uniform() {
+        let good = anderson_darling(&gaussian_samples(2000, 5.0, 0.5)).expect("valid");
+        assert!(good.passes(0.01), "gaussian rejected: p={}", good.p_value);
+        let bad = anderson_darling(&uniform_samples(2000)).expect("valid");
+        assert!(!bad.passes(0.01), "uniform accepted: p={}", bad.p_value);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(chi_square_gof(&[1.0; 10], 10).is_err());
+        assert!(jarque_bera(&[1.0; 30]).is_err()); // zero variance
+        assert!(anderson_darling(&[1.0, 2.0]).is_err()); // too few
+        let nan = vec![f64::NAN; 100];
+        assert!(jarque_bera(&nan).is_err());
+    }
+
+    #[test]
+    fn test_result_threshold() {
+        let r = TestResult {
+            statistic: 1.0,
+            p_value: 0.04,
+        };
+        assert!(r.passes(0.01));
+        assert!(!r.passes(0.05));
+    }
+}

@@ -1,0 +1,168 @@
+//! Spectral analysis of period series.
+//!
+//! A supply-modulation attack appears as a spectral line in the period
+//! sequence; white period noise appears as a flat floor. The
+//! [`periodogram`] gives the full picture; [`goertzel_power`] evaluates
+//! a single bin cheaply (the frequency-domain twin of the lock-in
+//! detector in `strent-trng`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, AnalysisError};
+
+/// One periodogram bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralBin {
+    /// Frequency in cycles per sample, in `[0, 0.5]`.
+    pub frequency: f64,
+    /// Power (mean squared amplitude) in this bin.
+    pub power: f64,
+}
+
+/// The power of a single tone at `frequency` cycles per sample, via the
+/// Goertzel recurrence. The input mean is removed first, so the DC bin
+/// of a constant series is zero.
+///
+/// # Errors
+///
+/// Returns an error for fewer than 8 samples, non-finite data, or a
+/// frequency outside `[0, 0.5]`.
+pub fn goertzel_power(samples: &[f64], frequency: f64) -> Result<f64, AnalysisError> {
+    require_finite(samples, 8)?;
+    if !(0.0..=0.5).contains(&frequency) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "frequency",
+            constraint: "cycles per sample in [0, 0.5]",
+        });
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let omega = std::f64::consts::TAU * frequency;
+    let coeff = 2.0 * omega.cos();
+    let (mut s_prev, mut s_prev2) = (0.0, 0.0);
+    for &x in samples {
+        let s = (x - mean) + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let power =
+        (s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2) / (n * n / 4.0);
+    Ok(power.max(0.0))
+}
+
+/// The full (mean-removed) periodogram: `bins` equally spaced
+/// frequencies from just above DC to Nyquist.
+///
+/// # Errors
+///
+/// Returns an error for fewer than 8 samples, non-finite data, or zero
+/// bins.
+pub fn periodogram(samples: &[f64], bins: usize) -> Result<Vec<SpectralBin>, AnalysisError> {
+    if bins == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "bins",
+            constraint: "must be at least 1",
+        });
+    }
+    require_finite(samples, 8)?;
+    (1..=bins)
+        .map(|k| {
+            let frequency = 0.5 * k as f64 / bins as f64;
+            Ok(SpectralBin {
+                frequency,
+                power: goertzel_power(samples, frequency)?,
+            })
+        })
+        .collect()
+}
+
+/// The ratio of the peak bin power to the median bin power — a simple
+/// "is there a line in this spectrum?" detector. White noise gives a
+/// small ratio (a few); a strong injected tone gives a large one.
+///
+/// # Errors
+///
+/// Propagates [`periodogram`] errors.
+pub fn peak_to_median_ratio(samples: &[f64], bins: usize) -> Result<f64, AnalysisError> {
+    let spec = periodogram(samples, bins)?;
+    let mut powers: Vec<f64> = spec.iter().map(|b| b.power).collect();
+    powers.sort_by(f64::total_cmp);
+    let peak = *powers.last().expect("bins >= 1");
+    let median = powers[powers.len() / 2];
+    if median == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero median power"));
+    }
+    Ok(peak / median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, freq: f64, amplitude: f64) -> Vec<f64> {
+        (0..n)
+            .map(|k| 1000.0 + amplitude * (std::f64::consts::TAU * freq * k as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn goertzel_finds_a_pure_tone() {
+        let samples = tone(4096, 0.125, 3.0);
+        // Power of a sine of amplitude A is A^2 at the exact bin.
+        let p = goertzel_power(&samples, 0.125).expect("valid");
+        assert!((p - 9.0).abs() < 0.1, "power {p}");
+        // Far-off bins see almost nothing.
+        let off = goertzel_power(&samples, 0.3).expect("valid");
+        assert!(off < 0.05, "off-bin power {off}");
+    }
+
+    #[test]
+    fn dc_is_removed() {
+        let samples = vec![123.0; 64];
+        let p = goertzel_power(&samples, 0.25).expect("valid");
+        assert!(p < 1e-18);
+    }
+
+    #[test]
+    fn periodogram_peak_lands_on_the_tone() {
+        let samples = tone(2048, 0.2, 2.0);
+        let spec = periodogram(&samples, 50).expect("valid");
+        assert_eq!(spec.len(), 50);
+        let peak = spec
+            .iter()
+            .max_by(|a, b| a.power.total_cmp(&b.power))
+            .expect("non-empty");
+        assert!((peak.frequency - 0.2).abs() < 0.011, "peak at {}", peak.frequency);
+    }
+
+    #[test]
+    fn peak_detector_separates_tone_from_noise() {
+        // Deterministic pseudo-noise.
+        let mut state = 0x1234_5678_u64;
+        let noise: Vec<f64> = (0..2048)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                1000.0 + ((state >> 33) as f64 / 2f64.powi(31) - 0.5) * 4.0
+            })
+            .collect();
+        let noise_ratio = peak_to_median_ratio(&noise, 64).expect("valid");
+        let toned: Vec<f64> = noise
+            .iter()
+            .enumerate()
+            .map(|(k, &x)| x + 5.0 * (std::f64::consts::TAU * 0.11 * k as f64).sin())
+            .collect();
+        let tone_ratio = peak_to_median_ratio(&toned, 64).expect("valid");
+        assert!(
+            tone_ratio > 10.0 * noise_ratio,
+            "tone {tone_ratio} vs noise {noise_ratio}"
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(goertzel_power(&[1.0; 4], 0.1).is_err());
+        assert!(goertzel_power(&[1.0; 100], 0.6).is_err());
+        assert!(periodogram(&[1.0; 100], 0).is_err());
+        assert!(peak_to_median_ratio(&[5.0; 100], 8).is_err()); // zero power
+    }
+}

@@ -1,0 +1,450 @@
+//! Summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_finite, AnalysisError};
+
+/// Running summary statistics (Welford's online algorithm, extended to
+/// third and fourth central moments).
+///
+/// # Examples
+///
+/// ```
+/// use strent_analysis::Summary;
+///
+/// let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    #[must_use]
+    pub fn from_slice(data: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in data {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is non-finite (a NaN would silently poison every
+    /// statistic).
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "summary samples must be finite, got {x}");
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (needs at least two samples, else 0).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Population (biased, `1/n`) variance.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample skewness `g1` (0 for fewer than 3 samples or zero spread).
+    #[must_use]
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Sample excess kurtosis `g2` (0 for fewer than 4 samples or zero
+    /// spread).
+    #[must_use]
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.n < 4 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Relative standard deviation `std_dev / |mean|` — the paper's
+    /// `sigma_rel` (Table II).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DegenerateData`] if the mean is zero.
+    pub fn relative_std_dev(&self) -> Result<f64, AnalysisError> {
+        if self.mean == 0.0 {
+            return Err(AnalysisError::DegenerateData("zero mean"));
+        }
+        Ok(self.std_dev() / self.mean.abs())
+    }
+
+    /// Merges another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta * delta * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta.powi(3) * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta.powi(4) * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta * delta * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Mean of a slice.
+///
+/// # Errors
+///
+/// Returns an error for an empty or non-finite slice.
+pub fn mean(data: &[f64]) -> Result<f64, AnalysisError> {
+    require_finite(data, 1)?;
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample standard deviation of a slice.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two samples or non-finite data.
+pub fn std_dev(data: &[f64]) -> Result<f64, AnalysisError> {
+    require_finite(data, 2)?;
+    Ok(Summary::from_slice(data).std_dev())
+}
+
+/// Relative standard deviation (`sigma / mean`) of a slice — Table II's
+/// `sigma_rel`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two samples, non-finite data or a
+/// zero mean.
+pub fn relative_std_dev(data: &[f64]) -> Result<f64, AnalysisError> {
+    require_finite(data, 2)?;
+    Summary::from_slice(data).relative_std_dev()
+}
+
+/// The `q`-th quantile (0 = min, 0.5 = median, 1 = max) of a slice,
+/// with linear interpolation between order statistics.
+///
+/// # Errors
+///
+/// Returns an error for an empty slice, non-finite data, or `q`
+/// outside `[0, 1]`.
+pub fn percentile(data: &[f64], q: f64) -> Result<f64, AnalysisError> {
+    require_finite(data, 1)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "q",
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let position = q * (sorted.len() - 1) as f64;
+    let lower = position.floor() as usize;
+    let upper = position.ceil() as usize;
+    let fraction = position - lower as f64;
+    Ok(sorted[lower] + fraction * (sorted[upper] - sorted[lower]))
+}
+
+/// The median of a slice.
+///
+/// # Errors
+///
+/// Returns an error for an empty slice or non-finite data.
+pub fn median(data: &[f64]) -> Result<f64, AnalysisError> {
+    percentile(data, 0.5)
+}
+
+/// A chi-square confidence interval for the standard deviation of a
+/// normal population, `(lower, upper)`.
+///
+/// With only five boards, Table II's `sigma_rel` values are single
+/// draws with wide error bars — this quantifies them:
+/// `(n-1) s^2 / chi2_{(1+c)/2} <= sigma^2 <= (n-1) s^2 / chi2_{(1-c)/2}`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two samples, non-finite data, zero
+/// spread, or a confidence level outside `(0, 1)`.
+pub fn std_dev_confidence(data: &[f64], confidence: f64) -> Result<(f64, f64), AnalysisError> {
+    require_finite(data, 2)?;
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "confidence",
+            constraint: "strictly between 0 and 1",
+        });
+    }
+    let s = Summary::from_slice(data);
+    if s.variance() == 0.0 {
+        return Err(AnalysisError::DegenerateData("zero variance"));
+    }
+    let dof = u32::try_from(data.len() - 1).map_err(|_| AnalysisError::InvalidParameter {
+        name: "data",
+        constraint: "length must fit in u32",
+    })?;
+    let alpha = 1.0 - confidence;
+    let scaled = f64::from(dof) * s.variance();
+    let hi_q = crate::special::chi_square_quantile(1.0 - alpha / 2.0, dof);
+    let lo_q = crate::special::chi_square_quantile(alpha / 2.0, dof);
+    Ok(((scaled / hi_q).sqrt(), (scaled / lo_q).sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.skewness(), 0.0);
+        assert_eq!(s.excess_kurtosis(), 0.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn skewness_and_kurtosis_signs() {
+        // Right-skewed data.
+        let right = Summary::from_slice(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(right.skewness() > 0.0);
+        // Symmetric data: zero skew.
+        let sym = Summary::from_slice(&[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert!(sym.skewness().abs() < 1e-12);
+        // Uniform-ish data is platykurtic (negative excess kurtosis).
+        let uniform: Vec<f64> = (0..100).map(f64::from).collect();
+        assert!(Summary::from_slice(&uniform).excess_kurtosis() < -1.0);
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let all: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37 - 5.0).collect();
+        let bulk = Summary::from_slice(&all);
+        let mut merged = Summary::from_slice(&all[..37]);
+        merged.merge(&Summary::from_slice(&all[37..]));
+        assert!((merged.mean() - bulk.mean()).abs() < 1e-10);
+        assert!((merged.variance() - bulk.variance()).abs() < 1e-8);
+        assert!((merged.skewness() - bulk.skewness()).abs() < 1e-8);
+        assert!((merged.excess_kurtosis() - bulk.excess_kurtosis()).abs() < 1e-8);
+        assert_eq!(merged.count(), 100);
+        // Merging with empty is identity in both directions.
+        let mut a = bulk;
+        a.merge(&Summary::new());
+        assert_eq!(a, bulk);
+        let mut b = Summary::new();
+        b.merge(&bulk);
+        assert_eq!(b.mean(), bulk.mean());
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).expect("valid"), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]).expect("valid") - 1.0).abs() < 1e-12);
+        let rel = relative_std_dev(&[99.0, 100.0, 101.0]).expect("valid");
+        assert!((rel - 0.01).abs() < 1e-4);
+        assert!(mean(&[]).is_err());
+        assert!(std_dev(&[1.0]).is_err());
+        assert!(relative_std_dev(&[0.0, 0.0]).is_err());
+        assert!(mean(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn percentile_and_median() {
+        let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&data, 0.0).expect("valid"), 1.0);
+        assert_eq!(percentile(&data, 1.0).expect("valid"), 5.0);
+        assert_eq!(median(&data).expect("valid"), 3.0);
+        // Interpolation between order statistics.
+        assert!((percentile(&data, 0.25).expect("valid") - 2.0).abs() < 1e-12);
+        assert!((percentile(&data, 0.1).expect("valid") - 1.4).abs() < 1e-12);
+        // Even length: midpoint.
+        assert_eq!(median(&[1.0, 2.0]).expect("valid"), 1.5);
+        // Errors.
+        assert!(percentile(&[], 0.5).is_err());
+        assert!(percentile(&[1.0], 1.5).is_err());
+        assert!(median(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn std_dev_confidence_brackets_the_truth() {
+        // Known-sigma pseudo-Gaussian samples: the 95% CI contains the
+        // true sigma and tightens with more data.
+        let samples = |n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let u = (i as f64 + 0.5) / n as f64;
+                    10.0 + 2.0 * crate::special::normal_quantile(u)
+                })
+                .collect()
+        };
+        let small = std_dev_confidence(&samples(5), 0.95).expect("valid");
+        let large = std_dev_confidence(&samples(200), 0.95).expect("valid");
+        assert!(small.0 < 2.0 && 2.0 < small.1, "small CI {small:?}");
+        assert!(large.0 < 2.0 && 2.0 < large.1, "large CI {large:?}");
+        assert!(
+            (large.1 - large.0) < (small.1 - small.0) / 3.0,
+            "CI must tighten: {small:?} vs {large:?}"
+        );
+        // A 5-sample CI is wide — the Table II caveat in numbers.
+        assert!(small.1 / small.0 > 2.0, "5-sample CI ratio {}", small.1 / small.0);
+    }
+
+    #[test]
+    fn std_dev_confidence_rejects_bad_input() {
+        assert!(std_dev_confidence(&[1.0], 0.95).is_err());
+        assert!(std_dev_confidence(&[1.0, 2.0], 1.5).is_err());
+        assert!(std_dev_confidence(&[3.0, 3.0, 3.0], 0.95).is_err());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: Summary = vec![1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        let mut s2 = Summary::new();
+        s2.extend(vec![4.0, 5.0]);
+        assert_eq!(s2.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_push_rejected() {
+        Summary::new().push(f64::NAN);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the analysis toolkit.
+
+use proptest::prelude::*;
+
+use strent_analysis::special::{erf, erfc, gamma_p, gamma_q, normal_cdf, normal_quantile};
+use strent_analysis::{fit, jitter, stats, Histogram, Summary};
+
+fn finite_data(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6_f64..1e6, min_len..200)
+}
+
+proptest! {
+    /// erf is odd and erfc complements it everywhere.
+    #[test]
+    fn erf_identities(x in -6.0_f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        prop_assert!(erf(x) >= -1.0 && erf(x) <= 1.0);
+    }
+
+    /// The normal CDF is monotone and its quantile inverts it.
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 1e-9_f64..=0.999_999_999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-8);
+    }
+
+    /// P + Q = 1 for the regularized incomplete gamma functions.
+    #[test]
+    fn incomplete_gamma_partition(a in 0.1_f64..50.0, x in 0.0_f64..100.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "a={a} x={x}: p+q={}", p + q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+
+    /// Welford summary matches the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(data in finite_data(2)) {
+        let s = Summary::from_slice(&data);
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), data.len() as u64);
+        prop_assert!(s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    /// Merging split summaries equals the bulk summary.
+    #[test]
+    fn summary_merge_associativity(data in finite_data(4), cut in 1_usize..3) {
+        let k = (data.len() * cut) / 4;
+        prop_assume!(k > 0 && k < data.len());
+        let bulk = Summary::from_slice(&data);
+        let mut merged = Summary::from_slice(&data[..k]);
+        merged.merge(&Summary::from_slice(&data[k..]));
+        prop_assert!((merged.mean() - bulk.mean()).abs() <= 1e-6 * (1.0 + bulk.mean().abs()));
+        prop_assert!((merged.variance() - bulk.variance()).abs()
+            <= 1e-5 * (1.0 + bulk.variance().abs()));
+    }
+
+    /// A histogram never loses samples and densities are non-negative.
+    #[test]
+    fn histogram_preserves_total(data in finite_data(2), bins in 1_usize..64) {
+        prop_assume!(data.iter().copied().fold(f64::INFINITY, f64::min)
+            != data.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        let hist = Histogram::from_data(&data, bins).expect("valid data");
+        prop_assert_eq!(hist.total(), data.len() as u64);
+        prop_assert!(hist.densities().iter().all(|&d| d >= 0.0));
+        prop_assert_eq!(hist.counts().len(), bins);
+    }
+
+    /// Linear fit exactly recovers a noiseless line.
+    #[test]
+    fn linear_fit_recovers_line(
+        a in -100.0_f64..100.0,
+        b in -100.0_f64..100.0,
+        xs in prop::collection::vec(-1e3_f64..1e3, 3..50),
+    ) {
+        let spread = xs.iter().copied().fold(f64::INFINITY, f64::min)
+            != xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assume!(spread);
+        let ys: Vec<f64> = xs.iter().map(|&x| a + b * x).collect();
+        let f = fit::linear(&xs, &ys).expect("valid");
+        prop_assert!((f.intercept - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((f.slope - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// The Charlie hyperbola fit inverts its own forward model.
+    #[test]
+    fn charlie_fit_inverts_forward_model(ds in 50.0_f64..500.0, dch in 5.0_f64..300.0) {
+        let s: Vec<f64> = (-15..=15).map(|i| f64::from(i) * 20.0).collect();
+        let d: Vec<f64> = s.iter().map(|&si| ds + (dch * dch + si * si).sqrt()).collect();
+        let f = fit::charlie_hyperbola(&s, &d).expect("valid");
+        prop_assert!((f.static_delay_ps - ds).abs() < 1e-4, "Ds {}", f.static_delay_ps);
+        prop_assert!((f.charlie_delay_ps - dch).abs() < 1e-3, "Dch {}", f.charlie_delay_ps);
+    }
+
+    /// Jitter is translation invariant and scale equivariant.
+    #[test]
+    fn jitter_affine_behaviour(
+        data in prop::collection::vec(10.0_f64..1e4, 3..100),
+        shift in -1e3_f64..1e3,
+        scale in 0.1_f64..10.0,
+    ) {
+        let sigma = jitter::period_jitter(&data).expect("valid");
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let scaled: Vec<f64> = data.iter().map(|x| x * scale).collect();
+        let s_shift = jitter::period_jitter(&shifted).expect("valid");
+        let s_scale = jitter::period_jitter(&scaled).expect("valid");
+        prop_assert!((s_shift - sigma).abs() < 1e-6 * (1.0 + sigma));
+        prop_assert!((s_scale - sigma * scale).abs() < 1e-6 * (1.0 + sigma * scale));
+    }
+
+    /// Relative standard deviation is scale invariant.
+    #[test]
+    fn sigma_rel_scale_invariance(
+        data in prop::collection::vec(100.0_f64..1e4, 2..50),
+        scale in 0.5_f64..20.0,
+    ) {
+        let base = stats::relative_std_dev(&data).expect("valid");
+        let scaled: Vec<f64> = data.iter().map(|x| x * scale).collect();
+        let after = stats::relative_std_dev(&scaled).expect("valid");
+        prop_assert!((base - after).abs() < 1e-9 * (1.0 + base));
+    }
+}

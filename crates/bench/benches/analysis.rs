@@ -1,0 +1,101 @@
+//! Analysis-toolkit micro-benchmarks: the statistics that every
+//! experiment runs in its inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use strent_analysis::{
+    allan, divider, fit, jitter, normality, special, spectrum, Histogram, Summary,
+};
+
+fn periods(n: usize) -> Vec<f64> {
+    // Deterministic pseudo-Gaussian periods around 3333 ps.
+    (0..n)
+        .map(|i| {
+            let u = (i as f64 + 0.5) / n as f64;
+            3333.0 + 3.0 * special::normal_quantile(u % 0.9999 + 0.00005)
+        })
+        .collect()
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let data = periods(100_000);
+    let mut group = c.benchmark_group("analysis/stats");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("summary_100k", |b| {
+        b.iter(|| Summary::from_slice(black_box(&data)));
+    });
+    group.bench_function("histogram_100k_40bins", |b| {
+        b.iter(|| Histogram::from_data(black_box(&data), 40).expect("valid"));
+    });
+    group.bench_function("period_jitter_100k", |b| {
+        b.iter(|| jitter::period_jitter(black_box(&data)).expect("valid"));
+    });
+    group.bench_function("allan_curve_100k", |b| {
+        b.iter(|| allan::allan_curve(black_box(&data), 64).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_tests_and_fits(c: &mut Criterion) {
+    let data = periods(20_000);
+    let mut group = c.benchmark_group("analysis/tests");
+    group.bench_function("chi_square_gof_20k", |b| {
+        b.iter(|| normality::chi_square_gof(black_box(&data), 40).expect("valid"));
+    });
+    group.bench_function("anderson_darling_20k", |b| {
+        b.iter(|| normality::anderson_darling(black_box(&data)).expect("valid"));
+    });
+    group.bench_function("divider_method_20k_n16", |b| {
+        b.iter(|| divider::measure(black_box(&data), 16).expect("valid"));
+    });
+    let k: Vec<f64> = (1..=200).map(f64::from).collect();
+    let y: Vec<f64> = k.iter().map(|&x| 2.0 * x.sqrt()).collect();
+    group.bench_function("sqrt_law_fit_200", |b| {
+        b.iter(|| fit::sqrt_law(black_box(&k), black_box(&y)).expect("valid"));
+    });
+    group.bench_function("periodogram_20k_64bins", |b| {
+        b.iter(|| spectrum::periodogram(black_box(&data), 64).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_special_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/special");
+    group.bench_function("erfc_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in -300..=300 {
+                acc += special::erfc(black_box(f64::from(i) * 0.01));
+            }
+            acc
+        });
+    });
+    group.bench_function("gamma_q_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=200 {
+                acc += special::gamma_q(black_box(f64::from(i) * 0.25), 10.0);
+            }
+            acc
+        });
+    });
+    group.bench_function("normal_quantile_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..1000 {
+                acc += special::normal_quantile(black_box(f64::from(i) / 1000.0));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statistics,
+    bench_tests_and_fits,
+    bench_special_functions
+);
+criterion_main!(benches);

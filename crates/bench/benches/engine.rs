@@ -1,0 +1,97 @@
+//! Simulation-engine ablations:
+//!
+//! * pending-event set: binary heap vs calendar queue;
+//! * ring family cost: IRO vs STR event processing;
+//! * event-driven simulation vs the closed-form analytic model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use strent_device::{Board, Technology};
+use strent_rings::{analytic, iro, str_ring, IroConfig, StrConfig};
+use strent_sim::{BinaryHeapQueue, CalendarQueue, EventQueue, Simulator, Time};
+
+fn board() -> Board {
+    Board::new(Technology::cyclone_iii(), 0, 7)
+}
+
+fn run_str_on<Q: EventQueue>(mut sim: Simulator<Q>, board: &Board) -> usize {
+    let config = StrConfig::new(32, 16).expect("valid counts");
+    let handle = str_ring::build(&config, board, &mut sim).expect("wires");
+    sim.watch(handle.output()).expect("net exists");
+    sim.run_until(Time::from_us(1.0)).expect("no limit");
+    sim.trace(handle.output()).expect("watched").len()
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let board = board();
+    let mut group = c.benchmark_group("engine/queue");
+    group.bench_function("binary_heap_str32_1us", |b| {
+        b.iter(|| {
+            run_str_on(
+                Simulator::with_queue(black_box(7), BinaryHeapQueue::new()),
+                &board,
+            )
+        });
+    });
+    group.bench_function("calendar_str32_1us", |b| {
+        b.iter(|| {
+            run_str_on(
+                Simulator::with_queue(black_box(7), CalendarQueue::new(200.0)),
+                &board,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_ring_families(c: &mut Criterion) {
+    let board = board();
+    let mut group = c.benchmark_group("engine/rings");
+    group.bench_function("iro25_1us", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(7));
+            let config = IroConfig::new(25).expect("valid length");
+            let handle = iro::build(&config, &board, &mut sim).expect("wires");
+            sim.watch(handle.output()).expect("net exists");
+            sim.run_until(Time::from_us(1.0)).expect("no limit");
+            sim.stats().events_processed
+        });
+    });
+    group.bench_function("str24_1us", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(7));
+            let config = StrConfig::new(24, 12).expect("valid counts");
+            let handle = str_ring::build(&config, &board, &mut sim).expect("wires");
+            sim.watch(handle.output()).expect("net exists");
+            sim.run_until(Time::from_us(1.0)).expect("no limit");
+            sim.stats().events_processed
+        });
+    });
+    group.finish();
+}
+
+fn bench_analytic_vs_event(c: &mut Criterion) {
+    let board = board();
+    let mut group = c.benchmark_group("engine/analytic");
+    let config = StrConfig::new(96, 48).expect("valid counts");
+    group.bench_function("analytic_str96_period", |b| {
+        b.iter(|| analytic::str_period_ps(black_box(&config), &board));
+    });
+    group.bench_function("event_driven_str96_100_periods", |b| {
+        b.iter(|| {
+            strent_rings::measure::run_str(black_box(&config), &board, 7, 100)
+                .expect("oscillates")
+                .frequency_mhz
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queues,
+    bench_ring_families,
+    bench_analytic_vs_event
+);
+criterion_main!(benches);

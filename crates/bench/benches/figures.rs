@@ -1,0 +1,38 @@
+//! Regeneration benchmarks for every figure of the paper.
+//!
+//! Each benchmark regenerates one figure at `Effort::Quick`; the goal is
+//! tracking the cost of the full experiment pipeline (build ring ->
+//! simulate -> analyze), not micro-performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use strentropy::experiments::{fig11, fig12, fig5, fig7, fig8, fig9, Effort};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig5_modes", |b| {
+        b.iter(|| fig5::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("fig7_charlie", |b| {
+        b.iter(|| fig7::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("fig8_voltage", |b| {
+        b.iter(|| fig8::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("fig9_histograms", |b| {
+        b.iter(|| fig9::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("fig11_iro_jitter", |b| {
+        b.iter(|| fig11::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("fig12_str_jitter", |b| {
+        b.iter(|| fig12::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

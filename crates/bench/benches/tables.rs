@@ -1,0 +1,58 @@
+//! Regeneration benchmarks for the paper's tables and the extension
+//! experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use strentropy::experiments::{
+    ext_charlie, ext_coherent, ext_det, ext_flicker, ext_method, ext_mode, ext_multi,
+    ext_restart,
+    ext_trng, obs_a,
+    table1, table2, Effort,
+};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("table1_excursion", |b| {
+        b.iter(|| table1::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("table2_process", |b| {
+        b.iter(|| table2::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("obs_a_locking_range", |b| {
+        b.iter(|| obs_a::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_det_attenuation", |b| {
+        b.iter(|| ext_det::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_method_divider", |b| {
+        b.iter(|| ext_method::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_trng_attack", |b| {
+        b.iter(|| ext_trng::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_mode_map", |b| {
+        b.iter(|| ext_mode::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_charlie_ablation", |b| {
+        b.iter(|| ext_charlie::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_flicker_allan", |b| {
+        b.iter(|| ext_flicker::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_restart_campaign", |b| {
+        b.iter(|| ext_restart::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_multi_phases", |b| {
+        b.iter(|| ext_multi::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.bench_function("ext_coherent_beat", |b| {
+        b.iter(|| ext_coherent::run(Effort::Quick, black_box(1)).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! TRNG pipeline throughput: phase-model generation, post-processing,
+//! entropy estimation and the statistical test battery.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use strent_trng::phase::PhaseModel;
+use strent_trng::{battery, entropy, postprocess, BitString};
+
+fn sample_bits(n: usize) -> BitString {
+    let mut model = PhaseModel::new(3333.0, 1200.0, 99).expect("valid");
+    model.generate(n)
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trng/generate");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("phase_model_100k_bits", |b| {
+        let mut model = PhaseModel::new(3333.0, 1200.0, black_box(99)).expect("valid");
+        b.iter(|| model.generate(100_000));
+    });
+    group.finish();
+}
+
+fn bench_postprocess(c: &mut Criterion) {
+    let bits = sample_bits(100_000);
+    let mut group = c.benchmark_group("trng/postprocess");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("von_neumann_100k", |b| {
+        b.iter(|| postprocess::von_neumann(black_box(&bits)));
+    });
+    group.bench_function("xor_decimate_4_100k", |b| {
+        b.iter(|| postprocess::xor_decimate(black_box(&bits), 4));
+    });
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let bits = sample_bits(100_000);
+    let mut group = c.benchmark_group("trng/evaluate");
+    group.sample_size(10);
+    group.bench_function("battery_100k", |b| {
+        b.iter(|| battery::run_all(black_box(&bits)).expect("long enough"));
+    });
+    group.bench_function("entropy_estimators_100k", |b| {
+        b.iter(|| {
+            let h = entropy::shannon_bit_entropy(black_box(&bits)).expect("enough");
+            let m = entropy::markov_entropy(&bits).expect("enough");
+            let a = entropy::autocorrelation(&bits, 1).expect("enough");
+            (h, m, a)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_postprocess, bench_evaluation);
+criterion_main!(benches);

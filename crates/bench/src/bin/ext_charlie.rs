@@ -1,0 +1,7 @@
+//! Regenerates the ext_charlie ablation result. See `strentropy::experiments::ext_charlie`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_charlie", strentropy::experiments::ext_charlie::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the ext_coherent extension result. See `strentropy::experiments::ext_coherent`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_coherent", strentropy::experiments::ext_coherent::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's ext_det result. See `strentropy::experiments::ext_det`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_det", strentropy::experiments::ext_det::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the ext_flicker extension result. See `strentropy::experiments::ext_flicker`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_flicker", strentropy::experiments::ext_flicker::run)
+}

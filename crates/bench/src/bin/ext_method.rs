@@ -1,0 +1,7 @@
+//! Regenerates the paper's ext_method result. See `strentropy::experiments::ext_method`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_method", strentropy::experiments::ext_method::run)
+}

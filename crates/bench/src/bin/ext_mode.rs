@@ -1,0 +1,7 @@
+//! Regenerates the paper's ext_mode result. See `strentropy::experiments::ext_mode`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_mode", strentropy::experiments::ext_mode::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the ext_multi extension result. See `strentropy::experiments::ext_multi`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_multi", strentropy::experiments::ext_multi::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the ext_restart extension result. See `strentropy::experiments::ext_restart`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_restart", strentropy::experiments::ext_restart::run)
+}

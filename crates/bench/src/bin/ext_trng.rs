@@ -1,0 +1,7 @@
+//! Regenerates the paper's ext_trng result. See `strentropy::experiments::ext_trng`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_trng", strentropy::experiments::ext_trng::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig11 result. See `strentropy::experiments::fig11`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("fig11", strentropy::experiments::fig11::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig12 result. See `strentropy::experiments::fig12`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("fig12", strentropy::experiments::fig12::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig5 result. See `strentropy::experiments::fig5`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("fig5", strentropy::experiments::fig5::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig7 result. See `strentropy::experiments::fig7`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("fig7", strentropy::experiments::fig7::run)
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig8 result. See `strentropy::experiments::fig8`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("fig8", strentropy::experiments::fig8::run)
+}

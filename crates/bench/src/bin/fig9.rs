@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig9 result. See `strentropy::experiments::fig9`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("fig9", strentropy::experiments::fig9::run)
+}

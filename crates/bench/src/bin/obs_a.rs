@@ -1,0 +1,7 @@
+//! Regenerates the paper's obs_a result. See `strentropy::experiments::obs_a`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("obs_a", strentropy::experiments::obs_a::run)
+}

@@ -1,0 +1,55 @@
+//! Regenerates every table and figure of the paper in one run — the
+//! source of `EXPERIMENTS.md`'s measured numbers.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use strent_bench::ReproOptions;
+use strentropy::experiments;
+
+fn main() -> ExitCode {
+    let options = match ReproOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\nusage: repro_all [--quick|--full] [--seed N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (effort, seed) = (options.effort, options.seed);
+    eprintln!("# repro_all ({effort:?} effort, seed {seed})");
+
+    macro_rules! section {
+        ($id:literal, $module:ident) => {
+            let start = Instant::now();
+            println!("\n================ {} ================", $id);
+            match experiments::$module::run(effort, seed) {
+                Ok(result) => println!("{result}"),
+                Err(err) => {
+                    eprintln!("{} failed: {err}", $id);
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!("[{} done in {:.1}s]", $id, start.elapsed().as_secs_f64());
+        };
+    }
+
+    section!("FIG5", fig5);
+    section!("FIG7", fig7);
+    section!("FIG8", fig8);
+    section!("TAB1", table1);
+    section!("TAB2", table2);
+    section!("FIG9", fig9);
+    section!("FIG11", fig11);
+    section!("FIG12", fig12);
+    section!("OBS-A", obs_a);
+    section!("EXT-DET", ext_det);
+    section!("EXT-METHOD", ext_method);
+    section!("EXT-TRNG", ext_trng);
+    section!("EXT-MODE", ext_mode);
+    section!("EXT-CHARLIE", ext_charlie);
+    section!("EXT-FLICKER", ext_flicker);
+    section!("EXT-RESTART", ext_restart);
+    section!("EXT-MULTI", ext_multi);
+    section!("EXT-COHERENT", ext_coherent);
+    ExitCode::SUCCESS
+}

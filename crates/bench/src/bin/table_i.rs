@@ -1,0 +1,7 @@
+//! Regenerates the paper's table1 result. See `strentropy::experiments::table1`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("table_i", strentropy::experiments::table1::run)
+}

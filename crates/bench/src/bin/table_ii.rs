@@ -1,0 +1,7 @@
+//! Regenerates the paper's table2 result. See `strentropy::experiments::table2`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("table_ii", strentropy::experiments::table2::run)
+}

@@ -1,0 +1,118 @@
+//! # strent-bench — the reproduction harness
+//!
+//! * `repro_*` binaries — one per table/figure; each prints the same
+//!   rows/series the paper reports. Pass `--quick` for a reduced run and
+//!   `--seed N` to change the master seed.
+//! * Criterion benches (`benches/`) — regeneration benchmarks per
+//!   table/figure plus engine and TRNG ablations.
+
+use std::fmt::Display;
+use std::process::ExitCode;
+
+use strentropy::experiments::Effort;
+
+/// Command-line options shared by all `repro_*` binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReproOptions {
+    /// The simulation effort.
+    pub effort: Effort,
+    /// The master seed.
+    pub seed: u64,
+}
+
+impl Default for ReproOptions {
+    fn default() -> Self {
+        ReproOptions {
+            effort: Effort::Full,
+            seed: strentropy::calibration::PAPER_SEED,
+        }
+    }
+}
+
+impl ReproOptions {
+    /// Parses `--quick` and `--seed N` from an argument iterator.
+    ///
+    /// Unknown arguments are reported on the returned `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown or malformed
+    /// arguments.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut options = ReproOptions::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => options.effort = Effort::Quick,
+                "--full" => options.effort = Effort::Full,
+                "--seed" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--seed requires a value".to_owned())?;
+                    options.seed = value
+                        .parse()
+                        .map_err(|_| format!("invalid seed: {value}"))?;
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(options)
+    }
+}
+
+/// Runs one experiment and prints its report — the body of every
+/// `repro_*` binary.
+pub fn repro_main<T: Display, E: Display>(
+    name: &str,
+    run: impl FnOnce(Effort, u64) -> Result<T, E>,
+) -> ExitCode {
+    let options = match ReproOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\nusage: {name} [--quick|--full] [--seed N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# {name} ({:?} effort, seed {})",
+        options.effort, options.seed
+    );
+    match run(options.effort, options.seed) {
+        Ok(result) => {
+            println!("{result}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{name} failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ReproOptions, String> {
+        ReproOptions::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let o = parse(&[]).expect("valid");
+        assert_eq!(o.effort, Effort::Full);
+        assert_eq!(o.seed, strentropy::calibration::PAPER_SEED);
+        let o = parse(&["--quick", "--seed", "7"]).expect("valid");
+        assert_eq!(o.effort, Effort::Quick);
+        assert_eq!(o.seed, 7);
+        let o = parse(&["--full"]).expect("valid");
+        assert_eq!(o.effort, Effort::Full);
+    }
+
+    #[test]
+    fn bad_arguments_are_reported() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Calibrated defaults shared by all experiments.
+//!
+//! Every constant here traces back to a number in the paper; see
+//! `DESIGN.md` §5 for the derivations.
+
+use strent_device::{Board, BoardFarm, Technology};
+
+/// The master seed all paper-reproduction runs derive from (the paper's
+/// publication year — any value works, this one makes reruns citable).
+pub const PAPER_SEED: u64 = 2012;
+
+/// Number of evaluation boards the paper used.
+pub const BOARD_COUNT: usize = 5;
+
+/// The voltage sweep of Fig. 8 / Table I: 1.0 V to 1.4 V.
+pub const SWEEP_VOLTS: [f64; 9] = [1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.4];
+
+/// Nominal core voltage.
+pub const NOMINAL_VOLTS: f64 = 1.2;
+
+/// IRO lengths measured in Fig. 11.
+pub const FIG11_LENGTHS: [usize; 8] = [3, 5, 9, 15, 25, 41, 60, 80];
+
+/// STR lengths measured in Fig. 12 (all with `NT = NB = L/2`).
+pub const FIG12_LENGTHS: [usize; 8] = [4, 8, 16, 24, 32, 48, 64, 96];
+
+/// IRO lengths of Table I.
+pub const TABLE1_IRO_LENGTHS: [usize; 3] = [5, 25, 80];
+
+/// STR lengths of Table I.
+pub const TABLE1_STR_LENGTHS: [usize; 5] = [4, 24, 48, 64, 96];
+
+/// The paper's Table I reference excursions, for EXPERIMENTS.md
+/// comparisons: `(ring label, dF as a fraction)`.
+pub const TABLE1_PAPER_DF: [(&str, f64); 8] = [
+    ("IRO 5C", 0.49),
+    ("IRO 25C", 0.48),
+    ("IRO 80C", 0.47),
+    ("STR 4C", 0.50),
+    ("STR 24C", 0.44),
+    ("STR 48C", 0.39),
+    ("STR 64C", 0.39),
+    ("STR 96C", 0.37),
+];
+
+/// The paper's Table II reference `sigma_rel` values.
+pub const TABLE2_PAPER_SIGMA_REL: [(&str, f64); 4] = [
+    ("IRO 3C", 0.0079),
+    ("IRO 5C", 0.0062),
+    ("STR 4C", 0.0076),
+    ("STR 96C", 0.0015),
+];
+
+/// Extra per-stage routing of the *Table II* IRO 5C placement.
+///
+/// The paper's own numbers disagree between tables: IRO 5C runs at
+/// 376 MHz in Table I but ~305 MHz in Table II and Fig. 9 — two
+/// different placements on real silicon. 305 MHz needs a per-stage
+/// delay of `1e6 / (2*5*305) ~ 328 ps`, i.e. ~62 ps more interconnect
+/// than the compact Table-I placement; Table II reproductions add this.
+pub const TABLE2_IRO5_EXTRA_ROUTING_PS: f64 = 62.0;
+
+/// The five evaluation boards, freshly drawn from the default
+/// technology with the paper seed.
+#[must_use]
+pub fn paper_boards() -> BoardFarm {
+    BoardFarm::new(Technology::cyclone_iii(), BOARD_COUNT, PAPER_SEED)
+}
+
+/// Board 1 of the farm — the default single-board bench.
+#[must_use]
+pub fn default_board() -> Board {
+    paper_boards().board(0).clone()
+}
+
+/// A noise- and variation-free board for deterministic shape checks.
+#[must_use]
+pub fn ideal_board() -> Board {
+    Board::new(
+        Technology::cyclone_iii()
+            .with_sigma_g_ps(0.0)
+            .with_sigma_intra(0.0)
+            .with_sigma_inter(0.0),
+        0,
+        PAPER_SEED,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boards_are_reproducible() {
+        let a = paper_boards();
+        let b = paper_boards();
+        assert_eq!(a.len(), 5);
+        for i in 0..5 {
+            assert_eq!(
+                a.board(i).lut(0).transistor_ps(),
+                b.board(i).lut(0).transistor_ps()
+            );
+        }
+        assert_eq!(default_board().id(), 0);
+    }
+
+    #[test]
+    fn sweep_contains_nominal() {
+        assert!(SWEEP_VOLTS.contains(&NOMINAL_VOLTS));
+        assert_eq!(SWEEP_VOLTS.len(), 9);
+        assert!(SWEEP_VOLTS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ideal_board_is_noise_free() {
+        let b = ideal_board();
+        assert_eq!(b.technology().sigma_g_ps(), 0.0);
+        assert_eq!(b.technology().sigma_intra(), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fig. 5 — burst vs evenly-spaced propagation modes, rendered as token
+//! occupancy films.
+//!
+//! The FPGA profile (strong Charlie effect) locks into the evenly-spaced
+//! mode even from a clustered start; an ASIC-like profile (weak Charlie,
+//! strong drafting) keeps a cluster together — the burst mode.
+
+use std::fmt;
+
+use strent_device::{Board, Technology};
+use strent_rings::mode::{
+    burst_cluster_size, classify_half_periods, occupancy_film, spacing_cv, OscillationMode,
+};
+use strent_rings::str_ring::TokenLayout;
+use strent_rings::{measure, StrConfig};
+use strent_sim::Time;
+
+use crate::calibration::PAPER_SEED;
+
+use super::{Effort, ExperimentError};
+
+/// One mode demonstration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeDemo {
+    /// Display label.
+    pub label: String,
+    /// The detected mode.
+    pub mode: OscillationMode,
+    /// The spacing coefficient of variation.
+    pub spacing_cv: f64,
+    /// Mean output frequency, MHz.
+    pub frequency_mhz: f64,
+    /// Estimated burst cluster size (None in the evenly-spaced mode).
+    pub cluster_size: Option<usize>,
+    /// Steady-state token occupancy frames (`T` = token, `.` = bubble).
+    pub film: Vec<String>,
+}
+
+/// The reproduced Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Result {
+    /// The evenly-spaced demonstration (FPGA profile).
+    pub evenly_spaced: ModeDemo,
+    /// The burst demonstration (ASIC-like profile).
+    pub burst: ModeDemo,
+}
+
+impl fmt::Display for Fig5Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 5 — propagation modes in a 16-stage STR (NT = 6)")?;
+        for demo in [&self.evenly_spaced, &self.burst] {
+            writeln!(
+                f,
+                "\n{} -> {} (spacing CV = {:.3}, F = {:.0} MHz{})",
+                demo.label,
+                demo.mode,
+                demo.spacing_cv,
+                demo.frequency_mhz,
+                demo.cluster_size
+                    .map_or(String::new(), |c| format!(", cluster of ~{c} passages"))
+            )?;
+            for frame in &demo.film {
+                writeln!(f, "  {frame}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn demo(
+    label: &str,
+    tech: Technology,
+    layout: TokenLayout,
+    periods: usize,
+    seed: u64,
+) -> Result<ModeDemo, ExperimentError> {
+    let board = Board::new(tech, 0, PAPER_SEED);
+    let config = StrConfig::new(16, 6)
+        .expect("valid counts")
+        .with_layout(layout);
+    let full = measure::run_str_full(&config, &board, seed, periods)?;
+    let halves = &full.run.half_periods_ps;
+    // Film over the last ~3 revolutions of the steady regime.
+    let window = full
+        .run
+        .periods_ps
+        .iter()
+        .take(24)
+        .sum::<f64>()
+        .max(1.0);
+    let start = Time::from_ps((full.end_time.as_ps() - window).max(0.0));
+    Ok(ModeDemo {
+        label: label.to_owned(),
+        mode: classify_half_periods(halves),
+        spacing_cv: spacing_cv(halves).unwrap_or(f64::NAN),
+        frequency_mhz: full.run.frequency_mhz,
+        cluster_size: burst_cluster_size(halves),
+        film: occupancy_film(&full.stage_traces, start, full.end_time, 24),
+    })
+}
+
+/// Runs the Fig. 5 experiment.
+///
+/// # Errors
+///
+/// Propagates ring simulation errors.
+pub fn run(effort: Effort, seed: u64) -> Result<Fig5Result, ExperimentError> {
+    let periods = effort.size(300, 1_000);
+    Ok(Fig5Result {
+        evenly_spaced: demo(
+            "FPGA profile (strong Charlie), clustered start",
+            Technology::cyclone_iii(),
+            TokenLayout::Clustered,
+            periods,
+            seed,
+        )?,
+        burst: demo(
+            "ASIC-like profile (weak Charlie + drafting), clustered start",
+            Technology::asic_like(),
+            TokenLayout::Clustered,
+            periods,
+            seed,
+        )?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_reproduces_both_modes() {
+        let result = run(Effort::Quick, 2).expect("simulates");
+        assert_eq!(result.evenly_spaced.mode, OscillationMode::EvenlySpaced);
+        assert_eq!(result.burst.mode, OscillationMode::Burst);
+        assert!(result.evenly_spaced.spacing_cv < 0.1);
+        assert!(result.burst.spacing_cv > 0.3);
+        // The evenly-spaced ring shows no cluster; the burst ring's
+        // cluster is a handful of back-to-back passages (up to NT = 6).
+        assert_eq!(result.evenly_spaced.cluster_size, None);
+        let cluster = result.burst.cluster_size.expect("burst has clusters");
+        assert!((2..=6).contains(&cluster), "cluster {cluster}");
+        // Films show 16-stage occupancy with 6 tokens conserved.
+        for demo in [&result.evenly_spaced, &result.burst] {
+            assert_eq!(demo.film.len(), 24);
+            for frame in &demo.film {
+                assert_eq!(frame.len(), 16);
+                assert_eq!(
+                    frame.chars().filter(|&c| c == 'T').count(),
+                    6,
+                    "token conservation in '{frame}'"
+                );
+            }
+        }
+        let text = result.to_string();
+        assert!(text.contains("Fig. 5"));
+        assert!(text.contains("burst"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Fig. 8 — normalized frequencies over the 1.0 V..1.4 V core supply
+//! sweep, for IRO 5C/80C and STR 4C/96C.
+
+use std::fmt;
+
+use strent_analysis::frequency::{normalize_sweep, NormalizedSweep, SweepPoint};
+use strent_device::Supply;
+use strent_rings::{measure, IroConfig, StrConfig};
+
+use crate::calibration::{self, NOMINAL_VOLTS, SWEEP_VOLTS};
+use crate::report::{fmt_mhz, Table};
+
+use super::{Effort, ExperimentError};
+
+/// One ring's sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSweep {
+    /// Display label ("IRO 5C"...).
+    pub label: String,
+    /// The normalized sweep (`Fn` series and excursion).
+    pub sweep: NormalizedSweep,
+}
+
+/// The full Fig. 8 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// One sweep per ring, in the paper's order:
+    /// IRO 5C, IRO 80C, STR 4C, STR 96C.
+    pub rings: Vec<RingSweep>,
+    /// The swept voltages.
+    pub volts: Vec<f64>,
+}
+
+impl Fig8Result {
+    /// The `Fn` series of ring `label`, if present.
+    #[must_use]
+    pub fn normalized_series(&self, label: &str) -> Option<&[(f64, f64)]> {
+        self.rings
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.sweep.normalized.as_slice())
+    }
+}
+
+impl fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut headers = vec!["V (V)".to_owned()];
+        headers.extend(self.rings.iter().map(|r| format!("Fn {}", r.label)));
+        let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for (i, &v) in self.volts.iter().enumerate() {
+            let mut row = vec![format!("{v:.2}")];
+            for ring in &self.rings {
+                row.push(format!("{:.4}", ring.sweep.normalized[i].1));
+            }
+            table.row_owned(row);
+        }
+        writeln!(f, "Fig. 8 — normalized frequency vs core voltage")?;
+        write!(f, "{table}")?;
+        for ring in &self.rings {
+            writeln!(
+                f,
+                "{}: Fnom = {} MHz, dF = {:.1} %",
+                ring.label,
+                fmt_mhz(ring.sweep.f_nominal_mhz),
+                ring.sweep.excursion * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Measures one ring configuration across the sweep.
+fn sweep_ring(
+    label: &str,
+    mut run_at: impl FnMut(f64) -> Result<f64, ExperimentError>,
+) -> Result<RingSweep, ExperimentError> {
+    let mut points = Vec::with_capacity(SWEEP_VOLTS.len());
+    for &v in &SWEEP_VOLTS {
+        points.push(SweepPoint {
+            voltage: v,
+            frequency_mhz: run_at(v)?,
+        });
+    }
+    Ok(RingSweep {
+        label: label.to_owned(),
+        sweep: normalize_sweep(&points, NOMINAL_VOLTS)?,
+    })
+}
+
+/// Runs the Fig. 8 experiment.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run(effort: Effort, seed: u64) -> Result<Fig8Result, ExperimentError> {
+    let periods = effort.size(120, 400);
+    let base = calibration::default_board();
+    let mut rings = Vec::new();
+
+    for &l in &[5usize, 80] {
+        let config = IroConfig::new(l).expect("valid length");
+        rings.push(sweep_ring(&format!("IRO {l}C"), |v| {
+            let mut board = base.clone();
+            board.set_supply(Supply::dc(v));
+            Ok(measure::run_iro(&config, &board, seed, periods)?.frequency_mhz)
+        })?);
+    }
+    for &l in &[4usize, 96] {
+        let config = StrConfig::new(l, l / 2).expect("valid counts");
+        rings.push(sweep_ring(&format!("STR {l}C"), |v| {
+            let mut board = base.clone();
+            board.set_supply(Supply::dc(v));
+            Ok(measure::run_str(&config, &board, seed, periods)?.frequency_mhz)
+        })?);
+    }
+    Ok(Fig8Result {
+        rings,
+        volts: SWEEP_VOLTS.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_shape_matches_paper() {
+        let result = run(Effort::Quick, 1).expect("simulates");
+        assert_eq!(result.rings.len(), 4);
+        assert_eq!(result.volts.len(), 9);
+
+        for ring in &result.rings {
+            // Frequency rises monotonically with voltage (Fig. 8 lines).
+            let series = &ring.sweep.normalized;
+            for w in series.windows(2) {
+                assert!(w[1].1 > w[0].1, "{}: non-monotone at {:?}", ring.label, w);
+            }
+            // Normalized to 1 at the nominal point.
+            let nominal = series.iter().find(|p| p.0 == 1.2).expect("nominal point");
+            assert!((nominal.1 - 1.0).abs() < 1e-9);
+        }
+
+        // The 96-stage STR is the least voltage sensitive; IRO 5C and
+        // STR 4C are the most (paper: ~49-50% vs 37%).
+        let excursion = |label: &str| {
+            result
+                .rings
+                .iter()
+                .find(|r| r.label == label)
+                .expect("ring present")
+                .sweep
+                .excursion
+        };
+        assert!(excursion("STR 96C") < excursion("IRO 5C") - 0.05);
+        assert!(excursion("STR 96C") < excursion("STR 4C") - 0.05);
+        assert!((0.30..0.45).contains(&excursion("STR 96C")));
+        assert!((0.42..0.58).contains(&excursion("IRO 5C")));
+
+        // Display produces the table and the summary lines.
+        let text = result.to_string();
+        assert!(text.contains("Fig. 8"));
+        assert!(text.contains("STR 96C"));
+        assert!(result.normalized_series("IRO 80C").is_some());
+        assert!(result.normalized_series("nope").is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! Table I — normalized frequency excursions `dF` over the 0.4 V sweep,
+//! for IRO {5, 25, 80}C and STR {4, 24, 48, 64, 96}C.
+
+use std::fmt;
+
+use strent_analysis::frequency::{normalize_sweep, SweepPoint};
+use strent_device::Supply;
+use strent_rings::{measure, IroConfig, StrConfig};
+
+use crate::calibration::{self, NOMINAL_VOLTS, SWEEP_VOLTS, TABLE1_IRO_LENGTHS, TABLE1_STR_LENGTHS};
+use crate::report::{fmt_mhz, fmt_percent, Table};
+
+use super::{Effort, ExperimentError};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Display label ("IRO 5C"...).
+    pub label: String,
+    /// Frequency at the nominal voltage, MHz.
+    pub f_nominal_mhz: f64,
+    /// The normalized excursion `dF` as a fraction.
+    pub excursion: f64,
+}
+
+/// The reproduced Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// All rows, IROs first then STRs, in increasing length order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Looks up a row by label.
+    #[must_use]
+    pub fn row(&self, label: &str) -> Option<&Table1Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// The STR rows in length order.
+    #[must_use]
+    pub fn str_rows(&self) -> Vec<&Table1Row> {
+        self.rows
+            .iter()
+            .filter(|r| r.label.starts_with("STR"))
+            .collect()
+    }
+
+    /// The IRO rows in length order.
+    #[must_use]
+    pub fn iro_rows(&self) -> Vec<&Table1Row> {
+        self.rows
+            .iter()
+            .filter(|r| r.label.starts_with("IRO"))
+            .collect()
+    }
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table I — normalized frequency excursions for a 0.4 V sweep"
+        )?;
+        let mut table = Table::new(&["Ring", "Fn (MHz)", "dF"]);
+        for row in &self.rows {
+            table.row_owned(vec![
+                row.label.clone(),
+                fmt_mhz(row.f_nominal_mhz),
+                fmt_percent(row.excursion),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// Runs the Table I experiment.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run(effort: Effort, seed: u64) -> Result<Table1Result, ExperimentError> {
+    let periods = effort.size(100, 300);
+    let base = calibration::default_board();
+    let mut rows = Vec::new();
+
+    let measure_ring =
+        |label: String,
+         mut freq_at: Box<dyn FnMut(f64) -> Result<f64, ExperimentError> + '_>|
+         -> Result<Table1Row, ExperimentError> {
+            let mut points = Vec::new();
+            for &v in &SWEEP_VOLTS {
+                points.push(SweepPoint {
+                    voltage: v,
+                    frequency_mhz: freq_at(v)?,
+                });
+            }
+            let sweep = normalize_sweep(&points, NOMINAL_VOLTS)?;
+            Ok(Table1Row {
+                label,
+                f_nominal_mhz: sweep.f_nominal_mhz,
+                excursion: sweep.excursion,
+            })
+        };
+
+    for &l in &TABLE1_IRO_LENGTHS {
+        let config = IroConfig::new(l).expect("valid length");
+        let base = &base;
+        rows.push(measure_ring(
+            format!("IRO {l}C"),
+            Box::new(move |v| {
+                let mut board = base.clone();
+                board.set_supply(Supply::dc(v));
+                Ok(measure::run_iro(&config, &board, seed, periods)?.frequency_mhz)
+            }),
+        )?);
+    }
+    for &l in &TABLE1_STR_LENGTHS {
+        let config = StrConfig::new(l, l / 2).expect("valid counts");
+        let base = &base;
+        rows.push(measure_ring(
+            format!("STR {l}C"),
+            Box::new(move |v| {
+                let mut board = base.clone();
+                board.set_supply(Supply::dc(v));
+                Ok(measure::run_str(&config, &board, seed, periods)?.frequency_mhz)
+            }),
+        )?);
+    }
+    Ok(Table1Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        let result = run(Effort::Quick, 1).expect("simulates");
+        assert_eq!(result.rows.len(), 8);
+
+        // IRO excursions stay ~flat with length (47-49% in the paper).
+        for row in result.iro_rows() {
+            assert!(
+                (0.42..0.58).contains(&row.excursion),
+                "{}: dF {}",
+                row.label,
+                row.excursion
+            );
+        }
+        // STR excursions improve monotonically with length: 50% -> 37%.
+        let strs = result.str_rows();
+        for w in strs.windows(2) {
+            assert!(
+                w[1].excursion <= w[0].excursion + 0.01,
+                "dF must not grow with L: {} {} -> {} {}",
+                w[0].label,
+                w[0].excursion,
+                w[1].label,
+                w[1].excursion
+            );
+        }
+        let str96 = result.row("STR 96C").expect("present");
+        let str4 = result.row("STR 4C").expect("present");
+        assert!(str4.excursion - str96.excursion > 0.08, "improvement with L");
+        assert!((0.30..0.43).contains(&str96.excursion), "{}", str96.excursion);
+
+        // Nominal frequencies near the paper's Table I column.
+        let f = |label: &str| result.row(label).expect("present").f_nominal_mhz;
+        assert!((f("IRO 5C") - 376.0).abs() < 20.0, "{}", f("IRO 5C"));
+        assert!((f("IRO 25C") - 73.0).abs() < 6.0, "{}", f("IRO 25C"));
+        assert!((f("IRO 80C") - 23.0).abs() < 3.0, "{}", f("IRO 80C"));
+        assert!((f("STR 4C") - 653.0).abs() < 35.0, "{}", f("STR 4C"));
+        assert!((f("STR 96C") - 320.0).abs() < 20.0, "{}", f("STR 96C"));
+
+        let text = result.to_string();
+        assert!(text.contains("Table I"));
+        assert!(text.lines().count() >= 10);
+    }
+}

@@ -1,0 +1,189 @@
+//! Table/CSV rendering for experiment results.
+
+use std::fmt;
+
+/// A simple column-aligned text table (what the repro binaries print).
+///
+/// # Examples
+///
+/// ```
+/// use strentropy::report::Table;
+///
+/// let mut t = Table::new(&["Ring", "Fn (MHz)", "dF"]);
+/// t.row(&["IRO 5C", "376", "49 %"]);
+/// t.row(&["STR 96C", "320", "37 %"]);
+/// let text = t.to_string();
+/// assert!(text.contains("IRO 5C"));
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|&c| c.to_owned()).collect());
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as comma-separated values (header row included).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            (0..cols)
+                .map(|i| {
+                    let cell = cells.get(i).map_or("", String::as_str);
+                    format!("{cell:<width$}", width = widths[i])
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_owned()
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|&w| "-".repeat(w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a frequency in MHz with a sensible precision.
+#[must_use]
+pub fn fmt_mhz(f: f64) -> String {
+    if f >= 100.0 {
+        format!("{f:.1}")
+    } else {
+        format!("{f:.2}")
+    }
+}
+
+/// Formats a fraction as a percentage (`0.49 -> "49.0 %"`).
+#[must_use]
+pub fn fmt_percent(x: f64) -> String {
+    format!("{:.1} %", x * 100.0)
+}
+
+/// Formats picoseconds with two decimals.
+#[must_use]
+pub fn fmt_ps(x: f64) -> String {
+    format!("{x:.2} ps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_content() {
+        let mut t = Table::new(&["A", "Blong"]);
+        t.row(&["x", "1"]);
+        t.row_owned(vec!["yy".to_owned(), "2".to_owned(), "extra".to_owned()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A "));
+        assert!(lines[1].starts_with("-"));
+        assert!(text.contains("extra"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_mhz(376.04), "376.0");
+        assert_eq!(fmt_mhz(23.456), "23.46");
+        assert_eq!(fmt_percent(0.49), "49.0 %");
+        assert_eq!(fmt_ps(2.5), "2.50 ps");
+    }
+}

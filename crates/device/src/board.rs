@@ -1,0 +1,267 @@
+//! Boards (device instances) and board farms.
+
+use strent_sim::RngTree;
+
+use crate::error::DeviceError;
+use crate::lut::LutCell;
+use crate::process::ProcessVariation;
+use crate::scaling::ScalingParams;
+use crate::supply::Supply;
+use crate::tech::Technology;
+
+/// One physical device instance: a die with frozen process variation,
+/// operating at a given supply and temperature.
+///
+/// The paper used five equivalent boards; here a board is one seeded draw
+/// from the technology's process distribution.
+///
+/// # Examples
+///
+/// ```
+/// use strent_device::{Board, Supply, Technology};
+///
+/// let mut board = Board::new(Technology::cyclone_iii(), 0, 99);
+/// board.set_supply(Supply::dc(1.1));
+/// let cell = board.lut(4);
+/// assert!(cell.static_delay_ps(board.supply(), 0.0) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Board {
+    id: usize,
+    tech: Technology,
+    process: ProcessVariation,
+    supply: Supply,
+    temp_c: f64,
+}
+
+impl Board {
+    /// Creates a board with the given id and process seed, at the
+    /// nominal operating point.
+    #[must_use]
+    pub fn new(tech: Technology, id: usize, process_seed: u64) -> Self {
+        let process = ProcessVariation::for_board(&tech, process_seed);
+        let supply = Supply::dc(tech.nominal_voltage());
+        let temp_c = tech.nominal_temp_c();
+        Board {
+            id,
+            tech,
+            process,
+            supply,
+            temp_c,
+        }
+    }
+
+    /// The board's index in its farm (or a user-chosen id).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The fabric profile of this board.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// This board's silicon.
+    #[must_use]
+    pub fn process(&self) -> &ProcessVariation {
+        &self.process
+    }
+
+    /// The current supply waveform.
+    #[must_use]
+    pub fn supply(&self) -> &Supply {
+        &self.supply
+    }
+
+    /// Changes the supply waveform (DC sweep point, attack modulation...).
+    pub fn set_supply(&mut self, supply: Supply) {
+        self.supply = supply;
+    }
+
+    /// The die temperature, Celsius.
+    #[must_use]
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Changes the die temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp_c` is non-finite.
+    pub fn set_temperature_c(&mut self, temp_c: f64) {
+        assert!(temp_c.is_finite(), "temperature must be finite");
+        self.temp_c = temp_c;
+    }
+
+    /// A placed LUT cell with no extra routing (single-LAB placement).
+    #[must_use]
+    pub fn lut(&self, index: u64) -> LutCell {
+        self.lut_with_routing(index, 0.0)
+    }
+
+    /// A placed LUT cell with `routing_ps` of nominal output interconnect
+    /// (per-stage share, before process/voltage factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routing_ps` is negative or non-finite.
+    #[must_use]
+    pub fn lut_with_routing(&self, index: u64, routing_ps: f64) -> LutCell {
+        assert!(
+            routing_ps.is_finite() && routing_ps >= 0.0,
+            "routing delay must be non-negative, got {routing_ps}"
+        );
+        let factor = self.process.total_factor(index);
+        LutCell::new(
+            index,
+            self.tech.lut_delay_ps() * factor,
+            routing_ps * factor,
+            self.tech.sigma_g_ps(),
+            self.temp_c,
+            ScalingParams::from(&self.tech),
+        )
+    }
+}
+
+/// A set of boards drawn independently from one technology — the stand-in
+/// for the paper's five equivalent evaluation boards.
+#[derive(Debug, Clone)]
+pub struct BoardFarm {
+    boards: Vec<Board>,
+}
+
+impl BoardFarm {
+    /// Creates `count` boards with process seeds derived from `seed`.
+    #[must_use]
+    pub fn new(tech: Technology, count: usize, seed: u64) -> Self {
+        let tree = RngTree::new(seed);
+        let boards = (0..count)
+            .map(|id| {
+                let board_seed = tree.stream(id as u64).next_u64();
+                Board::new(tech.clone(), id, board_seed)
+            })
+            .collect();
+        BoardFarm { boards }
+    }
+
+    /// Number of boards in the farm.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Whether the farm is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.boards.is_empty()
+    }
+
+    /// The board at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range; use [`BoardFarm::try_board`]
+    /// for a fallible lookup.
+    #[must_use]
+    pub fn board(&self, index: usize) -> &Board {
+        &self.boards[index]
+    }
+
+    /// The board at `index`, or an error for out-of-range indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownBoard`] if `index >= len()`.
+    pub fn try_board(&self, index: usize) -> Result<&Board, DeviceError> {
+        self.boards.get(index).ok_or(DeviceError::UnknownBoard {
+            index,
+            count: self.boards.len(),
+        })
+    }
+
+    /// Mutable access to the board at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownBoard`] if `index >= len()`.
+    pub fn board_mut(&mut self, index: usize) -> Result<&mut Board, DeviceError> {
+        let count = self.boards.len();
+        self.boards
+            .get_mut(index)
+            .ok_or(DeviceError::UnknownBoard { index, count })
+    }
+
+    /// Iterates over the boards in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Board> {
+        self.boards.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farm_creates_distinct_silicon() {
+        let farm = BoardFarm::new(Technology::cyclone_iii(), 5, 2012);
+        assert_eq!(farm.len(), 5);
+        assert!(!farm.is_empty());
+        let d0 = farm.board(0).lut(0).transistor_ps();
+        let d1 = farm.board(1).lut(0).transistor_ps();
+        assert_ne!(d0, d1, "boards must have different silicon");
+        // Same farm seed reproduces the same silicon.
+        let again = BoardFarm::new(Technology::cyclone_iii(), 5, 2012);
+        assert_eq!(again.board(0).lut(0).transistor_ps(), d0);
+    }
+
+    #[test]
+    fn out_of_range_board_is_an_error() {
+        let mut farm = BoardFarm::new(Technology::cyclone_iii(), 2, 1);
+        assert!(matches!(
+            farm.try_board(5),
+            Err(DeviceError::UnknownBoard { index: 5, count: 2 })
+        ));
+        assert!(farm.board_mut(1).is_ok());
+        assert!(farm.board_mut(2).is_err());
+        assert_eq!(farm.iter().count(), 2);
+    }
+
+    #[test]
+    fn supply_changes_apply() {
+        let mut board = Board::new(Technology::cyclone_iii(), 0, 7);
+        let d_nom = board.lut(0).static_delay_ps(board.supply(), 0.0);
+        board.set_supply(Supply::dc(1.0));
+        let d_low = board.lut(0).static_delay_ps(board.supply(), 0.0);
+        assert!(d_low > d_nom);
+    }
+
+    #[test]
+    fn temperature_changes_apply() {
+        let mut board = Board::new(Technology::cyclone_iii(), 0, 7);
+        let d_25 = board.lut(0).static_delay_ps(board.supply(), 0.0);
+        board.set_temperature_c(85.0);
+        let d_85 = board.lut(0).static_delay_ps(board.supply(), 0.0);
+        assert!(d_85 > d_25, "hotter silicon is slower");
+    }
+
+    #[test]
+    fn routing_share_carries_process_factor() {
+        let board = Board::new(Technology::cyclone_iii(), 0, 3);
+        let plain = board.lut(9);
+        let routed = board.lut_with_routing(9, 200.0);
+        assert_eq!(plain.transistor_ps(), routed.transistor_ps());
+        assert_eq!(plain.interconnect_ps(), 0.0);
+        let expected = 200.0 * board.process().total_factor(9);
+        assert!((routed.interconnect_ps() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_routing_rejected() {
+        let board = Board::new(Technology::cyclone_iii(), 0, 3);
+        let _ = board.lut_with_routing(0, -5.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the device model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the device model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A board index was out of range for the farm.
+    UnknownBoard {
+        /// Requested index.
+        index: usize,
+        /// Number of boards in the farm.
+        count: usize,
+    },
+    /// A supply voltage was outside the physically meaningful range.
+    InvalidVoltage(f64),
+    /// A technology parameter failed validation.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnknownBoard { index, count } => {
+                write!(f, "board index {index} out of range (farm has {count})")
+            }
+            DeviceError::InvalidVoltage(v) => {
+                write!(f, "supply voltage {v} V is outside the valid range")
+            }
+            DeviceError::InvalidParameter { name, value } => {
+                write!(f, "invalid technology parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DeviceError::UnknownBoard { index: 9, count: 5 }
+            .to_string()
+            .contains("9"));
+        assert!(DeviceError::InvalidVoltage(3.3).to_string().contains("3.3"));
+        assert!(DeviceError::InvalidParameter {
+            name: "alpha",
+            value: -1.0
+        }
+        .to_string()
+        .contains("alpha"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DeviceError>();
+    }
+}

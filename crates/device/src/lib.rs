@@ -1,0 +1,60 @@
+//! # strent-device — FPGA fabric model
+//!
+//! A behavioural model of the delay-relevant aspects of an FPGA fabric
+//! (calibrated to the Altera Cyclone III family used by Cherkaoui et al.,
+//! DATE 2012):
+//!
+//! * [`Technology`] — nominal LUT delay, local jitter, voltage-scaling
+//!   exponents, process-variation magnitudes, calibrated routing models;
+//! * [`scaling`] — alpha-power-law delay scaling with supply voltage and a
+//!   partially-RC interconnect component that scales less than transistor
+//!   delay (the mechanism behind the paper's Table I trend);
+//! * [`process`] — inter-die and intra-die (per-cell) process variation;
+//! * [`supply`] — supply-voltage waveforms: DC operating points, sweeps
+//!   and deterministic modulation (sine/step) used for attack studies;
+//! * [`Board`] / [`BoardFarm`] — independently seeded device instances,
+//!   standing in for the paper's five physical boards;
+//! * [`LutCell`] — the per-stage delay model combining all of the above.
+//!
+//! The model deliberately knows nothing about rings: it answers one
+//! question — *"what is the propagation delay of cell `k` of board `b` at
+//! time `t`?"* — and the ring crate builds oscillators on top.
+//!
+//! ## Example
+//!
+//! ```
+//! use strent_device::{Technology, BoardFarm, supply::Supply};
+//!
+//! let tech = Technology::cyclone_iii();
+//! let farm = BoardFarm::new(tech.clone(), 5, 2012);
+//! let board = farm.board(0);
+//! let cell = board.lut(3);
+//! // Static delay at nominal voltage is near the technology nominal...
+//! let supply = Supply::dc(tech.nominal_voltage());
+//! let d_nom = cell.static_delay_ps(&supply, 0.0);
+//! assert!((d_nom / tech.lut_delay_ps() - 1.0).abs() < 0.10);
+//! // ...and grows when the core voltage drops.
+//! let d_low = cell.static_delay_ps(&Supply::dc(1.0), 0.0);
+//! assert!(d_low > d_nom);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod error;
+pub mod lut;
+pub mod noise;
+pub mod process;
+pub mod routing;
+pub mod scaling;
+pub mod supply;
+pub mod tech;
+
+pub use board::{Board, BoardFarm};
+pub use error::DeviceError;
+pub use lut::LutCell;
+pub use process::ProcessVariation;
+pub use routing::RoutingModel;
+pub use supply::Supply;
+pub use tech::Technology;

@@ -1,0 +1,219 @@
+//! The per-stage delay model: one placed LUT cell plus its output routing.
+
+use serde::{Deserialize, Serialize};
+use strent_sim::SimRng;
+
+use crate::scaling::ScalingParams;
+use crate::supply::Supply;
+
+/// A placed LUT cell with its share of output interconnect.
+///
+/// The cell's propagation delay decomposes into a **transistor** part
+/// (the LUT itself; full voltage sensitivity) and an **interconnect**
+/// part (the routing to the next stage; partially fixed RC). Both parts
+/// carry the cell's frozen process factor; every *sampled* traversal adds
+/// fresh local Gaussian jitter of sigma `sigma_g` — the paper's entropy
+/// source.
+///
+/// Cells are created by [`Board::lut`] / [`Board::lut_with_routing`].
+///
+/// [`Board::lut`]: crate::Board::lut
+/// [`Board::lut_with_routing`]: crate::Board::lut_with_routing
+///
+/// # Examples
+///
+/// ```
+/// use strent_device::{BoardFarm, Supply, Technology};
+/// use strent_sim::RngTree;
+///
+/// let farm = BoardFarm::new(Technology::cyclone_iii(), 1, 7);
+/// let cell = farm.board(0).lut(0);
+/// let supply = Supply::default();
+/// let d_static = cell.static_delay_ps(&supply, 0.0);
+/// let mut rng = RngTree::new(1).stream(0);
+/// let d_noisy = cell.sample_delay_ps(&supply, 0.0, &mut rng);
+/// // Jitter is small compared to the static delay (~2 ps vs ~255 ps).
+/// assert!((d_noisy - d_static).abs() < 10.0 * cell.sigma_g_ps());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LutCell {
+    index: u64,
+    transistor_ps: f64,
+    interconnect_ps: f64,
+    sigma_g_ps: f64,
+    temp_c: f64,
+    scaling: ScalingParams,
+}
+
+impl LutCell {
+    pub(crate) fn new(
+        index: u64,
+        transistor_ps: f64,
+        interconnect_ps: f64,
+        sigma_g_ps: f64,
+        temp_c: f64,
+        scaling: ScalingParams,
+    ) -> Self {
+        debug_assert!(transistor_ps > 0.0 && interconnect_ps >= 0.0 && sigma_g_ps >= 0.0);
+        LutCell {
+            index,
+            transistor_ps,
+            interconnect_ps,
+            sigma_g_ps,
+            temp_c,
+            scaling,
+        }
+    }
+
+    /// The cell's placement index on its board.
+    #[must_use]
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Process-adjusted transistor delay at nominal conditions, ps.
+    #[must_use]
+    pub fn transistor_ps(&self) -> f64 {
+        self.transistor_ps
+    }
+
+    /// Process-adjusted interconnect delay at nominal conditions, ps.
+    #[must_use]
+    pub fn interconnect_ps(&self) -> f64 {
+        self.interconnect_ps
+    }
+
+    /// Local jitter standard deviation per traversal, ps.
+    #[must_use]
+    pub fn sigma_g_ps(&self) -> f64 {
+        self.sigma_g_ps
+    }
+
+    /// The die temperature this cell operates at, Celsius.
+    #[must_use]
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// The voltage/temperature scaling parameters this cell uses —
+    /// exposed so higher-level models (e.g. the Charlie term of a Muller
+    /// stage) can scale their own delay contributions consistently.
+    #[must_use]
+    pub fn scaling(&self) -> ScalingParams {
+        self.scaling
+    }
+
+    /// The process factor frozen into this cell, relative to the
+    /// technology's nominal LUT delay.
+    #[must_use]
+    pub fn process_factor(&self, nominal_lut_delay_ps: f64) -> f64 {
+        self.transistor_ps / nominal_lut_delay_ps
+    }
+
+    /// Deterministic (noise-free) propagation delay at simulation time
+    /// `t_ps` under the given supply, in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supply voltage at `t_ps` does not exceed the
+    /// threshold voltage.
+    #[must_use]
+    pub fn static_delay_ps(&self, supply: &Supply, t_ps: f64) -> f64 {
+        let v = supply.voltage_at(t_ps);
+        let temp = self.scaling.temperature_factor(self.temp_c);
+        temp * (self.transistor_ps * self.scaling.transistor_factor(v)
+            + self.interconnect_ps * self.scaling.interconnect_factor(v))
+    }
+
+    /// One stochastic traversal: the static delay plus a fresh local
+    /// Gaussian jitter sample. Clamped to stay positive (a traversal can
+    /// never complete before it starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supply voltage at `t_ps` does not exceed the
+    /// threshold voltage.
+    pub fn sample_delay_ps(&self, supply: &Supply, t_ps: f64, rng: &mut SimRng) -> f64 {
+        let d = self.static_delay_ps(supply, t_ps) + rng.normal(0.0, self.sigma_g_ps);
+        d.max(0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::BoardFarm;
+    use crate::tech::Technology;
+    use strent_sim::RngTree;
+
+    fn test_cell() -> LutCell {
+        let farm = BoardFarm::new(Technology::cyclone_iii(), 1, 3);
+        farm.board(0).lut_with_routing(0, 100.0)
+    }
+
+    #[test]
+    fn static_delay_combines_parts() {
+        let cell = test_cell();
+        let supply = Supply::default();
+        let d = cell.static_delay_ps(&supply, 0.0);
+        // transistor + interconnect, within process variation of nominal.
+        assert!((d / (cell.transistor_ps() + cell.interconnect_ps()) - 1.0).abs() < 1e-9);
+        assert!((d / 355.0 - 1.0).abs() < 0.1, "delay {d}");
+    }
+
+    #[test]
+    fn voltage_moves_transistor_part_more() {
+        let cell = test_cell();
+        let nominal = cell.static_delay_ps(&Supply::default(), 0.0);
+        let low = cell.static_delay_ps(&Supply::dc(1.0), 0.0);
+        let high = cell.static_delay_ps(&Supply::dc(1.4), 0.0);
+        assert!(low > nominal && nominal > high);
+        // Sensitivity must be below a pure-transistor cell of equal size
+        // (the interconnect part damps it).
+        let pure = Technology::cyclone_iii();
+        let pure_ratio = crate::scaling::transistor_factor(&pure, 1.0);
+        assert!(low / nominal < pure_ratio);
+    }
+
+    #[test]
+    fn sine_supply_modulates_delay_over_time() {
+        let cell = test_cell();
+        let supply = Supply::sine(1.2, 0.05, 1.0); // 1 MHz
+        let quarter = 0.25e6; // ps
+        let d_peak = cell.static_delay_ps(&supply, quarter);
+        let d_trough = cell.static_delay_ps(&supply, 3.0 * quarter);
+        assert!(d_peak < d_trough, "higher V -> faster");
+    }
+
+    #[test]
+    fn samples_scatter_around_static() {
+        let cell = test_cell();
+        let supply = Supply::default();
+        let d0 = cell.static_delay_ps(&supply, 0.0);
+        let mut rng = RngTree::new(9).stream(0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| cell.sample_delay_ps(&supply, 0.0, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64)
+            .sqrt();
+        assert!((mean - d0).abs() < 0.1, "mean {mean} vs {d0}");
+        assert!((sd - cell.sigma_g_ps()).abs() < 0.1, "sd {sd}");
+    }
+
+    #[test]
+    fn sampled_delay_is_always_positive() {
+        // Even with absurd jitter, a traversal takes positive time.
+        let farm = BoardFarm::new(
+            Technology::cyclone_iii().with_sigma_g_ps(10_000.0),
+            1,
+            3,
+        );
+        let cell = farm.board(0).lut(0);
+        let mut rng = RngTree::new(1).stream(0);
+        for _ in 0..1000 {
+            assert!(cell.sample_delay_ps(&Supply::default(), 0.0, &mut rng) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Slow (flicker-like) delay noise.
+//!
+//! The paper's temporal model is white: every stage crossing draws an
+//! independent Gaussian. Real gates also carry low-frequency (1/f)
+//! delay noise — the paper's ref \[2\] discusses how it corrupts jitter
+//! accumulation measurements. We model it as an Ornstein–Uhlenbeck
+//! modulation of each stage's static delay: stationary relative sigma
+//! `rel_sigma`, correlation time `tau`. The white model is the
+//! `rel_sigma = 0` special case (the default technology profile).
+
+use serde::{Deserialize, Serialize};
+use strent_sim::SimRng;
+
+/// A per-stage Ornstein–Uhlenbeck delay modulation.
+///
+/// # Examples
+///
+/// ```
+/// use strent_device::noise::FlickerProcess;
+/// use strent_sim::RngTree;
+///
+/// let mut flicker = FlickerProcess::new(0.01, 1_000.0);
+/// let mut rng = RngTree::new(5).stream(0);
+/// let f = flicker.factor_at(100.0, &mut rng);
+/// assert!((f - 1.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlickerProcess {
+    value: f64,
+    rel_sigma: f64,
+    tau_ps: f64,
+    last_t_ps: f64,
+    started: bool,
+}
+
+impl FlickerProcess {
+    /// Creates a process with the given stationary relative sigma and
+    /// correlation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_sigma` is negative or `tau_ps` is not positive
+    /// (compile-time configuration, not runtime data).
+    #[must_use]
+    pub fn new(rel_sigma: f64, tau_ps: f64) -> Self {
+        assert!(
+            rel_sigma.is_finite() && rel_sigma >= 0.0,
+            "flicker sigma must be non-negative, got {rel_sigma}"
+        );
+        assert!(
+            tau_ps.is_finite() && tau_ps > 0.0,
+            "flicker tau must be positive, got {tau_ps}"
+        );
+        FlickerProcess {
+            value: 0.0,
+            rel_sigma,
+            tau_ps,
+            last_t_ps: 0.0,
+            started: false,
+        }
+    }
+
+    /// A disabled process (always returns factor 1).
+    #[must_use]
+    pub fn disabled() -> Self {
+        FlickerProcess::new(0.0, 1.0)
+    }
+
+    /// Whether the process modulates anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.rel_sigma > 0.0
+    }
+
+    /// Advances the process to time `t_ps` and returns the current
+    /// multiplicative delay factor `1 + x(t)`.
+    ///
+    /// The first call draws from the stationary distribution; later
+    /// calls apply the exact OU transition over the elapsed interval.
+    /// Time may only move forward; out-of-order queries reuse the
+    /// current value.
+    pub fn factor_at(&mut self, t_ps: f64, rng: &mut SimRng) -> f64 {
+        if self.rel_sigma == 0.0 {
+            return 1.0;
+        }
+        if !self.started {
+            self.value = rng.normal(0.0, self.rel_sigma);
+            self.last_t_ps = t_ps;
+            self.started = true;
+        } else if t_ps > self.last_t_ps {
+            let a = (-(t_ps - self.last_t_ps) / self.tau_ps).exp();
+            let innovation_sigma = self.rel_sigma * (1.0 - a * a).sqrt();
+            self.value = self.value * a + rng.normal(0.0, innovation_sigma);
+            self.last_t_ps = t_ps;
+        }
+        // Clamp so the delay factor stays positive even at wild sigmas.
+        1.0 + self.value.max(-0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strent_sim::RngTree;
+
+    #[test]
+    fn disabled_process_is_identity() {
+        let mut p = FlickerProcess::disabled();
+        let mut rng = RngTree::new(1).stream(0);
+        assert!(!p.is_enabled());
+        for t in 0..100 {
+            assert_eq!(p.factor_at(f64::from(t) * 10.0, &mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn stationary_spread_matches_configuration() {
+        let tree = RngTree::new(7);
+        let n = 4000;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let mut p = FlickerProcess::new(0.02, 500.0);
+                let mut rng = tree.stream(i);
+                p.factor_at(0.0, &mut rng) - 1.0
+            })
+            .collect();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let sd = (values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64)
+            .sqrt();
+        assert!(mean.abs() < 2e-3, "mean {mean}");
+        assert!((sd - 0.02).abs() < 2e-3, "sd {sd}");
+    }
+
+    #[test]
+    fn correlation_decays_with_tau() {
+        // Sample pairs separated by dt << tau and dt >> tau.
+        let tree = RngTree::new(9);
+        let n = 3000;
+        let corr = |dt: f64| {
+            let pairs: Vec<(f64, f64)> = (0..n)
+                .map(|i| {
+                    let mut p = FlickerProcess::new(0.05, 1_000.0);
+                    let mut rng = tree.stream(i);
+                    let a = p.factor_at(0.0, &mut rng) - 1.0;
+                    let b = p.factor_at(dt, &mut rng) - 1.0;
+                    (a, b)
+                })
+                .collect();
+            let ma = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
+            let mb = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
+            let cov: f64 = pairs.iter().map(|p| (p.0 - ma) * (p.1 - mb)).sum::<f64>();
+            let va: f64 = pairs.iter().map(|p| (p.0 - ma).powi(2)).sum::<f64>();
+            let vb: f64 = pairs.iter().map(|p| (p.1 - mb).powi(2)).sum::<f64>();
+            cov / (va * vb).sqrt()
+        };
+        assert!(corr(50.0) > 0.9, "short-lag correlation");
+        assert!(corr(10_000.0) < 0.1, "long-lag decorrelation");
+    }
+
+    #[test]
+    fn time_only_moves_forward() {
+        let mut p = FlickerProcess::new(0.05, 100.0);
+        let mut rng = RngTree::new(3).stream(0);
+        let f1 = p.factor_at(1_000.0, &mut rng);
+        // An out-of-order query reuses the current state.
+        let f2 = p.factor_at(500.0, &mut rng);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_rejected() {
+        let _ = FlickerProcess::new(-0.1, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tau_rejected() {
+        let _ = FlickerProcess::new(0.1, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Process (manufacturing) variation model.
+//!
+//! Delays vary between devices (inter-die) and between cells of one device
+//! (intra-die). Table II of the paper is internally consistent with
+//! i.i.d. per-cell variation of ~1.45% relative sigma averaged over the
+//! ring length (see `DESIGN.md` §5), plus a small common inter-die shift.
+//!
+//! Variation draws are **deterministic in (board seed, cell index)**: the
+//! same bitstream loaded into the same board always sees the same silicon.
+
+use strent_sim::RngTree;
+
+use crate::tech::Technology;
+
+/// The frozen process-variation state of one device.
+///
+/// # Examples
+///
+/// ```
+/// use strent_device::{ProcessVariation, Technology};
+///
+/// let tech = Technology::cyclone_iii();
+/// let silicon = ProcessVariation::for_board(&tech, 41);
+/// // Stable across queries...
+/// assert_eq!(silicon.cell_factor(7), silicon.cell_factor(7));
+/// // ...and close to 1 (a few percent of variation).
+/// assert!((silicon.cell_factor(7) - 1.0).abs() < 0.10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessVariation {
+    inter_die: f64,
+    cells: RngTree,
+    sigma_intra: f64,
+}
+
+impl ProcessVariation {
+    /// Derives the silicon of the board with the given seed.
+    #[must_use]
+    pub fn for_board(tech: &Technology, board_seed: u64) -> Self {
+        let tree = RngTree::new(board_seed);
+        let mut die_rng = tree.stream(u64::MAX);
+        let inter_die = (1.0 + die_rng.normal(0.0, tech.sigma_inter())).max(0.5);
+        ProcessVariation {
+            inter_die,
+            cells: tree.subtree(0xCE11),
+            sigma_intra: tech.sigma_intra(),
+        }
+    }
+
+    /// The common multiplicative delay factor of this die.
+    #[must_use]
+    pub fn inter_die_factor(&self) -> f64 {
+        self.inter_die
+    }
+
+    /// The intra-die multiplicative delay factor of cell `index`
+    /// (excluding the inter-die factor). Deterministic per (board, cell).
+    #[must_use]
+    pub fn cell_factor(&self, index: u64) -> f64 {
+        let mut rng = self.cells.stream(index);
+        // Clamp far tails: a cell cannot be infinitely fast.
+        (1.0 + rng.normal(0.0, self.sigma_intra)).max(0.5)
+    }
+
+    /// The combined (inter * intra) delay factor of cell `index`.
+    #[must_use]
+    pub fn total_factor(&self, index: u64) -> f64 {
+        self.inter_die * self.cell_factor(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_deterministic_per_board_and_cell() {
+        let tech = Technology::cyclone_iii();
+        let a = ProcessVariation::for_board(&tech, 1);
+        let b = ProcessVariation::for_board(&tech, 1);
+        for cell in 0..32 {
+            assert_eq!(a.cell_factor(cell), b.cell_factor(cell));
+            assert_eq!(a.total_factor(cell), b.total_factor(cell));
+        }
+    }
+
+    #[test]
+    fn different_boards_differ() {
+        let tech = Technology::cyclone_iii();
+        let a = ProcessVariation::for_board(&tech, 1);
+        let b = ProcessVariation::for_board(&tech, 2);
+        assert_ne!(a.cell_factor(0), b.cell_factor(0));
+        assert_ne!(a.inter_die_factor(), b.inter_die_factor());
+    }
+
+    #[test]
+    fn intra_die_sigma_matches_configuration() {
+        let tech = Technology::cyclone_iii();
+        let p = ProcessVariation::for_board(&tech, 77);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|i| p.cell_factor(i)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64)
+            .sqrt();
+        assert!((mean - 1.0).abs() < 5e-4, "mean {mean}");
+        assert!(
+            (sd - tech.sigma_intra()).abs() < 0.001,
+            "sd {sd} vs {}",
+            tech.sigma_intra()
+        );
+    }
+
+    #[test]
+    fn inter_die_dispersion_matches_configuration() {
+        let tech = Technology::cyclone_iii();
+        let n = 4_000;
+        let factors: Vec<f64> = (0..n)
+            .map(|seed| ProcessVariation::for_board(&tech, seed).inter_die_factor())
+            .collect();
+        let mean = factors.iter().sum::<f64>() / n as f64;
+        let sd = (factors.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64)
+            .sqrt();
+        assert!((mean - 1.0).abs() < 1e-3, "mean {mean}");
+        assert!(
+            (sd - tech.sigma_inter()).abs() < 4e-4,
+            "sd {sd} vs {}",
+            tech.sigma_inter()
+        );
+    }
+
+    #[test]
+    fn factors_are_bounded_away_from_zero() {
+        let extreme = Technology::cyclone_iii().with_sigma_intra(2.0);
+        let p = ProcessVariation::for_board(&extreme, 5);
+        for cell in 0..1000 {
+            assert!(p.cell_factor(cell) >= 0.5);
+        }
+    }
+}

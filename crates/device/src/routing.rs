@@ -1,0 +1,162 @@
+//! Interconnect (routing) delay model.
+//!
+//! Placing a ring of `L` stages on a real FPGA spreads it over one or more
+//! LABs; the average per-stage interconnect delay therefore grows with the
+//! ring length. The paper observes this directly (its STR frequencies fall
+//! from 653 MHz at 4 stages to 320 MHz at 96 stages even though the
+//! evenly-spaced STR period is nominally length-independent) but does not
+//! model it. We represent it as a calibrated piecewise-linear function of
+//! ring length — see `DESIGN.md` §5 for the calibration points.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stage interconnect delay overhead as a function of ring length.
+///
+/// # Examples
+///
+/// ```
+/// use strent_device::RoutingModel;
+///
+/// let model = RoutingModel::from_points(&[(4, 0.0), (96, 398.0)]);
+/// assert_eq!(model.overhead_ps(4), 0.0);
+/// assert_eq!(model.overhead_ps(96), 398.0);
+/// // Lengths between calibration points interpolate linearly...
+/// assert!((model.overhead_ps(50) - 199.0).abs() < 5.0);
+/// // ...and lengths outside clamp to the nearest point.
+/// assert_eq!(model.overhead_ps(3), 0.0);
+/// assert_eq!(model.overhead_ps(128), 398.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingModel {
+    /// `(ring length, per-stage overhead in ps)`, strictly increasing in
+    /// length.
+    points: Vec<(u32, f64)>,
+}
+
+impl RoutingModel {
+    /// A model with zero overhead everywhere (ideal placement).
+    #[must_use]
+    pub fn none() -> Self {
+        RoutingModel {
+            points: vec![(1, 0.0)],
+        }
+    }
+
+    /// Builds a model from calibration points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, lengths are not strictly increasing,
+    /// or any overhead is negative/non-finite — calibration tables are
+    /// compile-time data, so these are programming errors.
+    #[must_use]
+    pub fn from_points(points: &[(u32, f64)]) -> Self {
+        assert!(!points.is_empty(), "routing model needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "routing calibration lengths must be strictly increasing"
+            );
+        }
+        for &(len, ps) in points {
+            assert!(
+                ps.is_finite() && ps >= 0.0,
+                "routing overhead at length {len} must be non-negative, got {ps}"
+            );
+        }
+        RoutingModel {
+            points: points.to_vec(),
+        }
+    }
+
+    /// Per-stage interconnect overhead in picoseconds for a ring of the
+    /// given length (linear interpolation, clamped outside the table).
+    #[must_use]
+    pub fn overhead_ps(&self, ring_length: u32) -> f64 {
+        let pts = &self.points;
+        if ring_length <= pts[0].0 {
+            return pts[0].1;
+        }
+        if ring_length >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Find the bracketing segment.
+        let hi = pts
+            .iter()
+            .position(|&(len, _)| len >= ring_length)
+            .expect("ring_length is below the last point");
+        let (x0, y0) = pts[hi - 1];
+        let (x1, y1) = pts[hi];
+        if x1 == x0 {
+            return y0;
+        }
+        let t = f64::from(ring_length - x0) / f64::from(x1 - x0);
+        y0 + t * (y1 - y0)
+    }
+
+    /// The calibration points backing this model.
+    #[must_use]
+    pub fn points(&self) -> &[(u32, f64)] {
+        &self.points
+    }
+}
+
+impl Default for RoutingModel {
+    fn default() -> Self {
+        RoutingModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_points_are_reproduced() {
+        let m = RoutingModel::from_points(&[(4, 0.0), (24, 194.0), (96, 398.0)]);
+        assert_eq!(m.overhead_ps(4), 0.0);
+        assert_eq!(m.overhead_ps(24), 194.0);
+        assert_eq!(m.overhead_ps(96), 398.0);
+        assert_eq!(m.points().len(), 3);
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let m = RoutingModel::from_points(&[(10, 100.0), (20, 200.0)]);
+        assert!((m.overhead_ps(15) - 150.0).abs() < 1e-12);
+        assert!((m.overhead_ps(11) - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        let m = RoutingModel::from_points(&[(10, 100.0), (20, 200.0)]);
+        assert_eq!(m.overhead_ps(1), 100.0);
+        assert_eq!(m.overhead_ps(1000), 200.0);
+    }
+
+    #[test]
+    fn none_is_zero_everywhere() {
+        let m = RoutingModel::none();
+        assert_eq!(m.overhead_ps(1), 0.0);
+        assert_eq!(m.overhead_ps(96), 0.0);
+        assert_eq!(RoutingModel::default(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_points_rejected() {
+        let _ = RoutingModel::from_points(&[(10, 1.0), (10, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_rejected() {
+        let _ = RoutingModel::from_points(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_overhead_rejected() {
+        let _ = RoutingModel::from_points(&[(10, -1.0)]);
+    }
+}

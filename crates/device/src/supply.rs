@@ -1,0 +1,207 @@
+//! Core supply-voltage waveforms.
+//!
+//! Experiments need three kinds of supply behaviour:
+//!
+//! * a fixed DC operating point (every baseline measurement),
+//! * a swept DC point (Fig. 8 / Table I — the experiment re-runs at each
+//!   point),
+//! * deterministic modulation on top of the DC point — the classic
+//!   non-invasive attack channel of the paper's ref \[2\] (sine) and the
+//!   step perturbation used for robustness studies.
+
+use serde::{Deserialize, Serialize};
+
+/// A supply-voltage waveform `V(t)`.
+///
+/// # Examples
+///
+/// ```
+/// use strent_device::Supply;
+///
+/// let dc = Supply::dc(1.2);
+/// assert_eq!(dc.voltage_at(0.0), 1.2);
+///
+/// // 1% sine ripple at 1 MHz on top of the nominal point.
+/// let attack = Supply::sine(1.2, 0.012, 1.0);
+/// let quarter_period_ps = 0.25 * 1e6; // 1 MHz -> 1 us period
+/// assert!((attack.voltage_at(quarter_period_ps) - 1.212).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Supply {
+    /// Constant voltage.
+    Dc {
+        /// Level in volts.
+        volts: f64,
+    },
+    /// `dc + amplitude * sin(2*pi*f*t)`.
+    Sine {
+        /// DC operating point, volts.
+        dc: f64,
+        /// Peak amplitude, volts.
+        amplitude: f64,
+        /// Modulation frequency, MHz.
+        freq_mhz: f64,
+    },
+    /// Steps from `before` to `after` at `at_ps`.
+    Step {
+        /// Level before the step, volts.
+        before: f64,
+        /// Level after the step, volts.
+        after: f64,
+        /// Step instant, picoseconds.
+        at_ps: f64,
+    },
+}
+
+impl Supply {
+    /// A constant supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts` is non-finite or non-positive.
+    #[must_use]
+    pub fn dc(volts: f64) -> Self {
+        assert!(
+            volts.is_finite() && volts > 0.0,
+            "supply voltage must be positive, got {volts}"
+        );
+        Supply::Dc { volts }
+    }
+
+    /// A sinusoidally modulated supply (the ref-\[2\] attack waveform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are non-finite, `dc <= amplitude`, or the
+    /// frequency is non-positive.
+    #[must_use]
+    pub fn sine(dc: f64, amplitude: f64, freq_mhz: f64) -> Self {
+        assert!(
+            dc.is_finite() && amplitude.is_finite() && freq_mhz.is_finite(),
+            "supply parameters must be finite"
+        );
+        assert!(
+            amplitude >= 0.0 && dc > amplitude,
+            "need dc > amplitude >= 0, got dc={dc}, amplitude={amplitude}"
+        );
+        assert!(freq_mhz > 0.0, "modulation frequency must be positive");
+        Supply::Sine {
+            dc,
+            amplitude,
+            freq_mhz,
+        }
+    }
+
+    /// A step supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either level is non-positive/non-finite or the step time
+    /// is non-finite.
+    #[must_use]
+    pub fn step(before: f64, after: f64, at_ps: f64) -> Self {
+        assert!(
+            before.is_finite() && before > 0.0 && after.is_finite() && after > 0.0,
+            "supply levels must be positive"
+        );
+        assert!(at_ps.is_finite(), "step time must be finite");
+        Supply::Step { before, after, at_ps }
+    }
+
+    /// The voltage at simulation time `t_ps` picoseconds.
+    #[must_use]
+    pub fn voltage_at(&self, t_ps: f64) -> f64 {
+        match *self {
+            Supply::Dc { volts } => volts,
+            Supply::Sine {
+                dc,
+                amplitude,
+                freq_mhz,
+            } => {
+                // f [MHz] * t [ps] = cycles * 1e-6.
+                let phase = std::f64::consts::TAU * freq_mhz * t_ps * 1e-6;
+                dc + amplitude * phase.sin()
+            }
+            Supply::Step { before, after, at_ps } => {
+                if t_ps < at_ps {
+                    before
+                } else {
+                    after
+                }
+            }
+        }
+    }
+
+    /// The DC (average) operating point of the waveform.
+    #[must_use]
+    pub fn dc_level(&self) -> f64 {
+        match *self {
+            Supply::Dc { volts } => volts,
+            Supply::Sine { dc, .. } => dc,
+            Supply::Step { after, .. } => after,
+        }
+    }
+}
+
+impl Default for Supply {
+    /// The nominal Cyclone III core supply (1.2 V DC).
+    fn default() -> Self {
+        Supply::dc(1.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let s = Supply::dc(1.1);
+        assert_eq!(s.voltage_at(0.0), 1.1);
+        assert_eq!(s.voltage_at(1e9), 1.1);
+        assert_eq!(s.dc_level(), 1.1);
+    }
+
+    #[test]
+    fn sine_has_correct_extrema_and_period() {
+        let s = Supply::sine(1.2, 0.05, 10.0); // 10 MHz -> 100 ns period
+        let period_ps = 1e5;
+        assert!((s.voltage_at(0.0) - 1.2).abs() < 1e-12);
+        assert!((s.voltage_at(0.25 * period_ps) - 1.25).abs() < 1e-9);
+        assert!((s.voltage_at(0.75 * period_ps) - 1.15).abs() < 1e-9);
+        assert!((s.voltage_at(period_ps) - 1.2).abs() < 1e-9);
+        assert_eq!(s.dc_level(), 1.2);
+    }
+
+    #[test]
+    fn step_switches_at_the_right_time() {
+        let s = Supply::step(1.2, 1.0, 500.0);
+        assert_eq!(s.voltage_at(499.9), 1.2);
+        assert_eq!(s.voltage_at(500.0), 1.0);
+        assert_eq!(s.dc_level(), 1.0);
+    }
+
+    #[test]
+    fn default_is_nominal() {
+        assert_eq!(Supply::default().voltage_at(0.0), 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dc_rejected() {
+        let _ = Supply::dc(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dc > amplitude")]
+    fn over_modulation_rejected() {
+        let _ = Supply::sine(0.5, 0.6, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_frequency_rejected() {
+        let _ = Supply::sine(1.2, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Technology profiles: every fabric constant in one place.
+
+use serde::{Deserialize, Serialize};
+
+use crate::routing::RoutingModel;
+
+/// A complete set of fabric parameters.
+///
+/// The default profile, [`Technology::cyclone_iii`], is calibrated against
+/// the paper's own measurements (see `DESIGN.md` §5). An
+/// [`Technology::asic_like`] profile with a weaker Charlie effect and a
+/// strong drafting effect is provided to reproduce burst-mode behaviour
+/// (the paper's refs \[3\], \[4\] context).
+///
+/// # Examples
+///
+/// ```
+/// use strent_device::Technology;
+///
+/// let tech = Technology::cyclone_iii();
+/// assert_eq!(tech.nominal_voltage(), 1.2);
+/// // Tweak a parameter for an ablation study:
+/// let quiet = tech.with_sigma_g_ps(0.5);
+/// assert_eq!(quiet.sigma_g_ps(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    lut_delay_ps: f64,
+    sigma_g_ps: f64,
+    nominal_voltage: f64,
+    threshold_voltage: f64,
+    alpha: f64,
+    interconnect_rc_fraction: f64,
+    sigma_intra: f64,
+    sigma_inter: f64,
+    temp_coeff_per_c: f64,
+    nominal_temp_c: f64,
+    charlie_delay_ps: f64,
+    drafting_delay_ps: f64,
+    drafting_tau_ps: f64,
+    flicker_rel_sigma: f64,
+    flicker_tau_ps: f64,
+    iro_routing: RoutingModel,
+    str_routing: RoutingModel,
+}
+
+macro_rules! positive_setter {
+    ($(#[$doc:meta])* $name:ident, $field:ident) => {
+        $(#[$doc])*
+        ///
+        /// # Panics
+        ///
+        /// Panics if the value is negative or non-finite.
+        #[must_use]
+        pub fn $name(mut self, value: f64) -> Self {
+            assert!(
+                value.is_finite() && value >= 0.0,
+                concat!(stringify!($field), " must be non-negative")
+            );
+            self.$field = value;
+            self
+        }
+    };
+}
+
+impl Technology {
+    /// The Cyclone-III-like profile the paper's boards are calibrated to.
+    #[must_use]
+    pub fn cyclone_iii() -> Self {
+        Technology {
+            // IRO 3C at ~648 MHz: T = 2*3*D  =>  D ~ 257 ps.
+            lut_delay_ps: 255.0,
+            // Fig. 11's own extraction.
+            sigma_g_ps: 2.0,
+            nominal_voltage: 1.2,
+            threshold_voltage: 0.45,
+            alpha: 1.6,
+            // Interconnect: half fixed RC, half drive-strength dependent.
+            interconnect_rc_fraction: 0.5,
+            // Table II is consistent with sqrt(L) averaging of ~1.45%
+            // per-cell i.i.d. variation.
+            sigma_intra: 0.0145,
+            sigma_inter: 0.002,
+            temp_coeff_per_c: 0.001,
+            nominal_temp_c: 25.0,
+            // STR 4C at 653 MHz: T = 4*(Ds + Dcharlie) => Dcharlie ~ 128 ps.
+            charlie_delay_ps: 128.0,
+            // The paper finds drafting negligible in FPGAs.
+            drafting_delay_ps: 0.0,
+            drafting_tau_ps: 500.0,
+            // The paper's model is white; flicker is an opt-in
+            // extension (EXT-FLICKER).
+            flicker_rel_sigma: 0.0,
+            flicker_tau_ps: 1.0e6,
+            // Calibrated per-stage interconnect overhead (DESIGN.md §5).
+            iro_routing: RoutingModel::from_points(&[
+                (3, 0.0),
+                (5, 11.0),
+                (25, 19.0),
+                (80, 17.0),
+            ]),
+            str_routing: RoutingModel::from_points(&[
+                (4, 0.0),
+                (24, 194.0),
+                (48, 230.0),
+                (64, 294.0),
+                (96, 398.0),
+            ]),
+        }
+    }
+
+    /// An ASIC-like profile: weaker Charlie effect, pronounced drafting
+    /// effect, no length-dependent routing. Used to demonstrate burst-mode
+    /// oscillation (refs \[3\], \[4\] of the paper).
+    #[must_use]
+    pub fn asic_like() -> Self {
+        Technology {
+            lut_delay_ps: 60.0,
+            sigma_g_ps: 1.0,
+            nominal_voltage: 1.2,
+            threshold_voltage: 0.40,
+            alpha: 1.5,
+            interconnect_rc_fraction: 0.2,
+            sigma_intra: 0.01,
+            sigma_inter: 0.002,
+            temp_coeff_per_c: 0.001,
+            nominal_temp_c: 25.0,
+            charlie_delay_ps: 5.0,
+            drafting_delay_ps: 20.0,
+            drafting_tau_ps: 150.0,
+            flicker_rel_sigma: 0.0,
+            flicker_tau_ps: 1.0e6,
+            iro_routing: RoutingModel::none(),
+            str_routing: RoutingModel::none(),
+        }
+    }
+
+    /// Static LUT propagation delay at nominal conditions, picoseconds.
+    #[must_use]
+    pub fn lut_delay_ps(&self) -> f64 {
+        self.lut_delay_ps
+    }
+
+    /// Standard deviation of the local Gaussian jitter added per stage
+    /// crossing, picoseconds (the paper's `sigma_g`).
+    #[must_use]
+    pub fn sigma_g_ps(&self) -> f64 {
+        self.sigma_g_ps
+    }
+
+    /// Nominal core supply voltage, volts.
+    #[must_use]
+    pub fn nominal_voltage(&self) -> f64 {
+        self.nominal_voltage
+    }
+
+    /// Effective transistor threshold voltage, volts.
+    #[must_use]
+    pub fn threshold_voltage(&self) -> f64 {
+        self.threshold_voltage
+    }
+
+    /// Alpha-power-law velocity-saturation exponent.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Fraction of interconnect delay that is fixed RC (voltage
+    /// independent); the remainder scales like transistor delay.
+    #[must_use]
+    pub fn interconnect_rc_fraction(&self) -> f64 {
+        self.interconnect_rc_fraction
+    }
+
+    /// Relative sigma of intra-die (per-cell) delay variation.
+    #[must_use]
+    pub fn sigma_intra(&self) -> f64 {
+        self.sigma_intra
+    }
+
+    /// Relative sigma of inter-die (per-board) delay variation.
+    #[must_use]
+    pub fn sigma_inter(&self) -> f64 {
+        self.sigma_inter
+    }
+
+    /// Linear delay temperature coefficient, per degree Celsius.
+    #[must_use]
+    pub fn temp_coeff_per_c(&self) -> f64 {
+        self.temp_coeff_per_c
+    }
+
+    /// Temperature at which delays equal their nominal value, Celsius.
+    #[must_use]
+    pub fn nominal_temp_c(&self) -> f64 {
+        self.nominal_temp_c
+    }
+
+    /// Charlie effect magnitude `Dcharlie`, picoseconds (Eq. 3).
+    #[must_use]
+    pub fn charlie_delay_ps(&self) -> f64 {
+        self.charlie_delay_ps
+    }
+
+    /// Drafting effect magnitude, picoseconds (0 disables it).
+    #[must_use]
+    pub fn drafting_delay_ps(&self) -> f64 {
+        self.drafting_delay_ps
+    }
+
+    /// Drafting effect decay constant, picoseconds.
+    #[must_use]
+    pub fn drafting_tau_ps(&self) -> f64 {
+        self.drafting_tau_ps
+    }
+
+    /// Stationary relative sigma of the slow (flicker-like) delay
+    /// modulation per stage (0 disables it — the paper's white model).
+    #[must_use]
+    pub fn flicker_rel_sigma(&self) -> f64 {
+        self.flicker_rel_sigma
+    }
+
+    /// Correlation time of the flicker modulation, picoseconds.
+    #[must_use]
+    pub fn flicker_tau_ps(&self) -> f64 {
+        self.flicker_tau_ps
+    }
+
+    /// Calibrated per-stage routing overhead for IRO placements.
+    #[must_use]
+    pub fn iro_routing(&self) -> &RoutingModel {
+        &self.iro_routing
+    }
+
+    /// Calibrated per-stage routing overhead for STR placements.
+    #[must_use]
+    pub fn str_routing(&self) -> &RoutingModel {
+        &self.str_routing
+    }
+
+    positive_setter! {
+        /// Returns a copy with a different nominal LUT delay (ps).
+        with_lut_delay_ps, lut_delay_ps
+    }
+    positive_setter! {
+        /// Returns a copy with a different local jitter sigma (ps).
+        with_sigma_g_ps, sigma_g_ps
+    }
+    positive_setter! {
+        /// Returns a copy with a different Charlie magnitude (ps).
+        with_charlie_delay_ps, charlie_delay_ps
+    }
+    positive_setter! {
+        /// Returns a copy with a different drafting magnitude (ps).
+        with_drafting_delay_ps, drafting_delay_ps
+    }
+    positive_setter! {
+        /// Returns a copy with a different drafting decay constant (ps).
+        with_drafting_tau_ps, drafting_tau_ps
+    }
+    positive_setter! {
+        /// Returns a copy with a different flicker stationary sigma
+        /// (relative; 0 disables).
+        with_flicker_rel_sigma, flicker_rel_sigma
+    }
+
+    /// Returns a copy with a different flicker correlation time (ps).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the value is finite and positive.
+    #[must_use]
+    pub fn with_flicker_tau_ps(mut self, tau_ps: f64) -> Self {
+        assert!(
+            tau_ps.is_finite() && tau_ps > 0.0,
+            "flicker tau must be positive, got {tau_ps}"
+        );
+        self.flicker_tau_ps = tau_ps;
+        self
+    }
+    positive_setter! {
+        /// Returns a copy with a different intra-die variation sigma.
+        with_sigma_intra, sigma_intra
+    }
+    positive_setter! {
+        /// Returns a copy with a different inter-die variation sigma.
+        with_sigma_inter, sigma_inter
+    }
+
+    /// Returns a copy with a different IRO routing model.
+    #[must_use]
+    pub fn with_iro_routing(mut self, model: RoutingModel) -> Self {
+        self.iro_routing = model;
+        self
+    }
+
+    /// Returns a copy with a different STR routing model.
+    #[must_use]
+    pub fn with_str_routing(mut self, model: RoutingModel) -> Self {
+        self.str_routing = model;
+        self
+    }
+
+    /// Returns a copy with a different interconnect RC fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the fraction lies in `[0, 1]`.
+    #[must_use]
+    pub fn with_interconnect_rc_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "RC fraction must be in [0,1], got {fraction}"
+        );
+        self.interconnect_rc_fraction = fraction;
+        self
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cyclone_iii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclone_profile_is_calibrated() {
+        let t = Technology::cyclone_iii();
+        // IRO 3C: 1 / (2*3*255 ps) ~ 654 MHz.
+        let f3 = 1e6 / (2.0 * 3.0 * t.lut_delay_ps());
+        assert!((f3 - 653.6).abs() < 2.0, "IRO 3C freq {f3}");
+        // STR 4C: 1 / (4*(255+128) ps) ~ 653 MHz.
+        let f4 = 1e6 / (4.0 * (t.lut_delay_ps() + t.charlie_delay_ps()));
+        assert!((f4 - 652.7).abs() < 3.0, "STR 4C freq {f4}");
+        assert_eq!(t.drafting_delay_ps(), 0.0);
+    }
+
+    #[test]
+    fn setters_replace_single_fields() {
+        let t = Technology::cyclone_iii()
+            .with_sigma_g_ps(3.0)
+            .with_charlie_delay_ps(64.0)
+            .with_interconnect_rc_fraction(0.25);
+        assert_eq!(t.sigma_g_ps(), 3.0);
+        assert_eq!(t.charlie_delay_ps(), 64.0);
+        assert_eq!(t.interconnect_rc_fraction(), 0.25);
+        // Untouched fields keep their calibration.
+        assert_eq!(t.lut_delay_ps(), 255.0);
+    }
+
+    #[test]
+    fn asic_profile_enables_drafting() {
+        let t = Technology::asic_like();
+        assert!(t.drafting_delay_ps() > 0.0);
+        assert!(t.charlie_delay_ps() < Technology::cyclone_iii().charlie_delay_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_setter_rejected() {
+        let _ = Technology::cyclone_iii().with_sigma_g_ps(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RC fraction")]
+    fn bad_rc_fraction_rejected() {
+        let _ = Technology::cyclone_iii().with_interconnect_rc_fraction(1.5);
+    }
+
+    #[test]
+    fn default_is_cyclone() {
+        assert_eq!(Technology::default(), Technology::cyclone_iii());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the device model.
+
+use proptest::prelude::*;
+
+use strent_device::{
+    scaling, BoardFarm, ProcessVariation, RoutingModel, Supply, Technology,
+};
+
+proptest! {
+    /// Transistor delay factor is strictly decreasing in voltage over the
+    /// operating range, for any plausible (vth, alpha) profile.
+    #[test]
+    fn transistor_factor_is_monotone(v1 in 0.9_f64..1.39, dv in 0.001_f64..0.4) {
+        let tech = Technology::cyclone_iii();
+        let v2 = (v1 + dv).min(1.4);
+        prop_assume!(v2 > v1);
+        let f1 = scaling::transistor_factor(&tech, v1);
+        let f2 = scaling::transistor_factor(&tech, v2);
+        prop_assert!(f2 < f1, "delay factor must fall with voltage");
+    }
+
+    /// The interconnect factor always lies between the fixed-RC floor and
+    /// the transistor factor.
+    #[test]
+    fn interconnect_factor_is_a_blend(v in 0.9_f64..1.4, rc in 0.0_f64..=1.0) {
+        let tech = Technology::cyclone_iii().with_interconnect_rc_fraction(rc);
+        let t = scaling::transistor_factor(&tech, v);
+        let i = scaling::interconnect_factor(&tech, v);
+        let (lo, hi) = if t < 1.0 { (t, 1.0) } else { (1.0, t) };
+        prop_assert!(i >= lo - 1e-12 && i <= hi + 1e-12, "i={i} not in [{lo},{hi}]");
+    }
+
+    /// Routing interpolation is bounded by its calibration values and
+    /// monotone between two points.
+    #[test]
+    fn routing_interpolation_is_bounded(
+        y0 in 0.0_f64..500.0,
+        y1 in 0.0_f64..500.0,
+        len in 4_u32..96,
+    ) {
+        let model = RoutingModel::from_points(&[(4, y0), (96, y1)]);
+        let v = model.overhead_ps(len);
+        let (lo, hi) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// Process factors are reproducible and respect the 0.5 floor.
+    #[test]
+    fn process_factors_are_stable(seed in any::<u64>(), cell in 0_u64..10_000) {
+        let tech = Technology::cyclone_iii();
+        let p1 = ProcessVariation::for_board(&tech, seed);
+        let p2 = ProcessVariation::for_board(&tech, seed);
+        prop_assert_eq!(p1.cell_factor(cell), p2.cell_factor(cell));
+        prop_assert!(p1.cell_factor(cell) >= 0.5);
+        prop_assert!(p1.total_factor(cell) > 0.0);
+    }
+
+    /// Static cell delay is positive and finite for any in-range operating
+    /// point, any cell, any board.
+    #[test]
+    fn cell_delay_is_well_formed(
+        seed in any::<u64>(),
+        cell in 0_u64..256,
+        v in 0.9_f64..1.45,
+        routing in 0.0_f64..500.0,
+    ) {
+        let farm = BoardFarm::new(Technology::cyclone_iii(), 1, seed);
+        let lut = farm.board(0).lut_with_routing(cell, routing);
+        let d = lut.static_delay_ps(&Supply::dc(v), 0.0);
+        prop_assert!(d.is_finite() && d > 0.0);
+    }
+
+    /// A sine supply never leaves the band [dc - a, dc + a].
+    #[test]
+    fn sine_supply_is_bounded(
+        a in 0.0_f64..0.2,
+        f in 0.01_f64..100.0,
+        t in 0.0_f64..1e9,
+    ) {
+        let s = Supply::sine(1.2, a, f);
+        let v = s.voltage_at(t);
+        prop_assert!(v >= 1.2 - a - 1e-12 && v <= 1.2 + a + 1e-12);
+    }
+}

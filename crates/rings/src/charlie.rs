@@ -1,0 +1,270 @@
+//! The Charlie-effect temporal model of a Muller-gate stage.
+//!
+//! Following Ebergen/Winstanley/Hamon (the model the paper adopts in
+//! Sec. III), the output event time of a C-element whose two enabling
+//! input events arrive at `t1` (forward) and `t2` (reverse) is
+//!
+//! ```text
+//! t_out = m + sqrt(Dcharlie^2 + delta^2) + Ds - drafting(t_enable - t_last_out)
+//! ```
+//!
+//! with `m = (t1 + t2)/2` and `delta = (t1 - t2)/2`. Expressed as a delay
+//! from the *mean* arrival, this is exactly the paper's Eq. 3:
+//! `charlie(s) = Ds + sqrt(Dcharlie^2 + s^2)` with `s = delta`. For
+//! `|delta| -> inf` the output tends to `max(t1, t2) + Ds` (pure causality
+//! on the later input); for simultaneous inputs the delay is maximal at
+//! `Ds + Dcharlie` — the smoothing bottom of the Charlie diagram.
+//!
+//! The **drafting effect** (shorter delay shortly after the previous
+//! output event) is modelled as an exponentially decaying delay
+//! reduction; the paper finds it negligible in FPGAs, so the Cyclone III
+//! profile sets its magnitude to zero, while the ASIC-like profile uses
+//! it to reproduce burst-mode behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RingError;
+
+/// Parameters of the stage temporal model.
+///
+/// # Examples
+///
+/// ```
+/// use strent_rings::CharlieModel;
+///
+/// let model = CharlieModel::new(255.0, 128.0)?;
+/// // Simultaneous inputs: maximal delay Ds + Dcharlie.
+/// assert_eq!(model.charlie_delay(0.0), 383.0);
+/// // Far-apart inputs: the delay from the mean tends to Ds + |s|.
+/// assert!((model.charlie_delay(5_000.0) - (255.0 + 5_000.0)).abs() < 2.0);
+/// # Ok::<(), strent_rings::RingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharlieModel {
+    ds_ps: f64,
+    dcharlie_ps: f64,
+    drafting_ps: f64,
+    drafting_tau_ps: f64,
+}
+
+impl CharlieModel {
+    /// Creates a model with the given static delay and Charlie magnitude
+    /// (drafting disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] if `ds_ps` is not positive or
+    /// `dcharlie_ps` is negative.
+    pub fn new(ds_ps: f64, dcharlie_ps: f64) -> Result<Self, RingError> {
+        if !(ds_ps.is_finite() && ds_ps > 0.0) {
+            return Err(RingError::InvalidConfig(format!(
+                "static delay must be positive, got {ds_ps}"
+            )));
+        }
+        if !(dcharlie_ps.is_finite() && dcharlie_ps >= 0.0) {
+            return Err(RingError::InvalidConfig(format!(
+                "Charlie magnitude must be non-negative, got {dcharlie_ps}"
+            )));
+        }
+        Ok(CharlieModel {
+            ds_ps,
+            dcharlie_ps,
+            drafting_ps: 0.0,
+            drafting_tau_ps: 1.0,
+        })
+    }
+
+    /// Adds a drafting effect: the stage delay is reduced by
+    /// `magnitude * exp(-(elapsed since last output)/tau)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] if the magnitude is negative,
+    /// `tau` is not positive, or the magnitude is not smaller than the
+    /// static delay (the stage delay must stay positive).
+    pub fn with_drafting(mut self, magnitude_ps: f64, tau_ps: f64) -> Result<Self, RingError> {
+        if !(magnitude_ps.is_finite() && magnitude_ps >= 0.0) {
+            return Err(RingError::InvalidConfig(format!(
+                "drafting magnitude must be non-negative, got {magnitude_ps}"
+            )));
+        }
+        if magnitude_ps >= self.ds_ps {
+            return Err(RingError::InvalidConfig(format!(
+                "drafting magnitude {magnitude_ps} must be below the static delay {}",
+                self.ds_ps
+            )));
+        }
+        if !(tau_ps.is_finite() && tau_ps > 0.0) {
+            return Err(RingError::InvalidConfig(format!(
+                "drafting tau must be positive, got {tau_ps}"
+            )));
+        }
+        self.drafting_ps = magnitude_ps;
+        self.drafting_tau_ps = tau_ps;
+        Ok(self)
+    }
+
+    /// Static propagation delay `Ds`, picoseconds.
+    #[must_use]
+    pub fn static_delay_ps(&self) -> f64 {
+        self.ds_ps
+    }
+
+    /// Charlie magnitude `Dcharlie`, picoseconds.
+    #[must_use]
+    pub fn charlie_magnitude_ps(&self) -> f64 {
+        self.dcharlie_ps
+    }
+
+    /// Drafting magnitude, picoseconds (0 when disabled).
+    #[must_use]
+    pub fn drafting_magnitude_ps(&self) -> f64 {
+        self.drafting_ps
+    }
+
+    /// Drafting decay constant, picoseconds.
+    #[must_use]
+    pub fn drafting_tau_ps(&self) -> f64 {
+        self.drafting_tau_ps
+    }
+
+    /// The paper's Eq. 3: stage delay (from the mean input arrival) as a
+    /// function of the input separation `s` (ps).
+    #[must_use]
+    pub fn charlie_delay(&self, s_ps: f64) -> f64 {
+        self.ds_ps + (self.dcharlie_ps * self.dcharlie_ps + s_ps * s_ps).sqrt()
+    }
+
+    /// The output event time for enabling input events at `t_forward`
+    /// and `t_reverse` (absolute ps), *without* drafting or noise.
+    ///
+    /// Guaranteed to be at least `max(t_forward, t_reverse) + Ds`.
+    #[must_use]
+    pub fn output_time(&self, t_forward_ps: f64, t_reverse_ps: f64) -> f64 {
+        let m = 0.5 * (t_forward_ps + t_reverse_ps);
+        let delta = 0.5 * (t_forward_ps - t_reverse_ps);
+        m + (self.dcharlie_ps * self.dcharlie_ps + delta * delta).sqrt() + self.ds_ps
+    }
+
+    /// The drafting delay reduction when the stage last produced an
+    /// output `elapsed_ps` ago.
+    #[must_use]
+    pub fn drafting_reduction(&self, elapsed_ps: f64) -> f64 {
+        if self.drafting_ps == 0.0 || elapsed_ps < 0.0 {
+            return 0.0;
+        }
+        self.drafting_ps * (-elapsed_ps / self.drafting_tau_ps).exp()
+    }
+
+    /// Samples the Charlie diagram over `[-span, span]` ps with `points`
+    /// samples per side — the data series of the paper's Fig. 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_ps` is not positive or `points == 0`.
+    #[must_use]
+    pub fn diagram(&self, span_ps: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(span_ps > 0.0, "span must be positive");
+        assert!(points > 0, "need at least one point");
+        let n = points as i64;
+        (-n..=n)
+            .map(|i| {
+                let s = span_ps * i as f64 / n as f64;
+                (s, self.charlie_delay(s))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CharlieModel {
+        CharlieModel::new(255.0, 128.0).expect("valid")
+    }
+
+    #[test]
+    fn eq3_shape() {
+        let m = model();
+        // Maximum smoothing at s = 0.
+        assert_eq!(m.charlie_delay(0.0), 255.0 + 128.0);
+        // Even function.
+        assert_eq!(m.charlie_delay(100.0), m.charlie_delay(-100.0));
+        // Monotone in |s|.
+        assert!(m.charlie_delay(50.0) < m.charlie_delay(100.0));
+        // Asymptote: Ds + |s|.
+        let far = m.charlie_delay(1e5);
+        assert!((far - (255.0 + 1e5)).abs() < 0.1);
+    }
+
+    #[test]
+    fn output_time_reduces_to_causality_for_far_inputs() {
+        let m = model();
+        // Reverse input arrived long ago; forward arrives at t = 10_000.
+        // Residual Charlie correction: Dch^2 / (2*|t1-t2|) ~ 1.6 ps here.
+        let t = m.output_time(10_000.0, 0.0);
+        assert!((t - (10_000.0 + 255.0)).abs() < 2.0, "t = {t}");
+        // Symmetric case.
+        let t2 = m.output_time(0.0, 10_000.0);
+        assert!((t - t2).abs() < 1e-9);
+        // Simultaneous inputs: full Charlie penalty.
+        let t3 = m.output_time(500.0, 500.0);
+        assert_eq!(t3, 500.0 + 255.0 + 128.0);
+    }
+
+    #[test]
+    fn output_time_is_causal() {
+        let m = model();
+        for i in 0..100 {
+            let tf = f64::from(i) * 13.7;
+            let tr = f64::from(100 - i) * 7.3;
+            let t = m.output_time(tf, tr);
+            assert!(t >= tf.max(tr) + 255.0 - 1e-9, "causality violated");
+        }
+    }
+
+    #[test]
+    fn drafting_reduces_delay_and_decays() {
+        let m = CharlieModel::new(100.0, 20.0)
+            .expect("valid")
+            .with_drafting(30.0, 50.0)
+            .expect("valid");
+        assert_eq!(m.drafting_reduction(0.0), 30.0);
+        assert!(m.drafting_reduction(50.0) < 30.0 * 0.4);
+        assert!(m.drafting_reduction(1e6) < 1e-6);
+        assert_eq!(m.drafting_reduction(-5.0), 0.0);
+        // Disabled drafting contributes nothing.
+        assert_eq!(model().drafting_reduction(0.0), 0.0);
+    }
+
+    #[test]
+    fn diagram_is_symmetric_with_minimum_at_zero() {
+        let m = model();
+        let d = m.diagram(600.0, 60);
+        assert_eq!(d.len(), 121);
+        let min = d
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        assert_eq!(min.0, 0.0);
+        assert_eq!(min.1, m.charlie_delay(0.0));
+        // Endpoints mirror each other.
+        assert!((d[0].1 - d[120].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(CharlieModel::new(0.0, 10.0).is_err());
+        assert!(CharlieModel::new(100.0, -1.0).is_err());
+        assert!(CharlieModel::new(100.0, 10.0)
+            .expect("valid")
+            .with_drafting(100.0, 10.0)
+            .is_err()); // magnitude >= Ds
+        assert!(CharlieModel::new(100.0, 10.0)
+            .expect("valid")
+            .with_drafting(10.0, 0.0)
+            .is_err()); // tau
+    }
+}

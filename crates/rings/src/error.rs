@@ -1,0 +1,100 @@
+//! Error type for the ring models.
+
+use std::error::Error;
+use std::fmt;
+
+use strent_sim::SimError;
+
+/// Errors reported by ring construction and measurement.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RingError {
+    /// A ring configuration violated the oscillation conditions
+    /// (Sec. II-C.2 of the paper: `L >= 3`, `NB >= 1`, `NT` even and
+    /// positive for STRs; `L >= 1` for IROs).
+    InvalidConfig(String),
+    /// The ring stopped producing transitions (deadlock or dead config).
+    NotOscillating {
+        /// Transitions observed before the ring went quiet.
+        observed_transitions: usize,
+    },
+    /// The simulation horizon was reached before enough periods were
+    /// collected.
+    HorizonExceeded {
+        /// Periods collected so far.
+        collected: usize,
+        /// Periods requested.
+        requested: usize,
+    },
+    /// An underlying simulator error.
+    Sim(SimError),
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::InvalidConfig(msg) => write!(f, "invalid ring configuration: {msg}"),
+            RingError::NotOscillating {
+                observed_transitions,
+            } => write!(
+                f,
+                "ring stopped oscillating after {observed_transitions} transitions"
+            ),
+            RingError::HorizonExceeded {
+                collected,
+                requested,
+            } => write!(
+                f,
+                "simulation horizon reached with {collected}/{requested} periods"
+            ),
+            RingError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for RingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RingError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RingError {
+    fn from(e: SimError) -> Self {
+        RingError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RingError::InvalidConfig("NT must be even".into())
+            .to_string()
+            .contains("NT"));
+        assert!(RingError::NotOscillating {
+            observed_transitions: 4
+        }
+        .to_string()
+        .contains('4'));
+        assert!(RingError::HorizonExceeded {
+            collected: 10,
+            requested: 100
+        }
+        .to_string()
+        .contains("10/100"));
+        let wrapped = RingError::from(SimError::InvalidDelay(-1.0));
+        assert!(wrapped.to_string().contains("simulator"));
+        assert!(Error::source(&wrapped).is_some());
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<RingError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # strent-rings — STR and IRO oscillator models
+//!
+//! The heart of the reproduction: structural, analytic and event-driven
+//! models of the two oscillator families the paper compares.
+//!
+//! * [`state`] — the untimed token/bubble algebra of self-timed rings:
+//!   initialization patterns, the propagation rule, conservation
+//!   invariants (Sec. II of the paper);
+//! * [`charlie`] — the Charlie-effect temporal model of a Muller-gate
+//!   stage (Eq. 3), including the drafting effect and Charlie-diagram
+//!   generation (Fig. 7);
+//! * [`iro`] — inverter ring oscillators: event-driven simulation on
+//!   [`strent_sim`] plus closed-form predictions (Eq. 4);
+//! * [`str_ring`] — self-timed rings: event-driven simulation with the
+//!   Charlie model (the paper's Sec. III), initialization from any token
+//!   pattern;
+//! * [`analytic`] — closed-form period/jitter predictions for both
+//!   families (Eqs. 4 and 5, the `NT = NB` period formula);
+//! * [`mode`] — oscillation-mode detection: evenly-spaced vs burst
+//!   (Fig. 5) from simulated traces;
+//! * [`measure`] — convenience runners that build a ring, simulate it and
+//!   return period series ready for `strent-analysis`.
+//!
+//! ## Example: measure a 16-stage STR
+//!
+//! ```
+//! use strent_device::{Board, Technology};
+//! use strent_rings::str_ring::StrConfig;
+//! use strent_rings::measure;
+//!
+//! let board = Board::new(Technology::cyclone_iii(), 0, 42);
+//! let config = StrConfig::new(16, 8)?; // L = 16, NT = NB = 8
+//! let run = measure::run_str(&config, &board, 42, 200)?;
+//! // The evenly-spaced STR oscillates near its analytic frequency.
+//! let predicted = strent_rings::analytic::str_frequency_mhz(&config, &board);
+//! assert!((run.frequency_mhz / predicted - 1.0).abs() < 0.05);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod charlie;
+pub mod counter;
+pub mod divider;
+pub mod error;
+pub mod iro;
+pub mod measure;
+pub mod mode;
+pub mod state;
+pub mod str_ring;
+
+pub use charlie::CharlieModel;
+pub use error::RingError;
+pub use iro::IroConfig;
+pub use mode::OscillationMode;
+pub use state::StrState;
+pub use str_ring::StrConfig;

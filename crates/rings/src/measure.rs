@@ -1,0 +1,233 @@
+//! Convenience runners: build a ring, simulate it, return period series.
+//!
+//! These wrap the build functions of [`crate::iro`] and
+//! [`crate::str_ring`] with the bookkeeping every experiment needs:
+//! warm-up discarding, adaptive horizon extension and trace extraction.
+
+use strent_device::Board;
+use strent_sim::{Edge, Simulator, Time, Trace};
+
+use crate::analytic;
+use crate::error::RingError;
+use crate::iro::{self, IroConfig};
+use crate::str_ring::{self, StrConfig};
+
+/// Number of initial periods discarded as start-up transient.
+pub const WARMUP_PERIODS: usize = 64;
+
+/// The outcome of running one ring on one board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingRun {
+    /// Steady-state periods (rising edge to rising edge), picoseconds.
+    pub periods_ps: Vec<f64>,
+    /// Steady-state half-periods (any edge to any edge), picoseconds.
+    pub half_periods_ps: Vec<f64>,
+    /// Mean frequency over the steady-state periods, MHz.
+    pub frequency_mhz: f64,
+}
+
+impl RingRun {
+    fn from_trace(trace: &Trace, warmup: usize, requested: usize) -> Result<Self, RingError> {
+        let all_periods = trace.periods(Edge::Rising);
+        if all_periods.len() < warmup + requested {
+            return Err(RingError::HorizonExceeded {
+                collected: all_periods.len().saturating_sub(warmup),
+                requested,
+            });
+        }
+        let periods_ps: Vec<f64> = all_periods[warmup..warmup + requested].to_vec();
+        let halves = trace.half_periods();
+        let half_start = (2 * warmup).min(halves.len());
+        let half_end = (2 * (warmup + requested)).min(halves.len());
+        let mean = periods_ps.iter().sum::<f64>() / periods_ps.len() as f64;
+        Ok(RingRun {
+            half_periods_ps: halves[half_start..half_end].to_vec(),
+            frequency_mhz: 1e6 / mean,
+            periods_ps,
+        })
+    }
+}
+
+/// Runs the simulation until the trace holds enough rising edges,
+/// extending the horizon geometrically; fails after `max_doublings`.
+fn run_to_periods(
+    sim: &mut Simulator,
+    net: strent_sim::NetId,
+    expected_period_ps: f64,
+    needed_periods: usize,
+    warmup: usize,
+) -> Result<(), RingError> {
+    let total = needed_periods + warmup + 2;
+    let mut horizon = expected_period_ps * total as f64 * 1.3;
+    let max_doublings = 8;
+    for _ in 0..=max_doublings {
+        sim.run_until(Time::from_ps(horizon))?;
+        let edges = sim
+            .trace(net)
+            .map_or(0, |t| t.rising_edges().len());
+        if edges > total {
+            return Ok(());
+        }
+        horizon *= 2.0;
+    }
+    let collected = sim
+        .trace(net)
+        .map_or(0, |t| t.rising_edges().len())
+        .saturating_sub(warmup);
+    Err(RingError::NotOscillating {
+        observed_transitions: collected,
+    })
+}
+
+/// Builds and runs an IRO, returning `periods` steady-state periods.
+///
+/// # Errors
+///
+/// Returns an error if the ring fails to oscillate or the simulator
+/// reports a fault.
+pub fn run_iro(
+    config: &IroConfig,
+    board: &Board,
+    seed: u64,
+    periods: usize,
+) -> Result<RingRun, RingError> {
+    let mut sim = Simulator::new(seed);
+    let handle = iro::build(config, board, &mut sim)?;
+    sim.watch(handle.output())?;
+    let expected = analytic::iro_period_ps(config, board);
+    run_to_periods(&mut sim, handle.output(), expected, periods, WARMUP_PERIODS)?;
+    let trace = sim.trace(handle.output()).expect("watched");
+    RingRun::from_trace(trace, WARMUP_PERIODS, periods)
+}
+
+/// Builds and runs an STR, returning `periods` steady-state periods.
+///
+/// # Errors
+///
+/// Returns an error if the ring fails to oscillate or the simulator
+/// reports a fault.
+pub fn run_str(
+    config: &StrConfig,
+    board: &Board,
+    seed: u64,
+    periods: usize,
+) -> Result<RingRun, RingError> {
+    let mut sim = Simulator::new(seed);
+    let handle = str_ring::build(config, board, &mut sim)?;
+    sim.watch(handle.output())?;
+    // The general closure formula stays accurate for NT != NB, where
+    // the balanced formula can underestimate the period several-fold.
+    let expected = analytic::str_period_general_ps(config, board);
+    run_to_periods(&mut sim, handle.output(), expected, periods, WARMUP_PERIODS)?;
+    let trace = sim.trace(handle.output()).expect("watched");
+    RingRun::from_trace(trace, WARMUP_PERIODS, periods)
+}
+
+/// A full STR run that also records every stage output — the input for
+/// mode detection and the Fig. 5 occupancy film.
+#[derive(Debug, Clone)]
+pub struct StrFullRun {
+    /// The measurement view of the run (periods, frequency).
+    pub run: RingRun,
+    /// One trace per stage, in stage order.
+    pub stage_traces: Vec<Trace>,
+    /// The simulation end time.
+    pub end_time: Time,
+}
+
+/// Builds and runs an STR with all stage outputs recorded.
+///
+/// Unlike [`run_str`], a failure to collect the requested period count
+/// is tolerated when at least a handful of transitions happened — a
+/// *burst-mode* ring is irregular but very much alive, and mode
+/// diagnosis is exactly what this runner exists for.
+///
+/// # Errors
+///
+/// Returns an error if the simulator faults or the ring produced no
+/// transitions at all.
+pub fn run_str_full(
+    config: &StrConfig,
+    board: &Board,
+    seed: u64,
+    periods: usize,
+) -> Result<StrFullRun, RingError> {
+    let mut sim = Simulator::new(seed);
+    let handle = str_ring::build(config, board, &mut sim)?;
+    for &net in handle.nets() {
+        sim.watch(net)?;
+    }
+    let expected = analytic::str_period_ps(config, board);
+    let warmup = WARMUP_PERIODS;
+    run_to_periods(&mut sim, handle.output(), expected, periods, warmup)?;
+    let trace = sim.trace(handle.output()).expect("watched");
+    let run = RingRun::from_trace(trace, warmup, periods)?;
+    let stage_traces: Vec<Trace> = handle
+        .nets()
+        .iter()
+        .map(|&net| sim.trace(net).expect("watched").clone())
+        .collect();
+    Ok(StrFullRun {
+        run,
+        stage_traces,
+        end_time: sim.now(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strent_device::Technology;
+
+    fn board() -> Board {
+        Board::new(Technology::cyclone_iii(), 0, 7)
+    }
+
+    #[test]
+    fn iro_run_collects_requested_periods() {
+        let config = IroConfig::new(5).expect("valid");
+        let run = run_iro(&config, &board(), 1, 300).expect("oscillates");
+        assert_eq!(run.periods_ps.len(), 300);
+        assert_eq!(run.half_periods_ps.len(), 600);
+        let predicted = analytic::iro_frequency_mhz(&config, &board());
+        assert!(
+            (run.frequency_mhz / predicted - 1.0).abs() < 0.02,
+            "sim {} vs analytic {predicted}",
+            run.frequency_mhz
+        );
+    }
+
+    #[test]
+    fn str_run_matches_analytic_frequency() {
+        let config = StrConfig::new(16, 8).expect("valid");
+        let run = run_str(&config, &board(), 1, 300).expect("oscillates");
+        assert_eq!(run.periods_ps.len(), 300);
+        let predicted = analytic::str_frequency_mhz(&config, &board());
+        assert!(
+            (run.frequency_mhz / predicted - 1.0).abs() < 0.03,
+            "sim {} vs analytic {predicted}",
+            run.frequency_mhz
+        );
+    }
+
+    #[test]
+    fn full_run_records_every_stage() {
+        let config = StrConfig::new(8, 4).expect("valid");
+        let full = run_str_full(&config, &board(), 2, 100).expect("oscillates");
+        assert_eq!(full.stage_traces.len(), 8);
+        for trace in &full.stage_traces {
+            assert!(trace.len() > 100, "every stage toggles");
+        }
+        assert!(full.end_time > Time::ZERO);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let config = StrConfig::new(12, 6).expect("valid");
+        let a = run_str(&config, &board(), 9, 200).expect("oscillates");
+        let b = run_str(&config, &board(), 9, 200).expect("oscillates");
+        assert_eq!(a, b);
+        let c = run_str(&config, &board(), 10, 200).expect("oscillates");
+        assert_ne!(a.periods_ps, c.periods_ps, "different seed, different jitter");
+    }
+}

@@ -1,0 +1,271 @@
+//! Oscillation-mode detection: evenly-spaced vs burst (Fig. 5).
+//!
+//! In the evenly-spaced mode the tokens pass any given stage at uniform
+//! intervals, so the stage output's half-periods are all equal. In the
+//! burst mode the token cluster produces a train of short half-periods
+//! followed by a long silence while the cluster travels around the rest
+//! of the ring. The coefficient of variation (CV) of the half-periods
+//! separates the two regimes cleanly.
+
+use serde::{Deserialize, Serialize};
+use strent_sim::{Time, Trace};
+
+use crate::state::StrState;
+
+/// The detected propagation regime of a self-timed ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OscillationMode {
+    /// Tokens spread evenly and propagate with constant spacing.
+    EvenlySpaced,
+    /// Tokens travel as a cluster (undesirable for entropy generation).
+    Burst,
+    /// The ring produced too few transitions to classify.
+    Dead,
+}
+
+impl std::fmt::Display for OscillationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OscillationMode::EvenlySpaced => "evenly-spaced",
+            OscillationMode::Burst => "burst",
+            OscillationMode::Dead => "dead",
+        })
+    }
+}
+
+/// CV threshold between the evenly-spaced and burst regimes.
+///
+/// Evenly-spaced rings show CV well below 0.1 (jitter only); bursts show
+/// CV near or above 1 (a long gap dominates). 0.3 splits the regimes
+/// with a wide margin on both sides.
+pub const BURST_CV_THRESHOLD: f64 = 0.3;
+
+/// Minimum number of half-periods needed for a classification.
+pub const MIN_HALF_PERIODS: usize = 16;
+
+/// The spacing uniformity metric: coefficient of variation of the
+/// half-periods (0 = perfectly even).
+///
+/// Returns `None` for fewer than two half-periods or a zero mean.
+#[must_use]
+pub fn spacing_cv(half_periods: &[f64]) -> Option<f64> {
+    if half_periods.len() < 2 {
+        return None;
+    }
+    let n = half_periods.len() as f64;
+    let mean = half_periods.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return None;
+    }
+    let var = half_periods
+        .iter()
+        .map(|h| (h - mean) * (h - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    Some(var.sqrt() / mean)
+}
+
+/// Classifies the oscillation mode from the half-periods observed at one
+/// stage output (skip the transient before calling).
+#[must_use]
+pub fn classify_half_periods(half_periods: &[f64]) -> OscillationMode {
+    if half_periods.len() < MIN_HALF_PERIODS {
+        return OscillationMode::Dead;
+    }
+    match spacing_cv(half_periods) {
+        Some(cv) if cv <= BURST_CV_THRESHOLD => OscillationMode::EvenlySpaced,
+        Some(_) => OscillationMode::Burst,
+        None => OscillationMode::Dead,
+    }
+}
+
+/// Classifies the mode from a recorded stage-output trace, discarding
+/// the first `warmup` transitions as transient.
+#[must_use]
+pub fn classify_trace(trace: &Trace, warmup: usize) -> OscillationMode {
+    let halves = trace.half_periods();
+    if halves.len() <= warmup {
+        return OscillationMode::Dead;
+    }
+    classify_half_periods(&halves[warmup..])
+}
+
+/// Estimates the burst cluster size from a half-period series: in the
+/// burst mode, `NT` tokens pass a stage back-to-back (short gaps) and
+/// then nothing passes while the cluster circulates (one long gap per
+/// revolution), so the cluster size is the typical number of short
+/// gaps between consecutive long ones.
+///
+/// Returns `None` for fewer than [`MIN_HALF_PERIODS`] samples or when
+/// the series has no long-gap structure (evenly-spaced mode).
+#[must_use]
+pub fn burst_cluster_size(half_periods: &[f64]) -> Option<usize> {
+    if half_periods.len() < MIN_HALF_PERIODS {
+        return None;
+    }
+    let mean = half_periods.iter().sum::<f64>() / half_periods.len() as f64;
+    // A gap counts as "long" when it exceeds twice the mean spacing;
+    // the evenly-spaced mode has none.
+    let threshold = 2.0 * mean;
+    let mut cluster_lengths = Vec::new();
+    let mut current = 0usize;
+    for &h in half_periods {
+        if h > threshold {
+            if current > 0 {
+                cluster_lengths.push(current);
+            }
+            current = 0;
+        } else {
+            current += 1;
+        }
+    }
+    if cluster_lengths.len() < 2 {
+        return None;
+    }
+    // The median cluster length is robust against partial clusters at
+    // the series edges.
+    cluster_lengths.sort_unstable();
+    Some(cluster_lengths[cluster_lengths.len() / 2])
+}
+
+/// Reconstructs the logical ring state at instant `t` from the recorded
+/// stage-output traces (one per stage, in stage order).
+///
+/// Returns `None` if fewer than 3 traces are supplied.
+#[must_use]
+pub fn state_at(stage_traces: &[Trace], t: Time) -> Option<StrState> {
+    if stage_traces.len() < 3 {
+        return None;
+    }
+    let outputs = stage_traces.iter().map(|tr| tr.value_at(t)).collect();
+    StrState::from_outputs(outputs).ok()
+}
+
+/// Samples the token occupancy over `[start, end]` at `frames` uniform
+/// instants, rendering each frame with [`StrState::occupancy_string`] —
+/// the textual equivalent of the paper's Fig. 5 traces.
+///
+/// Returns an empty vector if the input is degenerate (fewer than 3
+/// stages, no frames, or a non-positive window).
+#[must_use]
+pub fn occupancy_film(
+    stage_traces: &[Trace],
+    start: Time,
+    end: Time,
+    frames: usize,
+) -> Vec<String> {
+    if stage_traces.len() < 3 || frames == 0 || end <= start {
+        return Vec::new();
+    }
+    let span = end - start;
+    (0..frames)
+        .filter_map(|k| {
+            let t = start + span * k as f64 / frames as f64;
+            state_at(stage_traces, t).map(|s| s.occupancy_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strent_sim::Bit;
+
+    #[test]
+    fn uniform_halves_classify_evenly_spaced() {
+        let halves = vec![500.0; 64];
+        assert_eq!(classify_half_periods(&halves), OscillationMode::EvenlySpaced);
+        assert!(spacing_cv(&halves).expect("enough data") < 1e-12);
+    }
+
+    #[test]
+    fn jittered_halves_still_evenly_spaced() {
+        let halves: Vec<f64> = (0..64)
+            .map(|i| 500.0 + if i % 2 == 0 { 3.0 } else { -3.0 })
+            .collect();
+        assert_eq!(classify_half_periods(&halves), OscillationMode::EvenlySpaced);
+    }
+
+    #[test]
+    fn burst_pattern_detected() {
+        // 7 fast passages then a long gap, repeated.
+        let mut halves = Vec::new();
+        for _ in 0..8 {
+            halves.extend(std::iter::repeat_n(100.0, 7));
+            halves.push(3_000.0);
+        }
+        assert_eq!(classify_half_periods(&halves), OscillationMode::Burst);
+        assert!(spacing_cv(&halves).expect("enough data") > BURST_CV_THRESHOLD);
+    }
+
+    #[test]
+    fn burst_cluster_size_counts_the_train() {
+        // 7 fast passages then a long gap: cluster size 7.
+        let mut halves = Vec::new();
+        for _ in 0..8 {
+            halves.extend(std::iter::repeat_n(100.0, 7));
+            halves.push(3_000.0);
+        }
+        assert_eq!(burst_cluster_size(&halves), Some(7));
+        // Evenly-spaced series: no long gaps, no cluster.
+        assert_eq!(burst_cluster_size(&[500.0; 64]), None);
+        // Too short.
+        assert_eq!(burst_cluster_size(&[100.0; 4]), None);
+    }
+
+    #[test]
+    fn short_series_is_dead() {
+        assert_eq!(classify_half_periods(&[100.0; 4]), OscillationMode::Dead);
+        assert_eq!(classify_half_periods(&[]), OscillationMode::Dead);
+        assert_eq!(spacing_cv(&[1.0]), None);
+    }
+
+    #[test]
+    fn classify_trace_discards_warmup() {
+        let mut trace = Trace::new(Bit::Low);
+        let mut t = 0.0;
+        // Irregular transient...
+        for i in 0..10 {
+            t += 50.0 + f64::from(i) * 37.0;
+            trace.record(Time::from_ps(t), if i % 2 == 0 { Bit::High } else { Bit::Low });
+        }
+        // ...then a clean steady regime.
+        for i in 0..40 {
+            t += 500.0;
+            trace.record(Time::from_ps(t), if i % 2 == 0 { Bit::High } else { Bit::Low });
+        }
+        assert_eq!(classify_trace(&trace, 10), OscillationMode::EvenlySpaced);
+        assert_eq!(classify_trace(&trace, 1000), OscillationMode::Dead);
+    }
+
+    #[test]
+    fn state_reconstruction_from_traces() {
+        // Three stages: C0 flips at t=100, C1 at t=200, C2 stays low.
+        let mut t0 = Trace::new(Bit::Low);
+        t0.record(Time::from_ps(100.0), Bit::High);
+        let mut t1 = Trace::new(Bit::Low);
+        t1.record(Time::from_ps(200.0), Bit::High);
+        let t2 = Trace::new(Bit::Low);
+        let traces = vec![t0, t1, t2];
+        let s = state_at(&traces, Time::from_ps(150.0)).expect("3 stages");
+        assert_eq!(s.outputs(), &[Bit::High, Bit::Low, Bit::Low]);
+        assert_eq!(s.token_count(), 2);
+        assert!(state_at(&traces[..2], Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn occupancy_film_produces_frames() {
+        let mut t0 = Trace::new(Bit::Low);
+        t0.record(Time::from_ps(100.0), Bit::High);
+        let t1 = Trace::new(Bit::Low);
+        let t2 = Trace::new(Bit::Low);
+        let traces = vec![t0, t1, t2];
+        let film = occupancy_film(&traces, Time::ZERO, Time::from_ps(200.0), 4);
+        assert_eq!(film.len(), 4);
+        assert_eq!(film[0], "...");
+        // After C0 flips, stages 0 and 1 both border the inversion:
+        // C0 != C2 (token) and C1 != C0 (token).
+        assert_eq!(film[3], "TT.");
+        assert!(occupancy_film(&traces, Time::ZERO, Time::ZERO, 4).is_empty());
+    }
+}

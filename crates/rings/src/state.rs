@@ -1,0 +1,360 @@
+//! The untimed token/bubble algebra of self-timed rings (Sec. II of the
+//! paper).
+//!
+//! A ring of `L` stages is described by its output vector `C[0..L]`.
+//! Stage `i` **contains a token** when `C[i] != C[i-1]` and **a bubble**
+//! when `C[i] == C[i-1]` (indices mod `L`). A token in stage `i`
+//! propagates to stage `i+1` iff stage `i+1` contains a bubble; the
+//! corresponding transition flips `C[i+1]`.
+//!
+//! This module is purely combinatorial — no delays, no randomness — and
+//! underpins both the event-driven simulator's initialization and the
+//! property-based tests of the conservation invariants.
+
+use serde::{Deserialize, Serialize};
+use strent_sim::Bit;
+
+use crate::error::RingError;
+
+/// The instantaneous logical state of a self-timed ring.
+///
+/// # Examples
+///
+/// ```
+/// use strent_rings::StrState;
+///
+/// // A 6-stage ring initialized with 2 evenly spread tokens.
+/// let state = StrState::with_spread_tokens(6, 2)?;
+/// assert_eq!(state.len(), 6);
+/// assert_eq!(state.token_count(), 2);
+/// assert_eq!(state.bubble_count(), 4);
+/// assert!(state.satisfies_oscillation_conditions());
+/// # Ok::<(), strent_rings::RingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StrState {
+    outputs: Vec<Bit>,
+}
+
+impl StrState {
+    /// Builds a state directly from stage outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] if fewer than 3 stages are
+    /// given.
+    pub fn from_outputs(outputs: Vec<Bit>) -> Result<Self, RingError> {
+        if outputs.len() < 3 {
+            return Err(RingError::InvalidConfig(format!(
+                "a self-timed ring needs at least 3 stages, got {}",
+                outputs.len()
+            )));
+        }
+        Ok(StrState { outputs })
+    }
+
+    /// Builds a state of `len` stages whose tokens sit at the given stage
+    /// indices (all other stages hold bubbles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] if `len < 3`, a position is
+    /// out of range or duplicated, or the token count is odd (an odd
+    /// number of output inversions cannot close around the ring).
+    pub fn with_tokens_at(len: usize, positions: &[usize]) -> Result<Self, RingError> {
+        if len < 3 {
+            return Err(RingError::InvalidConfig(format!(
+                "a self-timed ring needs at least 3 stages, got {len}"
+            )));
+        }
+        if !positions.len().is_multiple_of(2) {
+            return Err(RingError::InvalidConfig(format!(
+                "token count must be even, got {}",
+                positions.len()
+            )));
+        }
+        let mut is_token = vec![false; len];
+        for &p in positions {
+            if p >= len {
+                return Err(RingError::InvalidConfig(format!(
+                    "token position {p} out of range for {len} stages"
+                )));
+            }
+            if is_token[p] {
+                return Err(RingError::InvalidConfig(format!(
+                    "duplicate token position {p}"
+                )));
+            }
+            is_token[p] = true;
+        }
+        // C[i] = C[i-1] XOR token[i]; C[len-1] chosen Low, then walk.
+        let mut outputs = vec![Bit::Low; len];
+        let mut level = Bit::Low; // C[len-1]
+        for (i, out) in outputs.iter_mut().enumerate() {
+            if is_token[i] {
+                level = !level;
+            }
+            *out = level;
+        }
+        Ok(StrState { outputs })
+    }
+
+    /// Builds a state with `nt` tokens spread as evenly as possible
+    /// around the ring — the initialization the paper uses throughout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] if `len < 3`, `nt` is odd,
+    /// zero, or leaves no bubble.
+    pub fn with_spread_tokens(len: usize, nt: usize) -> Result<Self, RingError> {
+        validate_str_counts(len, nt)?;
+        let positions: Vec<usize> = (0..nt).map(|k| k * len / nt).collect();
+        StrState::with_tokens_at(len, &positions)
+    }
+
+    /// Builds a state with `nt` tokens clustered contiguously starting at
+    /// stage 0 — the initialization that provokes the burst mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] under the same conditions as
+    /// [`StrState::with_spread_tokens`].
+    pub fn with_clustered_tokens(len: usize, nt: usize) -> Result<Self, RingError> {
+        validate_str_counts(len, nt)?;
+        let positions: Vec<usize> = (0..nt).collect();
+        StrState::with_tokens_at(len, &positions)
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether the ring has no stages (never true for a constructed
+    /// state, provided for completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// The stage outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[Bit] {
+        &self.outputs
+    }
+
+    /// The output of stage `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn output(&self, i: usize) -> Bit {
+        self.outputs[i]
+    }
+
+    /// Whether stage `i` contains a token (`C[i] != C[i-1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn has_token(&self, i: usize) -> bool {
+        let prev = self.outputs[(i + self.len() - 1) % self.len()];
+        self.outputs[i] != prev
+    }
+
+    /// Whether stage `i` contains a bubble (`C[i] == C[i-1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn has_bubble(&self, i: usize) -> bool {
+        !self.has_token(i)
+    }
+
+    /// Number of tokens in the ring.
+    #[must_use]
+    pub fn token_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.has_token(i)).count()
+    }
+
+    /// Number of bubbles in the ring.
+    #[must_use]
+    pub fn bubble_count(&self) -> usize {
+        self.len() - self.token_count()
+    }
+
+    /// Indices of the stages currently holding tokens.
+    #[must_use]
+    pub fn token_positions(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.has_token(i)).collect()
+    }
+
+    /// Whether stage `i` is enabled to fire: it holds a token and the
+    /// next stage holds a bubble (the propagation rule of Sec. II-C.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn is_enabled(&self, i: usize) -> bool {
+        self.has_token(i) && self.has_bubble((i + 1) % self.len())
+    }
+
+    /// All currently enabled stages.
+    #[must_use]
+    pub fn enabled_stages(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.is_enabled(i)).collect()
+    }
+
+    /// Fires stage `i`: its Muller gate copies the forward input, setting
+    /// `C[i] := C[i-1]`. The token thereby moves from `i` to `i+1`
+    /// (equivalently, the bubble moves from `i+1` to `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] if the stage is not enabled.
+    pub fn fire(&mut self, i: usize) -> Result<(), RingError> {
+        if i >= self.len() || !self.is_enabled(i) {
+            return Err(RingError::InvalidConfig(format!(
+                "stage {i} is not enabled to fire"
+            )));
+        }
+        let prev = self.outputs[(i + self.len() - 1) % self.len()];
+        self.outputs[i] = prev;
+        Ok(())
+    }
+
+    /// Whether this state satisfies the paper's oscillation conditions:
+    /// `L >= 3`, at least one bubble, and a positive even token count.
+    #[must_use]
+    pub fn satisfies_oscillation_conditions(&self) -> bool {
+        let nt = self.token_count();
+        self.len() >= 3 && self.bubble_count() >= 1 && nt >= 2 && nt.is_multiple_of(2)
+    }
+
+    /// A compact text rendering: `T` for token stages, `.` for bubbles —
+    /// the visual language of the paper's Fig. 4/5.
+    #[must_use]
+    pub fn occupancy_string(&self) -> String {
+        (0..self.len())
+            .map(|i| if self.has_token(i) { 'T' } else { '.' })
+            .collect()
+    }
+}
+
+/// Shared validation for the token/bubble constructors.
+fn validate_str_counts(len: usize, nt: usize) -> Result<(), RingError> {
+    if len < 3 {
+        return Err(RingError::InvalidConfig(format!(
+            "a self-timed ring needs at least 3 stages, got {len}"
+        )));
+    }
+    if nt == 0 || !nt.is_multiple_of(2) {
+        return Err(RingError::InvalidConfig(format!(
+            "token count must be positive and even, got {nt}"
+        )));
+    }
+    if nt >= len {
+        return Err(RingError::InvalidConfig(format!(
+            "need at least one bubble: NT={nt} >= L={len}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_tokens_land_where_requested() {
+        let s = StrState::with_spread_tokens(8, 4).expect("valid");
+        assert_eq!(s.token_count(), 4);
+        assert_eq!(s.bubble_count(), 4);
+        assert_eq!(s.token_positions(), vec![0, 2, 4, 6]);
+        assert!(s.satisfies_oscillation_conditions());
+        assert_eq!(s.occupancy_string(), "T.T.T.T.");
+    }
+
+    #[test]
+    fn clustered_tokens_are_contiguous() {
+        let s = StrState::with_clustered_tokens(8, 4).expect("valid");
+        assert_eq!(s.token_positions(), vec![0, 1, 2, 3]);
+        assert_eq!(s.occupancy_string(), "TTTT....");
+    }
+
+    #[test]
+    fn token_definition_matches_paper() {
+        // Tokens are where C[i] != C[i-1].
+        let s = StrState::with_spread_tokens(6, 2).expect("valid");
+        for i in 0..6 {
+            let prev = s.output((i + 5) % 6);
+            assert_eq!(s.has_token(i), s.output(i) != prev);
+            assert_eq!(s.has_bubble(i), !s.has_token(i));
+        }
+    }
+
+    #[test]
+    fn firing_moves_a_token_forward() {
+        let mut s = StrState::with_clustered_tokens(8, 2).expect("valid");
+        assert_eq!(s.token_positions(), vec![0, 1]);
+        // Stage 1 has the leading token (stage 2 holds a bubble).
+        assert!(s.is_enabled(1));
+        assert!(!s.is_enabled(0), "stage 0's successor holds a token");
+        s.fire(1).expect("enabled");
+        assert_eq!(s.token_positions(), vec![0, 2]);
+        assert_eq!(s.token_count(), 2, "tokens are conserved");
+    }
+
+    #[test]
+    fn firing_conserves_tokens_under_any_schedule() {
+        let mut s = StrState::with_spread_tokens(12, 4).expect("valid");
+        for step in 0..200 {
+            let enabled = s.enabled_stages();
+            assert!(!enabled.is_empty(), "live ring cannot deadlock");
+            let pick = enabled[step % enabled.len()];
+            s.fire(pick).expect("enabled");
+            assert_eq!(s.token_count(), 4, "token conservation violated");
+        }
+    }
+
+    #[test]
+    fn disabled_fire_is_rejected() {
+        let mut s = StrState::with_spread_tokens(6, 2).expect("valid");
+        let disabled = (0..6).find(|&i| !s.is_enabled(i)).expect("exists");
+        assert!(s.fire(disabled).is_err());
+        assert!(s.fire(99).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(StrState::with_spread_tokens(2, 2).is_err()); // too short
+        assert!(StrState::with_spread_tokens(8, 3).is_err()); // odd NT
+        assert!(StrState::with_spread_tokens(8, 0).is_err()); // no tokens
+        assert!(StrState::with_spread_tokens(8, 8).is_err()); // no bubble
+        assert!(StrState::with_tokens_at(8, &[0, 0]).is_err()); // duplicate
+        assert!(StrState::with_tokens_at(8, &[0, 9]).is_err()); // range
+        assert!(StrState::with_tokens_at(8, &[0]).is_err()); // odd
+        assert!(StrState::from_outputs(vec![Bit::Low; 2]).is_err());
+    }
+
+    #[test]
+    fn paper_oscillation_conditions() {
+        // 32-stage rings with NT in {10..20} (Sec. V-A) are all valid.
+        for nt in [10, 12, 14, 16, 18, 20] {
+            let s = StrState::with_spread_tokens(32, nt).expect("valid");
+            assert!(s.satisfies_oscillation_conditions(), "NT={nt}");
+        }
+    }
+
+    #[test]
+    fn from_outputs_roundtrip() {
+        let s = StrState::with_spread_tokens(10, 4).expect("valid");
+        let rebuilt = StrState::from_outputs(s.outputs().to_vec()).expect("valid");
+        assert_eq!(s, rebuilt);
+    }
+}

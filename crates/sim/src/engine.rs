@@ -1,0 +1,754 @@
+//! The simulation kernel: nets, components, scheduling and dispatch.
+
+use std::any::Any;
+use std::collections::HashSet;
+
+use crate::error::SimError;
+use crate::event::{Event, EventId, Occurrence, TimerTag};
+use crate::queue::{BinaryHeapQueue, EventQueue, ScheduledEvent};
+use crate::rng::{RngTree, SimRng};
+use crate::signal::{Bit, NetId};
+use crate::trace::{Trace, TraceSet};
+use crate::Time;
+
+/// Identifier of a component registered in a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// Returns the raw index of this component.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A reactive simulation element.
+///
+/// Components receive [`Event`]s (net changes on nets they listen to, and
+/// their own elapsed timers) and react by scheduling future occurrences
+/// through the [`Context`].
+///
+/// The `Any` supertrait allows typed access to a component after the run
+/// via [`Simulator::component`] / [`Simulator::component_mut`].
+pub trait Component: Any {
+    /// Handles one event. Called by the simulator during dispatch.
+    fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>);
+}
+
+/// Per-net bookkeeping.
+#[derive(Debug)]
+struct NetState {
+    name: String,
+    value: Bit,
+    listeners: Vec<usize>,
+}
+
+/// The component's view of the simulator during event dispatch.
+///
+/// Provides the current time, net reads, scheduling, cancellation and the
+/// component's private random stream.
+pub struct Context<'a> {
+    now: Time,
+    component: usize,
+    nets: &'a [NetState],
+    queue: &'a mut dyn EventQueue,
+    next_seq: &'a mut u64,
+    cancelled: &'a mut HashSet<u64>,
+    rng: &'a mut SimRng,
+}
+
+impl<'a> Context<'a> {
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the component being dispatched.
+    #[must_use]
+    pub fn component_id(&self) -> ComponentId {
+        ComponentId(self.component)
+    }
+
+    /// Reads the current level of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this simulator.
+    #[must_use]
+    pub fn net(&self, net: NetId) -> Bit {
+        self.nets[net.index()].value
+    }
+
+    /// Schedules `net` to be driven to `value` after `delay_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is negative or non-finite, or the net is
+    /// unknown. These are component logic errors, not runtime conditions.
+    pub fn schedule_net(&mut self, net: NetId, value: Bit, delay_ps: f64) -> EventId {
+        assert!(
+            delay_ps.is_finite() && delay_ps >= 0.0,
+            "delay must be finite and non-negative, got {delay_ps}"
+        );
+        assert!(net.index() < self.nets.len(), "unknown {net}");
+        self.push(delay_ps, Occurrence::DriveNet { net, value })
+    }
+
+    /// Arms a timer that will deliver [`Event::Timer`] with `tag` back to
+    /// this component after `delay_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is negative or non-finite.
+    pub fn schedule_timer(&mut self, delay_ps: f64, tag: TimerTag) -> EventId {
+        assert!(
+            delay_ps.is_finite() && delay_ps >= 0.0,
+            "delay must be finite and non-negative, got {delay_ps}"
+        );
+        self.push(
+            delay_ps,
+            Occurrence::FireTimer {
+                component: self.component,
+                tag,
+            },
+        )
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// This component's private deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn push(&mut self, delay_ps: f64, occurrence: Occurrence) -> EventId {
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        self.queue.push(ScheduledEvent {
+            time: self.now + delay_ps,
+            seq,
+            occurrence,
+        });
+        EventId(seq)
+    }
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched (including suppressed no-change net drives).
+    pub events_processed: u64,
+    /// Events skipped because they had been cancelled.
+    pub events_cancelled: u64,
+    /// Net drives suppressed because the net already held the value.
+    pub drives_suppressed: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// Owns the nets, components, pending-event set, waveform traces and the
+/// random-number tree. Generic over the [`EventQueue`] implementation
+/// (binary heap by default).
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulator<Q: EventQueue = BinaryHeapQueue> {
+    queue: Q,
+    now: Time,
+    next_seq: u64,
+    nets: Vec<NetState>,
+    components: Vec<Option<Box<dyn Component>>>,
+    rngs: Vec<SimRng>,
+    traces: TraceSet,
+    cancelled: HashSet<u64>,
+    rng_tree: RngTree,
+    stats: SimStats,
+    step_limit: u64,
+}
+
+impl Simulator<BinaryHeapQueue> {
+    /// Creates a simulator with the default binary-heap event queue.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Self {
+        Simulator::with_queue(master_seed, BinaryHeapQueue::new())
+    }
+}
+
+impl<Q: EventQueue> Simulator<Q> {
+    /// Creates a simulator with an explicit event-queue implementation.
+    #[must_use]
+    pub fn with_queue(master_seed: u64, queue: Q) -> Self {
+        Simulator {
+            queue,
+            now: Time::ZERO,
+            next_seq: 0,
+            nets: Vec::new(),
+            components: Vec::new(),
+            rngs: Vec::new(),
+            traces: TraceSet::new(),
+            cancelled: HashSet::new(),
+            rng_tree: RngTree::new(master_seed),
+            stats: SimStats::default(),
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Adds a named net, initialized to [`Bit::Low`].
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        self.add_net_with(name, Bit::Low)
+    }
+
+    /// Adds a named net with an explicit initial level.
+    pub fn add_net_with(&mut self, name: impl Into<String>, initial: Bit) -> NetId {
+        let id = NetId(u32::try_from(self.nets.len()).expect("too many nets"));
+        self.nets.push(NetState {
+            name: name.into(),
+            value: initial,
+            listeners: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers a component and derives its private random stream.
+    pub fn add_component(&mut self, component: impl Component) -> ComponentId {
+        let id = self.components.len();
+        self.components.push(Some(Box::new(component)));
+        self.rngs.push(self.rng_tree.stream(id as u64));
+        ComponentId(id)
+    }
+
+    /// Subscribes `component` to changes of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] or [`SimError::UnknownComponent`]
+    /// if either id does not belong to this simulator.
+    pub fn listen(&mut self, net: NetId, component: ComponentId) -> Result<(), SimError> {
+        if component.0 >= self.components.len() {
+            return Err(SimError::UnknownComponent(component.0));
+        }
+        let state = self
+            .nets
+            .get_mut(net.index())
+            .ok_or(SimError::UnknownNet(net))?;
+        if !state.listeners.contains(&component.0) {
+            state.listeners.push(component.0);
+        }
+        Ok(())
+    }
+
+    /// Starts recording the waveform of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] if the net is unknown.
+    pub fn watch(&mut self, net: NetId) -> Result<(), SimError> {
+        let state = self
+            .nets
+            .get(net.index())
+            .ok_or(SimError::UnknownNet(net))?;
+        self.traces.watch(net, state.value);
+        Ok(())
+    }
+
+    /// Schedules an externally driven transition on `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] for an unknown net or
+    /// [`SimError::InvalidDelay`] for a negative/non-finite delay.
+    pub fn inject(&mut self, net: NetId, value: Bit, delay_ps: f64) -> Result<EventId, SimError> {
+        if net.index() >= self.nets.len() {
+            return Err(SimError::UnknownNet(net));
+        }
+        if !delay_ps.is_finite() || delay_ps < 0.0 {
+            return Err(SimError::InvalidDelay(delay_ps));
+        }
+        Ok(self.push(delay_ps, Occurrence::DriveNet { net, value }))
+    }
+
+    /// Arms a timer on behalf of `component` (typically to bootstrap it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownComponent`] or [`SimError::InvalidDelay`].
+    pub fn arm_timer(
+        &mut self,
+        component: ComponentId,
+        delay_ps: f64,
+        tag: TimerTag,
+    ) -> Result<EventId, SimError> {
+        if component.0 >= self.components.len() {
+            return Err(SimError::UnknownComponent(component.0));
+        }
+        if !delay_ps.is_finite() || delay_ps < 0.0 {
+            return Err(SimError::InvalidDelay(delay_ps));
+        }
+        Ok(self.push(
+            delay_ps,
+            Occurrence::FireTimer {
+                component: component.0,
+                tag,
+            },
+        ))
+    }
+
+    /// Cancels a scheduled event (no-op if it already fired).
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Limits the total number of dispatched events; [`run_until`] fails
+    /// with [`SimError::StepLimitExceeded`] once the limit is reached.
+    /// The default is effectively unlimited.
+    ///
+    /// [`run_until`]: Simulator::run_until
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Current level of a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] if the net is unknown.
+    pub fn net_value(&self, net: NetId) -> Result<Bit, SimError> {
+        self.nets
+            .get(net.index())
+            .map(|s| s.value)
+            .ok_or(SimError::UnknownNet(net))
+    }
+
+    /// Name of a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] if the net is unknown.
+    pub fn net_name(&self, net: NetId) -> Result<&str, SimError> {
+        self.nets
+            .get(net.index())
+            .map(|s| s.name.as_str())
+            .ok_or(SimError::UnknownNet(net))
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// All recorded traces.
+    #[must_use]
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// Mutable access to the recorded traces (e.g. for warm-up removal).
+    pub fn traces_mut(&mut self) -> &mut TraceSet {
+        &mut self.traces
+    }
+
+    /// The trace of one watched net.
+    #[must_use]
+    pub fn trace(&self, net: NetId) -> Option<&Trace> {
+        self.traces.get(net)
+    }
+
+    /// Typed shared access to a registered component.
+    ///
+    /// Returns `None` if the id is unknown or the component is not a `T`.
+    #[must_use]
+    pub fn component<T: Component>(&self, id: ComponentId) -> Option<&T> {
+        let boxed = self.components.get(id.0)?.as_ref()?;
+        (boxed.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Typed exclusive access to a registered component.
+    ///
+    /// Returns `None` if the id is unknown or the component is not a `T`.
+    pub fn component_mut<T: Component>(&mut self, id: ComponentId) -> Option<&mut T> {
+        let boxed = self.components.get_mut(id.0)?.as_mut()?;
+        (boxed.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Dispatches the next pending event.
+    ///
+    /// Returns `Ok(false)` when the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimitExceeded`] if the step limit was
+    /// reached.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        loop {
+            let Some(event) = self.queue.pop() else {
+                return Ok(false);
+            };
+            debug_assert!(event.time >= self.now, "time went backwards");
+            if self.cancelled.remove(&event.seq) {
+                self.stats.events_cancelled += 1;
+                continue;
+            }
+            if self.stats.events_processed >= self.step_limit {
+                return Err(SimError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            self.now = event.time;
+            self.stats.events_processed += 1;
+            match event.occurrence {
+                Occurrence::DriveNet { net, value } => self.drive_net(net, value),
+                Occurrence::FireTimer { component, tag } => {
+                    self.dispatch(component, Event::Timer { tag });
+                }
+            }
+            return Ok(true);
+        }
+    }
+
+    /// Runs until the pending-event set is empty or the next event lies
+    /// beyond `horizon`; simulation time is left at `min(horizon, last
+    /// event time)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimitExceeded`] if the step limit was
+    /// reached first.
+    pub fn run_until(&mut self, horizon: Time) -> Result<(), SimError> {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            if !self.step()? {
+                break;
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        Ok(())
+    }
+
+    /// Dispatches at most `n` events.
+    ///
+    /// Returns the number actually dispatched (less than `n` only if the
+    /// queue drained).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimitExceeded`] if the step limit was
+    /// reached first.
+    pub fn run_events(&mut self, n: u64) -> Result<u64, SimError> {
+        let mut done = 0;
+        while done < n && self.step()? {
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    fn push(&mut self, delay_ps: f64, occurrence: Occurrence) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(ScheduledEvent {
+            time: self.now + delay_ps,
+            seq,
+            occurrence,
+        });
+        EventId(seq)
+    }
+
+    fn drive_net(&mut self, net: NetId, value: Bit) {
+        let state = &mut self.nets[net.index()];
+        if state.value == value {
+            self.stats.drives_suppressed += 1;
+            return;
+        }
+        state.value = value;
+        self.traces.record(net, self.now, value);
+        // Listener list is cloned so components may add listeners later
+        // without invalidating this dispatch.
+        let listeners = state.listeners.clone();
+        for listener in listeners {
+            self.dispatch(listener, Event::NetChanged { net, value });
+        }
+    }
+
+    fn dispatch(&mut self, component: usize, event: Event) {
+        let Some(slot) = self.components.get_mut(component) else {
+            return;
+        };
+        let Some(mut boxed) = slot.take() else {
+            return;
+        };
+        let mut ctx = Context {
+            now: self.now,
+            component,
+            nets: &self.nets,
+            queue: &mut self.queue,
+            next_seq: &mut self.next_seq,
+            cancelled: &mut self.cancelled,
+            rng: &mut self.rngs[component],
+        };
+        boxed.on_event(&event, &mut ctx);
+        self.components[component] = Some(boxed);
+    }
+}
+
+impl<Q: EventQueue + std::fmt::Debug> std::fmt::Debug for Simulator<Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nets", &self.nets.len())
+            .field("components", &self.components.len())
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Inverting delay stage used across engine tests.
+    struct Inverter {
+        input: NetId,
+        output: NetId,
+        delay: f64,
+    }
+
+    impl Component for Inverter {
+        fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>) {
+            if let Event::NetChanged { net, value } = *event {
+                if net == self.input {
+                    ctx.schedule_net(self.output, !value, self.delay);
+                }
+            }
+        }
+    }
+
+    /// Counts timer firings and re-arms itself `repeats` times.
+    struct Ticker {
+        period: f64,
+        remaining: u32,
+        fired: u32,
+    }
+
+    impl Component for Ticker {
+        fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>) {
+            if let Event::Timer { tag } = *event {
+                self.fired += 1;
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.schedule_timer(self.period, tag);
+                }
+            }
+        }
+    }
+
+    /// Builds an odd-length all-inverting ring with alternating initial
+    /// levels so that injecting `High` on net 0 starts the oscillation.
+    fn ring<Q: EventQueue>(sim: &mut Simulator<Q>, stages: usize, delay: f64) -> Vec<NetId> {
+        assert!(stages % 2 == 1, "inverting ring must have odd length");
+        let nets: Vec<NetId> = (0..stages)
+            .map(|i| {
+                sim.add_net_with(format!("n{i}"), if i % 2 == 1 { Bit::High } else { Bit::Low })
+            })
+            .collect();
+        for i in 0..stages {
+            let input = nets[i];
+            let output = nets[(i + 1) % stages];
+            let comp = sim.add_component(Inverter {
+                input,
+                output,
+                delay,
+            });
+            sim.listen(input, comp).expect("net exists");
+        }
+        nets
+    }
+
+    #[test]
+    fn three_stage_ring_oscillates_at_expected_period() {
+        let mut sim = Simulator::new(1);
+        let nets = ring(&mut sim, 3, 100.0);
+        sim.watch(nets[0]).expect("net exists");
+        sim.inject(nets[0], Bit::High, 0.0).expect("valid");
+        sim.run_until(Time::from_ns(10.0)).expect("no limit");
+        let periods = sim
+            .trace(nets[0])
+            .expect("watched")
+            .periods(crate::signal::Edge::Rising);
+        assert!(periods.len() > 10);
+        // Ideal 3-stage inverter ring: period = 2 * 3 * 100 ps.
+        for p in &periods {
+            assert!((p - 600.0).abs() < 1e-9, "period {p}");
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let mut sim = Simulator::new(1);
+        let ticker = sim.add_component(Ticker {
+            period: 50.0,
+            remaining: 4,
+            fired: 0,
+        });
+        sim.arm_timer(ticker, 50.0, 7).expect("valid");
+        sim.run_until(Time::from_ns(1.0)).expect("no limit");
+        let t = sim.component::<Ticker>(ticker).expect("typed");
+        assert_eq!(t.fired, 5);
+        assert_eq!(sim.now(), Time::from_ns(1.0));
+    }
+
+    #[test]
+    fn cancellation_suppresses_events() {
+        let mut sim = Simulator::new(1);
+        let net = sim.add_net("n");
+        sim.watch(net).expect("net exists");
+        let id = sim.inject(net, Bit::High, 10.0).expect("valid");
+        sim.cancel(id);
+        sim.run_until(Time::from_ps(100.0)).expect("no limit");
+        assert!(sim.trace(net).expect("watched").is_empty());
+        assert_eq!(sim.stats().events_cancelled, 1);
+    }
+
+    #[test]
+    fn no_change_drives_are_suppressed() {
+        let mut sim = Simulator::new(1);
+        let net = sim.add_net("n");
+        sim.watch(net).expect("net exists");
+        sim.inject(net, Bit::Low, 5.0).expect("valid");
+        sim.inject(net, Bit::High, 10.0).expect("valid");
+        sim.inject(net, Bit::High, 15.0).expect("valid");
+        sim.run_until(Time::from_ps(100.0)).expect("no limit");
+        assert_eq!(sim.trace(net).expect("watched").len(), 1);
+        assert_eq!(sim.stats().drives_suppressed, 2);
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let mut sim = Simulator::new(1);
+        let nets = ring(&mut sim, 3, 100.0);
+        sim.inject(nets[0], Bit::High, 0.0).expect("valid");
+        sim.set_step_limit(10);
+        let err = sim.run_until(Time::from_us(1.0)).expect_err("must hit limit");
+        assert_eq!(err, SimError::StepLimitExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut sim = Simulator::new(1);
+        let net = sim.add_net("n");
+        let comp = sim.add_component(Ticker {
+            period: 1.0,
+            remaining: 0,
+            fired: 0,
+        });
+        assert!(matches!(
+            sim.listen(NetId(9), comp),
+            Err(SimError::UnknownNet(_))
+        ));
+        assert!(matches!(
+            sim.listen(net, ComponentId(9)),
+            Err(SimError::UnknownComponent(9))
+        ));
+        assert!(matches!(
+            sim.inject(NetId(9), Bit::High, 0.0),
+            Err(SimError::UnknownNet(_))
+        ));
+        assert!(matches!(
+            sim.inject(net, Bit::High, -1.0),
+            Err(SimError::InvalidDelay(_))
+        ));
+        assert!(matches!(
+            sim.arm_timer(ComponentId(9), 0.0, 0),
+            Err(SimError::UnknownComponent(9))
+        ));
+        assert!(matches!(
+            sim.watch(NetId(9)),
+            Err(SimError::UnknownNet(_))
+        ));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        fn run(seed: u64) -> Vec<(f64, u8)> {
+            let mut sim = Simulator::new(seed);
+            let nets = ring(&mut sim, 5, 100.0);
+            sim.watch(nets[0]).expect("net exists");
+            sim.inject(nets[0], Bit::High, 0.0).expect("valid");
+            sim.run_until(Time::from_ns(20.0)).expect("no limit");
+            sim.trace(nets[0])
+                .expect("watched")
+                .transitions()
+                .iter()
+                .map(|&(t, v)| (t.as_ps(), u8::from(v)))
+                .collect()
+        }
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn calendar_queue_engine_matches_heap_engine() {
+        fn run<Q: EventQueue>(mut sim: Simulator<Q>) -> Vec<f64> {
+            let nets = ring(&mut sim, 7, 93.0);
+            sim.watch(nets[0]).expect("net exists");
+            sim.inject(nets[0], Bit::High, 0.0).expect("valid");
+            sim.run_until(Time::from_ns(50.0)).expect("no limit");
+            sim.trace(nets[0])
+                .expect("watched")
+                .rising_edges()
+                .iter()
+                .map(|t| t.as_ps())
+                .collect()
+        }
+        let heap = run(Simulator::new(9));
+        let cal = run(Simulator::with_queue(
+            9,
+            crate::queue::CalendarQueue::new(50.0),
+        ));
+        assert_eq!(heap, cal);
+    }
+
+    #[test]
+    fn components_have_independent_rngs() {
+        struct Sampler {
+            out: Vec<f64>,
+        }
+        impl Component for Sampler {
+            fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>) {
+                if matches!(event, Event::Timer { .. }) {
+                    let x = ctx.rng().standard_normal();
+                    self.out.push(x);
+                }
+            }
+        }
+        let mut sim = Simulator::new(4);
+        let a = sim.add_component(Sampler { out: Vec::new() });
+        let b = sim.add_component(Sampler { out: Vec::new() });
+        sim.arm_timer(a, 1.0, 0).expect("valid");
+        sim.arm_timer(b, 1.0, 0).expect("valid");
+        sim.run_until(Time::from_ps(10.0)).expect("no limit");
+        let xa = sim.component::<Sampler>(a).expect("typed").out[0];
+        let xb = sim.component::<Sampler>(b).expect("typed").out[0];
+        assert_ne!(xa, xb);
+    }
+}

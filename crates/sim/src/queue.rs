@@ -1,0 +1,308 @@
+//! Pending-event set implementations.
+//!
+//! The simulator is generic over its pending-event set through the
+//! [`EventQueue`] trait. Two implementations are provided:
+//!
+//! * [`BinaryHeapQueue`] — the default; a binary heap keyed by
+//!   `(time, sequence)`.
+//! * [`CalendarQueue`] — a bucketed (calendar) queue, included as the
+//!   classic discrete-event-simulation alternative and exercised by the
+//!   `engine` ablation bench.
+//!
+//! Both orderings are **deterministic**: ties in time are broken by the
+//! monotonically increasing insertion sequence number, so runs are
+//! reproducible regardless of floating-point time collisions.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::event::Occurrence;
+use crate::Time;
+
+/// A queued occurrence with its scheduled time and tie-breaking sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub(crate) time: Time,
+    /// Insertion sequence number; also the public [`EventId`] payload.
+    ///
+    /// [`EventId`]: crate::EventId
+    pub(crate) seq: u64,
+    /// What happens.
+    pub(crate) occurrence: Occurrence,
+}
+
+impl ScheduledEvent {
+    /// The instant at which the event fires.
+    #[must_use]
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The deterministic tie-break sequence number.
+    #[must_use]
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+
+    fn key(&self) -> (Time, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic pending-event set.
+///
+/// Implementors must pop events in `(time, sequence)` order.
+pub trait EventQueue {
+    /// Inserts an event.
+    fn push(&mut self, event: ScheduledEvent);
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    fn pop(&mut self) -> Option<ScheduledEvent>;
+
+    /// Returns the time of the earliest event without removing it.
+    fn peek_time(&self) -> Option<Time>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Binary-heap pending-event set (the default).
+#[derive(Debug, Default)]
+pub struct BinaryHeapQueue {
+    heap: BinaryHeap<std::cmp::Reverse<ScheduledEvent>>,
+}
+
+impl BinaryHeapQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventQueue for BinaryHeapQueue {
+    fn push(&mut self, event: ScheduledEvent) {
+        self.heap.push(std::cmp::Reverse(event));
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|r| r.0.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Calendar (bucketed) pending-event set.
+///
+/// Events are grouped into fixed-width time buckets; the earliest bucket is
+/// scanned on pop. For workloads whose pending events cluster in a narrow
+/// time window (like ring oscillators, where every stage fires within one
+/// period) this trades heap reshuffling for short bucket scans.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// Bucket index -> events in that bucket (unsorted).
+    buckets: BTreeMap<u64, Vec<ScheduledEvent>>,
+    /// Width of one bucket, picoseconds.
+    bucket_width: f64,
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// Creates an empty calendar queue with the given bucket width in
+    /// picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width_ps` is not finite and positive.
+    #[must_use]
+    pub fn new(bucket_width_ps: f64) -> Self {
+        assert!(
+            bucket_width_ps.is_finite() && bucket_width_ps > 0.0,
+            "bucket width must be positive, got {bucket_width_ps}"
+        );
+        CalendarQueue {
+            buckets: BTreeMap::new(),
+            bucket_width: bucket_width_ps,
+            len: 0,
+        }
+    }
+
+    fn bucket_of(&self, time: Time) -> u64 {
+        let idx = (time.as_ps() / self.bucket_width).floor();
+        if idx <= 0.0 {
+            0
+        } else {
+            idx as u64
+        }
+    }
+}
+
+impl Default for CalendarQueue {
+    /// A calendar queue with 100 ps buckets (roughly one gate delay).
+    fn default() -> Self {
+        CalendarQueue::new(100.0)
+    }
+}
+
+impl EventQueue for CalendarQueue {
+    fn push(&mut self, event: ScheduledEvent) {
+        let bucket = self.bucket_of(event.time);
+        self.buckets.entry(bucket).or_default().push(event);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        let (&bucket, events) = self.buckets.iter_mut().next()?;
+        let best = events
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.key())
+            .map(|(i, _)| i)
+            .expect("bucket is non-empty");
+        let event = events.swap_remove(best);
+        if events.is_empty() {
+            self.buckets.remove(&bucket);
+        }
+        self.len -= 1;
+        Some(event)
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        let (_, events) = self.buckets.iter().next()?;
+        events.iter().map(|e| e.time).min()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Occurrence;
+    use crate::signal::{Bit, NetId};
+
+    fn ev(time: f64, seq: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            time: Time::from_ps(time),
+            seq,
+            occurrence: Occurrence::DriveNet {
+                net: NetId(0),
+                value: Bit::High,
+            },
+        }
+    }
+
+    fn drain(queue: &mut dyn EventQueue) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = queue.pop() {
+            out.push((e.time.as_ps(), e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn heap_orders_by_time_then_sequence() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(ev(5.0, 1));
+        q.push(ev(1.0, 2));
+        q.push(ev(5.0, 0));
+        q.push(ev(3.0, 3));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(Time::from_ps(1.0)));
+        assert_eq!(
+            drain(&mut q),
+            vec![(1.0, 2), (3.0, 3), (5.0, 0), (5.0, 1)]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_orders_by_time_then_sequence() {
+        let mut q = CalendarQueue::new(2.0);
+        q.push(ev(5.0, 1));
+        q.push(ev(1.0, 2));
+        q.push(ev(5.0, 0));
+        q.push(ev(3.0, 3));
+        q.push(ev(0.0, 9));
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(Time::from_ps(0.0)));
+        assert_eq!(
+            drain(&mut q),
+            vec![(0.0, 9), (1.0, 2), (3.0, 3), (5.0, 0), (5.0, 1)]
+        );
+    }
+
+    #[test]
+    fn calendar_handles_same_bucket_collisions() {
+        let mut q = CalendarQueue::new(1000.0);
+        for seq in (0..50).rev() {
+            q.push(ev(seq as f64, seq));
+        }
+        let drained = drain(&mut q);
+        let times: Vec<f64> = drained.iter().map(|&(t, _)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn calendar_rejects_bad_width() {
+        let _ = CalendarQueue::new(0.0);
+    }
+
+    #[test]
+    fn queues_agree_on_random_workload() {
+        // Deterministic pseudo-random insert/pop interleaving.
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new(7.0);
+        let mut state = 0x9e3779b97f4a7c15u64;
+
+        let mut heap_out = Vec::new();
+        let mut cal_out = Vec::new();
+        for seq in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = (state >> 40) as f64 / 16.0;
+            let e = ev(t, seq);
+            heap.push(e);
+            cal.push(e);
+            if state.is_multiple_of(3) {
+                heap_out.push(heap.pop().map(|e| e.key()));
+                cal_out.push(cal.pop().map(|e| e.key()));
+            }
+        }
+        while let Some(e) = heap.pop() {
+            heap_out.push(Some(e.key()));
+        }
+        while let Some(e) = cal.pop() {
+            cal_out.push(Some(e.key()));
+        }
+        assert_eq!(heap_out, cal_out);
+    }
+}

@@ -1,0 +1,299 @@
+//! Waveform traces: recorded net transitions and derived measurements.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::signal::{Bit, Edge, NetId};
+use crate::Time;
+
+/// The recorded waveform of one net.
+///
+/// A trace stores the initial level and every subsequent transition as
+/// `(instant, new level)` pairs in increasing time order. Measurement
+/// helpers ([`rising_edges`], [`periods`], [`value_at`], ...) operate
+/// directly on this representation — this is the simulator's stand-in for
+/// the paper's oscilloscope.
+///
+/// [`rising_edges`]: Trace::rising_edges
+/// [`periods`]: Trace::periods
+/// [`value_at`]: Trace::value_at
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    initial: Bit,
+    transitions: Vec<(Time, Bit)>,
+}
+
+impl Trace {
+    /// Creates an empty trace starting at the given level.
+    #[must_use]
+    pub fn new(initial: Bit) -> Self {
+        Trace {
+            initial,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The level before the first transition.
+    #[must_use]
+    pub fn initial(&self) -> Bit {
+        self.initial
+    }
+
+    /// Records a transition. Transitions at identical or decreasing times
+    /// are accepted (the simulator guarantees monotonicity); redundant
+    /// writes to the same level are ignored.
+    pub fn record(&mut self, time: Time, value: Bit) {
+        if self.last_value() != value {
+            self.transitions.push((time, value));
+        }
+    }
+
+    /// The level after the most recent transition.
+    #[must_use]
+    pub fn last_value(&self) -> Bit {
+        self.transitions
+            .last()
+            .map_or(self.initial, |&(_, v)| v)
+    }
+
+    /// Number of recorded transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether no transition has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// All recorded transitions as `(time, new level)` pairs.
+    #[must_use]
+    pub fn transitions(&self) -> &[(Time, Bit)] {
+        &self.transitions
+    }
+
+    /// The level at an arbitrary instant (between transitions).
+    #[must_use]
+    pub fn value_at(&self, time: Time) -> Bit {
+        match self
+            .transitions
+            .binary_search_by(|&(t, _)| t.cmp(&time))
+        {
+            Ok(i) => self.transitions[i].1,
+            Err(0) => self.initial,
+            Err(i) => self.transitions[i - 1].1,
+        }
+    }
+
+    /// Instants of all edges of the given direction.
+    #[must_use]
+    pub fn edges(&self, edge: Edge) -> Vec<Time> {
+        let target = edge.target_level();
+        self.transitions
+            .iter()
+            .filter(|&&(_, v)| v == target)
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// Instants of all rising edges.
+    #[must_use]
+    pub fn rising_edges(&self) -> Vec<Time> {
+        self.edges(Edge::Rising)
+    }
+
+    /// Instants of all falling edges.
+    #[must_use]
+    pub fn falling_edges(&self) -> Vec<Time> {
+        self.edges(Edge::Falling)
+    }
+
+    /// Successive periods in picoseconds, measured between consecutive
+    /// edges of the given direction (the scope's "period" measurement).
+    #[must_use]
+    pub fn periods(&self, edge: Edge) -> Vec<f64> {
+        let edges = self.edges(edge);
+        edges.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Successive half-periods in picoseconds (between any two
+    /// consecutive transitions).
+    #[must_use]
+    pub fn half_periods(&self) -> Vec<f64> {
+        self.transitions
+            .windows(2)
+            .map(|w| w[1].0 - w[0].0)
+            .collect()
+    }
+
+    /// Mean frequency in MHz derived from rising edges, or `None` if the
+    /// trace holds fewer than two rising edges.
+    #[must_use]
+    pub fn mean_frequency_mhz(&self) -> Option<f64> {
+        let edges = self.rising_edges();
+        let (first, last) = (edges.first()?, edges.last()?);
+        let n = edges.len();
+        if n < 2 {
+            return None;
+        }
+        let mean_period_ps = (*last - *first) / (n - 1) as f64;
+        // 1/ps = 1e12 Hz = 1e6 MHz.
+        Some(1e6 / mean_period_ps)
+    }
+
+    /// Discards the first `n` transitions (warm-up removal), keeping the
+    /// level reached as the new initial level.
+    pub fn discard_prefix(&mut self, n: usize) {
+        let n = n.min(self.transitions.len());
+        if n == 0 {
+            return;
+        }
+        self.initial = self.transitions[n - 1].1;
+        self.transitions.drain(..n);
+    }
+}
+
+/// Recorded traces for all watched nets of a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSet {
+    traces: BTreeMap<NetId, Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts recording `net`, with `initial` as its current level.
+    /// Re-watching a net is a no-op.
+    pub fn watch(&mut self, net: NetId, initial: Bit) {
+        self.traces.entry(net).or_insert_with(|| Trace::new(initial));
+    }
+
+    /// Whether `net` is being recorded.
+    #[must_use]
+    pub fn is_watched(&self, net: NetId) -> bool {
+        self.traces.contains_key(&net)
+    }
+
+    /// Records a transition if the net is watched.
+    pub fn record(&mut self, net: NetId, time: Time, value: Bit) {
+        if let Some(trace) = self.traces.get_mut(&net) {
+            trace.record(time, value);
+        }
+    }
+
+    /// The trace of `net`, if watched.
+    #[must_use]
+    pub fn get(&self, net: NetId) -> Option<&Trace> {
+        self.traces.get(&net)
+    }
+
+    /// Iterates over `(net, trace)` pairs in net order.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &Trace)> {
+        self.traces.iter().map(|(&net, trace)| (net, trace))
+    }
+
+    /// Number of watched nets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no net is watched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wave(period: f64, cycles: usize) -> Trace {
+        let mut trace = Trace::new(Bit::Low);
+        for i in 0..cycles {
+            let t0 = i as f64 * period;
+            trace.record(Time::from_ps(t0), Bit::High);
+            trace.record(Time::from_ps(t0 + period / 2.0), Bit::Low);
+        }
+        trace
+    }
+
+    #[test]
+    fn edges_and_periods() {
+        let trace = square_wave(100.0, 4);
+        assert_eq!(trace.len(), 8);
+        assert_eq!(trace.rising_edges().len(), 4);
+        assert_eq!(trace.falling_edges().len(), 4);
+        let periods = trace.periods(Edge::Rising);
+        assert_eq!(periods, vec![100.0, 100.0, 100.0]);
+        let halves = trace.half_periods();
+        assert_eq!(halves.len(), 7);
+        assert!(halves.iter().all(|&h| (h - 50.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn redundant_writes_ignored() {
+        let mut trace = Trace::new(Bit::Low);
+        trace.record(Time::from_ps(1.0), Bit::Low);
+        assert!(trace.is_empty());
+        trace.record(Time::from_ps(2.0), Bit::High);
+        trace.record(Time::from_ps(3.0), Bit::High);
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let trace = square_wave(100.0, 2);
+        assert_eq!(trace.value_at(Time::from_ps(-5.0)), Bit::Low);
+        assert_eq!(trace.value_at(Time::from_ps(0.0)), Bit::High);
+        assert_eq!(trace.value_at(Time::from_ps(25.0)), Bit::High);
+        assert_eq!(trace.value_at(Time::from_ps(50.0)), Bit::Low);
+        assert_eq!(trace.value_at(Time::from_ps(75.0)), Bit::Low);
+        assert_eq!(trace.value_at(Time::from_ps(100.0)), Bit::High);
+        assert_eq!(trace.value_at(Time::from_ps(1e6)), Bit::Low);
+    }
+
+    #[test]
+    fn mean_frequency() {
+        // 100 ps period -> 10 GHz -> 10_000 MHz.
+        let trace = square_wave(100.0, 10);
+        let f = trace.mean_frequency_mhz().expect("enough edges");
+        assert!((f - 10_000.0).abs() < 1e-6);
+        assert_eq!(Trace::new(Bit::Low).mean_frequency_mhz(), None);
+    }
+
+    #[test]
+    fn discard_prefix_preserves_level() {
+        let mut trace = square_wave(100.0, 3);
+        trace.discard_prefix(3); // after 3 transitions the level is High
+        assert_eq!(trace.initial(), Bit::High);
+        assert_eq!(trace.len(), 3);
+        let mut t2 = square_wave(100.0, 1);
+        t2.discard_prefix(100); // over-long prefix is clamped
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn trace_set_roundtrip() {
+        let mut set = TraceSet::new();
+        let net = NetId(1);
+        assert!(!set.is_watched(net));
+        set.record(net, Time::ZERO, Bit::High); // unwatched: ignored
+        set.watch(net, Bit::Low);
+        set.watch(net, Bit::High); // idempotent, keeps first initial
+        set.record(net, Time::from_ps(5.0), Bit::High);
+        assert_eq!(set.len(), 1);
+        let trace = set.get(net).expect("watched");
+        assert_eq!(trace.initial(), Bit::Low);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(set.iter().count(), 1);
+    }
+}

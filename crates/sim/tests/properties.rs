@@ -1,0 +1,147 @@
+//! Property-based tests for the simulation engine substrate.
+
+use proptest::prelude::*;
+
+use strent_sim::{
+    Bit, BinaryHeapQueue, CalendarQueue, Edge, Simulator, Time, Trace,
+};
+
+/// Strategy producing a list of (time, seq-order irrelevant) event times.
+fn times() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0_f64..1e6, 1..200)
+}
+
+proptest! {
+    /// Both queue implementations pop any workload in identical order.
+    #[test]
+    fn queues_are_equivalent(ts in times(), width in 1.0_f64..10_000.0) {
+        let mut sim_heap = Simulator::with_queue(7, BinaryHeapQueue::new());
+        let mut sim_cal = Simulator::with_queue(7, CalendarQueue::new(width));
+        let a = sim_heap.add_net("a");
+        let b = sim_cal.add_net("a");
+        sim_heap.watch(a).expect("net exists");
+        sim_cal.watch(b).expect("net exists");
+        let mut level = Bit::Low;
+        for &t in &ts {
+            level = !level;
+            sim_heap.inject(a, level, t).expect("valid");
+            sim_cal.inject(b, level, t).expect("valid");
+        }
+        sim_heap.run_until(Time::from_ps(2e6)).expect("no limit");
+        sim_cal.run_until(Time::from_ps(2e6)).expect("no limit");
+        prop_assert_eq!(
+            sim_heap.trace(a).expect("watched").transitions(),
+            sim_cal.trace(b).expect("watched").transitions()
+        );
+    }
+
+    /// Trace transitions are always strictly alternating in level and
+    /// non-decreasing in time, regardless of the injection pattern.
+    #[test]
+    fn traces_alternate_and_are_ordered(ts in times(), flips in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut sim = Simulator::new(3);
+        let net = sim.add_net("n");
+        sim.watch(net).expect("net exists");
+        for (i, &t) in ts.iter().enumerate() {
+            let v = Bit::from(flips[i % flips.len()]);
+            sim.inject(net, v, t).expect("valid");
+        }
+        sim.run_until(Time::from_ps(2e6)).expect("no limit");
+        let trace = sim.trace(net).expect("watched");
+        let mut prev_level = trace.initial();
+        let mut prev_time = Time::ZERO;
+        for &(t, v) in trace.transitions() {
+            prop_assert_ne!(v, prev_level, "levels must alternate");
+            prop_assert!(t >= prev_time, "time must be monotone");
+            prev_level = v;
+            prev_time = t;
+        }
+    }
+
+    /// Rising and falling edge counts differ by at most one, and the
+    /// period list is exactly one shorter than the edge list.
+    #[test]
+    fn edge_counts_are_consistent(ts in times()) {
+        let mut sim = Simulator::new(5);
+        let net = sim.add_net("n");
+        sim.watch(net).expect("net exists");
+        let mut level = Bit::Low;
+        for &t in &ts {
+            level = !level;
+            sim.inject(net, level, t).expect("valid");
+        }
+        sim.run_until(Time::from_ps(2e6)).expect("no limit");
+        let trace = sim.trace(net).expect("watched");
+        let rising = trace.rising_edges().len();
+        let falling = trace.falling_edges().len();
+        prop_assert!(rising.abs_diff(falling) <= 1);
+        if rising >= 1 {
+            prop_assert_eq!(trace.periods(Edge::Rising).len(), rising - 1);
+        }
+    }
+
+    /// `value_at` agrees with a naive scan of the transition list.
+    #[test]
+    fn value_at_matches_linear_scan(
+        transitions in prop::collection::vec((0.0_f64..1e4, any::<bool>()), 0..100),
+        query in 0.0_f64..1.2e4,
+    ) {
+        let mut trace = Trace::new(Bit::Low);
+        let mut sorted = transitions;
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (t, v) in &sorted {
+            trace.record(Time::from_ps(*t), Bit::from(*v));
+        }
+        let fast = trace.value_at(Time::from_ps(query));
+        let mut slow = trace.initial();
+        for &(t, v) in trace.transitions() {
+            if t <= Time::from_ps(query) {
+                slow = v;
+            }
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// VCD export/parse round-trips every recorded transition for any
+    /// injection pattern.
+    #[test]
+    fn vcd_round_trip(ts in times()) {
+        let mut sim = Simulator::new(11);
+        let net = sim.add_net("sig");
+        sim.watch(net).expect("net exists");
+        let mut level = Bit::Low;
+        for &t in &ts {
+            level = !level;
+            sim.inject(net, level, t).expect("valid");
+        }
+        sim.run_until(Time::from_ps(2e6)).expect("no limit");
+        let mut out = Vec::new();
+        sim.write_vcd(&mut out, "prop").expect("write to Vec");
+        let doc = strent_sim::vcd::parse_vcd(&String::from_utf8(out).expect("ascii"))
+            .expect("parses");
+        let trace = sim.trace(net).expect("watched");
+        prop_assert_eq!(doc.changes.len(), trace.len());
+        for (change, &(t, v)) in doc.changes.iter().zip(trace.transitions()) {
+            prop_assert_eq!(change.0, (t.as_ps() * 1e3).round() as u64);
+            prop_assert_eq!(change.2, v);
+        }
+    }
+
+    /// Two simulators with the same seed and workload produce identical
+    /// event statistics (determinism).
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), ts in times()) {
+        fn run(seed: u64, ts: &[f64]) -> (u64, u64) {
+            let mut sim = Simulator::new(seed);
+            let net = sim.add_net("n");
+            let mut level = Bit::Low;
+            for &t in ts {
+                level = !level;
+                sim.inject(net, level, t).expect("valid");
+            }
+            sim.run_until(Time::from_ps(2e6)).expect("no limit");
+            (sim.stats().events_processed, sim.stats().drives_suppressed)
+        }
+        prop_assert_eq!(run(seed, &ts), run(seed, &ts));
+    }
+}

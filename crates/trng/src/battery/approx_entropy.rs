@@ -1,0 +1,88 @@
+//! Approximate entropy test — SP 800-22 §2.12.
+
+use strent_analysis::special::gamma_q;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// `phi(m)`: sum over all overlapping wrapped `m`-bit patterns of
+/// `pi_i * ln(pi_i)`.
+fn phi(bits: &[u8], m: usize) -> f64 {
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    let mask = (1usize << m) - 1;
+    let mut pattern = 0usize;
+    for &b in &bits[..m] {
+        pattern = (pattern << 1) | b as usize;
+    }
+    counts[pattern] += 1;
+    for i in 1..n {
+        let next = bits[(i + m - 1) % n];
+        pattern = ((pattern << 1) | next as usize) & mask;
+        counts[pattern] += 1;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let pi = c as f64 / n as f64;
+            pi * pi.ln()
+        })
+        .sum()
+}
+
+/// Tests the frequency of all overlapping `m`- and `(m+1)`-bit patterns
+/// against the expectation for a random sequence.
+///
+/// # Errors
+///
+/// Returns [`TrngError::InvalidParameter`] for `m == 0` or
+/// [`TrngError::NotEnoughBits`] if fewer than `2^(m+4)` bits are given.
+pub fn test(bits: &BitString, m: usize) -> Result<TestOutcome, TrngError> {
+    if m == 0 {
+        return Err(TrngError::InvalidParameter {
+            name: "m",
+            constraint: "must be at least 1",
+        });
+    }
+    require_bits(bits, 1 << (m + 4))?;
+    let b = bits.as_slice();
+    let ap_en = phi(b, m) - phi(b, m + 1);
+    let n = b.len() as f64;
+    let chi2 = 2.0 * n * (std::f64::consts::LN_2 - ap_en);
+    Ok(TestOutcome {
+        name: "approx-entropy",
+        statistic: chi2,
+        p_value: gamma_q(f64::from(1u32 << (m - 1)), chi2 / 2.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{periodic_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn nist_reference_vector() {
+        // SP 800-22 §2.12.8: eps = 0100110101, m = 3:
+        // ApEn = 0.502193, chi2 = 0.502193 * ... -> P-value = 0.261961.
+        let bits: BitString = [0u8, 1, 0, 0, 1, 1, 0, 1, 0, 1].iter().copied().collect();
+        let b = bits.as_slice();
+        let ap_en = phi(b, 3) - phi(b, 4);
+        let chi2 = 2.0 * 10.0 * (std::f64::consts::LN_2 - ap_en);
+        let p = gamma_q(4.0, chi2 / 2.0);
+        assert!((p - 0.261961).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn verdicts() {
+        assert!(test(&random_bits(40_000, 8), 2)
+            .expect("enough")
+            .passes(0.01));
+        let structured = periodic_bits(40_000, 4);
+        assert!(!test(&structured, 2).expect("enough").passes(0.01));
+        assert!(test(&random_bits(40_000, 8), 0).is_err());
+        assert!(test(&random_bits(10, 8), 2).is_err());
+    }
+}

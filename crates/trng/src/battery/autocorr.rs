@@ -1,0 +1,67 @@
+//! Autocorrelation test (FIPS-140-1 style / Maurer's `d`-shift test).
+//!
+//! Not part of SP 800-22, but a staple of hardware RNG evaluation and
+//! directly sensitive to the periodic structure that a supply-modulation
+//! attack injects — which is why the battery includes it.
+
+use strent_analysis::special::erfc;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Tests the correlation between the sequence and its `lag`-shifted
+/// self: `A = #{i : b_i != b_{i+lag}}` should be Binomial(n-lag, 1/2).
+///
+/// # Errors
+///
+/// Returns [`TrngError::InvalidParameter`] for `lag == 0` or
+/// [`TrngError::NotEnoughBits`] if fewer than `lag + 1000` bits are
+/// given.
+pub fn test(bits: &BitString, lag: usize) -> Result<TestOutcome, TrngError> {
+    if lag == 0 {
+        return Err(TrngError::InvalidParameter {
+            name: "lag",
+            constraint: "must be at least 1",
+        });
+    }
+    require_bits(bits, lag + 1000)?;
+    let b = bits.as_slice();
+    let n = b.len() - lag;
+    let disagreements = (0..n).filter(|&i| b[i] != b[i + lag]).count() as f64;
+    let z = 2.0 * (disagreements - n as f64 / 2.0) / (n as f64).sqrt();
+    Ok(TestOutcome {
+        name: "autocorrelation",
+        statistic: z,
+        p_value: erfc(z.abs() / std::f64::consts::SQRT_2),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{periodic_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn verdicts() {
+        assert!(test(&random_bits(20_000, 11), 8)
+            .expect("enough")
+            .passes(0.01));
+        // Period-16 structure is perfectly correlated at lag 16 and
+        // perfectly anti-correlated at lag 8.
+        let structured = periodic_bits(20_000, 16);
+        assert!(!test(&structured, 8).expect("enough").passes(0.01));
+        assert!(!test(&structured, 16).expect("enough").passes(0.01));
+        assert!(test(&random_bits(20_000, 11), 0).is_err());
+        assert!(test(&random_bits(100, 11), 8).is_err());
+    }
+
+    #[test]
+    fn statistic_sign_reflects_correlation_direction() {
+        let structured = periodic_bits(20_000, 16);
+        // Lag 8: all disagreements -> z large positive.
+        assert!(test(&structured, 8).expect("enough").statistic > 10.0);
+        // Lag 16: no disagreements -> z large negative.
+        assert!(test(&structured, 16).expect("enough").statistic < -10.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cumulative-sums test — SP 800-22 §2.13 (forward mode).
+
+use strent_analysis::special::normal_cdf;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Tests the maximal excursion of the ±1 random walk formed by the bits.
+///
+/// # Errors
+///
+/// Returns [`TrngError::NotEnoughBits`] for fewer than 100 bits.
+pub fn test(bits: &BitString) -> Result<TestOutcome, TrngError> {
+    require_bits(bits, 100)?;
+    let n = bits.len() as f64;
+    let mut sum = 0i64;
+    let mut z = 0i64;
+    for b in bits.iter() {
+        sum += if b == 1 { 1 } else { -1 };
+        z = z.max(sum.abs());
+    }
+    let z = z as f64;
+    let sqrt_n = n.sqrt();
+
+    // SP 800-22 Eq. (13): two telescoping sums of normal CDFs.
+    let k_lo_1 = ((-n / z + 1.0) / 4.0).floor() as i64;
+    let k_hi_1 = ((n / z - 1.0) / 4.0).floor() as i64;
+    let mut p = 1.0;
+    for k in k_lo_1..=k_hi_1 {
+        let k = k as f64;
+        p -= normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+    }
+    let k_lo_2 = ((-n / z - 3.0) / 4.0).floor() as i64;
+    let k_hi_2 = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo_2..=k_hi_2 {
+        let k = k as f64;
+        p += normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+    }
+    Ok(TestOutcome {
+        name: "cusum",
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{biased_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn nist_reference_vector() {
+        // SP 800-22 §2.13.8: the 100-bit pi sequence, forward mode:
+        // P-value = 0.219194 (z = 16).
+        let pi_bits = "1100100100001111110110101010001000100001011010001100\
+                       001000110100110001001100011001100010100010111000";
+        let bits: BitString = pi_bits
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| if c == '1' { 1u8 } else { 0u8 })
+            .collect();
+        let outcome = test(&bits).expect("enough bits");
+        assert_eq!(outcome.statistic, 16.0);
+        assert!(
+            (outcome.p_value - 0.219194).abs() < 1e-4,
+            "p = {}",
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn verdicts() {
+        assert!(test(&random_bits(20_000, 4)).expect("enough").passes(0.01));
+        // A drifting walk (biased bits) reaches huge excursions.
+        assert!(!test(&biased_bits(20_000, 4, 0.55))
+            .expect("enough")
+            .passes(0.01));
+        assert!(test(&random_bits(50, 1)).is_err());
+    }
+}

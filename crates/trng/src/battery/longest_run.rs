@@ -1,0 +1,94 @@
+//! Longest-run-of-ones test — SP 800-22 §2.4 (M = 8 variant).
+
+use strent_analysis::special::gamma_q;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Reference probabilities for the longest run of ones in an 8-bit
+/// block, categories `<=1, 2, 3, >=4` (SP 800-22 Table 2-4).
+const PI: [f64; 4] = [0.2148, 0.3672, 0.2305, 0.1875];
+
+/// Tests the distribution of the longest run of ones within 8-bit
+/// blocks.
+///
+/// # Errors
+///
+/// Returns [`TrngError::NotEnoughBits`] for fewer than 128 bits.
+pub fn test(bits: &BitString) -> Result<TestOutcome, TrngError> {
+    require_bits(bits, 128)?;
+    let mut counts = [0u64; 4];
+    let mut blocks = 0u64;
+    for block in bits.as_slice().chunks_exact(8) {
+        blocks += 1;
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for &b in block {
+            if b == 1 {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        let category = match longest {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            _ => 3,
+        };
+        counts[category] += 1;
+    }
+    let n = blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(&PI)
+        .map(|(&c, &p)| {
+            let expected = n * p;
+            (c as f64 - expected) * (c as f64 - expected) / expected
+        })
+        .sum();
+    Ok(TestOutcome {
+        name: "longest-run",
+        statistic: chi2,
+        // K = 3 degrees of freedom.
+        p_value: gamma_q(1.5, chi2 / 2.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{periodic_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn nist_reference_vector() {
+        // SP 800-22 §2.4.8 example sequence (128 bits), M = 8:
+        // P-value = 0.180609.
+        let eps = "11001100000101010110110001001100111000000000001001\
+                   00110101010001000100111101011010000000110101111100\
+                   1100111001101101100010110010";
+        let bits: BitString = eps
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| if c == '1' { 1u8 } else { 0u8 })
+            .collect();
+        assert_eq!(bits.len(), 128);
+        let outcome = test(&bits).expect("enough bits");
+        assert!(
+            (outcome.p_value - 0.180609).abs() < 1e-4,
+            "p = {}",
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn verdicts() {
+        assert!(test(&random_bits(40_000, 9)).expect("enough").passes(0.01));
+        // Period-16 square wave: every block has a run of exactly 8.
+        let structured = periodic_bits(40_000, 16);
+        assert!(!test(&structured).expect("enough").passes(0.01));
+        assert!(test(&random_bits(64, 1)).is_err());
+    }
+}

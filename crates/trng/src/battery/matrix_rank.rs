@@ -1,0 +1,136 @@
+//! Binary matrix rank test — SP 800-22 §2.5 (32x32 variant).
+//!
+//! Detects linear dependence among fixed-length substrings — structure
+//! that frequency- and run-based tests miss entirely (an LFSR passes
+//! every other test in this battery but fails here).
+
+use strent_analysis::special::gamma_q;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Matrix dimension (rows = columns = 32).
+const M: usize = 32;
+
+/// Asymptotic probabilities of rank 32, 31 and <= 30 for a random
+/// 32x32 binary matrix (SP 800-22 §3.5).
+const P_FULL: f64 = 0.288_8;
+const P_MINUS1: f64 = 0.577_6;
+const P_REST: f64 = 0.133_6;
+
+/// Computes the GF(2) rank of a 32x32 matrix given as 32 row words.
+fn rank32(mut rows: [u32; M]) -> usize {
+    let mut rank = 0;
+    for col in 0..M {
+        let mask = 1u32 << (M - 1 - col);
+        // Find a pivot row at or below `rank`.
+        let Some(pivot) = (rank..M).find(|&r| rows[r] & mask != 0) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        let pivot_row = rows[rank];
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != rank && *row & mask != 0 {
+                *row ^= pivot_row;
+            }
+        }
+        rank += 1;
+    }
+    rank
+}
+
+/// Tests the rank distribution of disjoint 32x32 matrices built from
+/// consecutive bits.
+///
+/// # Errors
+///
+/// Returns [`TrngError::NotEnoughBits`] for fewer than 38 complete
+/// matrices (38 * 1024 = 38912 bits), the SP 800-22 validity minimum.
+pub fn test(bits: &BitString) -> Result<TestOutcome, TrngError> {
+    require_bits(bits, 38 * M * M)?;
+    let b = bits.as_slice();
+    let matrices = b.len() / (M * M);
+    let mut counts = [0u64; 3]; // full, full-1, rest
+    for m in 0..matrices {
+        let base = m * M * M;
+        let mut rows = [0u32; M];
+        for (r, row) in rows.iter_mut().enumerate() {
+            let mut word = 0u32;
+            for c in 0..M {
+                word = (word << 1) | u32::from(b[base + r * M + c]);
+            }
+            *row = word;
+        }
+        match rank32(rows) {
+            r if r == M => counts[0] += 1,
+            r if r == M - 1 => counts[1] += 1,
+            _ => counts[2] += 1,
+        }
+    }
+    let n = matrices as f64;
+    let expected = [n * P_FULL, n * P_MINUS1, n * P_REST];
+    let chi2: f64 = counts
+        .iter()
+        .zip(&expected)
+        .map(|(&c, &e)| (c as f64 - e) * (c as f64 - e) / e)
+        .sum();
+    Ok(TestOutcome {
+        name: "matrix-rank",
+        statistic: chi2,
+        p_value: gamma_q(1.0, chi2 / 2.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::random_bits;
+    use super::*;
+
+    #[test]
+    fn rank_of_identity_and_degenerate_matrices() {
+        let mut identity = [0u32; M];
+        for (i, row) in identity.iter_mut().enumerate() {
+            *row = 1 << (M - 1 - i);
+        }
+        assert_eq!(rank32(identity), 32);
+        assert_eq!(rank32([0u32; M]), 0);
+        // All rows equal: rank 1.
+        assert_eq!(rank32([0xDEAD_BEEF; M]), 1);
+        // Two distinct row values: rank 2.
+        let mut two = [0xFFFF_0000u32; M];
+        two[7] = 0x0000_FFFF;
+        assert_eq!(rank32(two), 2);
+    }
+
+    #[test]
+    fn random_bits_pass() {
+        let outcome = test(&random_bits(60_000, 13)).expect("enough");
+        assert!(outcome.passes(0.01), "p = {}", outcome.p_value);
+    }
+
+    #[test]
+    fn linear_structure_fails() {
+        // A short LFSR stream: every 32x32 matrix is far from full rank.
+        // x^8 + x^6 + x^5 + x^4 + 1 (period 255).
+        let mut state = 0xACu8;
+        let bits: BitString = (0..60_000)
+            .map(|_| {
+                let bit = state & 1;
+                let fb = ((state >> 0) ^ (state >> 2) ^ (state >> 3) ^ (state >> 4)) & 1;
+                state = (state >> 1) | (fb << 7);
+                bit
+            })
+            .collect();
+        let outcome = test(&bits).expect("enough");
+        assert!(!outcome.passes(0.01), "LFSR must fail: p = {}", outcome.p_value);
+        // For contrast: the same stream passes monobit (balanced).
+        let monobit = super::super::monobit::test(&bits).expect("enough");
+        assert!(monobit.passes(0.01), "LFSR is balanced");
+    }
+
+    #[test]
+    fn too_short_is_an_error() {
+        assert!(test(&random_bits(10_000, 1)).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! A statistical test battery in the spirit of NIST SP 800-22.
+//!
+//! TRNG output must "fulfill strict statistical requirements" (the
+//! paper's opening sentence); this module provides the verdicts. Nine
+//! tests are implemented from the SP 800-22 definitions (the matrix-rank
+//! test joins automatically once the stream meets its length minimum),
+//! each returning a p-value under the null hypothesis of ideal
+//! randomness.
+
+pub mod approx_entropy;
+pub mod autocorr;
+pub mod block_frequency;
+pub mod cusum;
+pub mod longest_run;
+pub mod matrix_rank;
+pub mod monobit;
+pub mod runs;
+pub mod serial;
+
+use serde::Serialize;
+
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// The outcome of one statistical test.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TestOutcome {
+    /// The test's name.
+    pub name: &'static str,
+    /// The test statistic (test-specific meaning).
+    pub statistic: f64,
+    /// The p-value under the ideal-randomness null hypothesis.
+    pub p_value: f64,
+}
+
+impl TestOutcome {
+    /// Whether the stream passes at significance `alpha` (NIST uses
+    /// 0.01).
+    #[must_use]
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// The aggregated report of a full battery run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BatteryReport {
+    /// Individual outcomes, in execution order.
+    pub outcomes: Vec<TestOutcome>,
+}
+
+impl BatteryReport {
+    /// Number of tests passing at significance `alpha`.
+    #[must_use]
+    pub fn passed(&self, alpha: f64) -> usize {
+        self.outcomes.iter().filter(|o| o.passes(alpha)).count()
+    }
+
+    /// Whether every test passes at significance `alpha`.
+    #[must_use]
+    pub fn all_passed(&self, alpha: f64) -> bool {
+        self.passed(alpha) == self.outcomes.len()
+    }
+
+    /// Renders the report as aligned text rows.
+    #[must_use]
+    pub fn to_table(&self, alpha: f64) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{:<24} statistic={:>12.4}  p={:>8.5}  {}\n",
+                o.name,
+                o.statistic,
+                o.p_value,
+                if o.passes(alpha) { "PASS" } else { "FAIL" }
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the full battery on a bit stream (at least 2048 bits needed;
+/// 100k+ recommended for meaningful verdicts). The matrix-rank test
+/// joins the battery automatically once the stream is long enough for
+/// its SP 800-22 validity minimum (38 complete 32x32 matrices).
+///
+/// # Errors
+///
+/// Returns [`TrngError::NotEnoughBits`] if the stream is too short for
+/// any unconditionally-run constituent test.
+pub fn run_all(bits: &BitString) -> Result<BatteryReport, TrngError> {
+    let mut outcomes = vec![
+        monobit::test(bits)?,
+        block_frequency::test(bits, 128)?,
+        runs::test(bits)?,
+        longest_run::test(bits)?,
+        cusum::test(bits)?,
+        serial::test(bits, 3)?,
+        approx_entropy::test(bits, 2)?,
+        autocorr::test(bits, 8)?,
+    ];
+    if bits.len() >= 38 * 32 * 32 {
+        outcomes.push(matrix_rank::test(bits)?);
+    }
+    Ok(BatteryReport { outcomes })
+}
+
+pub(crate) fn require_bits(bits: &BitString, needed: usize) -> Result<(), TrngError> {
+    if bits.len() < needed {
+        return Err(TrngError::NotEnoughBits {
+            needed,
+            got: bits.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use strent_sim::RngTree;
+
+    use crate::bits::BitString;
+
+    /// Deterministic near-ideal random bits.
+    pub fn random_bits(n: usize, seed: u64) -> BitString {
+        let mut rng = RngTree::new(seed).stream(0);
+        (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect()
+    }
+
+    /// Heavily biased bits.
+    pub fn biased_bits(n: usize, seed: u64, p: f64) -> BitString {
+        let mut rng = RngTree::new(seed).stream(0);
+        (0..n).map(|_| u8::from(rng.bernoulli(p))).collect()
+    }
+
+    /// Periodic (strongly structured) bits.
+    pub fn periodic_bits(n: usize, period: usize) -> BitString {
+        (0..n).map(|i| u8::from(i % period < period / 2)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{biased_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn battery_accepts_good_bits_and_rejects_biased() {
+        let good = random_bits(60_000, 7);
+        let report = run_all(&good).expect("long enough");
+        assert_eq!(report.outcomes.len(), 9, "matrix-rank joins at 60k bits");
+        assert!(
+            report.passed(0.01) >= 8,
+            "good bits mostly pass:\n{}",
+            report.to_table(0.01)
+        );
+        let bad = biased_bits(60_000, 7, 0.6);
+        let report = run_all(&bad).expect("long enough");
+        assert!(
+            report.passed(0.01) <= 5,
+            "biased bits mostly fail:\n{}",
+            report.to_table(0.01)
+        );
+        assert!(!report.all_passed(0.01));
+    }
+
+    #[test]
+    fn battery_requires_enough_bits() {
+        assert!(run_all(&random_bits(100, 1)).is_err());
+    }
+
+    #[test]
+    fn table_rendering_has_all_rows() {
+        let report = run_all(&random_bits(10_000, 3)).expect("long enough");
+        let table = report.to_table(0.01);
+        assert_eq!(table.lines().count(), 8, "short streams skip matrix-rank");
+        assert!(table.contains("monobit"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Frequency (monobit) test — SP 800-22 §2.1.
+
+use strent_analysis::special::erfc;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Tests whether the numbers of ones and zeros are as close as expected
+/// for a random sequence.
+///
+/// # Errors
+///
+/// Returns [`TrngError::NotEnoughBits`] for fewer than 100 bits.
+pub fn test(bits: &BitString) -> Result<TestOutcome, TrngError> {
+    require_bits(bits, 100)?;
+    let n = bits.len() as f64;
+    let sum: f64 = bits.iter().map(|b| 2.0 * f64::from(b) - 1.0).sum();
+    let s_obs = sum.abs() / n.sqrt();
+    Ok(TestOutcome {
+        name: "monobit",
+        statistic: s_obs,
+        p_value: erfc(s_obs / std::f64::consts::SQRT_2),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{biased_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn nist_reference_vector() {
+        // SP 800-22 example: "1100100100001111110110101010001000100001011010001100
+        // 001000110100110001001100011001100010100010111000" (first 100
+        // binary digits of pi) -> P-value = 0.109599.
+        let pi_bits = "1100100100001111110110101010001000100001011010001100\
+                       001000110100110001001100011001100010100010111000";
+        let bits: BitString = pi_bits
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| if c == '1' { 1u8 } else { 0u8 })
+            .collect();
+        assert_eq!(bits.len(), 100);
+        let outcome = test(&bits).expect("enough bits");
+        assert!(
+            (outcome.p_value - 0.109599).abs() < 1e-5,
+            "p = {}",
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn verdicts() {
+        assert!(test(&random_bits(20_000, 1)).expect("enough").passes(0.01));
+        assert!(!test(&biased_bits(20_000, 1, 0.55)).expect("enough").passes(0.01));
+        assert!(test(&random_bits(50, 1)).is_err());
+    }
+}

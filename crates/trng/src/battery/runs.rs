@@ -1,0 +1,74 @@
+//! Runs test — SP 800-22 §2.3.
+
+use strent_analysis::special::erfc;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Tests whether the number of runs (maximal blocks of identical bits)
+/// matches the expectation for a random sequence.
+///
+/// # Errors
+///
+/// Returns [`TrngError::NotEnoughBits`] for fewer than 100 bits.
+pub fn test(bits: &BitString) -> Result<TestOutcome, TrngError> {
+    require_bits(bits, 100)?;
+    let n = bits.len() as f64;
+    let pi = bits.count_ones() as f64 / n;
+    // Prerequisite: the frequency test must be passable at all; if the
+    // bias is extreme the runs statistic is meaningless — report p = 0.
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return Ok(TestOutcome {
+            name: "runs",
+            statistic: f64::INFINITY,
+            p_value: 0.0,
+        });
+    }
+    let b = bits.as_slice();
+    let v_obs = 1.0 + b.windows(2).filter(|w| w[0] != w[1]).count() as f64;
+    let denom = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    let statistic = (v_obs - 2.0 * n * pi * (1.0 - pi)).abs() / denom;
+    // NIST's erfc argument already includes the sqrt(2) normalization.
+    Ok(TestOutcome {
+        name: "runs",
+        statistic,
+        p_value: erfc(statistic),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{periodic_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn nist_reference_vector() {
+        // SP 800-22 §2.3.8: the 100-bit pi sequence -> P-value = 0.500798.
+        let pi_bits = "1100100100001111110110101010001000100001011010001100\
+                       001000110100110001001100011001100010100010111000";
+        let bits: BitString = pi_bits
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| if c == '1' { 1u8 } else { 0u8 })
+            .collect();
+        let outcome = test(&bits).expect("enough bits");
+        assert!(
+            (outcome.p_value - 0.500798).abs() < 1e-5,
+            "p = {}",
+            outcome.p_value
+        );
+    }
+
+    #[test]
+    fn verdicts() {
+        assert!(test(&random_bits(20_000, 5)).expect("enough").passes(0.01));
+        // Alternating bits: twice as many runs as expected.
+        let alternating = periodic_bits(20_000, 2);
+        assert!(!test(&alternating).expect("enough").passes(0.01));
+        // Extreme bias short-circuits to p = 0.
+        let ones: BitString = (0..1000).map(|_| 1u8).collect();
+        assert_eq!(test(&ones).expect("enough").p_value, 0.0);
+        assert!(test(&random_bits(50, 1)).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Serial test — SP 800-22 §2.11.
+
+use strent_analysis::special::gamma_q;
+
+use super::{require_bits, TestOutcome};
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// `psi^2_m`: the generalized frequency statistic over all overlapping
+/// `m`-bit patterns (with wraparound, per the NIST definition).
+fn psi_squared(bits: &[u8], m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    let mask = (1usize << m) - 1;
+    // Build the first pattern.
+    let mut pattern = 0usize;
+    for &b in &bits[..m] {
+        pattern = (pattern << 1) | b as usize;
+    }
+    counts[pattern] += 1;
+    for i in 1..n {
+        let next = bits[(i + m - 1) % n];
+        pattern = ((pattern << 1) | next as usize) & mask;
+        counts[pattern] += 1;
+    }
+    let nf = n as f64;
+    let sum: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (1 << m) as f64 / nf * sum - nf
+}
+
+/// Tests the uniformity of overlapping `m`-bit pattern frequencies.
+/// Reports the first of the two NIST p-values (`del psi^2_m`).
+///
+/// # Errors
+///
+/// Returns [`TrngError::InvalidParameter`] for `m < 2` or
+/// [`TrngError::NotEnoughBits`] if fewer than `2^(m+3)` bits are given.
+pub fn test(bits: &BitString, m: usize) -> Result<TestOutcome, TrngError> {
+    if m < 2 {
+        return Err(TrngError::InvalidParameter {
+            name: "m",
+            constraint: "must be at least 2",
+        });
+    }
+    require_bits(bits, 1 << (m + 3))?;
+    let b = bits.as_slice();
+    let psi_m = psi_squared(b, m);
+    let psi_m1 = psi_squared(b, m - 1);
+    let psi_m2 = psi_squared(b, m.saturating_sub(2));
+    let del1 = psi_m - psi_m1;
+    let del2 = psi_m - 2.0 * psi_m1 + psi_m2;
+    let p1 = gamma_q(f64::from(1u32 << (m - 1)) / 2.0, del1 / 2.0);
+    let _p2 = gamma_q(f64::from(1u32 << (m - 2)) / 2.0, del2 / 2.0);
+    Ok(TestOutcome {
+        name: "serial",
+        statistic: del1,
+        p_value: p1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{periodic_bits, random_bits};
+    use super::*;
+
+    #[test]
+    fn nist_reference_vector() {
+        // SP 800-22 §2.11.8: eps = 0011011101, m = 3:
+        // psi2_3 = 2.8, psi2_2 = 1.2, psi2_1 = 0.4, del1 = 1.6,
+        // P-value1 = 0.808792.
+        let bits: BitString = [0u8, 0, 1, 1, 0, 1, 1, 1, 0, 1].iter().copied().collect();
+        let b = bits.as_slice();
+        assert!((psi_squared(b, 3) - 2.8).abs() < 1e-9);
+        assert!((psi_squared(b, 2) - 1.2).abs() < 1e-9);
+        assert!((psi_squared(b, 1) - 0.4).abs() < 1e-9);
+        let del1 = psi_squared(b, 3) - psi_squared(b, 2);
+        let p1 = gamma_q(2.0, del1 / 2.0);
+        assert!((p1 - 0.808792).abs() < 1e-5, "p1 = {p1}");
+    }
+
+    #[test]
+    fn verdicts() {
+        assert!(test(&random_bits(40_000, 6), 3)
+            .expect("enough")
+            .passes(0.01));
+        let structured = periodic_bits(40_000, 8);
+        assert!(!test(&structured, 3).expect("enough").passes(0.01));
+        assert!(test(&random_bits(40_000, 6), 1).is_err());
+        assert!(test(&random_bits(10, 6), 3).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! A simple bit-string type.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A sequence of bits, stored one per byte for cheap random access, with
+/// MSB-first packing for key material export.
+///
+/// # Examples
+///
+/// ```
+/// use strent_trng::BitString;
+///
+/// let bits: BitString = [1u8, 0, 1, 1, 0, 0, 0, 1].iter().copied().collect();
+/// assert_eq!(bits.len(), 8);
+/// assert_eq!(bits.count_ones(), 4);
+/// assert_eq!(bits.pack()[0], 0b1011_0001);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitString {
+    bits: Vec<u8>,
+}
+
+impl BitString {
+    /// Creates an empty bit string.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit string with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitString {
+            bits: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one bit (any non-zero value counts as 1).
+    pub fn push(&mut self, bit: u8) {
+        self.bits.push(u8::from(bit != 0));
+    }
+
+    /// Appends a boolean bit.
+    pub fn push_bool(&mut self, bit: bool) {
+        self.bits.push(u8::from(bit));
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the string holds no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits as a slice of `0`/`1` bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Number of one bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b == 1).count()
+    }
+
+    /// Number of zero bits.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.count_ones()
+    }
+
+    /// Iterates over the bits as `0`/`1` bytes.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Packs the bits MSB-first into bytes (the final partial byte, if
+    /// any, is left-aligned and zero-padded).
+    #[must_use]
+    pub fn pack(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(self.bits.len().div_ceil(8));
+        for chunk in self.bits.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                byte |= b << (7 - i);
+            }
+            out.put_u8(byte);
+        }
+        out.freeze()
+    }
+
+    /// Returns the sub-string `[start, start+len)` as a new bit string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, start: usize, len: usize) -> BitString {
+        BitString {
+            bits: self.bits[start..start + len].to_vec(),
+        }
+    }
+
+    /// Unpacks `bit_len` bits from MSB-first packed bytes — the inverse
+    /// of [`BitString::pack`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `bit_len` bits.
+    #[must_use]
+    pub fn from_packed(bytes: &[u8], bit_len: usize) -> BitString {
+        assert!(
+            bit_len <= bytes.len() * 8,
+            "need {bit_len} bits, got {}",
+            bytes.len() * 8
+        );
+        (0..bit_len)
+            .map(|i| (bytes[i / 8] >> (7 - (i % 8))) & 1)
+            .collect()
+    }
+}
+
+impl FromIterator<u8> for BitString {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        BitString {
+            bits: iter.into_iter().map(|b| u8::from(b != 0)).collect(),
+        }
+    }
+}
+
+impl Extend<u8> for BitString {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.bits.extend(iter.into_iter().map(|b| u8::from(b != 0)));
+    }
+}
+
+impl From<Vec<u8>> for BitString {
+    /// Interprets each byte as one bit (non-zero = 1).
+    fn from(bits: Vec<u8>) -> Self {
+        bits.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut b = BitString::new();
+        b.push(1);
+        b.push(0);
+        b.push(7); // normalized to 1
+        b.push_bool(true);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.count_zeros(), 1);
+        assert_eq!(b.as_slice(), &[1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn packing_is_msb_first() {
+        let b: BitString = [1u8, 1, 1, 1, 0, 0, 0, 0, 1].iter().copied().collect();
+        let packed = b.pack();
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed[0], 0b1111_0000);
+        assert_eq!(packed[1], 0b1000_0000);
+    }
+
+    #[test]
+    fn slice_and_iterate() {
+        let b: BitString = [0u8, 1, 0, 1, 1].iter().copied().collect();
+        let s = b.slice(1, 3);
+        assert_eq!(s.as_slice(), &[1, 0, 1]);
+        assert_eq!(b.iter().sum::<u8>(), 3);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let original: BitString = [1u8, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1].iter().copied().collect();
+        let packed = original.pack();
+        let unpacked = BitString::from_packed(&packed, original.len());
+        assert_eq!(unpacked, original);
+        // Exact byte boundary too.
+        let eight: BitString = (0..8).map(|i| (i % 2) as u8).collect();
+        assert_eq!(BitString::from_packed(&eight.pack(), 8), eight);
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn from_packed_rejects_short_input() {
+        let _ = BitString::from_packed(&[0xFF], 9);
+    }
+
+    #[test]
+    fn conversions() {
+        let b = BitString::from(vec![0u8, 2, 0, 255]);
+        assert_eq!(b.as_slice(), &[0, 1, 0, 1]);
+        let mut b = BitString::with_capacity(10);
+        b.extend([1u8, 0]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!(BitString::new().is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for the TRNG crate.
+
+use std::error::Error;
+use std::fmt;
+
+use strent_analysis::AnalysisError;
+use strent_rings::RingError;
+
+/// Errors reported by TRNG construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrngError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+    /// A bit sequence was too short for the requested operation.
+    NotEnoughBits {
+        /// Minimum number of bits required.
+        needed: usize,
+        /// Number actually provided.
+        got: usize,
+    },
+    /// An underlying ring simulation failed.
+    Ring(RingError),
+    /// An underlying statistical computation failed.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for TrngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrngError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter {name} must satisfy: {constraint}")
+            }
+            TrngError::NotEnoughBits { needed, got } => {
+                write!(f, "needed at least {needed} bits, got {got}")
+            }
+            TrngError::Ring(e) => write!(f, "ring simulation error: {e}"),
+            TrngError::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl Error for TrngError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrngError::Ring(e) => Some(e),
+            TrngError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RingError> for TrngError {
+    fn from(e: RingError) -> Self {
+        TrngError::Ring(e)
+    }
+}
+
+impl From<strent_sim::SimError> for TrngError {
+    fn from(e: strent_sim::SimError) -> Self {
+        TrngError::Ring(RingError::Sim(e))
+    }
+}
+
+impl From<AnalysisError> for TrngError {
+    fn from(e: AnalysisError) -> Self {
+        TrngError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TrngError::NotEnoughBits {
+            needed: 100,
+            got: 5,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.source().is_none());
+        let e = TrngError::from(RingError::InvalidConfig("x".into()));
+        assert!(e.source().is_some());
+        let e = TrngError::from(AnalysisError::NonFiniteData);
+        assert!(e.to_string().contains("analysis"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TrngError>();
+    }
+}

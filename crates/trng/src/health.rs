@@ -1,0 +1,285 @@
+//! Continuous (online) health tests, SP 800-90B style.
+//!
+//! A deployed TRNG must detect entropy-source failure *while running* —
+//! the attack scenarios of the paper's ref \[1\] (shifting the operating
+//! point until the source degenerates) are exactly what these catch.
+//! The two NIST-mandated tests are implemented:
+//!
+//! * **Repetition Count Test (RCT)** — fires when the same value repeats
+//!   implausibly often (a stuck source);
+//! * **Adaptive Proportion Test (APT)** — fires when one value dominates
+//!   a window (a heavily biased source).
+//!
+//! Cutoffs follow SP 800-90B §4.4 with the binary-source window of 1024
+//! samples: `C_RCT = 1 + ceil(20.99 / H)` and the APT cutoff is the
+//! binomial tail bound at `2^-20` false-positive probability for the
+//! claimed per-bit min-entropy `H`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Verdict of feeding one sample into a health test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthEvent {
+    /// Sample accepted, no alarm.
+    Ok,
+    /// The test's cutoff was exceeded: the source must be disabled.
+    Alarm,
+}
+
+/// Repetition Count Test: counts consecutive identical samples.
+///
+/// # Examples
+///
+/// ```
+/// use strent_trng::health::{HealthEvent, RepetitionCountTest};
+///
+/// let mut rct = RepetitionCountTest::for_min_entropy(1.0)?;
+/// for _ in 0..10 {
+///     assert_eq!(rct.feed(1), HealthEvent::Ok);
+/// }
+/// // A long stuck run eventually alarms.
+/// let stuck = (0..40).map(|_| rct.feed(1)).filter(|&e| e == HealthEvent::Alarm).count();
+/// assert!(stuck >= 1);
+/// # Ok::<(), strent_trng::TrngError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepetitionCountTest {
+    cutoff: u32,
+    last: Option<u8>,
+    run: u32,
+    alarms: u64,
+}
+
+impl RepetitionCountTest {
+    /// Builds the test for a claimed per-bit min-entropy `h` (bits),
+    /// with the SP 800-90B cutoff `1 + ceil(20.99 / h)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::InvalidParameter`] unless `0 < h <= 1`.
+    pub fn for_min_entropy(h: f64) -> Result<Self, TrngError> {
+        if !(h.is_finite() && h > 0.0 && h <= 1.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "h",
+                constraint: "claimed min-entropy in (0, 1]",
+            });
+        }
+        Ok(RepetitionCountTest {
+            cutoff: 1 + (20.99 / h).ceil() as u32,
+            last: None,
+            run: 0,
+            alarms: 0,
+        })
+    }
+
+    /// The alarm cutoff (run length that triggers).
+    #[must_use]
+    pub fn cutoff(&self) -> u32 {
+        self.cutoff
+    }
+
+    /// Number of alarms so far.
+    #[must_use]
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Feeds one sample (any non-zero value counts as 1).
+    pub fn feed(&mut self, bit: u8) -> HealthEvent {
+        let bit = u8::from(bit != 0);
+        if self.last == Some(bit) {
+            self.run += 1;
+        } else {
+            self.last = Some(bit);
+            self.run = 1;
+        }
+        if self.run >= self.cutoff {
+            self.alarms += 1;
+            // Restart the run so a persistent fault keeps alarming.
+            self.run = 0;
+            self.last = None;
+            HealthEvent::Alarm
+        } else {
+            HealthEvent::Ok
+        }
+    }
+}
+
+/// Adaptive Proportion Test: counts occurrences of the first sample of
+/// each 1024-sample window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveProportionTest {
+    cutoff: u32,
+    window: u32,
+    reference: Option<u8>,
+    seen: u32,
+    matches: u32,
+    alarms: u64,
+}
+
+/// The SP 800-90B binary window size.
+pub const APT_WINDOW: u32 = 1024;
+
+impl AdaptiveProportionTest {
+    /// Builds the test for a claimed per-bit min-entropy `h`, using the
+    /// binomial tail cutoff at a `2^-20` false-positive rate:
+    /// the smallest `c` with `P[Binomial(1024, 2^-h) >= c] < 2^-20`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::InvalidParameter`] unless `0 < h <= 1`.
+    pub fn for_min_entropy(h: f64) -> Result<Self, TrngError> {
+        if !(h.is_finite() && h > 0.0 && h <= 1.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "h",
+                constraint: "claimed min-entropy in (0, 1]",
+            });
+        }
+        let p = 2f64.powf(-h);
+        // Normal approximation with continuity margin is accurate here
+        // (n = 1024): c = n p + z sqrt(n p (1-p)) with z for 2^-20.
+        let n = f64::from(APT_WINDOW);
+        let z = 5.73; // Phi(5.73) ~ 1 - 2^-20.3
+        let cutoff = (n * p + z * (n * p * (1.0 - p)).sqrt()).ceil() as u32;
+        Ok(AdaptiveProportionTest {
+            cutoff: cutoff.min(APT_WINDOW),
+            window: APT_WINDOW,
+            reference: None,
+            seen: 0,
+            matches: 0,
+            alarms: 0,
+        })
+    }
+
+    /// The alarm cutoff (matches within a window that trigger).
+    #[must_use]
+    pub fn cutoff(&self) -> u32 {
+        self.cutoff
+    }
+
+    /// Number of alarms so far.
+    #[must_use]
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Feeds one sample.
+    pub fn feed(&mut self, bit: u8) -> HealthEvent {
+        let bit = u8::from(bit != 0);
+        match self.reference {
+            None => {
+                self.reference = Some(bit);
+                self.seen = 0;
+                self.matches = 0;
+                HealthEvent::Ok
+            }
+            Some(r) => {
+                self.seen += 1;
+                if bit == r {
+                    self.matches += 1;
+                }
+                let alarm = self.matches >= self.cutoff;
+                if alarm {
+                    self.alarms += 1;
+                }
+                if alarm || self.seen >= self.window - 1 {
+                    self.reference = None;
+                }
+                if alarm {
+                    HealthEvent::Alarm
+                } else {
+                    HealthEvent::Ok
+                }
+            }
+        }
+    }
+}
+
+/// Runs both health tests over a complete bit string, returning
+/// `(rct alarms, apt alarms)`.
+///
+/// # Errors
+///
+/// Returns [`TrngError::InvalidParameter`] for an invalid entropy claim.
+pub fn scan(bits: &BitString, claimed_min_entropy: f64) -> Result<(u64, u64), TrngError> {
+    let mut rct = RepetitionCountTest::for_min_entropy(claimed_min_entropy)?;
+    let mut apt = AdaptiveProportionTest::for_min_entropy(claimed_min_entropy)?;
+    for b in bits.iter() {
+        let _ = rct.feed(b);
+        let _ = apt.feed(b);
+    }
+    Ok((rct.alarms(), apt.alarms()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strent_sim::RngTree;
+
+    fn random_bits(n: usize, p: f64, seed: u64) -> BitString {
+        let mut rng = RngTree::new(seed).stream(0);
+        (0..n).map(|_| u8::from(rng.bernoulli(p))).collect()
+    }
+
+    #[test]
+    fn cutoffs_match_sp800_90b() {
+        // H = 1: RCT cutoff 1 + ceil(20.99) = 22.
+        let rct = RepetitionCountTest::for_min_entropy(1.0).expect("valid");
+        assert_eq!(rct.cutoff(), 22);
+        // H = 0.5: 1 + ceil(41.98) = 43.
+        let rct = RepetitionCountTest::for_min_entropy(0.5).expect("valid");
+        assert_eq!(rct.cutoff(), 43);
+        // APT at H = 1: around 600 for the 1024 window (NIST gives 624
+        // for the table variant; the normal approximation lands close).
+        let apt = AdaptiveProportionTest::for_min_entropy(1.0).expect("valid");
+        assert!((590..640).contains(&apt.cutoff()), "APT cutoff {}", apt.cutoff());
+    }
+
+    #[test]
+    fn healthy_source_never_alarms() {
+        let bits = random_bits(200_000, 0.5, 3);
+        let (rct, apt) = scan(&bits, 1.0).expect("valid");
+        assert_eq!(rct, 0, "RCT false positives");
+        assert_eq!(apt, 0, "APT false positives");
+    }
+
+    #[test]
+    fn stuck_source_trips_rct_immediately() {
+        let mut bits = random_bits(5_000, 0.5, 4);
+        bits.extend(std::iter::repeat_n(1u8, 100));
+        let (rct, _) = scan(&bits, 1.0).expect("valid");
+        assert!(rct >= 1, "stuck run must alarm");
+    }
+
+    #[test]
+    fn biased_source_trips_apt() {
+        // 75% ones: far above the H=1 APT cutoff fraction (~0.6).
+        let bits = random_bits(50_000, 0.75, 5);
+        let (_, apt) = scan(&bits, 1.0).expect("valid");
+        assert!(apt >= 10, "APT alarms: {apt}");
+        // The same stream under an honest H = 0.3 claim is acceptable.
+        let (_, apt_low_claim) = scan(&bits, 0.3).expect("valid");
+        assert_eq!(apt_low_claim, 0);
+    }
+
+    #[test]
+    fn persistent_fault_keeps_alarming() {
+        let mut rct = RepetitionCountTest::for_min_entropy(1.0).expect("valid");
+        let alarms = (0..1000)
+            .map(|_| rct.feed(0))
+            .filter(|&e| e == HealthEvent::Alarm)
+            .count();
+        assert!(alarms >= 40, "continuous alarms: {alarms}");
+        assert_eq!(rct.alarms(), alarms as u64);
+    }
+
+    #[test]
+    fn invalid_claims_rejected() {
+        assert!(RepetitionCountTest::for_min_entropy(0.0).is_err());
+        assert!(RepetitionCountTest::for_min_entropy(1.5).is_err());
+        assert!(AdaptiveProportionTest::for_min_entropy(-0.1).is_err());
+    }
+}

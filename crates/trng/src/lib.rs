@@ -1,0 +1,66 @@
+//! # strent-trng — TRNG constructions and evaluation
+//!
+//! The paper studies STRs and IROs *as entropy sources for TRNGs*; this
+//! crate closes the loop by building the generators and the evaluation
+//! machinery around them:
+//!
+//! * [`bits`] — a simple bit-string type with packing;
+//! * [`sampler`] — sampling a jittery clock with a reference clock
+//!   (including a metastability window), directly from simulated traces;
+//! * [`phase`] — the standard phase-accumulation ("urn") model of an
+//!   elementary ring-oscillator TRNG: fast enough for megabit studies,
+//!   parameterized by quantities *measured* from the event-driven
+//!   simulation (period, jitter, deterministic modulation depth);
+//! * [`elementary`] — the elementary TRNG: one jittery ring sampled at a
+//!   low reference frequency (refs \[1\], \[2\] of the paper);
+//! * [`coherent`] — the coherent-sampling TRNG of ref \[7\], which needs
+//!   the tight extra-device frequency control that Table II shows STRs
+//!   provide;
+//! * [`postprocess`] — von Neumann, XOR decimation and parity filters;
+//! * [`entropy`] — Shannon/min-entropy/Markov estimators, bias,
+//!   autocorrelation;
+//! * [`battery`] — a statistical test battery in the spirit of NIST
+//!   SP 800-22 (monobit, block frequency, runs, longest run, cumulative
+//!   sums, serial, approximate entropy, autocorrelation);
+//! * [`health`] — SP 800-90B continuous health tests (repetition count,
+//!   adaptive proportion) for online failure detection;
+//! * [`restart`] — restart campaigns certifying true randomness;
+//! * [`multiphase`] — the multi-phase STR TRNG of the paper's future
+//!   work;
+//! * [`attack`] — supply-modulation attack scenarios comparing the bias
+//!   induced in IRO-based vs STR-based generators.
+//!
+//! ## Example
+//!
+//! ```
+//! use strent_trng::phase::PhaseModel;
+//! use strent_trng::entropy;
+//!
+//! // An elementary TRNG whose accumulated jitter per sample is 30% of
+//! // the half-period: decent entropy.
+//! let mut model = PhaseModel::new(3333.0, 0.3 * 3333.0 / 2.0, 77)?;
+//! let bits = model.generate(20_000);
+//! let h = entropy::shannon_bit_entropy(&bits)?;
+//! assert!(h > 0.9, "entropy {h}");
+//! # Ok::<(), strent_trng::TrngError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod battery;
+pub mod bits;
+pub mod coherent;
+pub mod elementary;
+pub mod entropy;
+pub mod error;
+pub mod health;
+pub mod multiphase;
+pub mod phase;
+pub mod postprocess;
+pub mod restart;
+pub mod sampler;
+
+pub use bits::BitString;
+pub use error::TrngError;

@@ -1,0 +1,263 @@
+//! The phase-accumulation model of an elementary RO-based TRNG.
+//!
+//! Simulating one output bit of a realistic TRNG requires simulating
+//! thousands of ring periods per reference period; statistically
+//! characterizing megabit streams that way is intractable. The standard
+//! shortcut (used throughout the RO-TRNG literature, e.g. the paper's
+//! ref \[2\]) is the **phase random walk**: between two samples the ring
+//! phase advances by a large deterministic amount plus a Gaussian
+//! increment whose sigma is the jitter accumulated over one reference
+//! period; the sampled bit is the ring output at that phase.
+//!
+//! The model is parameterized by three quantities the event-driven
+//! simulation *measures*: the mean period, the accumulated jitter, and
+//! (for attack studies) the deterministic phase modulation depth. This
+//! keeps the fast model anchored to the physical one.
+
+use strent_sim::{RngTree, SimRng};
+
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// Phase random-walk generator.
+///
+/// # Examples
+///
+/// ```
+/// use strent_trng::phase::PhaseModel;
+///
+/// // 300 MHz ring sampled such that 200 ps of jitter accumulates per bit.
+/// let mut model = PhaseModel::new(3333.0, 200.0, 1)?;
+/// let bits = model.generate(1000);
+/// assert_eq!(bits.len(), 1000);
+/// # Ok::<(), strent_trng::TrngError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseModel {
+    period_ps: f64,
+    sigma_acc_ps: f64,
+    duty: f64,
+    det_amplitude_ps: f64,
+    det_period_samples: f64,
+    phase: f64,
+    sample_index: u64,
+    rng: SimRng,
+}
+
+impl PhaseModel {
+    /// Creates a model for a ring of the given mean period, with
+    /// `sigma_acc_ps` of Gaussian jitter accumulated between successive
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::InvalidParameter`] if the period is not
+    /// positive or the jitter is negative.
+    pub fn new(period_ps: f64, sigma_acc_ps: f64, seed: u64) -> Result<Self, TrngError> {
+        if !(period_ps.is_finite() && period_ps > 0.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "period_ps",
+                constraint: "finite and positive",
+            });
+        }
+        if !(sigma_acc_ps.is_finite() && sigma_acc_ps >= 0.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "sigma_acc_ps",
+                constraint: "finite and non-negative",
+            });
+        }
+        Ok(PhaseModel {
+            period_ps,
+            sigma_acc_ps,
+            duty: 0.5,
+            det_amplitude_ps: 0.0,
+            det_period_samples: 1.0,
+            phase: 0.25,
+            sample_index: 0,
+            rng: RngTree::new(seed).stream(0x7277),
+        })
+    }
+
+    /// Sets the ring duty cycle (fraction of the period spent high).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::InvalidParameter`] unless `0 < duty < 1`.
+    pub fn with_duty(mut self, duty: f64) -> Result<Self, TrngError> {
+        if !(duty.is_finite() && duty > 0.0 && duty < 1.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "duty",
+                constraint: "strictly between 0 and 1",
+            });
+        }
+        self.duty = duty;
+        Ok(self)
+    }
+
+    /// Adds a deterministic sinusoidal phase modulation (an attack): the
+    /// sampled phase is shifted by `amplitude_ps * sin(2 pi k / period)`
+    /// where `k` counts samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::InvalidParameter`] if the amplitude is
+    /// negative or the period is not positive.
+    pub fn with_deterministic_modulation(
+        mut self,
+        amplitude_ps: f64,
+        period_samples: f64,
+    ) -> Result<Self, TrngError> {
+        if !(amplitude_ps.is_finite() && amplitude_ps >= 0.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "amplitude_ps",
+                constraint: "finite and non-negative",
+            });
+        }
+        if !(period_samples.is_finite() && period_samples > 0.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "period_samples",
+                constraint: "finite and positive",
+            });
+        }
+        self.det_amplitude_ps = amplitude_ps;
+        self.det_period_samples = period_samples;
+        Ok(self)
+    }
+
+    /// The ring period, ps.
+    #[must_use]
+    pub fn period_ps(&self) -> f64 {
+        self.period_ps
+    }
+
+    /// Jitter accumulated between samples, ps.
+    #[must_use]
+    pub fn sigma_acc_ps(&self) -> f64 {
+        self.sigma_acc_ps
+    }
+
+    /// The per-sample *quality factor* `sigma_acc / period` — the paper's
+    /// community expresses entropy bounds in terms of this ratio.
+    #[must_use]
+    pub fn quality_factor(&self) -> f64 {
+        self.sigma_acc_ps / self.period_ps
+    }
+
+    /// Generates the next bit.
+    pub fn next_bit(&mut self) -> u8 {
+        // Gaussian phase increment (the fractional part of the huge
+        // deterministic advance is absorbed into the stationary phase).
+        let noise = self.rng.normal(0.0, self.sigma_acc_ps / self.period_ps);
+        self.phase = (self.phase + noise).rem_euclid(1.0);
+        self.sample_index += 1;
+        // Deterministic modulation shifts the *sampled* phase.
+        let det = if self.det_amplitude_ps > 0.0 {
+            let k = self.sample_index as f64;
+            (self.det_amplitude_ps / self.period_ps)
+                * (std::f64::consts::TAU * k / self.det_period_samples).sin()
+        } else {
+            0.0
+        };
+        let sampled = (self.phase + det).rem_euclid(1.0);
+        u8::from(sampled < self.duty)
+    }
+
+    /// Generates `count` bits.
+    pub fn generate(&mut self, count: usize) -> BitString {
+        (0..count).map(|_| self.next_bit()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_jitter_gives_balanced_unpredictable_bits() {
+        let mut m = PhaseModel::new(3333.0, 3333.0, 42).expect("valid");
+        let bits = m.generate(20_000);
+        let ones = bits.count_ones() as f64 / 20_000.0;
+        assert!((ones - 0.5).abs() < 0.02, "bias {ones}");
+        // Successive bits should be nearly uncorrelated.
+        let b = bits.as_slice();
+        let agree = b.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (b.len() - 1) as f64;
+        assert!((agree - 0.5).abs() < 0.02, "agreement {agree}");
+    }
+
+    #[test]
+    fn zero_jitter_freezes_the_phase() {
+        let mut m = PhaseModel::new(1000.0, 0.0, 1).expect("valid");
+        let bits = m.generate(100);
+        // Phase stays at 0.25 < duty -> all ones.
+        assert_eq!(bits.count_ones(), 100);
+    }
+
+    #[test]
+    fn low_jitter_correlates_successive_bits() {
+        // sigma_acc = 2% of the period: the phase walks slowly, so long
+        // runs of identical bits appear.
+        let mut m = PhaseModel::new(1000.0, 20.0, 7).expect("valid");
+        let bits = m.generate(50_000);
+        let b = bits.as_slice();
+        let agree = b.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (b.len() - 1) as f64;
+        assert!(agree > 0.9, "agreement {agree} should be high");
+    }
+
+    #[test]
+    fn duty_cycle_biases_output() {
+        let mut m = PhaseModel::new(1000.0, 1000.0, 3)
+            .expect("valid")
+            .with_duty(0.7)
+            .expect("valid");
+        let bits = m.generate(20_000);
+        let ones = bits.count_ones() as f64 / 20_000.0;
+        assert!((ones - 0.7).abs() < 0.02, "bias {ones}");
+    }
+
+    #[test]
+    fn deterministic_modulation_biases_a_weak_source() {
+        // Weak entropy (tiny accumulated jitter) + strong modulation:
+        // the modulation imposes its period on the stream. At half the
+        // modulation period the deterministic shift changes sign, so the
+        // attacked stream *disagrees* with itself there — while the
+        // clean slow-walk stream agrees almost everywhere.
+        let make = |amp: f64| {
+            let mut m = PhaseModel::new(1000.0, 5.0, 11)
+                .expect("valid")
+                .with_deterministic_modulation(amp, 64.0)
+                .expect("valid");
+            m.generate(10_000)
+        };
+        let agreement = |bits: &crate::bits::BitString, lag: usize| {
+            let b = bits.as_slice();
+            let n = b.len() - lag;
+            (0..n).filter(|&i| b[i] == b[i + lag]).count() as f64 / n as f64
+        };
+        let clean = make(0.0);
+        let attacked = make(400.0);
+        assert!(
+            agreement(&attacked, 32) < agreement(&clean, 32) - 0.05,
+            "attacked {} vs clean {}",
+            agreement(&attacked, 32),
+            agreement(&clean, 32)
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(PhaseModel::new(0.0, 1.0, 1).is_err());
+        assert!(PhaseModel::new(100.0, -1.0, 1).is_err());
+        let m = PhaseModel::new(100.0, 1.0, 1).expect("valid");
+        assert!(m.clone().with_duty(0.0).is_err());
+        assert!(m.clone().with_duty(1.0).is_err());
+        assert!(m
+            .clone()
+            .with_deterministic_modulation(-1.0, 10.0)
+            .is_err());
+        assert!(m.with_deterministic_modulation(1.0, 0.0).is_err());
+        let m = PhaseModel::new(200.0, 50.0, 1).expect("valid");
+        assert_eq!(m.quality_factor(), 0.25);
+        assert_eq!(m.period_ps(), 200.0);
+        assert_eq!(m.sigma_acc_ps(), 50.0);
+    }
+}

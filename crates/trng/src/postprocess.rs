@@ -1,0 +1,127 @@
+//! Post-processing (conditioning) of raw TRNG output.
+//!
+//! Raw ring-sampling bits are biased and correlated when the accumulated
+//! jitter per sample is small; TRNG designs therefore condition the raw
+//! stream. Three classic schemes are provided.
+
+use crate::bits::BitString;
+
+/// Von Neumann unbiasing: consume bit pairs, emit `0` for `01`, `1` for
+/// `10`, drop `00`/`11`. Removes all bias from independent bits at the
+/// cost of a variable (~4x for fair input) rate reduction.
+///
+/// # Examples
+///
+/// ```
+/// use strent_trng::{postprocess, BitString};
+///
+/// let raw: BitString = [0u8, 1, 1, 0, 1, 1, 0, 0].iter().copied().collect();
+/// let out = postprocess::von_neumann(&raw);
+/// assert_eq!(out.as_slice(), &[0, 1]);
+/// ```
+#[must_use]
+pub fn von_neumann(bits: &BitString) -> BitString {
+    let mut out = BitString::with_capacity(bits.len() / 4);
+    for pair in bits.as_slice().chunks_exact(2) {
+        match (pair[0], pair[1]) {
+            (0, 1) => out.push(0),
+            (1, 0) => out.push(1),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// XOR decimation: each output bit is the XOR of `factor` consecutive
+/// input bits. Reduces bias exponentially (piling-up lemma) at a fixed
+/// `factor`-to-1 rate.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+#[must_use]
+pub fn xor_decimate(bits: &BitString, factor: usize) -> BitString {
+    assert!(factor > 0, "decimation factor must be positive");
+    let mut out = BitString::with_capacity(bits.len() / factor);
+    for block in bits.as_slice().chunks_exact(factor) {
+        out.push(block.iter().fold(0, |acc, &b| acc ^ b));
+    }
+    out
+}
+
+/// Parity filter: an alias of [`xor_decimate`] kept for the literature
+/// name (the paper's ref \[2\] calls the XOR corrector a parity filter).
+#[must_use]
+pub fn parity_filter(bits: &BitString, block: usize) -> BitString {
+    xor_decimate(bits, block)
+}
+
+/// The expected output bias of an XOR corrector given the input bias
+/// (piling-up lemma): `bias_out = 2^(factor-1) * bias_in^factor`, where
+/// bias is `P(1) - 1/2`.
+#[must_use]
+pub fn xor_bias_bound(input_bias: f64, factor: u32) -> f64 {
+    0.5 * (2.0 * input_bias).powi(i32::try_from(factor).unwrap_or(i32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased_bits(n: usize, p_one: f64) -> BitString {
+        // Independent pseudo-random bits with bias p_one (independence
+        // matters: the piling-up lemma assumes it).
+        let mut rng = strent_sim::RngTree::new(0xB1A5).stream(0);
+        (0..n).map(|_| u8::from(rng.bernoulli(p_one))).collect()
+    }
+
+    #[test]
+    fn von_neumann_removes_bias() {
+        let raw = biased_bits(100_000, 0.8);
+        let out = von_neumann(&raw);
+        assert!(out.len() > 10_000, "output rate too low: {}", out.len());
+        let ones = out.count_ones() as f64 / out.len() as f64;
+        assert!((ones - 0.5).abs() < 0.02, "residual bias {ones}");
+    }
+
+    #[test]
+    fn von_neumann_rate_for_fair_input() {
+        let raw = biased_bits(100_000, 0.5);
+        let out = von_neumann(&raw);
+        // Expected rate 1/4.
+        let rate = out.len() as f64 / raw.len() as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn xor_decimation_reduces_bias() {
+        let raw = biased_bits(120_000, 0.6);
+        let b1 = raw.count_ones() as f64 / raw.len() as f64 - 0.5;
+        let out = xor_decimate(&raw, 4);
+        assert_eq!(out.len(), 30_000);
+        let b4 = out.count_ones() as f64 / out.len() as f64 - 0.5;
+        assert!(b4.abs() < b1.abs() / 2.0, "bias {b1} -> {b4}");
+    }
+
+    #[test]
+    fn piling_up_bound() {
+        // bias 0.1, factor 2 -> 2 * 0.1^2 = 0.02.
+        assert!((xor_bias_bound(0.1, 2) - 0.02).abs() < 1e-12);
+        // factor 1 is the identity.
+        assert!((xor_bias_bound(0.1, 1) - 0.1).abs() < 1e-12);
+        // Bias shrinks monotonically with the factor.
+        assert!(xor_bias_bound(0.2, 8) < xor_bias_bound(0.2, 4));
+    }
+
+    #[test]
+    fn parity_filter_is_xor_decimation() {
+        let raw = biased_bits(1000, 0.7);
+        assert_eq!(parity_filter(&raw, 3), xor_decimate(&raw, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        let _ = xor_decimate(&BitString::new(), 0);
+    }
+}

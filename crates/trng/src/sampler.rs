@@ -1,0 +1,211 @@
+//! Sampling a jittery clock with a reference clock.
+//!
+//! The elementary TRNG architecture (refs \[1\], \[2\] of the paper): a D
+//! flip-flop clocked by a stable reference samples the jittery ring
+//! output. When a data transition falls inside the flip-flop's
+//! setup/hold window the output is metastable and resolves randomly —
+//! modelled here as a fair coin, the conventional simplification.
+
+use strent_rings::RingError;
+use strent_sim::{SimRng, Time, Trace};
+
+use crate::bits::BitString;
+use crate::error::TrngError;
+
+/// A D flip-flop sampling model.
+///
+/// # Examples
+///
+/// ```
+/// use strent_trng::sampler::Sampler;
+///
+/// // 10 MHz reference, 20 ps metastability window.
+/// let sampler = Sampler::new(1e5, 20.0)?;
+/// assert_eq!(sampler.period_ps(), 1e5);
+/// # Ok::<(), strent_trng::TrngError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampler {
+    period_ps: f64,
+    meta_window_ps: f64,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given reference period and
+    /// metastability window (both ps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::InvalidParameter`] if the period is not
+    /// positive or the window is negative.
+    pub fn new(period_ps: f64, meta_window_ps: f64) -> Result<Self, TrngError> {
+        if !(period_ps.is_finite() && period_ps > 0.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "period_ps",
+                constraint: "finite and positive",
+            });
+        }
+        if !(meta_window_ps.is_finite() && meta_window_ps >= 0.0) {
+            return Err(TrngError::InvalidParameter {
+                name: "meta_window_ps",
+                constraint: "finite and non-negative",
+            });
+        }
+        Ok(Sampler {
+            period_ps,
+            meta_window_ps,
+        })
+    }
+
+    /// The reference sampling period, ps.
+    #[must_use]
+    pub fn period_ps(&self) -> f64 {
+        self.period_ps
+    }
+
+    /// The metastability window, ps.
+    #[must_use]
+    pub fn meta_window_ps(&self) -> f64 {
+        self.meta_window_ps
+    }
+
+    /// Samples a recorded trace starting at `t0`, producing `count` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (via [`RingError::HorizonExceeded`]) if the trace
+    /// ends before the last sample instant.
+    pub fn sample_trace(
+        &self,
+        trace: &Trace,
+        t0: Time,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Result<BitString, TrngError> {
+        let last_needed = t0 + self.period_ps * count as f64;
+        let trace_end = trace
+            .transitions()
+            .last()
+            .map_or(Time::ZERO, |&(t, _)| t);
+        if trace_end < last_needed {
+            return Err(TrngError::Ring(RingError::HorizonExceeded {
+                collected: ((trace_end - t0) / self.period_ps).max(0.0) as usize,
+                requested: count,
+            }));
+        }
+        let mut bits = BitString::with_capacity(count);
+        for k in 1..=count {
+            let t = t0 + self.period_ps * k as f64;
+            if self.meta_window_ps > 0.0 && self.near_transition(trace, t) {
+                bits.push_bool(rng.bernoulli(0.5));
+            } else {
+                bits.push(trace.value_at(t).into());
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Whether any data transition falls within the metastability window
+    /// of the sample instant `t`.
+    fn near_transition(&self, trace: &Trace, t: Time) -> bool {
+        let half = self.meta_window_ps / 2.0;
+        trace
+            .transitions()
+            .binary_search_by(|&(tt, _)| tt.cmp(&t))
+            .map(|_| true)
+            .unwrap_or_else(|i| {
+                let before = i
+                    .checked_sub(1)
+                    .and_then(|j| trace.transitions().get(j))
+                    .is_some_and(|&(tt, _)| (t - tt).abs() <= half);
+                let after = trace
+                    .transitions()
+                    .get(i)
+                    .is_some_and(|&(tt, _)| (tt - t).abs() <= half);
+                before || after
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strent_sim::{Bit, RngTree};
+
+    fn square_trace(period: f64, cycles: usize) -> Trace {
+        let mut trace = Trace::new(Bit::Low);
+        for i in 0..cycles {
+            let t0 = i as f64 * period;
+            trace.record(Time::from_ps(t0), Bit::High);
+            trace.record(Time::from_ps(t0 + period / 2.0), Bit::Low);
+        }
+        trace
+    }
+
+    #[test]
+    fn samples_follow_the_waveform() {
+        // 100 ps signal sampled every 100 ps at phase 25 ps: always High.
+        let trace = square_trace(100.0, 100);
+        let sampler = Sampler::new(100.0, 0.0).expect("valid");
+        let mut rng = RngTree::new(1).stream(0);
+        let bits = sampler
+            .sample_trace(&trace, Time::from_ps(-75.0), 50, &mut rng)
+            .expect("long enough");
+        assert_eq!(bits.len(), 50);
+        assert_eq!(bits.count_ones(), 50);
+        // Phase 75 ps: always Low.
+        let bits = sampler
+            .sample_trace(&trace, Time::from_ps(-25.0), 50, &mut rng)
+            .expect("long enough");
+        assert_eq!(bits.count_ones(), 0);
+    }
+
+    #[test]
+    fn incommensurate_sampling_mixes_values() {
+        let trace = square_trace(100.0, 2000);
+        let sampler = Sampler::new(137.3, 0.0).expect("valid");
+        let mut rng = RngTree::new(1).stream(0);
+        let bits = sampler
+            .sample_trace(&trace, Time::ZERO, 1000, &mut rng)
+            .expect("long enough");
+        let ones = bits.count_ones();
+        assert!((350..650).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn metastability_randomizes_near_edges() {
+        // Sample exactly on the rising edges: with a window, the outcome
+        // is a coin flip.
+        let trace = square_trace(100.0, 3000);
+        let sampler = Sampler::new(100.0, 10.0).expect("valid");
+        let mut rng = RngTree::new(2).stream(0);
+        let bits = sampler
+            .sample_trace(&trace, Time::ZERO, 2000, &mut rng)
+            .expect("long enough");
+        let ones = bits.count_ones();
+        assert!((800..1200).contains(&ones), "ones {ones}");
+        // Without a window the same instants read deterministically.
+        let sampler = Sampler::new(100.0, 0.0).expect("valid");
+        let bits = sampler
+            .sample_trace(&trace, Time::ZERO, 2000, &mut rng)
+            .expect("long enough");
+        assert!(bits.count_ones() == 2000 || bits.count_ones() == 0);
+    }
+
+    #[test]
+    fn trace_exhaustion_is_an_error() {
+        let trace = square_trace(100.0, 10);
+        let sampler = Sampler::new(100.0, 0.0).expect("valid");
+        let mut rng = RngTree::new(1).stream(0);
+        assert!(sampler
+            .sample_trace(&trace, Time::ZERO, 100, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Sampler::new(0.0, 0.0).is_err());
+        assert!(Sampler::new(100.0, -1.0).is_err());
+        assert!(Sampler::new(f64::NAN, 0.0).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the TRNG crate.
+
+use proptest::prelude::*;
+
+use strent_trng::battery;
+use strent_trng::coherent::CoherentSampler;
+use strent_trng::entropy;
+use strent_trng::phase::PhaseModel;
+use strent_trng::postprocess;
+use strent_trng::BitString;
+
+fn bit_vec(min_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=1, min_len..2000)
+}
+
+proptest! {
+    /// Packing is MSB-first and length-consistent for any bit pattern.
+    #[test]
+    fn bitstring_packing_roundtrip(bits in bit_vec(0)) {
+        let bs: BitString = bits.iter().copied().collect();
+        let packed = bs.pack();
+        prop_assert_eq!(packed.len(), bits.len().div_ceil(8));
+        for (i, &b) in bits.iter().enumerate() {
+            let byte = packed[i / 8];
+            let extracted = (byte >> (7 - (i % 8))) & 1;
+            prop_assert_eq!(extracted, b, "bit {}", i);
+        }
+        prop_assert_eq!(bs.count_ones() + bs.count_zeros(), bits.len());
+    }
+
+    /// Von Neumann output length is at most half the input and its bits
+    /// are exactly the first elements of the 01/10 pairs.
+    #[test]
+    fn von_neumann_definition(bits in bit_vec(2)) {
+        let bs: BitString = bits.iter().copied().collect();
+        let out = postprocess::von_neumann(&bs);
+        prop_assert!(out.len() <= bs.len() / 2);
+        let expected: Vec<u8> = bits
+            .chunks_exact(2)
+            .filter(|p| p[0] != p[1])
+            .map(|p| p[0])
+            .collect();
+        prop_assert_eq!(out.as_slice(), expected.as_slice());
+    }
+
+    /// XOR decimation length bookkeeping and parity correctness.
+    #[test]
+    fn xor_decimation_definition(bits in bit_vec(4), factor in 1usize..8) {
+        let bs: BitString = bits.iter().copied().collect();
+        let out = postprocess::xor_decimate(&bs, factor);
+        prop_assert_eq!(out.len(), bits.len() / factor);
+        for (i, chunk) in bits.chunks_exact(factor).enumerate() {
+            let parity = chunk.iter().fold(0u8, |acc, &b| acc ^ b);
+            prop_assert_eq!(out.as_slice()[i], parity);
+        }
+    }
+
+    /// The piling-up bound is monotone in the factor and bounded by the
+    /// input bias.
+    #[test]
+    fn piling_up_bound_shape(bias in 0.0_f64..0.5, factor in 1u32..16) {
+        let b1 = postprocess::xor_bias_bound(bias, factor);
+        let b2 = postprocess::xor_bias_bound(bias, factor + 1);
+        prop_assert!(b1 >= b2 - 1e-15, "monotone: {b1} vs {b2}");
+        prop_assert!(b1 <= bias + 1e-15, "never exceeds input bias");
+        prop_assert!(b1 >= 0.0);
+    }
+
+    /// The phase model is deterministic per seed and its bits are
+    /// always 0/1.
+    #[test]
+    fn phase_model_determinism(
+        period in 100.0_f64..10_000.0,
+        sigma in 0.0_f64..5_000.0,
+        seed in any::<u64>(),
+    ) {
+        let mut a = PhaseModel::new(period, sigma, seed).expect("valid");
+        let mut b = PhaseModel::new(period, sigma, seed).expect("valid");
+        let bits_a = a.generate(200);
+        let bits_b = b.generate(200);
+        prop_assert_eq!(&bits_a, &bits_b);
+        prop_assert!(bits_a.iter().all(|bit| bit <= 1));
+    }
+
+    /// Binary entropy is concave-shaped: symmetric, 1 at 1/2, 0 at the
+    /// edges, monotone on each side.
+    #[test]
+    fn binary_entropy_shape(p in 0.0_f64..=1.0, q in 0.0_f64..0.5) {
+        let h = entropy::binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        prop_assert!((h - entropy::binary_entropy(1.0 - p)).abs() < 1e-12);
+        // Monotone on [0, 1/2].
+        let h_q = entropy::binary_entropy(q);
+        let h_q2 = entropy::binary_entropy(q / 2.0);
+        prop_assert!(h_q >= h_q2 - 1e-12);
+    }
+
+    /// Min-entropy never exceeds Shannon entropy (both per bit).
+    #[test]
+    fn min_entropy_below_shannon(bits in prop::collection::vec(0u8..=1, 200..1000)) {
+        let bs: BitString = bits.iter().copied().collect();
+        let h = entropy::shannon_bit_entropy(&bs).expect("enough bits");
+        let hmin = entropy::min_entropy(&bs).expect("enough bits");
+        prop_assert!(hmin <= h + 1e-12, "min {hmin} vs shannon {h}");
+    }
+
+    /// Battery p-values are probabilities for arbitrary input.
+    #[test]
+    fn battery_p_values_are_probabilities(seed in any::<u64>(), p_one in 0.05_f64..0.95) {
+        let mut rng = strent_sim::RngTree::new(seed).stream(0);
+        let bits: BitString = (0..4096).map(|_| u8::from(rng.bernoulli(p_one))).collect();
+        let report = battery::run_all(&bits).expect("long enough");
+        for outcome in &report.outcomes {
+            prop_assert!(
+                (0.0..=1.0).contains(&outcome.p_value),
+                "{}: p = {}",
+                outcome.name,
+                outcome.p_value
+            );
+            prop_assert!(outcome.statistic.is_finite() || outcome.statistic.is_infinite());
+        }
+    }
+
+    /// The coherent sampler's beat length follows its definition.
+    #[test]
+    fn coherent_beat_definition(t1 in 500.0_f64..2000.0, delta in 1.0_f64..50.0) {
+        let t2 = t1 + delta;
+        let gen = CoherentSampler::new(t1, t2, 0.0, 1).expect("valid");
+        prop_assert!((gen.beat_samples() - t2 / delta).abs() < 1e-9);
+    }
+}

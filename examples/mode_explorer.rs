@@ -1,0 +1,55 @@
+//! Watch tokens propagate: render occupancy films of a self-timed ring
+//! under different technologies and initial layouts (the paper's Fig. 5
+//! phenomenon, interactively).
+//!
+//! Run with:
+//! `cargo run --release --example mode_explorer [fpga|asic] [spread|clustered]`
+
+use std::error::Error;
+
+use strentropy::prelude::*;
+use strentropy::rings::str_ring::TokenLayout;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let profile = args.next().unwrap_or_else(|| "fpga".to_owned());
+    let layout_arg = args.next().unwrap_or_else(|| "clustered".to_owned());
+
+    let tech = match profile.as_str() {
+        "fpga" => Technology::cyclone_iii(),
+        "asic" => Technology::asic_like(),
+        other => return Err(format!("unknown profile {other} (use fpga|asic)").into()),
+    };
+    let layout = match layout_arg.as_str() {
+        "spread" => TokenLayout::Spread,
+        "clustered" => TokenLayout::Clustered,
+        other => return Err(format!("unknown layout {other} (use spread|clustered)").into()),
+    };
+
+    let board = Board::new(tech, 0, 2012);
+    let config = StrConfig::new(16, 6)?.with_layout(layout);
+    println!(
+        "16-stage STR, NT = 6, {layout_arg} start, {profile} profile \
+         (Dcharlie = {:.0} ps, drafting = {:.0} ps)\n",
+        board.technology().charlie_delay_ps(),
+        board.technology().drafting_delay_ps()
+    );
+    println!("initial state: {}", config.initial_state().occupancy_string());
+
+    let full = measure::run_str_full(&config, &board, 7, 400)?;
+    let detected = mode::classify_half_periods(&full.run.half_periods_ps);
+    let cv = mode::spacing_cv(&full.run.half_periods_ps).unwrap_or(f64::NAN);
+
+    // Film of the steady regime: ~3 revolutions, 32 frames.
+    let window = full.run.periods_ps.iter().take(24).sum::<f64>();
+    let start = Time::from_ps((full.end_time.as_ps() - window).max(0.0));
+    println!("\nsteady-state occupancy (one row per frame, T = token):");
+    for frame in mode::occupancy_film(&full.stage_traces, start, full.end_time, 32) {
+        println!("  {frame}");
+    }
+    println!(
+        "\ndetected mode: {detected} (spacing CV = {cv:.3}), F = {:.0} MHz",
+        full.run.frequency_mhz
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Meta-crate for workspace-level examples and integration tests.
+//!
+//! See [`strentropy`] for the actual library surface.
+
+pub use strentropy;

@@ -1,0 +1,116 @@
+//! Integration tests for the extension experiments (beyond the paper's
+//! own artifacts), at `Effort::Quick`.
+
+use strentropy::experiments::{self, Effort};
+
+const SEED: u64 = 2012;
+
+/// EXT-DET: deterministic jitter accumulates linearly through IROs but
+/// stays bounded in STRs (Sec. IV-B quantified).
+#[test]
+fn ext_det_accumulation_contrast() {
+    let result = experiments::ext_det::run(Effort::Quick, SEED).expect("runs");
+    let iro_first = &result.iro_rows.first().expect("rows").response;
+    let iro_last = &result.iro_rows.last().expect("rows").response;
+    let str_last = &result.str_rows.last().expect("rows").response;
+    assert!(iro_last.det_amplitude_ps > 4.0 * iro_first.det_amplitude_ps);
+    assert!(str_last.det_amplitude_ps < iro_last.det_amplitude_ps / 4.0);
+}
+
+/// EXT-METHOD: Eq. 6 is exact for IROs and biased low for STRs, with the
+/// period anti-correlation as the visible mechanism.
+#[test]
+fn ext_method_bias_mechanism() {
+    let result = experiments::ext_method::run(Effort::Quick, SEED).expect("runs");
+    let ring = |label: &str| {
+        result
+            .rings
+            .iter()
+            .find(|r| r.label == label)
+            .expect("ring present")
+    };
+    assert!(ring("IRO 5C").lag1_autocorrelation.abs() < 0.05);
+    assert!(ring("STR 96C").lag1_autocorrelation < -0.1);
+    for p in &ring("STR 96C").points {
+        assert!(p.measurement.sigma_p_ps < p.direct_sigma_ps);
+    }
+}
+
+/// EXT-FLICKER: slow delay noise bends the Allan curve and corrupts the
+/// divider method at large settings — invisible in the white model.
+#[test]
+fn ext_flicker_diagnostics() {
+    let result = experiments::ext_flicker::run(Effort::Quick, SEED).expect("runs");
+    let w256 = experiments::ext_flicker::ExtFlickerResult::adev_at(&result.white, 256)
+        .expect("probed");
+    let f256 = experiments::ext_flicker::ExtFlickerResult::adev_at(&result.flicker, 256)
+        .expect("probed");
+    assert!(f256 > 2.0 * w256, "flicker floor: {f256} vs {w256}");
+    let (_, flicker_n64) = result.flicker.divider_estimates[1];
+    assert!(flicker_n64 > 1.5 * result.flicker.sigma_direct_ps);
+}
+
+/// EXT-RESTART: restarts diverge as sqrt(k) (true randomness) and the
+/// sampled bit's entropy rises from 0 toward 1 with the delay.
+#[test]
+fn ext_restart_true_randomness() {
+    let result = experiments::ext_restart::run(Effort::Quick, SEED).expect("runs");
+    for row in &result.dispersion {
+        // The STR curve carries a small constant floor (stationary
+        // token-spacing variance), so the pure sqrt fit is a little
+        // looser than the IRO's.
+        assert!(row.sqrt_fit_r2 > 0.85, "{}: R^2 {}", row.label, row.sqrt_fit_r2);
+    }
+    let first = result.entropy_onset.first().expect("points").1;
+    let last = result.entropy_onset.last().expect("points").1;
+    assert!(first < 0.5 && last > 0.8, "onset {first} -> {last}");
+}
+
+/// EXT-MULTI: entropy per sample grows with ring length when every
+/// phase is harvested — "each stage an independent entropy source".
+#[test]
+fn ext_multi_entropy_scales_with_length() {
+    let result = experiments::ext_multi::run(Effort::Quick, SEED).expect("runs");
+    for row in &result.rows {
+        assert!(
+            row.multiphase_entropy > row.single_phase_entropy,
+            "L={}",
+            row.length
+        );
+    }
+    let gain_first =
+        result.rows[0].multiphase_entropy - result.rows[0].single_phase_entropy;
+    let gain_last = result.rows[2].multiphase_entropy - result.rows[2].single_phase_entropy;
+    assert!(gain_last > gain_first, "gain grows with L");
+}
+
+/// EXT-COHERENT: the STR pair's beat calibration survives the board
+/// farm better than the IRO pair's.
+#[test]
+fn ext_coherent_calibration_stability() {
+    let result = experiments::ext_coherent::run(Effort::Quick, SEED).expect("runs");
+    let iro = &result.rows[0];
+    let strr = &result.rows[1];
+    assert!(strr.beat_cv < iro.beat_cv);
+}
+
+/// Table II's five-board sigma_rel values carry wide (quantified)
+/// confidence intervals, yet the STR-96 interval stays below the short
+/// rings' point estimates — the claim is robust to the sample size.
+#[test]
+fn table2_confidence_intervals() {
+    let result = experiments::table2::run(Effort::Quick, SEED).expect("runs");
+    for row in &result.rows {
+        assert!(row.sigma_rel_ci.0 < row.sigma_rel && row.sigma_rel < row.sigma_rel_ci.1);
+        // 5 samples: upper/lower ratio is large.
+        assert!(row.sigma_rel_ci.1 / row.sigma_rel_ci.0 > 2.0);
+    }
+    let str96 = result.row("STR 96C").expect("present");
+    let iro3 = result.row("IRO 3C").expect("present");
+    assert!(
+        str96.sigma_rel_ci.1 < iro3.sigma_rel,
+        "STR 96C upper bound {} vs IRO 3C point {}",
+        str96.sigma_rel_ci.1,
+        iro3.sigma_rel
+    );
+}

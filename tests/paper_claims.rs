@@ -1,0 +1,150 @@
+//! Integration tests asserting the paper's headline claims across the
+//! whole crate stack, via the experiment layer at `Effort::Quick`.
+//!
+//! Each test states the claim in the paper's words (paraphrased) and
+//! checks the corresponding *shape* — who wins, by roughly what factor —
+//! rather than absolute silicon numbers.
+
+use strentropy::experiments::{self, Effort};
+use strentropy::rings::OscillationMode;
+
+const SEED: u64 = 2012;
+
+/// "We verified experimentally that STRs with NT = NB evolve into the
+/// evenly-spaced mode for ring lengths varying from 4 to 96."
+#[test]
+fn claim_evenly_spaced_locking() {
+    let result = experiments::fig5::run(Effort::Quick, SEED).expect("runs");
+    assert_eq!(result.evenly_spaced.mode, OscillationMode::EvenlySpaced);
+    assert_eq!(result.burst.mode, OscillationMode::Burst);
+}
+
+/// "For a 32-stage ring, evenly-spaced mode is obtained for
+/// configurations where NT = {10, 12, 14, 16, 18, 20}."
+#[test]
+fn claim_locking_range_of_32_stage_ring() {
+    let result = experiments::obs_a::run(Effort::Quick, SEED).expect("runs");
+    let range = result.evenly_spaced_range();
+    for nt in [10, 12, 14, 16, 18, 20] {
+        assert!(range.contains(&nt), "NT = {nt} not evenly spaced: {range:?}");
+    }
+}
+
+/// "Frequencies vary linearly with voltage, and the 96-stage STR
+/// exhibits a lower voltage sensitivity than other ring configurations."
+#[test]
+fn claim_fig8_voltage_sensitivity_ordering() {
+    let result = experiments::fig8::run(Effort::Quick, SEED).expect("runs");
+    let excursion = |label: &str| {
+        result
+            .rings
+            .iter()
+            .find(|r| r.label == label)
+            .expect("ring present")
+            .sweep
+            .excursion
+    };
+    let str96 = excursion("STR 96C");
+    for other in ["IRO 5C", "IRO 80C", "STR 4C"] {
+        assert!(
+            str96 < excursion(other),
+            "STR 96C ({str96}) must beat {other} ({})",
+            excursion(other)
+        );
+    }
+    // Linearity: R^2 of Fn vs V above 0.99 for every ring.
+    for ring in &result.rings {
+        let (v, fnorm): (Vec<f64>, Vec<f64>) = ring.sweep.normalized.iter().copied().unzip();
+        let fit = strentropy::analysis::fit::linear(&v, &fnorm).expect("fits");
+        assert!(fit.r_squared > 0.99, "{}: R^2 {}", ring.label, fit.r_squared);
+    }
+}
+
+/// "RVV is slightly improved for the STR when we increase the number of
+/// stages, which is not the case for the IRO." (Table I)
+#[test]
+fn claim_table1_rvv_trends() {
+    let result = experiments::table1::run(Effort::Quick, SEED).expect("runs");
+    // IRO: flat within a couple of points.
+    let iros = result.iro_rows();
+    let iro_spread = iros
+        .iter()
+        .map(|r| r.excursion)
+        .fold(f64::MIN, f64::max)
+        - iros.iter().map(|r| r.excursion).fold(f64::MAX, f64::min);
+    assert!(iro_spread < 0.05, "IRO dF spread {iro_spread}");
+    // STR: monotone improvement, by >= 8 points from 4C to 96C.
+    let strs = result.str_rows();
+    assert!(strs.first().expect("rows").excursion - strs.last().expect("rows").excursion > 0.08);
+}
+
+/// "STRs achieve much better robustness to extra-device frequency
+/// variability at high frequencies than IROs." (Table II)
+#[test]
+fn claim_table2_process_robustness() {
+    let result = experiments::table2::run(Effort::Quick, SEED).expect("runs");
+    let str96 = result.row("STR 96C").expect("present");
+    let iro3 = result.row("IRO 3C").expect("present");
+    // Much narrower dispersion...
+    assert!(str96.sigma_rel < iro3.sigma_rel / 2.0);
+    // ...at a still-high frequency (hundreds of MHz, not tens like an
+    // equally-long IRO).
+    assert!(str96.frequencies_mhz.iter().all(|&f| f > 250.0));
+}
+
+/// "Both the IRO and STR exhibit a Gaussian jitter." (Fig. 9)
+#[test]
+fn claim_fig9_gaussian_jitter() {
+    let result = experiments::fig9::run(Effort::Quick, SEED).expect("runs");
+    assert!(result.str_panel.is_gaussian(0.001));
+    assert!(result.iro_panel.is_gaussian(0.001));
+}
+
+/// "The curve shows a square-root accumulation tendency which verifies
+/// Equation 4. Moreover, we could estimate sigma_g ~ 2 ps." (Fig. 11)
+#[test]
+fn claim_fig11_sqrt_law_and_sigma_g() {
+    let result = experiments::fig11::run(Effort::Quick, SEED).expect("runs");
+    assert!(result.fit.r_squared > 0.98);
+    assert!((result.fitted_sigma_g_ps() - 2.0).abs() < 0.3);
+}
+
+/// "The measured values are relatively constant with respect to the
+/// number of stages (between 2 ps and 4 ps)." (Fig. 12)
+#[test]
+fn claim_fig12_flat_str_jitter() {
+    let result = experiments::fig12::run(Effort::Quick, SEED).expect("runs");
+    for p in &result.points {
+        assert!(
+            (2.0..4.5).contains(&p.sigma_period_ps),
+            "L = {}: sigma {}",
+            p.length,
+            p.sigma_period_ps
+        );
+    }
+    assert!(result.flatness_ratio() < 1.5);
+}
+
+/// The STR/IRO jitter asymmetry in one picture: at 96 vs 80 stages the
+/// IRO's jitter is an order of magnitude above the STR's.
+#[test]
+fn claim_jitter_asymmetry_at_scale() {
+    let fig11 = experiments::fig11::run(Effort::Quick, SEED).expect("runs");
+    let fig12 = experiments::fig12::run(Effort::Quick, SEED).expect("runs");
+    let iro80 = fig11
+        .points
+        .iter()
+        .find(|p| p.length == 80)
+        .expect("measured")
+        .sigma_period_ps;
+    let str96 = fig12
+        .points
+        .iter()
+        .find(|p| p.length == 96)
+        .expect("measured")
+        .sigma_period_ps;
+    assert!(
+        iro80 > 5.0 * str96,
+        "IRO 80C sigma {iro80} vs STR 96C sigma {str96}"
+    );
+}

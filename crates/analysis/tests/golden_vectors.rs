@@ -1,0 +1,163 @@
+//! Golden-vector tests: small fixed inputs with externally derived
+//! expected outputs, exact where the arithmetic is closed-form.
+//!
+//! Two kinds of vectors live here:
+//!
+//! * **hand-computed** — moments, quantiles, Allan variances and the
+//!   Jarque–Bera statistic of tiny integer datasets, checked against
+//!   paper-and-pencil arithmetic (exact or 1e-9);
+//! * **frozen references** — EDF/goodness-of-fit statistics whose
+//!   closed form is impractical by hand; their values were validated
+//!   once for plausibility (clean Gaussian accepted, uniform ramp
+//!   penalized, textbook chi-square CI factors) and are pinned tightly
+//!   so refactors of the numerics cannot drift silently.
+
+use strent_analysis::allan::{allan_curve, allan_deviation, allan_variance};
+use strent_analysis::normality::{anderson_darling, chi_square_gof, jarque_bera};
+use strent_analysis::special::normal_quantile;
+use strent_analysis::stats::{
+    self, median, percentile, std_dev_confidence, Summary,
+};
+
+/// The classic eight-point example: mean 5, population sigma exactly 2.
+const EIGHT: [f64; 8] = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+
+/// A stratified standard-normal sample (inverse-CDF of midpoints) —
+/// deterministic, as Gaussian as 200 points can be.
+fn stratified_gaussian() -> Vec<f64> {
+    (0..200)
+        .map(|i| {
+            let u = (i as f64 + 0.5) / 200.0;
+            10.0 + 2.0 * normal_quantile(u)
+        })
+        .collect()
+}
+
+#[test]
+fn summary_moments_match_hand_arithmetic() {
+    let s = Summary::from_slice(&EIGHT);
+    assert_eq!(s.count(), 8);
+    assert_eq!(s.mean(), 5.0);
+    // m2 = 32: sample variance 32/7, population variance exactly 4.
+    assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    // Welford accumulation leaves ~1 ulp of rounding on the moments.
+    assert!((s.population_variance() - 4.0).abs() < 1e-12);
+    assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+    // m3 = 42: g1 = sqrt(8) * 42 / 32^1.5 = 42/64 exactly.
+    assert!((s.skewness() - 42.0 / 64.0).abs() < 1e-12);
+    // m4 = 356: g2 = 8 * 356 / 32^2 - 3 = -0.21875 exactly.
+    assert!((s.excess_kurtosis() + 0.21875).abs() < 1e-12);
+    assert_eq!(s.min(), 2.0);
+    assert_eq!(s.max(), 9.0);
+    let rel = s.relative_std_dev().expect("nonzero mean");
+    assert!((rel - (32.0f64 / 7.0).sqrt() / 5.0).abs() < 1e-12);
+}
+
+#[test]
+fn slice_helpers_agree_with_the_summary() {
+    assert_eq!(stats::mean(&EIGHT).expect("non-empty"), 5.0);
+    assert!((stats::std_dev(&EIGHT).expect("enough") - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    assert!(
+        (stats::relative_std_dev(&EIGHT).expect("enough") - (32.0f64 / 7.0).sqrt() / 5.0).abs()
+            < 1e-12
+    );
+}
+
+#[test]
+fn symmetric_ramp_has_zero_skew_and_known_kurtosis() {
+    // 1..5: m2 = 10, m4 = 34 -> g2 = 5*34/100 - 3 = -1.3 exactly.
+    let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+    assert_eq!(s.skewness(), 0.0);
+    assert!((s.excess_kurtosis() + 1.3).abs() < 1e-12);
+}
+
+#[test]
+fn percentiles_interpolate_linearly() {
+    let data = [15.0, 20.0, 35.0, 40.0, 50.0];
+    // position = 0.4 * 4 = 1.6 -> 20 + 0.6 * (35 - 20) = 29.
+    assert!((percentile(&data, 0.4).expect("valid") - 29.0).abs() < 1e-12);
+    assert_eq!(median(&data).expect("valid"), 35.0);
+    assert_eq!(percentile(&data, 0.0).expect("valid"), 15.0);
+    assert_eq!(percentile(&data, 1.0).expect("valid"), 50.0);
+    // Even-length median interpolates halfway.
+    assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).expect("valid"), 2.5);
+}
+
+#[test]
+fn std_dev_confidence_matches_chi_square_tables() {
+    // s = sqrt(10), df = 4, 95%: chi2 quantiles 0.4844 and 11.1433 give
+    // the textbook interval (s*0.5992, s*2.8735).
+    let (lo, hi) = std_dev_confidence(&[10.0, 12.0, 14.0, 16.0, 18.0], 0.95).expect("valid");
+    assert!((lo - 1.894_625_341).abs() < 2e-3, "lower {lo}");
+    assert!((hi - 9.086_980_787).abs() < 1e-2, "upper {hi}");
+    let s = 10.0f64.sqrt();
+    assert!(lo < s && s < hi, "interval must contain the point estimate");
+}
+
+#[test]
+fn parallel_merge_equals_sequential_summary() {
+    let (a, b) = EIGHT.split_at(3);
+    let mut merged = Summary::from_slice(a);
+    merged.merge(&Summary::from_slice(b));
+    let whole = Summary::from_slice(&EIGHT);
+    assert_eq!(merged.count(), whole.count());
+    assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+    assert!((merged.variance() - whole.variance()).abs() < 1e-12);
+    assert!((merged.skewness() - whole.skewness()).abs() < 1e-12);
+    assert!((merged.excess_kurtosis() - whole.excess_kurtosis()).abs() < 1e-12);
+    assert_eq!(merged.min(), whole.min());
+    assert_eq!(merged.max(), whole.max());
+}
+
+#[test]
+fn allan_variance_of_a_ramp_is_closed_form() {
+    // Successive m=1 means of [1,2,3,4] differ by 1: AVAR = 3/(2*3) = 1/2.
+    let ramp = [1.0, 2.0, 3.0, 4.0];
+    assert!((allan_variance(&ramp, 1).expect("valid") - 0.5).abs() < 1e-12);
+    assert!((allan_deviation(&ramp, 1).expect("valid") - 0.5f64.sqrt()).abs() < 1e-12);
+    // m=2 means [1.5, 3.5]: one squared difference of 4 -> AVAR = 2.
+    assert!((allan_variance(&ramp, 2).expect("valid") - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn allan_curve_doubles_m_with_exact_ramp_values() {
+    // 1..8: AVAR(1) = 1/2, AVAR(2) = 2, AVAR(4) = 8 (pure drift slope).
+    let ramp: Vec<f64> = (1..=8).map(f64::from).collect();
+    let curve = allan_curve(&ramp, 2).expect("valid");
+    let expected = [(1usize, 0.5f64), (2, 2.0), (4, 8.0)];
+    assert_eq!(curve.len(), expected.len());
+    for ((m, adev), (em, evar)) in curve.into_iter().zip(expected) {
+        assert_eq!(m, em);
+        assert!((adev - evar.sqrt()).abs() < 1e-12, "m={m}: {adev}");
+    }
+}
+
+#[test]
+fn jarque_bera_statistic_is_exact_on_a_replicated_ramp() {
+    // Four copies of 1..5: S = 0, g2 = -1.3 ->
+    // JB = 20/6 * (1.3^2 / 4) = 1.408333..., p = exp(-JB/2).
+    let data: Vec<f64> = (0..20).map(|i| f64::from(i % 5 + 1)).collect();
+    let r = jarque_bera(&data).expect("valid");
+    assert!((r.statistic - 1.408_333_333_333).abs() < 1e-9, "{}", r.statistic);
+    assert!((r.p_value - (-r.statistic / 2.0).exp()).abs() < 1e-9);
+    assert!((r.p_value - 0.494_520_503).abs() < 1e-6);
+}
+
+#[test]
+fn frozen_normality_references_hold() {
+    // Validated once (clean Gaussian accepted with p ~ 1, uniform ramp
+    // heavily penalized) and pinned against numeric drift.
+    let gauss = stratified_gaussian();
+    let ad = anderson_darling(&gauss).expect("valid");
+    assert!((ad.statistic - 0.006_376_312).abs() < 1e-6, "{}", ad.statistic);
+    assert!(ad.p_value > 0.999);
+    let cs = chi_square_gof(&gauss, 12).expect("valid");
+    assert!((cs.statistic - 0.056_272_577).abs() < 1e-6, "{}", cs.statistic);
+    assert!(cs.p_value > 0.999);
+
+    let ramp: Vec<f64> = (0..50).map(f64::from).collect();
+    let ad_ramp = anderson_darling(&ramp).expect("valid");
+    assert!((ad_ramp.statistic - 0.542_998_793).abs() < 1e-6, "{}", ad_ramp.statistic);
+    assert!((ad_ramp.p_value - 0.163_215_862).abs() < 1e-6, "{}", ad_ramp.p_value);
+    assert!(ad.statistic < ad_ramp.statistic, "Gaussian must score cleaner");
+}

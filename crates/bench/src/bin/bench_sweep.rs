@@ -1,0 +1,197 @@
+//! Emits `BENCH_sweep.json`: per-stage execution statistics of the
+//! parallel experiment runner (wall clock, per-shard busy time and
+//! dispatched simulator events), plus a fig8 thread-scaling probe.
+//!
+//! The JSON is hand-formatted — the workspace builds offline against
+//! stub crates, so no serializer is assumed.
+//!
+//! Usage: `bench_sweep [--quick|--full] [--seed N] [--threads N]
+//! [--out PATH]` (default `--quick`, `BENCH_sweep.json` in the current
+//! directory).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use strentropy::experiments::runner::{ExperimentRunner, StageReport};
+use strentropy::experiments::{
+    ext_charlie, ext_coherent, ext_det, ext_flicker, ext_method, ext_mode, ext_multi,
+    ext_restart, ext_trng, fig5, fig8, obs_a, table1, table2, Effort, ExperimentError,
+};
+
+struct Options {
+    effort: Effort,
+    seed: u64,
+    threads: Option<usize>,
+    out: String,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        effort: Effort::Quick,
+        seed: strentropy::calibration::PAPER_SEED,
+        threads: None,
+        out: "BENCH_sweep.json".to_owned(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.effort = Effort::Quick,
+            "--full" => options.effort = Effort::Full,
+            "--seed" => {
+                let value = args.next().ok_or("--seed requires a value")?;
+                options.seed = value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--threads" => {
+                let value = args.next().ok_or("--threads requires a value")?;
+                options.threads =
+                    Some(value.parse().map_err(|_| format!("invalid threads: {value}"))?);
+            }
+            "--out" => options.out = args.next().ok_or("--out requires a value")?.clone(),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Every ported experiment, driven through one shared runner so the
+/// stage log accumulates in execution order.
+fn run_all(runner: &ExperimentRunner) -> Result<(), ExperimentError> {
+    fig5::run_with(runner)?;
+    fig8::run_with(runner)?;
+    obs_a::run_with(runner)?;
+    table1::run_with(runner)?;
+    table2::run_with(runner)?;
+    ext_charlie::run_with(runner)?;
+    ext_mode::run_with(runner)?;
+    ext_det::run_with(runner)?;
+    ext_flicker::run_with(runner)?;
+    ext_method::run_with(runner)?;
+    ext_multi::run_with(runner)?;
+    ext_restart::run_with(runner)?;
+    ext_coherent::run_with(runner)?;
+    ext_trng::run_with(runner)?;
+    Ok(())
+}
+
+fn stage_json(out: &mut String, report: &StageReport) {
+    let s = &report.stats;
+    let _ = write!(
+        out,
+        "    {{\"label\": \"{}\", \"threads\": {}, \"jobs\": {}, \"wall_ns\": {}, \
+         \"busy_ns\": {}, \"events\": {}, \"speedup\": {:.4}, \"shards\": [",
+        report.label,
+        s.threads,
+        s.jobs,
+        s.wall_ns,
+        s.busy_ns(),
+        s.events(),
+        s.speedup()
+    );
+    for (i, shard) in s.shards.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"jobs\": {}, \"busy_ns\": {}, \"events\": {}}}",
+            if i == 0 { "" } else { ", " },
+            shard.jobs,
+            shard.busy_ns,
+            shard.events
+        );
+    }
+    out.push_str("]}");
+}
+
+fn main() -> ExitCode {
+    let options = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!(
+                "{msg}\nusage: bench_sweep [--quick|--full] [--seed N] [--threads N] [--out PATH]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let threads = options.threads.unwrap_or(available);
+
+    let mut runner = ExperimentRunner::new(options.effort, options.seed);
+    if let Some(t) = options.threads {
+        runner = runner.with_threads(t);
+    }
+    eprintln!(
+        "# bench_sweep: {:?} effort, seed {}, {threads} worker(s), {available} CPU(s)",
+        options.effort, options.seed
+    );
+    if let Err(e) = run_all(&runner) {
+        eprintln!("experiment failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stages = runner.take_stages();
+
+    // Thread-scaling probe on fig8 (the widest frequency sweep): run it
+    // once single-threaded and once at the configured worker count. On
+    // a single-CPU container the ratio only measures sharding overhead,
+    // so the JSON records `available_parallelism` for the consumer to
+    // gate speedup expectations on.
+    let single = ExperimentRunner::new(options.effort, options.seed).with_threads(1);
+    let t0 = Instant::now();
+    if let Err(e) = fig8::run_with(&single) {
+        eprintln!("fig8 scaling probe failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let wall_1 = t0.elapsed().as_nanos();
+    let multi = ExperimentRunner::new(options.effort, options.seed).with_threads(threads);
+    let t0 = Instant::now();
+    if let Err(e) = fig8::run_with(&multi) {
+        eprintln!("fig8 scaling probe failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let wall_n = t0.elapsed().as_nanos();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"strentropy-bench-sweep/1\",");
+    let _ = writeln!(
+        json,
+        "  \"effort\": \"{}\",",
+        match options.effort {
+            Effort::Quick => "quick",
+            Effort::Full => "full",
+        }
+    );
+    let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"available_parallelism\": {available},");
+    let _ = writeln!(
+        json,
+        "  \"totals\": {{\"stages\": {}, \"jobs\": {}, \"wall_ns\": {}, \"events\": {}}},",
+        stages.len(),
+        stages.iter().map(|s| s.stats.jobs).sum::<usize>(),
+        stages.iter().map(|s| s.stats.wall_ns).sum::<u128>(),
+        stages.iter().map(|s| s.stats.events()).sum::<u64>()
+    );
+    let _ = writeln!(
+        json,
+        "  \"fig8_scaling\": {{\"threads\": {threads}, \"wall_ns_1\": {wall_1}, \
+         \"wall_ns_n\": {wall_n}, \"speedup\": {:.4}}},",
+        wall_1 as f64 / wall_n.max(1) as f64
+    );
+    json.push_str("  \"stages\": [\n");
+    for (i, report) in stages.iter().enumerate() {
+        stage_json(&mut json, report);
+        json.push_str(if i + 1 == stages.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "# wrote {} ({} stages, fig8 speedup {:.2}x at {threads} thread(s))",
+        options.out,
+        stages.len(),
+        wall_1 as f64 / wall_n.max(1) as f64
+    );
+    ExitCode::SUCCESS
+}

@@ -25,6 +25,7 @@ use strent_rings::{measure, StrConfig};
 use crate::calibration;
 use crate::report::{fmt_mhz, fmt_ps, Table};
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// The swept Charlie magnitudes, ps.
@@ -69,28 +70,39 @@ impl fmt::Display for ExtCharlieResult {
     }
 }
 
+/// Runs the EXT-CHARLIE ablation on a caller-provided runner: one
+/// sharded job per swept Charlie magnitude.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtCharlieResult, ExperimentError> {
+    let periods = runner.effort().size(2_000, 8_000);
+    let board = calibration::default_board();
+    let points = runner.run_stage("ext_charlie", &CHARLIE_SWEEP_PS, |job, meter| {
+        let charlie = *job.config;
+        let config = StrConfig::new(32, 16)
+            .expect("valid counts")
+            .with_charlie_ps(charlie);
+        let run = measure::run_str(&config, &board, job.seed(), periods)?;
+        meter.record_events(run.events_dispatched);
+        Ok(ExtCharliePoint {
+            charlie_ps: charlie,
+            frequency_mhz: run.frequency_mhz,
+            sigma_period_ps: jitter::period_jitter(&run.periods_ps)?,
+            mode: classify_half_periods(&run.half_periods_ps),
+        })
+    })?;
+    Ok(ExtCharlieResult { points })
+}
+
 /// Runs the EXT-CHARLIE ablation.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation and analysis errors.
 pub fn run(effort: Effort, seed: u64) -> Result<ExtCharlieResult, ExperimentError> {
-    let periods = effort.size(2_000, 8_000);
-    let board = calibration::default_board();
-    let mut points = Vec::new();
-    for &charlie in &CHARLIE_SWEEP_PS {
-        let config = StrConfig::new(32, 16)
-            .expect("valid counts")
-            .with_charlie_ps(charlie);
-        let run = measure::run_str(&config, &board, seed, periods)?;
-        points.push(ExtCharliePoint {
-            charlie_ps: charlie,
-            frequency_mhz: run.frequency_mhz,
-            sigma_period_ps: jitter::period_jitter(&run.periods_ps)?,
-            mode: classify_half_periods(&run.half_periods_ps),
-        });
-    }
-    Ok(ExtCharlieResult { points })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ use strent_trng::coherent::CoherentSampler;
 use crate::calibration::PAPER_SEED;
 use crate::report::Table;
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// The common relative detune of each pair (fraction of the period).
@@ -81,50 +82,71 @@ impl fmt::Display for ExtCoherentResult {
     }
 }
 
+/// Runs the EXT-COHERENT experiment on a caller-provided runner: one
+/// sharded job per (family, board) cell; each job measures the pair on
+/// its board with two seeds forked from the job's subtree.
+///
+/// # Errors
+///
+/// Propagates ring simulation and construction errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtCoherentResult, ExperimentError> {
+    let periods = runner.effort().size(120, 250);
+    let boards = runner.effort().size(8, 24);
+    let farm = BoardFarm::new(Technology::cyclone_iii(), boards, PAPER_SEED);
+    let farm_boards: Vec<_> = farm.iter().collect();
+
+    let jobs: Vec<(usize, usize)> = (0..2)
+        .flat_map(|family| (0..farm_boards.len()).map(move |bi| (family, bi)))
+        .collect();
+    let beats = runner.run_stage("ext_coherent", &jobs, |job, _meter| {
+        let (family, bi) = *job.config;
+        let board = farm_boards[bi];
+        let seed_a = job.rng.fork(0).master_seed();
+        let seed_b = job.rng.fork(1).master_seed();
+        let (ta, tb) = if family == 0 {
+            // IRO pair (5 stages each, ~376 MHz); dT/dr = 2L.
+            let a = IroConfig::new(5).expect("valid length");
+            let t_nominal = strent_rings::analytic::iro_period_ps(&a, board);
+            let detune = RELATIVE_DETUNE * t_nominal / (2.0 * 5.0);
+            let b = IroConfig::new(5)
+                .expect("valid length")
+                .with_placement_base(100)
+                .with_routing_ps(a.routing_ps(board) + detune);
+            (
+                1e6 / measure::run_iro(&a, board, seed_a, periods)?.frequency_mhz,
+                1e6 / measure::run_iro(&b, board, seed_b, periods)?.frequency_mhz,
+            )
+        } else {
+            // STR pair (96 stages each, ~318 MHz); dT/dr = 2L/NT = 4.
+            let a = StrConfig::new(96, 48).expect("valid counts");
+            let t_nominal = strent_rings::analytic::str_period_ps(&a, board);
+            let detune = RELATIVE_DETUNE * t_nominal * 48.0 / (2.0 * 96.0);
+            let b = StrConfig::new(96, 48)
+                .expect("valid counts")
+                .with_placement_base(1000)
+                .with_routing_ps(a.routing_ps(board) + detune);
+            (
+                1e6 / measure::run_str(&a, board, seed_a, periods)?.frequency_mhz,
+                1e6 / measure::run_str(&b, board, seed_b, periods)?.frequency_mhz,
+            )
+        };
+        Ok(CoherentSampler::new(ta, tb, 0.0, 1)?.beat_samples())
+    })?;
+
+    let rows = vec![
+        make_row("IRO 5C pair", beats[..farm_boards.len()].to_vec()),
+        make_row("STR 96C pair", beats[farm_boards.len()..].to_vec()),
+    ];
+    Ok(ExtCoherentResult { rows, boards })
+}
+
 /// Runs the EXT-COHERENT experiment.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation and construction errors.
 pub fn run(effort: Effort, seed: u64) -> Result<ExtCoherentResult, ExperimentError> {
-    let periods = effort.size(120, 250);
-    let boards = effort.size(8, 24);
-    let farm = BoardFarm::new(Technology::cyclone_iii(), boards, PAPER_SEED);
-    let mut rows = Vec::new();
-
-    // IRO pair (5 stages each, ~376 MHz); dT/dr = 2L.
-    let mut iro_beats = Vec::new();
-    for board in farm.iter() {
-        let a = IroConfig::new(5).expect("valid length");
-        let t_nominal = strent_rings::analytic::iro_period_ps(&a, board);
-        let detune = RELATIVE_DETUNE * t_nominal / (2.0 * 5.0);
-        let b = IroConfig::new(5)
-            .expect("valid length")
-            .with_placement_base(100)
-            .with_routing_ps(a.routing_ps(board) + detune);
-        let ta = 1e6 / measure::run_iro(&a, board, seed, periods)?.frequency_mhz;
-        let tb = 1e6 / measure::run_iro(&b, board, seed ^ 1, periods)?.frequency_mhz;
-        iro_beats.push(CoherentSampler::new(ta, tb, 0.0, 1)?.beat_samples());
-    }
-    rows.push(make_row("IRO 5C pair", iro_beats));
-
-    // STR pair (96 stages each, ~318 MHz); dT/dr = 2L/NT = 4.
-    let mut str_beats = Vec::new();
-    for board in farm.iter() {
-        let a = StrConfig::new(96, 48).expect("valid counts");
-        let t_nominal = strent_rings::analytic::str_period_ps(&a, board);
-        let detune = RELATIVE_DETUNE * t_nominal * 48.0 / (2.0 * 96.0);
-        let b = StrConfig::new(96, 48)
-            .expect("valid counts")
-            .with_placement_base(1000)
-            .with_routing_ps(a.routing_ps(board) + detune);
-        let ta = 1e6 / measure::run_str(&a, board, seed, periods)?.frequency_mhz;
-        let tb = 1e6 / measure::run_str(&b, board, seed ^ 1, periods)?.frequency_mhz;
-        str_beats.push(CoherentSampler::new(ta, tb, 0.0, 1)?.beat_samples());
-    }
-    rows.push(make_row("STR 96C pair", str_beats));
-
-    Ok(ExtCoherentResult { rows, boards })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 fn make_row(label: &str, beats: Vec<f64>) -> CoherentRow {

@@ -17,6 +17,7 @@ use strent_trng::elementary::EntropySource;
 use crate::calibration;
 use crate::report::{fmt_ps, Table};
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// The modulation applied in this experiment: ±1% of the nominal 1.2 V.
@@ -69,47 +70,61 @@ impl fmt::Display for ExtDetResult {
     }
 }
 
+/// Runs the EXT-DET experiment on a caller-provided runner: one sharded
+/// job per probed ring (three IRO lengths, three STR lengths).
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtDetResult, ExperimentError> {
+    let periods = runner.effort().size(1_200, 4_000);
+    let board = calibration::default_board();
+    let sources: Vec<(String, usize, EntropySource)> = [5usize, 25, 80]
+        .iter()
+        .map(|&l| {
+            (
+                format!("IRO {l}C"),
+                l,
+                EntropySource::Iro(IroConfig::new(l).expect("valid length")),
+            )
+        })
+        .chain([8usize, 32, 96].iter().map(|&l| {
+            (
+                format!("STR {l}C"),
+                l,
+                EntropySource::Str(StrConfig::new(l, l / 2).expect("valid counts")),
+            )
+        }))
+        .collect();
+    let mut rows = runner.run_stage("ext_det", &sources, |job, _meter| {
+        let (label, length, source) = job.config;
+        Ok(ExtDetRow {
+            label: label.clone(),
+            length: *length,
+            response: probe_response(
+                source,
+                &board,
+                SUPPLY_AMPLITUDE_V,
+                MODULATION_MHZ,
+                job.seed(),
+                periods,
+            )?,
+        })
+    })?;
+    let str_rows = rows.split_off(3);
+    Ok(ExtDetResult {
+        iro_rows: rows,
+        str_rows,
+    })
+}
+
 /// Runs the EXT-DET experiment.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation and analysis errors.
 pub fn run(effort: Effort, seed: u64) -> Result<ExtDetResult, ExperimentError> {
-    let periods = effort.size(1_200, 4_000);
-    let board = calibration::default_board();
-    let mut iro_rows = Vec::new();
-    for &l in &[5usize, 25, 80] {
-        let source = EntropySource::Iro(IroConfig::new(l).expect("valid length"));
-        iro_rows.push(ExtDetRow {
-            label: format!("IRO {l}C"),
-            length: l,
-            response: probe_response(
-                &source,
-                &board,
-                SUPPLY_AMPLITUDE_V,
-                MODULATION_MHZ,
-                seed,
-                periods,
-            )?,
-        });
-    }
-    let mut str_rows = Vec::new();
-    for &l in &[8usize, 32, 96] {
-        let source = EntropySource::Str(StrConfig::new(l, l / 2).expect("valid counts"));
-        str_rows.push(ExtDetRow {
-            label: format!("STR {l}C"),
-            length: l,
-            response: probe_response(
-                &source,
-                &board,
-                SUPPLY_AMPLITUDE_V,
-                MODULATION_MHZ,
-                seed,
-                periods,
-            )?,
-        });
-    }
-    Ok(ExtDetResult { iro_rows, str_rows })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

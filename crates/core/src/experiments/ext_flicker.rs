@@ -25,6 +25,7 @@ use strent_rings::{measure, IroConfig};
 use crate::calibration::PAPER_SEED;
 use crate::report::{fmt_ps, Table};
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// Flicker magnitude enabled in the "flicker" arm (relative stationary
@@ -97,8 +98,13 @@ impl fmt::Display for ExtFlickerResult {
     }
 }
 
-fn measure_arm(label: &str, tech: Technology, seed: u64, periods: usize) -> Result<FlickerArm, ExperimentError> {
-    let board = Board::new(tech, 0, PAPER_SEED);
+fn measure_arm(
+    label: &str,
+    tech: &Technology,
+    seed: u64,
+    periods: usize,
+) -> Result<(FlickerArm, u64), ExperimentError> {
+    let board = Board::new(tech.clone(), 0, PAPER_SEED);
     let config = IroConfig::new(9).expect("valid length");
     let run = measure::run_iro(&config, &board, seed, periods)?;
     let mut allan_curve = Vec::new();
@@ -109,12 +115,45 @@ fn measure_arm(label: &str, tech: Technology, seed: u64, periods: usize) -> Resu
     for n in [4usize, 64] {
         divider_estimates.push((n, divider::measure(&run.periods_ps, n)?.sigma_p_ps));
     }
-    Ok(FlickerArm {
-        label: label.to_owned(),
-        sigma_direct_ps: jitter::period_jitter(&run.periods_ps)?,
-        allan_curve,
-        divider_estimates,
-    })
+    Ok((
+        FlickerArm {
+            label: label.to_owned(),
+            sigma_direct_ps: jitter::period_jitter(&run.periods_ps)?,
+            allan_curve,
+            divider_estimates,
+        },
+        run.events_dispatched,
+    ))
+}
+
+/// Runs the EXT-FLICKER experiment on a caller-provided runner: the
+/// white and flicker arms are independent jobs.
+///
+/// # Errors
+///
+/// Propagates simulation and analysis errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtFlickerResult, ExperimentError> {
+    let periods = runner.effort().size(10_000, 20_000);
+    let base = Technology::cyclone_iii()
+        .with_sigma_intra(0.0)
+        .with_sigma_inter(0.0);
+    let arms = [
+        ("white", base.clone()),
+        (
+            "flicker",
+            base.with_flicker_rel_sigma(FLICKER_REL_SIGMA)
+                .with_flicker_tau_ps(FLICKER_TAU_PS),
+        ),
+    ];
+    let mut results = runner.run_stage("ext_flicker", &arms, |job, meter| {
+        let (label, tech) = job.config;
+        let (arm, events) = measure_arm(label, tech, job.seed(), periods)?;
+        meter.record_events(events);
+        Ok(arm)
+    })?;
+    let flicker = results.pop().expect("two arms");
+    let white = results.pop().expect("two arms");
+    Ok(ExtFlickerResult { white, flicker })
 }
 
 /// Runs the EXT-FLICKER experiment.
@@ -123,19 +162,7 @@ fn measure_arm(label: &str, tech: Technology, seed: u64, periods: usize) -> Resu
 ///
 /// Propagates simulation and analysis errors.
 pub fn run(effort: Effort, seed: u64) -> Result<ExtFlickerResult, ExperimentError> {
-    let periods = effort.size(10_000, 20_000);
-    let base = Technology::cyclone_iii()
-        .with_sigma_intra(0.0)
-        .with_sigma_inter(0.0);
-    let white = measure_arm("white", base.clone(), seed, periods)?;
-    let flicker = measure_arm(
-        "flicker",
-        base.with_flicker_rel_sigma(FLICKER_REL_SIGMA)
-            .with_flicker_tau_ps(FLICKER_TAU_PS),
-        seed,
-        periods,
-    )?;
-    Ok(ExtFlickerResult { white, flicker })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

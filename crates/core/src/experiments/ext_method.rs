@@ -24,11 +24,12 @@ use std::fmt;
 
 use strent_analysis::divider::{measure as divider_measure, DividerMeasurement};
 use strent_analysis::jitter;
-use strent_rings::{measure, IroConfig, StrConfig};
+use strent_rings::{IroConfig, StrConfig};
 
 use crate::calibration;
 use crate::report::{fmt_ps, Table};
 
+use super::runner::{ExperimentRunner, RingSpec};
 use super::{Effort, ExperimentError};
 
 /// One divider-setting comparison.
@@ -108,30 +109,31 @@ impl fmt::Display for ExtMethodResult {
     }
 }
 
-/// Runs the EXT-METHOD experiment.
+/// Runs the EXT-METHOD experiment on a caller-provided runner: the two
+/// long ring runs (the expensive part) are independent jobs, each
+/// analyzed in place.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation and analysis errors.
-pub fn run(effort: Effort, seed: u64) -> Result<ExtMethodResult, ExperimentError> {
-    let periods = effort.size(16_000, 64_000);
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtMethodResult, ExperimentError> {
+    let periods = runner.effort().size(16_000, 64_000);
     let settings = [4usize, 16, 64];
     let board = calibration::default_board();
-    let mut rings = Vec::new();
 
-    let str_run = measure::run_str(
-        &StrConfig::new(96, 48).expect("valid counts"),
-        &board,
-        seed,
-        periods,
-    )?;
-    let iro_run = measure::run_iro(
-        &IroConfig::new(5).expect("valid length"),
-        &board,
-        seed,
-        periods,
-    )?;
-    for (label, run) in [("STR 96C", &str_run), ("IRO 5C", &iro_run)] {
+    let specs = [
+        (
+            "STR 96C",
+            RingSpec::Str(StrConfig::new(96, 48).expect("valid counts")),
+        ),
+        (
+            "IRO 5C",
+            RingSpec::Iro(IroConfig::new(5).expect("valid length")),
+        ),
+    ];
+    let rings = runner.run_stage("ext_method", &specs, |job, meter| {
+        let (label, spec) = job.config;
+        let run = spec.measure(&board, job.seed(), periods, meter)?;
         let direct = jitter::period_jitter(&run.periods_ps)?;
         let mut points = Vec::new();
         for &n in &settings {
@@ -140,13 +142,22 @@ pub fn run(effort: Effort, seed: u64) -> Result<ExtMethodResult, ExperimentError
                 direct_sigma_ps: direct,
             });
         }
-        rings.push(MethodValidation {
-            label: label.to_owned(),
+        Ok(MethodValidation {
+            label: (*label).to_owned(),
             points,
             lag1_autocorrelation: jitter::period_autocorrelation(&run.periods_ps, 1)?,
-        });
-    }
+        })
+    })?;
     Ok(ExtMethodResult { rings })
+}
+
+/// Runs the EXT-METHOD experiment.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run(effort: Effort, seed: u64) -> Result<ExtMethodResult, ExperimentError> {
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use strent_rings::{measure, StrConfig};
 
 use crate::calibration::PAPER_SEED;
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// The probed Charlie magnitudes, ps.
@@ -78,37 +79,53 @@ impl fmt::Display for ExtModeResult {
     }
 }
 
+/// Runs the EXT-MODE experiment on a caller-provided runner: the 5x5
+/// (Charlie, drafting) grid is flattened into one job per cell.
+///
+/// # Errors
+///
+/// Propagates ring simulation errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtModeResult, ExperimentError> {
+    let periods = runner.effort().size(250, 800);
+    let base = Technology::asic_like()
+        .with_sigma_intra(0.0)
+        .with_sigma_inter(0.0);
+    let grid: Vec<(f64, f64)> = CHARLIE_GRID_PS
+        .iter()
+        .flat_map(|&c| DRAFTING_GRID_PS.iter().map(move |&d| (c, d)))
+        .collect();
+    let modes = runner.run_stage("ext_mode", &grid, |job, meter| {
+        let (charlie, drafting) = *job.config;
+        let tech = base
+            .clone()
+            .with_charlie_delay_ps(charlie)
+            .with_drafting_delay_ps(drafting);
+        let board = Board::new(tech, 0, PAPER_SEED);
+        let config = StrConfig::new(16, 6)
+            .expect("valid counts")
+            .with_layout(TokenLayout::Clustered);
+        Ok(match measure::run_str_full(&config, &board, job.seed(), periods) {
+            Ok(full) => {
+                meter.record_events(full.run.events_dispatched);
+                classify_half_periods(&full.run.half_periods_ps)
+            }
+            Err(_) => OscillationMode::Dead,
+        })
+    })?;
+    let cells = modes
+        .chunks(DRAFTING_GRID_PS.len())
+        .map(<[OscillationMode]>::to_vec)
+        .collect();
+    Ok(ExtModeResult { cells })
+}
+
 /// Runs the EXT-MODE experiment.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation errors.
 pub fn run(effort: Effort, seed: u64) -> Result<ExtModeResult, ExperimentError> {
-    let periods = effort.size(250, 800);
-    let base = Technology::asic_like()
-        .with_sigma_intra(0.0)
-        .with_sigma_inter(0.0);
-    let mut cells = Vec::new();
-    for &charlie in &CHARLIE_GRID_PS {
-        let mut row = Vec::new();
-        for &drafting in &DRAFTING_GRID_PS {
-            let tech = base
-                .clone()
-                .with_charlie_delay_ps(charlie)
-                .with_drafting_delay_ps(drafting);
-            let board = Board::new(tech, 0, PAPER_SEED);
-            let config = StrConfig::new(16, 6)
-                .expect("valid counts")
-                .with_layout(TokenLayout::Clustered);
-            let mode = match measure::run_str_full(&config, &board, seed, periods) {
-                Ok(full) => classify_half_periods(&full.run.half_periods_ps),
-                Err(_) => OscillationMode::Dead,
-            };
-            row.push(mode);
-        }
-        cells.push(row);
-    }
-    Ok(ExtModeResult { cells })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use strent_trng::multiphase::MultiphaseTrng;
 use crate::calibration::PAPER_SEED;
 use crate::report::{fmt_ps, Table};
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// One ring-length row of the comparison.
@@ -72,13 +73,14 @@ impl fmt::Display for ExtMultiResult {
     }
 }
 
-/// Runs the EXT-MULTI experiment.
+/// Runs the EXT-MULTI experiment on a caller-provided runner: one
+/// sharded job per ring length.
 ///
 /// # Errors
 ///
 /// Propagates simulation and entropy-estimation errors.
-pub fn run(effort: Effort, seed: u64) -> Result<ExtMultiResult, ExperimentError> {
-    let bits = effort.size(1_200, 4_000);
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtMultiResult, ExperimentError> {
+    let bits = runner.effort().size(1_200, 4_000);
     let reference_periods = 4.0;
     // Noisy-corner technology: the entropy transition must be visible
     // at a simulable reference rate (see DESIGN.md §5 on scaling).
@@ -87,24 +89,34 @@ pub fn run(effort: Effort, seed: u64) -> Result<ExtMultiResult, ExperimentError>
         .with_sigma_intra(0.0)
         .with_sigma_inter(0.0);
     let board = Board::new(tech, 0, PAPER_SEED);
-    let mut rows = Vec::new();
-    for &l in &[8usize, 16, 32] {
+    let rows = runner.run_stage("ext_multi", &[8usize, 16, 32], |job, _meter| {
+        let l = *job.config;
         let config = StrConfig::new(l, l / 2).expect("valid counts");
         let period = strent_rings::analytic::str_period_ps(&config, &board);
         let trng = MultiphaseTrng::new(config, reference_periods * period, 0.0)?;
-        let multi = trng.generate(&board, seed, bits)?;
-        let single = trng.generate_single_phase(&board, seed, bits)?;
-        rows.push(ExtMultiRow {
+        // Both arms sample the same ring run, so they share one seed.
+        let multi = trng.generate(&board, job.seed(), bits)?;
+        let single = trng.generate_single_phase(&board, job.seed(), bits)?;
+        Ok(ExtMultiRow {
             length: l,
             phase_resolution_ps: trng.phase_resolution_ps(&board),
             single_phase_entropy: entropy::markov_entropy(&single)?,
             multiphase_entropy: entropy::markov_entropy(&multi)?,
-        });
-    }
+        })
+    })?;
     Ok(ExtMultiResult {
         rows,
         reference_periods,
     })
+}
+
+/// Runs the EXT-MULTI experiment.
+///
+/// # Errors
+///
+/// Propagates simulation and entropy-estimation errors.
+pub fn run(effort: Effort, seed: u64) -> Result<ExtMultiResult, ExperimentError> {
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

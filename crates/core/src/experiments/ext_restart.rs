@@ -25,6 +25,7 @@ use strent_trng::restart;
 use crate::calibration::{self, PAPER_SEED};
 use crate::report::{fmt_ps, Table};
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// Edge-dispersion results for one source.
@@ -79,44 +80,17 @@ impl fmt::Display for ExtRestartResult {
     }
 }
 
-/// Runs the EXT-RESTART experiment.
+/// Runs the EXT-RESTART experiment on a caller-provided runner: the two
+/// dispersion campaigns and the entropy-onset campaign are three
+/// independent jobs within one stage.
 ///
 /// # Errors
 ///
 /// Propagates simulation and fit errors.
-pub fn run(effort: Effort, seed: u64) -> Result<ExtRestartResult, ExperimentError> {
-    let restarts = effort.size(48, 160);
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtRestartResult, ExperimentError> {
+    let restarts = runner.effort().size(48, 160);
     let board = calibration::default_board();
     let edge_indices = [4usize, 8, 16, 32, 64];
-    let sources = [
-        (
-            "IRO 5C",
-            EntropySource::Iro(IroConfig::new(5).expect("valid length")),
-        ),
-        (
-            "STR 16C",
-            EntropySource::Str(StrConfig::new(16, 8).expect("valid counts")),
-        ),
-    ];
-    let mut dispersion = Vec::new();
-    for (label, source) in &sources {
-        let outcome = restart::run(
-            source,
-            &board,
-            seed,
-            restarts,
-            &[1_000.0],
-            &edge_indices,
-        )?;
-        let k: Vec<f64> = edge_indices.iter().map(|&k| k as f64).collect();
-        let fit = sqrt_law(&k, &outcome.edge_sigma_ps)?;
-        dispersion.push(DispersionRow {
-            label: (*label).to_owned(),
-            edge_indices: edge_indices.to_vec(),
-            sigma_ps: outcome.edge_sigma_ps,
-            sqrt_fit_r2: fit.r_squared,
-        });
-    }
 
     // Entropy onset: noisy corner so the coin-flip transition is
     // reachable within a few hundred periods.
@@ -128,21 +102,85 @@ pub fn run(effort: Effort, seed: u64) -> Result<ExtRestartResult, ExperimentErro
         0,
         PAPER_SEED,
     );
-    let source = EntropySource::Str(StrConfig::new(8, 4).expect("valid counts"));
-    let period = source.predicted_period_ps(&noisy);
+    let onset_source = EntropySource::Str(StrConfig::new(8, 4).expect("valid counts"));
+    let period = onset_source.predicted_period_ps(&noisy);
     let delay_periods = [2.0, 8.0, 24.0, 60.0, 120.0, 240.0];
     let delays: Vec<f64> = delay_periods.iter().map(|&m| m * period).collect();
-    let outcome = restart::run(&source, &noisy, seed ^ 0x0E57, restarts, &delays, &[1])?;
-    let entropy_onset = delay_periods
-        .iter()
-        .copied()
-        .zip(outcome.entropy_per_delay())
-        .collect();
 
+    enum Campaign {
+        Dispersion(&'static str, EntropySource),
+        Onset(EntropySource),
+    }
+    enum CampaignResult {
+        Dispersion(DispersionRow),
+        Onset(Vec<(f64, f64)>),
+    }
+    let campaigns = [
+        Campaign::Dispersion(
+            "IRO 5C",
+            EntropySource::Iro(IroConfig::new(5).expect("valid length")),
+        ),
+        Campaign::Dispersion(
+            "STR 16C",
+            EntropySource::Str(StrConfig::new(16, 8).expect("valid counts")),
+        ),
+        Campaign::Onset(onset_source),
+    ];
+    let results = runner.run_stage("ext_restart", &campaigns, |job, _meter| {
+        match job.config {
+            Campaign::Dispersion(label, source) => {
+                let outcome = restart::run(
+                    source,
+                    &board,
+                    job.seed(),
+                    restarts,
+                    &[1_000.0],
+                    &edge_indices,
+                )?;
+                let k: Vec<f64> = edge_indices.iter().map(|&k| k as f64).collect();
+                let fit = sqrt_law(&k, &outcome.edge_sigma_ps)?;
+                Ok(CampaignResult::Dispersion(DispersionRow {
+                    label: (*label).to_owned(),
+                    edge_indices: edge_indices.to_vec(),
+                    sigma_ps: outcome.edge_sigma_ps,
+                    sqrt_fit_r2: fit.r_squared,
+                }))
+            }
+            Campaign::Onset(source) => {
+                let outcome =
+                    restart::run(source, &noisy, job.seed(), restarts, &delays, &[1])?;
+                Ok(CampaignResult::Onset(
+                    delay_periods
+                        .iter()
+                        .copied()
+                        .zip(outcome.entropy_per_delay())
+                        .collect(),
+                ))
+            }
+        }
+    })?;
+
+    let mut dispersion = Vec::new();
+    let mut entropy_onset = Vec::new();
+    for result in results {
+        match result {
+            CampaignResult::Dispersion(row) => dispersion.push(row),
+            CampaignResult::Onset(curve) => entropy_onset = curve,
+        }
+    }
     Ok(ExtRestartResult {
         dispersion,
         entropy_onset,
     })
+}
+
+/// Runs the EXT-RESTART experiment.
+///
+/// # Errors
+///
+/// Propagates simulation and fit errors.
+pub fn run(effort: Effort, seed: u64) -> Result<ExtRestartResult, ExperimentError> {
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ use strent_trng::BitString;
 use crate::calibration;
 use crate::report::Table;
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// Supply attack amplitude, volts (±0.33% of nominal — small enough
@@ -153,18 +154,20 @@ impl fmt::Display for ExtTrngResult {
     }
 }
 
-/// Runs the EXT-TRNG experiment.
+/// Runs the EXT-TRNG experiment on a caller-provided runner: one
+/// sharded job per source, each evaluating both the quality and the
+/// attack configuration with seeds forked from its job subtree.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation, TRNG and analysis errors.
-pub fn run(effort: Effort, seed: u64) -> Result<ExtTrngResult, ExperimentError> {
-    let calibration_periods = effort.size(1_500, 4_000);
-    let bits_quality = effort.size(30_000, 200_000);
+pub fn run_with(runner: &ExperimentRunner) -> Result<ExtTrngResult, ExperimentError> {
+    let calibration_periods = runner.effort().size(1_500, 4_000);
+    let bits_quality = runner.effort().size(30_000, 200_000);
     // The weak-source phase walk mixes over ~(T/sigma_acc)^2 ~ 30k
     // samples; the attack stream must be several mixing times long or
     // the lock-in depends on where the phase lingered.
-    let bits_attack = effort.size(400_000, 2_000_000);
+    let bits_attack = runner.effort().size(400_000, 2_000_000);
     let board = calibration::default_board();
 
     let sources = [
@@ -178,9 +181,9 @@ pub fn run(effort: Effort, seed: u64) -> Result<ExtTrngResult, ExperimentError> 
         ),
     ];
 
-    let mut quality = Vec::new();
-    let mut attack = Vec::new();
-    for (label, source) in &sources {
+    let rows = runner.run_stage("ext_trng", &sources, |job, _meter| {
+        let (label, source) = job.config;
+        let seed = job.seed();
         let period = source.predicted_period_ps(&board);
 
         // Quality configuration: a reference slow enough for q = 0.5.
@@ -194,17 +197,17 @@ pub fn run(effort: Effort, seed: u64) -> Result<ExtTrngResult, ExperimentError> 
         let mut model = strent_trng::phase::PhaseModel::new(
             probe_model.period_ps(),
             0.5 * probe_model.period_ps(),
-            seed ^ 0x0DD,
+            job.rng.fork(1).master_seed(),
         )?;
         let bits = model.generate(bits_quality);
         let report = battery::run_all(&bits)?;
-        quality.push(QualityRow {
+        let quality = QualityRow {
             label: (*label).to_owned(),
             quality_factor: model.quality_factor(),
             shannon_entropy: entropy::shannon_bit_entropy(&bits)?,
             battery_passed: report.passed(0.01),
             battery_total: report.outcomes.len(),
-        });
+        };
 
         // Attack configuration: fast reference (weak per-bit entropy).
         let t_ref_attack = period * 18.0;
@@ -224,10 +227,10 @@ pub fn run(effort: Effort, seed: u64) -> Result<ExtTrngResult, ExperimentError> 
             &response,
             weak_model.sigma_acc_ps(),
             t_ref_attack,
-            seed ^ 0xA77,
+            job.rng.fork(2).master_seed(),
         )?;
         let attacked_bits = attacked.generate(bits_attack);
-        attack.push(AttackRow {
+        let attack = AttackRow {
             label: (*label).to_owned(),
             det_amplitude_ps: response.det_amplitude_ps,
             clean_structure: segmented_bit_lockin(
@@ -240,9 +243,21 @@ pub fn run(effort: Effort, seed: u64) -> Result<ExtTrngResult, ExperimentError> 
                 mod_period_samples,
                 LOCKIN_SEGMENT,
             ),
-        });
-    }
+        };
+        Ok((quality, attack))
+    })?;
+
+    let (quality, attack) = rows.into_iter().unzip();
     Ok(ExtTrngResult { quality, attack })
+}
+
+/// Runs the EXT-TRNG experiment.
+///
+/// # Errors
+///
+/// Propagates ring simulation, TRNG and analysis errors.
+pub fn run(effort: Effort, seed: u64) -> Result<ExtTrngResult, ExperimentError> {
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use strent_sim::Time;
 
 use crate::calibration::PAPER_SEED;
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// One mode demonstration.
@@ -69,12 +70,12 @@ impl fmt::Display for Fig5Result {
 
 fn demo(
     label: &str,
-    tech: Technology,
+    tech: &Technology,
     layout: TokenLayout,
     periods: usize,
     seed: u64,
-) -> Result<ModeDemo, ExperimentError> {
-    let board = Board::new(tech, 0, PAPER_SEED);
+) -> Result<(ModeDemo, u64), ExperimentError> {
+    let board = Board::new(tech.clone(), 0, PAPER_SEED);
     let config = StrConfig::new(16, 6)
         .expect("valid counts")
         .with_layout(layout);
@@ -89,13 +90,48 @@ fn demo(
         .sum::<f64>()
         .max(1.0);
     let start = Time::from_ps((full.end_time.as_ps() - window).max(0.0));
-    Ok(ModeDemo {
-        label: label.to_owned(),
-        mode: classify_half_periods(halves),
-        spacing_cv: spacing_cv(halves).unwrap_or(f64::NAN),
-        frequency_mhz: full.run.frequency_mhz,
-        cluster_size: burst_cluster_size(halves),
-        film: occupancy_film(&full.stage_traces, start, full.end_time, 24),
+    Ok((
+        ModeDemo {
+            label: label.to_owned(),
+            mode: classify_half_periods(halves),
+            spacing_cv: spacing_cv(halves).unwrap_or(f64::NAN),
+            frequency_mhz: full.run.frequency_mhz,
+            cluster_size: burst_cluster_size(halves),
+            film: occupancy_film(&full.stage_traces, start, full.end_time, 24),
+        },
+        full.run.events_dispatched,
+    ))
+}
+
+/// Runs the Fig. 5 experiment on a caller-provided runner: the two
+/// technology profiles are independent jobs.
+///
+/// # Errors
+///
+/// Propagates ring simulation errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<Fig5Result, ExperimentError> {
+    let periods = runner.effort().size(300, 1_000);
+    let profiles = [
+        (
+            "FPGA profile (strong Charlie), clustered start",
+            Technology::cyclone_iii(),
+        ),
+        (
+            "ASIC-like profile (weak Charlie + drafting), clustered start",
+            Technology::asic_like(),
+        ),
+    ];
+    let mut demos = runner.run_stage("fig5", &profiles, |job, meter| {
+        let (label, tech) = job.config;
+        let (demo, events) = demo(label, tech, TokenLayout::Clustered, periods, job.seed())?;
+        meter.record_events(events);
+        Ok(demo)
+    })?;
+    let burst = demos.pop().expect("two profiles");
+    let evenly_spaced = demos.pop().expect("two profiles");
+    Ok(Fig5Result {
+        evenly_spaced,
+        burst,
     })
 }
 
@@ -105,23 +141,7 @@ fn demo(
 ///
 /// Propagates ring simulation errors.
 pub fn run(effort: Effort, seed: u64) -> Result<Fig5Result, ExperimentError> {
-    let periods = effort.size(300, 1_000);
-    Ok(Fig5Result {
-        evenly_spaced: demo(
-            "FPGA profile (strong Charlie), clustered start",
-            Technology::cyclone_iii(),
-            TokenLayout::Clustered,
-            periods,
-            seed,
-        )?,
-        burst: demo(
-            "ASIC-like profile (weak Charlie + drafting), clustered start",
-            Technology::asic_like(),
-            TokenLayout::Clustered,
-            periods,
-            seed,
-        )?,
-    })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

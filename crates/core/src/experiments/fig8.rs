@@ -5,11 +5,12 @@ use std::fmt;
 
 use strent_analysis::frequency::{normalize_sweep, NormalizedSweep, SweepPoint};
 use strent_device::Supply;
-use strent_rings::{measure, IroConfig, StrConfig};
+use strent_rings::{IroConfig, StrConfig};
 
 use crate::calibration::{self, NOMINAL_VOLTS, SWEEP_VOLTS};
 use crate::report::{fmt_mhz, Table};
 
+use super::runner::{ExperimentRunner, RingSpec};
 use super::{Effort, ExperimentError};
 
 /// One ring's sweep result.
@@ -69,21 +70,68 @@ impl fmt::Display for Fig8Result {
     }
 }
 
-/// Measures one ring configuration across the sweep.
-fn sweep_ring(
-    label: &str,
-    mut run_at: impl FnMut(f64) -> Result<f64, ExperimentError>,
-) -> Result<RingSweep, ExperimentError> {
-    let mut points = Vec::with_capacity(SWEEP_VOLTS.len());
-    for &v in &SWEEP_VOLTS {
-        points.push(SweepPoint {
-            voltage: v,
-            frequency_mhz: run_at(v)?,
+/// Runs the Fig. 8 experiment on a caller-provided runner.
+///
+/// The (ring, voltage) grid is flattened into one job per point and
+/// sharded across the runner's workers; the results are identical for
+/// every thread count.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<Fig8Result, ExperimentError> {
+    let periods = runner.effort().size(120, 400);
+    let base = calibration::default_board();
+
+    let specs: Vec<(String, RingSpec)> = [5usize, 80]
+        .iter()
+        .map(|&l| {
+            (
+                format!("IRO {l}C"),
+                RingSpec::Iro(IroConfig::new(l).expect("valid length")),
+            )
+        })
+        .chain([4usize, 96].iter().map(|&l| {
+            (
+                format!("STR {l}C"),
+                RingSpec::Str(StrConfig::new(l, l / 2).expect("valid counts")),
+            )
+        }))
+        .collect();
+    let jobs: Vec<(usize, f64)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, _)| SWEEP_VOLTS.iter().map(move |&v| (ri, v)))
+        .collect();
+
+    let freqs = runner.run_stage("fig8", &jobs, |job, meter| {
+        let (ri, v) = *job.config;
+        let mut board = base.clone();
+        board.set_supply(Supply::dc(v));
+        Ok(specs[ri]
+            .1
+            .measure(&board, job.seed(), periods, meter)?
+            .frequency_mhz)
+    })?;
+
+    let mut rings = Vec::with_capacity(specs.len());
+    for (ri, (label, _)) in specs.iter().enumerate() {
+        let points: Vec<SweepPoint> = SWEEP_VOLTS
+            .iter()
+            .zip(&freqs[ri * SWEEP_VOLTS.len()..])
+            .map(|(&voltage, &frequency_mhz)| SweepPoint {
+                voltage,
+                frequency_mhz,
+            })
+            .collect();
+        rings.push(RingSweep {
+            label: label.clone(),
+            sweep: normalize_sweep(&points, NOMINAL_VOLTS)?,
         });
     }
-    Ok(RingSweep {
-        label: label.to_owned(),
-        sweep: normalize_sweep(&points, NOMINAL_VOLTS)?,
+    Ok(Fig8Result {
+        rings,
+        volts: SWEEP_VOLTS.to_vec(),
     })
 }
 
@@ -93,30 +141,7 @@ fn sweep_ring(
 ///
 /// Propagates ring simulation and analysis errors.
 pub fn run(effort: Effort, seed: u64) -> Result<Fig8Result, ExperimentError> {
-    let periods = effort.size(120, 400);
-    let base = calibration::default_board();
-    let mut rings = Vec::new();
-
-    for &l in &[5usize, 80] {
-        let config = IroConfig::new(l).expect("valid length");
-        rings.push(sweep_ring(&format!("IRO {l}C"), |v| {
-            let mut board = base.clone();
-            board.set_supply(Supply::dc(v));
-            Ok(measure::run_iro(&config, &board, seed, periods)?.frequency_mhz)
-        })?);
-    }
-    for &l in &[4usize, 96] {
-        let config = StrConfig::new(l, l / 2).expect("valid counts");
-        rings.push(sweep_ring(&format!("STR {l}C"), |v| {
-            let mut board = base.clone();
-            board.set_supply(Supply::dc(v));
-            Ok(measure::run_str(&config, &board, seed, periods)?.frequency_mhz)
-        })?);
-    }
-    Ok(Fig8Result {
-        rings,
-        volts: SWEEP_VOLTS.to_vec(),
-    })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

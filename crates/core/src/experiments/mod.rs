@@ -22,6 +22,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod obs_a;
+pub mod runner;
 pub mod table1;
 pub mod table2;
 

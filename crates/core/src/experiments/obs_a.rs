@@ -11,6 +11,7 @@ use strent_rings::{analytic, measure, StrConfig};
 use crate::calibration;
 use crate::report::{fmt_mhz, Table};
 
+use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// One token-count probe of the 32-stage ring.
@@ -81,28 +82,40 @@ impl fmt::Display for ObsAResult {
     }
 }
 
-/// Runs the Sec. V-A experiment: every even `NT` from 4 to 28.
+/// Runs the Sec. V-A experiment on a caller-provided runner: one
+/// sharded job per probed token count.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation errors.
-pub fn run(effort: Effort, seed: u64) -> Result<ObsAResult, ExperimentError> {
-    let periods = effort.size(200, 600);
+pub fn run_with(runner: &ExperimentRunner) -> Result<ObsAResult, ExperimentError> {
+    let periods = runner.effort().size(200, 600);
     let board = calibration::default_board();
-    let mut points = Vec::new();
-    for tokens in (4..=28).step_by(2) {
+    let tokens: Vec<usize> = (4..=28).step_by(2).collect();
+    let points = runner.run_stage("obs_a", &tokens, |job, meter| {
+        let tokens = *job.config;
         let config = StrConfig::new(32, tokens).expect("valid counts");
-        let run = measure::run_str(&config, &board, seed, periods)?;
-        points.push(ObsAPoint {
+        let run = measure::run_str(&config, &board, job.seed(), periods)?;
+        meter.record_events(run.events_dispatched);
+        Ok(ObsAPoint {
             tokens,
             mode: classify_half_periods(&run.half_periods_ps),
             spacing_cv: spacing_cv(&run.half_periods_ps).unwrap_or(f64::NAN),
             frequency_mhz: run.frequency_mhz,
             predicted_mhz: 1e6 / analytic::str_period_general_ps(&config, &board),
             sigma_period_ps: jitter::period_jitter(&run.periods_ps)?,
-        });
-    }
+        })
+    })?;
     Ok(ObsAResult { points })
+}
+
+/// Runs the Sec. V-A experiment: every even `NT` from 4 to 28.
+///
+/// # Errors
+///
+/// Propagates ring simulation errors.
+pub fn run(effort: Effort, seed: u64) -> Result<ObsAResult, ExperimentError> {
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -5,11 +5,12 @@ use std::fmt;
 
 use strent_analysis::frequency::{normalize_sweep, SweepPoint};
 use strent_device::Supply;
-use strent_rings::{measure, IroConfig, StrConfig};
+use strent_rings::{IroConfig, StrConfig};
 
 use crate::calibration::{self, NOMINAL_VOLTS, SWEEP_VOLTS, TABLE1_IRO_LENGTHS, TABLE1_STR_LENGTHS};
 use crate::report::{fmt_mhz, fmt_percent, Table};
 
+use super::runner::{ExperimentRunner, RingSpec};
 use super::{Effort, ExperimentError};
 
 /// One row of Table I.
@@ -74,60 +75,74 @@ impl fmt::Display for Table1Result {
     }
 }
 
+/// Runs the Table I experiment on a caller-provided runner: one sharded
+/// job per (ring, voltage) point of the 8x9 grid.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run_with(runner: &ExperimentRunner) -> Result<Table1Result, ExperimentError> {
+    let periods = runner.effort().size(100, 300);
+    let base = calibration::default_board();
+
+    let specs: Vec<(String, RingSpec)> = TABLE1_IRO_LENGTHS
+        .iter()
+        .map(|&l| {
+            (
+                format!("IRO {l}C"),
+                RingSpec::Iro(IroConfig::new(l).expect("valid length")),
+            )
+        })
+        .chain(TABLE1_STR_LENGTHS.iter().map(|&l| {
+            (
+                format!("STR {l}C"),
+                RingSpec::Str(StrConfig::new(l, l / 2).expect("valid counts")),
+            )
+        }))
+        .collect();
+    let jobs: Vec<(usize, f64)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, _)| SWEEP_VOLTS.iter().map(move |&v| (ri, v)))
+        .collect();
+
+    let freqs = runner.run_stage("table1", &jobs, |job, meter| {
+        let (ri, v) = *job.config;
+        let mut board = base.clone();
+        board.set_supply(Supply::dc(v));
+        Ok(specs[ri]
+            .1
+            .measure(&board, job.seed(), periods, meter)?
+            .frequency_mhz)
+    })?;
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for (ri, (label, _)) in specs.iter().enumerate() {
+        let points: Vec<SweepPoint> = SWEEP_VOLTS
+            .iter()
+            .zip(&freqs[ri * SWEEP_VOLTS.len()..])
+            .map(|(&voltage, &frequency_mhz)| SweepPoint {
+                voltage,
+                frequency_mhz,
+            })
+            .collect();
+        let sweep = normalize_sweep(&points, NOMINAL_VOLTS)?;
+        rows.push(Table1Row {
+            label: label.clone(),
+            f_nominal_mhz: sweep.f_nominal_mhz,
+            excursion: sweep.excursion,
+        });
+    }
+    Ok(Table1Result { rows })
+}
+
 /// Runs the Table I experiment.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation and analysis errors.
 pub fn run(effort: Effort, seed: u64) -> Result<Table1Result, ExperimentError> {
-    let periods = effort.size(100, 300);
-    let base = calibration::default_board();
-    let mut rows = Vec::new();
-
-    let measure_ring =
-        |label: String,
-         mut freq_at: Box<dyn FnMut(f64) -> Result<f64, ExperimentError> + '_>|
-         -> Result<Table1Row, ExperimentError> {
-            let mut points = Vec::new();
-            for &v in &SWEEP_VOLTS {
-                points.push(SweepPoint {
-                    voltage: v,
-                    frequency_mhz: freq_at(v)?,
-                });
-            }
-            let sweep = normalize_sweep(&points, NOMINAL_VOLTS)?;
-            Ok(Table1Row {
-                label,
-                f_nominal_mhz: sweep.f_nominal_mhz,
-                excursion: sweep.excursion,
-            })
-        };
-
-    for &l in &TABLE1_IRO_LENGTHS {
-        let config = IroConfig::new(l).expect("valid length");
-        let base = &base;
-        rows.push(measure_ring(
-            format!("IRO {l}C"),
-            Box::new(move |v| {
-                let mut board = base.clone();
-                board.set_supply(Supply::dc(v));
-                Ok(measure::run_iro(&config, &board, seed, periods)?.frequency_mhz)
-            }),
-        )?);
-    }
-    for &l in &TABLE1_STR_LENGTHS {
-        let config = StrConfig::new(l, l / 2).expect("valid counts");
-        let base = &base;
-        rows.push(measure_ring(
-            format!("STR {l}C"),
-            Box::new(move |v| {
-                let mut board = base.clone();
-                board.set_supply(Supply::dc(v));
-                Ok(measure::run_str(&config, &board, seed, periods)?.frequency_mhz)
-            }),
-        )?);
-    }
-    Ok(Table1Result { rows })
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -5,11 +5,12 @@ use std::fmt;
 
 use strent_analysis::frequency::sigma_rel;
 use strent_analysis::stats::std_dev_confidence;
-use strent_rings::{measure, IroConfig, StrConfig};
+use strent_rings::{IroConfig, StrConfig};
 
 use crate::calibration;
 use crate::report::{fmt_mhz, Table};
 
+use super::runner::{ExperimentRunner, RingSpec};
 use super::{Effort, ExperimentError};
 
 /// One row of Table II.
@@ -67,54 +68,92 @@ impl fmt::Display for Table2Result {
     }
 }
 
-/// Runs the Table II experiment.
+/// Runs the Table II experiment on a caller-provided runner: one
+/// sharded job per (ring, board) cell of the 4x5 grid.
 ///
 /// # Errors
 ///
 /// Propagates ring simulation and analysis errors.
-pub fn run(effort: Effort, seed: u64) -> Result<Table2Result, ExperimentError> {
-    let periods = effort.size(150, 400);
+pub fn run_with(runner: &ExperimentRunner) -> Result<Table2Result, ExperimentError> {
+    let periods = runner.effort().size(150, 400);
     let farm = calibration::paper_boards();
-    let mut rows = Vec::new();
+    let boards: Vec<_> = farm.iter().collect();
 
-    for &l in &[3usize, 5] {
-        let mut config = IroConfig::new(l).expect("valid length");
+    // Each Table II design is its own bitstream: the four rings occupy
+    // disjoint silicon regions, so each samples fresh intra-die process
+    // draws (previously all four overlapped at cell 0, making IRO 5C
+    // reuse IRO 3C's exact cells).
+    let mut specs: Vec<(String, RingSpec)> = Vec::new();
+    for &(l, base) in &[(3usize, 0u64), (5, 100)] {
+        let mut config = IroConfig::new(l)
+            .expect("valid length")
+            .with_placement_base(base);
         if l == 5 {
             // Table II's IRO 5C uses the paper's spread placement
             // (~305 MHz, vs 376 MHz in Table I) — see calibration docs.
-            let base = config.routing_ps(calibration::paper_boards().board(0));
+            let routing = config.routing_ps(calibration::paper_boards().board(0));
             config = config
-                .with_routing_ps(base + calibration::TABLE2_IRO5_EXTRA_ROUTING_PS);
+                .with_routing_ps(routing + calibration::TABLE2_IRO5_EXTRA_ROUTING_PS);
         }
-        let mut freqs = Vec::new();
-        for board in farm.iter() {
-            freqs.push(measure::run_iro(&config, board, seed, periods)?.frequency_mhz);
-        }
-        let mean = freqs.iter().sum::<f64>() / freqs.len() as f64;
-        let ci = std_dev_confidence(&freqs, 0.95)?;
-        rows.push(Table2Row {
-            label: format!("IRO {l}C"),
-            sigma_rel: sigma_rel(&freqs)?,
-            sigma_rel_ci: (ci.0 / mean, ci.1 / mean),
-            frequencies_mhz: freqs,
-        });
+        specs.push((format!("IRO {l}C"), RingSpec::Iro(config)));
     }
-    for &l in &[4usize, 96] {
-        let config = StrConfig::new(l, l / 2).expect("valid counts");
-        let mut freqs = Vec::new();
-        for board in farm.iter() {
-            freqs.push(measure::run_str(&config, board, seed, periods)?.frequency_mhz);
-        }
+    for &(l, base) in &[(4usize, 200u64), (96, 300)] {
+        specs.push((
+            format!("STR {l}C"),
+            RingSpec::Str(
+                StrConfig::new(l, l / 2)
+                    .expect("valid counts")
+                    .with_placement_base(base),
+            ),
+        ));
+    }
+
+    // Table II loads the *same* bitstream into every board: the only
+    // thing that differs between boards is the silicon. Mirror that by
+    // giving all five boards of a ring one shared measurement seed
+    // (keyed by ring index), so the across-board spread isolates
+    // process variation instead of also sampling independent
+    // measurement noise per cell.
+    let ring_rng = runner.stage_rng("table2:rings");
+    let ring_seeds: Vec<u64> = (0..specs.len())
+        .map(|ri| ring_rng.fork(ri as u64).master_seed())
+        .collect();
+
+    let jobs: Vec<(usize, usize)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, _)| (0..boards.len()).map(move |bi| (ri, bi)))
+        .collect();
+    let freqs = runner.run_stage("table2", &jobs, |job, meter| {
+        let (ri, bi) = *job.config;
+        Ok(specs[ri]
+            .1
+            .measure(boards[bi], ring_seeds[ri], periods, meter)?
+            .frequency_mhz)
+    })?;
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for (ri, (label, _)) in specs.iter().enumerate() {
+        let freqs = freqs[ri * boards.len()..(ri + 1) * boards.len()].to_vec();
         let mean = freqs.iter().sum::<f64>() / freqs.len() as f64;
         let ci = std_dev_confidence(&freqs, 0.95)?;
         rows.push(Table2Row {
-            label: format!("STR {l}C"),
+            label: label.clone(),
             sigma_rel: sigma_rel(&freqs)?,
             sigma_rel_ci: (ci.0 / mean, ci.1 / mean),
             frequencies_mhz: freqs,
         });
     }
     Ok(Table2Result { rows })
+}
+
+/// Runs the Table II experiment.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn run(effort: Effort, seed: u64) -> Result<Table2Result, ExperimentError> {
+    run_with(&ExperimentRunner::new(effort, seed))
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@ pub struct RingRun {
     pub half_periods_ps: Vec<f64>,
     /// Mean frequency over the steady-state periods, MHz.
     pub frequency_mhz: f64,
+    /// Simulator events dispatched to produce this run — the workload
+    /// unit sweep harnesses aggregate per shard.
+    pub events_dispatched: u64,
 }
 
 impl RingRun {
@@ -44,6 +47,7 @@ impl RingRun {
             half_periods_ps: halves[half_start..half_end].to_vec(),
             frequency_mhz: 1e6 / mean,
             periods_ps,
+            events_dispatched: 0,
         })
     }
 }
@@ -97,7 +101,9 @@ pub fn run_iro(
     let expected = analytic::iro_period_ps(config, board);
     run_to_periods(&mut sim, handle.output(), expected, periods, WARMUP_PERIODS)?;
     let trace = sim.trace(handle.output()).expect("watched");
-    RingRun::from_trace(trace, WARMUP_PERIODS, periods)
+    let mut run = RingRun::from_trace(trace, WARMUP_PERIODS, periods)?;
+    run.events_dispatched = sim.stats().events_processed;
+    Ok(run)
 }
 
 /// Builds and runs an STR, returning `periods` steady-state periods.
@@ -120,7 +126,9 @@ pub fn run_str(
     let expected = analytic::str_period_general_ps(config, board);
     run_to_periods(&mut sim, handle.output(), expected, periods, WARMUP_PERIODS)?;
     let trace = sim.trace(handle.output()).expect("watched");
-    RingRun::from_trace(trace, WARMUP_PERIODS, periods)
+    let mut run = RingRun::from_trace(trace, WARMUP_PERIODS, periods)?;
+    run.events_dispatched = sim.stats().events_processed;
+    Ok(run)
 }
 
 /// A full STR run that also records every stage output — the input for
@@ -161,7 +169,8 @@ pub fn run_str_full(
     let warmup = WARMUP_PERIODS;
     run_to_periods(&mut sim, handle.output(), expected, periods, warmup)?;
     let trace = sim.trace(handle.output()).expect("watched");
-    let run = RingRun::from_trace(trace, warmup, periods)?;
+    let mut run = RingRun::from_trace(trace, warmup, periods)?;
+    run.events_dispatched = sim.stats().events_processed;
     let stage_traces: Vec<Trace> = handle
         .nets()
         .iter()

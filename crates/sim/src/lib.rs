@@ -66,6 +66,7 @@ pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod signal;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 pub mod vcd;
@@ -76,5 +77,6 @@ pub use event::{Event, EventId, TimerTag};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, ScheduledEvent};
 pub use rng::{Normal, RngTree, SimRng};
 pub use signal::{Bit, Edge, NetId};
+pub use sweep::{JobMeter, ShardStats, SweepJob, SweepOutcome, SweepRunner, SweepStats};
 pub use time::Time;
 pub use trace::{Trace, TraceSet};

@@ -67,6 +67,16 @@ impl RngTree {
             master: splitmix64(self.master ^ splitmix64(key ^ 0x5bf0_3635_dcd1_d867)),
         }
     }
+
+    /// Forks an independent per-job tree keyed by a stable identifier —
+    /// the seed-sharding primitive behind
+    /// [`sweep::SweepRunner`](crate::sweep::SweepRunner). `fork(i)`
+    /// depends only on `(master, i)`, never on draw order, so sweeps
+    /// stay bit-identical under any parallel schedule.
+    #[must_use]
+    pub fn fork(&self, key: u64) -> RngTree {
+        self.subtree(key ^ 0x6a09_e667_f3bc_c908)
+    }
 }
 
 /// A deterministic random stream with Gaussian sampling support.

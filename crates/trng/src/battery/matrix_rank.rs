@@ -117,7 +117,7 @@ mod tests {
         let bits: BitString = (0..60_000)
             .map(|_| {
                 let bit = state & 1;
-                let fb = ((state >> 0) ^ (state >> 2) ^ (state >> 3) ^ (state >> 4)) & 1;
+                let fb = (state ^ (state >> 2) ^ (state >> 3) ^ (state >> 4)) & 1;
                 state = (state >> 1) | (fb << 7);
                 bit
             })

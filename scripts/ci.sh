@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, full workspace test suite, strict clippy, and
+# the BENCH_sweep.json smoke run. Works without network access — all
+# third-party crates are vendored path dependencies (see
+# docs/offline_deps.md), so `--offline` is passed everywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace --offline
+
+echo "== tests (workspace) =="
+cargo test -q --workspace --offline
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== bench_sweep smoke (quick) =="
+out="$(mktemp -t BENCH_sweep.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+cargo run -q --release -p strent-bench --bin bench_sweep --offline -- \
+    --quick --out "$out"
+# The emitter hand-formats its JSON; make sure it stays parseable.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$out"
+    echo "BENCH_sweep.json: valid JSON"
+else
+    echo "BENCH_sweep.json: python3 unavailable, JSON validation skipped"
+fi
+
+echo "== CI green =="

@@ -1,0 +1,108 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides `Vec<u8>`-backed [`Bytes`]/[`BytesMut`] and just enough of
+//! [`BufMut`] for the workspace's MSB-first bit packing.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies a slice into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    /// The bytes as a plain slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Append-only writing into a byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, data: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.0.push(value);
+    }
+
+    fn put_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_freeze_roundtrip() {
+        let mut m = BytesMut::with_capacity(2);
+        m.put_u8(0xAB);
+        m.put_slice(&[0xCD, 0xEF]);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[0xAB, 0xCD, 0xEF]);
+        assert_eq!(b[0], 0xAB);
+        assert_eq!(Bytes::copy_from_slice(&[1, 2]).as_slice(), &[1, 2]);
+        assert_eq!(Bytes::from(vec![3]).as_ref(), &[3]);
+    }
+}

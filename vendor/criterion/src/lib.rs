@@ -1,0 +1,228 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark for a fixed sample count, reports mean wall-clock
+//! time per iteration on stdout, and understands just enough of the
+//! criterion API (`benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`) for this workspace's bench targets. No statistics,
+//! plots, or baseline comparison — the numbers are indicative, not
+//! rigorous.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timing loop of one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via a black box.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean = bencher.mean();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name}: {:.3} ms/iter over {} samples{rate}",
+        mean.as_secs_f64() * 1e3,
+        bencher.samples.len()
+    );
+}
+
+/// The benchmark registry and runner.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; flags criterion would normally parse are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            default_sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        if self.matches(name) {
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                sample_size: self.default_sample_size,
+            };
+            routine(&mut bencher);
+            report(name, &bencher, None);
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| name.contains(f.as_str()))
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        if self.criterion.matches(&full) {
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                sample_size: self
+                    .sample_size
+                    .unwrap_or(self.criterion.default_sample_size),
+            };
+            routine(&mut bencher);
+            report(&full, &bencher, self.throughput);
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            filter: None,
+        };
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(ran, 4);
+
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut n = 0usize;
+        group.bench_function("inner", |b| b.iter(|| n += 1));
+        group.finish();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            default_sample_size: 1,
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("does-match-me", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

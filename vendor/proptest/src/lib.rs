@@ -1,0 +1,202 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`Just`], [`arbitrary::any`], `collection::vec`, the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case's seed so it
+//!   can be replayed, but inputs are not minimized.
+//! * **Deterministic schedule.** Case seeds derive from a fixed constant
+//!   and the case index, so a run is reproducible without a
+//!   `proptest-regressions` file (those files are ignored).
+//! * Case count defaults to 256 and can be lowered per block with
+//!   `ProptestConfig::with_cases(n)` or globally with the
+//!   `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// The rejected/failed outcome of one generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!` precondition.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a preformatted message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs one property-test body over `cases` generated inputs.
+///
+/// This is the engine behind the [`proptest!`] macro: `run_one` is
+/// called once per case with a fresh deterministic RNG and returns the
+/// body's verdict. Excessive rejection (more than 16x the case budget)
+/// aborts the test as upstream proptest does.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when too many cases are rejected.
+pub fn run_cases(
+    name: &str,
+    config: &test_runner::Config,
+    mut run_one: impl FnMut(&mut test_runner::TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = config.effective_cases();
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    let mut stream: u64 = 0;
+    while passed < cases {
+        let case_seed = 0xcafe_f00d_d15e_a5e5_u64 ^ (u64::from(passed) << 32) ^ stream;
+        let mut rng = test_runner::TestRng::new(case_seed);
+        match run_one(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                stream = stream.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                assert!(
+                    rejected < max_rejects,
+                    "{name}: too many rejected cases ({rejected}) for {cases} requested"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {passed} (seed {case_seed:#x}) failed: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests: `fn name(pattern in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @funcs ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_cases(
+                    stringify!($name),
+                    &config,
+                    |rng| {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::generate(&($strat), rng);
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("{}\n  both: {:?}", format!($($fmt)+), l),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

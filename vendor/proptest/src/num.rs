@@ -1,0 +1,110 @@
+//! Range strategies for the primitive numeric types.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range {self:?}");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range {self:?}");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every value is fair.
+                        return rng.next_u64() as $ty;
+                    }
+                    lo.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range {self:?}");
+                    let u = rng.unit_f64() as $ty;
+                    self.start + (self.end - self.start) * u
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range {self:?}");
+                    // Treat the closed upper bound as reachable by
+                    // stretching the unit sample one ULP past 1.0.
+                    let u = rng.unit_f64() as $ty;
+                    let v = lo + (hi - lo) * u;
+                    v.min(hi)
+                }
+            }
+        )+
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..512 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0u8..=1).generate(&mut rng);
+            assert!(w <= 1);
+            let x = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = TestRng::new(11);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[(4usize..8).generate(&mut rng) - 4] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "values missed: {seen:?}");
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(10);
+        for _ in 0..512 {
+            let v = (-2.0_f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+            let w = (0.0_f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+}

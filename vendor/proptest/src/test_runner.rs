@@ -1,0 +1,109 @@
+//! The per-case RNG and block configuration.
+
+/// Configuration of one `proptest!` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration requiring `cases` passing cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// The case budget, honoring the `PROPTEST_CASES` environment
+    /// variable as an upper bound (so CI can cheapen suites globally).
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        let env_cap = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(u32::MAX);
+        self.cases.min(env_cap).max(1)
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic xoshiro256++ stream used to generate case inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a stream from a case seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *w = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling bound");
+        // Modulo bias is ~bound/2^64 — irrelevant for test generation.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_caps() {
+        assert_eq!(Config::default().cases, 256);
+        assert_eq!(Config::with_cases(12).cases, 12);
+        assert!(Config::with_cases(0).effective_cases() >= 1);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let u = a.unit_f64();
+        assert!((0.0..1.0).contains(&u));
+        assert!(a.below(10) < 10);
+    }
+}

@@ -1,0 +1,10 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many model types
+//! for forward compatibility, but never serializes at runtime (report
+//! JSON is hand-formatted). This stub re-exports no-op derive macros so
+//! those attributes keep compiling in an offline build.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

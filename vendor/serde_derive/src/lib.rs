@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! Nothing in this workspace serializes at runtime (there is no
+//! serializer crate in the closure), so the derives only need to make
+//! `#[derive(Serialize, Deserialize)]` attributes compile.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

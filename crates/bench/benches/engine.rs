@@ -1,47 +1,108 @@
 //! Simulation-engine ablations:
 //!
-//! * pending-event set: binary heap vs calendar queue;
+//! * pending-event set: timing wheel vs binary heap vs calendar queue,
+//!   across small/medium/large IRO and STR workloads;
 //! * ring family cost: IRO vs STR event processing;
 //! * event-driven simulation vs the closed-form analytic model.
+//!
+//! `docs/engine_perf.md` explains how these workloads relate to the
+//! `BENCH_engine.json` numbers emitted by `bench_sweep`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use strent_device::{Board, Technology};
 use strent_rings::{analytic, iro, str_ring, IroConfig, StrConfig};
-use strent_sim::{BinaryHeapQueue, CalendarQueue, EventQueue, Simulator, Time};
+use strent_sim::{BinaryHeapQueue, CalendarQueue, EventQueue, Simulator, Time, WheelQueue};
+
+/// IRO lengths for the size sweep (inverting rings must be odd, so
+/// "3/32/96-stage" maps to 3/33/95).
+const IRO_STAGES: [usize; 3] = [3, 33, 95];
+/// STR stage counts for the size sweep (tokens = stages/2 keeps the
+/// ring in the evenly-spaced regime at every size).
+const STR_STAGES: [usize; 3] = [8, 32, 96];
 
 fn board() -> Board {
     Board::new(Technology::cyclone_iii(), 0, 7)
 }
 
-fn run_str_on<Q: EventQueue>(mut sim: Simulator<Q>, board: &Board) -> usize {
-    let config = StrConfig::new(32, 16).expect("valid counts");
+fn run_iro_on<Q: EventQueue>(mut sim: Simulator<Q>, board: &Board, stages: usize) -> u64 {
+    let config = IroConfig::new(stages).expect("valid length");
+    let handle = iro::build(&config, board, &mut sim).expect("wires");
+    sim.watch(handle.output()).expect("net exists");
+    sim.run_until(Time::from_us(1.0)).expect("no limit");
+    sim.stats().events_processed
+}
+
+fn run_str_on<Q: EventQueue>(mut sim: Simulator<Q>, board: &Board, stages: usize) -> u64 {
+    let config = StrConfig::new(stages, stages / 2).expect("valid counts");
     let handle = str_ring::build(&config, board, &mut sim).expect("wires");
     sim.watch(handle.output()).expect("net exists");
     sim.run_until(Time::from_us(1.0)).expect("no limit");
-    sim.trace(handle.output()).expect("watched").len()
+    sim.stats().events_processed
 }
 
 fn bench_queues(c: &mut Criterion) {
     let board = board();
     let mut group = c.benchmark_group("engine/queue");
-    group.bench_function("binary_heap_str32_1us", |b| {
-        b.iter(|| {
-            run_str_on(
-                Simulator::with_queue(black_box(7), BinaryHeapQueue::new()),
-                &board,
-            )
+    for stages in IRO_STAGES {
+        group.bench_function(&format!("wheel_iro{stages}_1us"), |b| {
+            b.iter(|| {
+                run_iro_on(
+                    Simulator::with_queue(black_box(7), WheelQueue::new()),
+                    &board,
+                    stages,
+                )
+            });
         });
-    });
-    group.bench_function("calendar_str32_1us", |b| {
-        b.iter(|| {
-            run_str_on(
-                Simulator::with_queue(black_box(7), CalendarQueue::new(200.0)),
-                &board,
-            )
+        group.bench_function(&format!("binary_heap_iro{stages}_1us"), |b| {
+            b.iter(|| {
+                run_iro_on(
+                    Simulator::with_queue(black_box(7), BinaryHeapQueue::new()),
+                    &board,
+                    stages,
+                )
+            });
         });
-    });
+        group.bench_function(&format!("calendar_iro{stages}_1us"), |b| {
+            b.iter(|| {
+                run_iro_on(
+                    Simulator::with_queue(black_box(7), CalendarQueue::new(200.0)),
+                    &board,
+                    stages,
+                )
+            });
+        });
+    }
+    for stages in STR_STAGES {
+        group.bench_function(&format!("wheel_str{stages}_1us"), |b| {
+            b.iter(|| {
+                run_str_on(
+                    Simulator::with_queue(black_box(7), WheelQueue::new()),
+                    &board,
+                    stages,
+                )
+            });
+        });
+        group.bench_function(&format!("binary_heap_str{stages}_1us"), |b| {
+            b.iter(|| {
+                run_str_on(
+                    Simulator::with_queue(black_box(7), BinaryHeapQueue::new()),
+                    &board,
+                    stages,
+                )
+            });
+        });
+        group.bench_function(&format!("calendar_str{stages}_1us"), |b| {
+            b.iter(|| {
+                run_str_on(
+                    Simulator::with_queue(black_box(7), CalendarQueue::new(200.0)),
+                    &board,
+                    stages,
+                )
+            });
+        });
+    }
     group.finish();
 }
 
@@ -49,24 +110,10 @@ fn bench_ring_families(c: &mut Criterion) {
     let board = board();
     let mut group = c.benchmark_group("engine/rings");
     group.bench_function("iro25_1us", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(black_box(7));
-            let config = IroConfig::new(25).expect("valid length");
-            let handle = iro::build(&config, &board, &mut sim).expect("wires");
-            sim.watch(handle.output()).expect("net exists");
-            sim.run_until(Time::from_us(1.0)).expect("no limit");
-            sim.stats().events_processed
-        });
+        b.iter(|| run_iro_on(Simulator::new(black_box(7)), &board, 25));
     });
     group.bench_function("str24_1us", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(black_box(7));
-            let config = StrConfig::new(24, 12).expect("valid counts");
-            let handle = str_ring::build(&config, &board, &mut sim).expect("wires");
-            sim.watch(handle.output()).expect("net exists");
-            sim.run_until(Time::from_us(1.0)).expect("no limit");
-            sim.stats().events_processed
-        });
+        b.iter(|| run_str_on(Simulator::new(black_box(7)), &board, 24));
     });
     group.finish();
 }

@@ -85,7 +85,7 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ExtCharlieResult, Experimen
             .expect("valid counts")
             .with_charlie_ps(charlie);
         let run = measure::run_str(&config, &board, job.seed(), periods)?;
-        meter.record_events(run.events_dispatched);
+        meter.record_sim(run.stats);
         Ok(ExtCharliePoint {
             charlie_ps: charlie,
             frequency_mhz: run.frequency_mhz,

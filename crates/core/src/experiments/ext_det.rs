@@ -11,7 +11,7 @@
 use std::fmt;
 
 use strent_rings::{IroConfig, StrConfig};
-use strent_trng::attack::{probe_response, ModulationResponse};
+use strent_trng::attack::{probe_response_metered, ModulationResponse};
 use strent_trng::elementary::EntropySource;
 
 use crate::calibration;
@@ -96,19 +96,21 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ExtDetResult, ExperimentErr
             )
         }))
         .collect();
-    let mut rows = runner.run_stage("ext_det", &sources, |job, _meter| {
+    let mut rows = runner.run_stage("ext_det", &sources, |job, meter| {
         let (label, length, source) = job.config;
+        let (response, stats) = probe_response_metered(
+            source,
+            &board,
+            SUPPLY_AMPLITUDE_V,
+            MODULATION_MHZ,
+            job.seed(),
+            periods,
+        )?;
+        meter.record_sim(stats);
         Ok(ExtDetRow {
             label: label.clone(),
             length: *length,
-            response: probe_response(
-                source,
-                &board,
-                SUPPLY_AMPLITUDE_V,
-                MODULATION_MHZ,
-                job.seed(),
-                periods,
-            )?,
+            response,
         })
     })?;
     let str_rows = rows.split_off(3);

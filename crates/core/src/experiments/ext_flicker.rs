@@ -21,6 +21,7 @@ use std::fmt;
 use strent_analysis::{allan, divider, jitter};
 use strent_device::{Board, Technology};
 use strent_rings::{measure, IroConfig};
+use strent_sim::SimStats;
 
 use crate::calibration::PAPER_SEED;
 use crate::report::{fmt_ps, Table};
@@ -103,7 +104,7 @@ fn measure_arm(
     tech: &Technology,
     seed: u64,
     periods: usize,
-) -> Result<(FlickerArm, u64), ExperimentError> {
+) -> Result<(FlickerArm, SimStats), ExperimentError> {
     let board = Board::new(tech.clone(), 0, PAPER_SEED);
     let config = IroConfig::new(9).expect("valid length");
     let run = measure::run_iro(&config, &board, seed, periods)?;
@@ -122,7 +123,7 @@ fn measure_arm(
             allan_curve,
             divider_estimates,
         },
-        run.events_dispatched,
+        run.stats,
     ))
 }
 
@@ -147,8 +148,8 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ExtFlickerResult, Experimen
     ];
     let mut results = runner.run_stage("ext_flicker", &arms, |job, meter| {
         let (label, tech) = job.config;
-        let (arm, events) = measure_arm(label, tech, job.seed(), periods)?;
-        meter.record_events(events);
+        let (arm, stats) = measure_arm(label, tech, job.seed(), periods)?;
+        meter.record_sim(stats);
         Ok(arm)
     })?;
     let flicker = results.pop().expect("two arms");

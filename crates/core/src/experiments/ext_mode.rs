@@ -106,7 +106,7 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ExtModeResult, ExperimentEr
             .with_layout(TokenLayout::Clustered);
         Ok(match measure::run_str_full(&config, &board, job.seed(), periods) {
             Ok(full) => {
-                meter.record_events(full.run.events_dispatched);
+                meter.record_sim(full.run.stats);
                 classify_half_periods(&full.run.half_periods_ps)
             }
             Err(_) => OscillationMode::Dead,

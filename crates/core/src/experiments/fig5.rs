@@ -13,7 +13,7 @@ use strent_rings::mode::{
 };
 use strent_rings::str_ring::TokenLayout;
 use strent_rings::{measure, StrConfig};
-use strent_sim::Time;
+use strent_sim::{SimStats, Time};
 
 use crate::calibration::PAPER_SEED;
 
@@ -74,7 +74,7 @@ fn demo(
     layout: TokenLayout,
     periods: usize,
     seed: u64,
-) -> Result<(ModeDemo, u64), ExperimentError> {
+) -> Result<(ModeDemo, SimStats), ExperimentError> {
     let board = Board::new(tech.clone(), 0, PAPER_SEED);
     let config = StrConfig::new(16, 6)
         .expect("valid counts")
@@ -99,7 +99,7 @@ fn demo(
             cluster_size: burst_cluster_size(halves),
             film: occupancy_film(&full.stage_traces, start, full.end_time, 24),
         },
-        full.run.events_dispatched,
+        full.run.stats,
     ))
 }
 
@@ -123,8 +123,8 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<Fig5Result, ExperimentError
     ];
     let mut demos = runner.run_stage("fig5", &profiles, |job, meter| {
         let (label, tech) = job.config;
-        let (demo, events) = demo(label, tech, TokenLayout::Clustered, periods, job.seed())?;
-        meter.record_events(events);
+        let (demo, stats) = demo(label, tech, TokenLayout::Clustered, periods, job.seed())?;
+        meter.record_sim(stats);
         Ok(demo)
     })?;
     let burst = demos.pop().expect("two profiles");

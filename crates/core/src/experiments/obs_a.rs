@@ -96,7 +96,7 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ObsAResult, ExperimentError
         let tokens = *job.config;
         let config = StrConfig::new(32, tokens).expect("valid counts");
         let run = measure::run_str(&config, &board, job.seed(), periods)?;
-        meter.record_events(run.events_dispatched);
+        meter.record_sim(run.stats);
         Ok(ObsAPoint {
             tokens,
             mode: classify_half_periods(&run.half_periods_ps),

@@ -38,12 +38,25 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// One executed stage: its label and the sweep's execution statistics.
+///
+/// `stats` carries the full kernel counters (dispatched, cancelled and
+/// suppressed events) alongside wall/busy time, so per-experiment
+/// dispatch throughput is visible in every bench report.
 #[derive(Debug, Clone)]
 pub struct StageReport {
     /// The stage label passed to [`ExperimentRunner::run_stage`].
     pub label: String,
     /// Execution statistics of the stage's sweep.
     pub stats: SweepStats,
+}
+
+impl StageReport {
+    /// Dispatch throughput of this stage, events per second of sweep
+    /// wall time.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.stats.events_per_sec()
+    }
 }
 
 /// A parallel, deterministically seeded executor for experiment stages.
@@ -189,8 +202,8 @@ pub enum RingSpec {
 }
 
 impl RingSpec {
-    /// Runs the ring on `board` and reports its dispatched simulator
-    /// events into `meter`.
+    /// Runs the ring on `board` and reports its full kernel statistics
+    /// (dispatched, cancelled, suppressed events) into `meter`.
     ///
     /// # Errors
     ///
@@ -206,7 +219,7 @@ impl RingSpec {
             RingSpec::Iro(config) => measure::run_iro(config, board, seed, periods)?,
             RingSpec::Str(config) => measure::run_str(config, board, seed, periods)?,
         };
-        meter.record_events(run.events_dispatched);
+        meter.record_sim(run.stats);
         Ok(run)
     }
 }

@@ -125,6 +125,24 @@ impl LutCell {
             + self.interconnect_ps * self.scaling.interconnect_factor(v))
     }
 
+    /// Deterministic propagation delay from precomputed voltage factors,
+    /// in picoseconds.
+    ///
+    /// `transistor` and `interconnect` must come from this cell's own
+    /// [`ScalingParams::voltage_factors`]; the arithmetic then matches
+    /// [`static_delay_ps`] bit for bit while skipping the per-call
+    /// alpha-power evaluation. This is the memo-refill path of every
+    /// ring stage.
+    ///
+    /// [`static_delay_ps`]: LutCell::static_delay_ps
+    /// [`ScalingParams::voltage_factors`]: crate::scaling::ScalingParams::voltage_factors
+    #[inline]
+    #[must_use]
+    pub fn static_delay_from_factors(&self, transistor: f64, interconnect: f64) -> f64 {
+        let temp = self.scaling.temperature_factor(self.temp_c);
+        temp * (self.transistor_ps * transistor + self.interconnect_ps * interconnect)
+    }
+
     /// One stochastic traversal: the static delay plus a fresh local
     /// Gaussian jitter sample. Clamped to stay positive (a traversal can
     /// never complete before it starts).
@@ -159,6 +177,22 @@ mod tests {
         // transistor + interconnect, within process variation of nominal.
         assert!((d / (cell.transistor_ps() + cell.interconnect_ps()) - 1.0).abs() < 1e-9);
         assert!((d / 355.0 - 1.0).abs() < 0.1, "delay {d}");
+    }
+
+    #[test]
+    fn factor_based_delay_matches_supply_based_delay_exactly() {
+        // The factors path feeds the per-stage delay memos; any bit of
+        // drift from `static_delay_ps` would desynchronise cached and
+        // uncached runs.
+        let cell = test_cell();
+        for &v in &[1.0, 1.05, 1.2, 1.33, 1.4] {
+            let supply = Supply::dc(v);
+            let (tf, inf) = cell.scaling().voltage_factors(v);
+            assert_eq!(
+                cell.static_delay_from_factors(tf, inf).to_bits(),
+                cell.static_delay_ps(&supply, 0.0).to_bits()
+            );
+        }
     }
 
     #[test]

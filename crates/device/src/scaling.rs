@@ -64,6 +64,29 @@ impl ScalingParams {
     pub fn temperature_factor(&self, temp_c: f64) -> f64 {
         1.0 + self.temp_coeff * (temp_c - self.temp_nominal)
     }
+
+    /// Both voltage factors at once: `(transistor, interconnect)`.
+    ///
+    /// Bit-identical to calling [`transistor_factor`] and
+    /// [`interconnect_factor`] separately, but evaluates the alpha-power
+    /// law once instead of twice. This is the refill path of the
+    /// per-stage delay memos in the ring models (the supply is
+    /// piecewise-constant in almost every experiment, so stages cache
+    /// their scaled delays keyed on `v` and call this only when the
+    /// voltage actually changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not exceed the threshold voltage.
+    ///
+    /// [`transistor_factor`]: ScalingParams::transistor_factor
+    /// [`interconnect_factor`]: ScalingParams::interconnect_factor
+    #[must_use]
+    pub fn voltage_factors(&self, v: f64) -> (f64, f64) {
+        let transistor = self.transistor_factor(v);
+        let interconnect = self.rc_fraction + (1.0 - self.rc_fraction) * transistor;
+        (transistor, interconnect)
+    }
 }
 
 impl From<&Technology> for ScalingParams {
@@ -156,6 +179,20 @@ mod tests {
             let f = transistor_factor(&tech, v);
             assert!(f < prev, "delay factor must fall as V rises");
             prev = f;
+        }
+    }
+
+    #[test]
+    fn voltage_factors_match_individual_calls_exactly() {
+        // The fused path feeds the per-stage delay memos; it must agree
+        // bit for bit with the two-call form or cached and uncached
+        // runs diverge.
+        let params = ScalingParams::from(&Technology::cyclone_iii());
+        for i in 0..=80 {
+            let v = 1.0 + 0.005 * f64::from(i);
+            let (tf, inf) = params.voltage_factors(v);
+            assert_eq!(tf.to_bits(), params.transistor_factor(v).to_bits());
+            assert_eq!(inf.to_bits(), params.interconnect_factor(v).to_bits());
         }
     }
 

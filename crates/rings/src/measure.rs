@@ -5,7 +5,7 @@
 //! warm-up discarding, adaptive horizon extension and trace extraction.
 
 use strent_device::Board;
-use strent_sim::{Edge, Simulator, Time, Trace};
+use strent_sim::{Edge, SimStats, Simulator, Time, Trace};
 
 use crate::analytic;
 use crate::error::RingError;
@@ -27,6 +27,9 @@ pub struct RingRun {
     /// Simulator events dispatched to produce this run — the workload
     /// unit sweep harnesses aggregate per shard.
     pub events_dispatched: u64,
+    /// Full kernel statistics of the run (dispatched, cancelled,
+    /// suppressed), for per-experiment perf reporting.
+    pub stats: SimStats,
 }
 
 impl RingRun {
@@ -48,12 +51,30 @@ impl RingRun {
             frequency_mhz: 1e6 / mean,
             periods_ps,
             events_dispatched: 0,
+            stats: SimStats::default(),
         })
     }
+
+    /// Copies the kernel statistics of the finished simulation into the
+    /// run record.
+    fn absorb_stats(&mut self, stats: SimStats) {
+        self.stats = stats;
+        self.events_dispatched = stats.events_processed;
+    }
+}
+
+/// Expected transition count on a ring output collecting `total`
+/// periods (two transitions per period, plus horizon slack).
+fn expected_transitions(total: usize) -> usize {
+    total * 2 + total / 2 + 8
 }
 
 /// Runs the simulation until the trace holds enough rising edges,
 /// extending the horizon geometrically; fails after `max_doublings`.
+///
+/// Progress polling uses the non-allocating [`Trace::edge_count`] —
+/// materializing the edge-instant vector once per horizon extension was
+/// pure overhead.
 fn run_to_periods(
     sim: &mut Simulator,
     net: strent_sim::NetId,
@@ -68,7 +89,7 @@ fn run_to_periods(
         sim.run_until(Time::from_ps(horizon))?;
         let edges = sim
             .trace(net)
-            .map_or(0, |t| t.rising_edges().len());
+            .map_or(0, |t| t.edge_count(Edge::Rising));
         if edges > total {
             return Ok(());
         }
@@ -76,7 +97,7 @@ fn run_to_periods(
     }
     let collected = sim
         .trace(net)
-        .map_or(0, |t| t.rising_edges().len())
+        .map_or(0, |t| t.edge_count(Edge::Rising))
         .saturating_sub(warmup);
     Err(RingError::NotOscillating {
         observed_transitions: collected,
@@ -97,12 +118,13 @@ pub fn run_iro(
 ) -> Result<RingRun, RingError> {
     let mut sim = Simulator::new(seed);
     let handle = iro::build(config, board, &mut sim)?;
-    sim.watch(handle.output())?;
+    let capacity = expected_transitions(periods + WARMUP_PERIODS + 2);
+    sim.watch_with_capacity(handle.output(), capacity)?;
     let expected = analytic::iro_period_ps(config, board);
     run_to_periods(&mut sim, handle.output(), expected, periods, WARMUP_PERIODS)?;
     let trace = sim.trace(handle.output()).expect("watched");
     let mut run = RingRun::from_trace(trace, WARMUP_PERIODS, periods)?;
-    run.events_dispatched = sim.stats().events_processed;
+    run.absorb_stats(sim.stats());
     Ok(run)
 }
 
@@ -120,14 +142,15 @@ pub fn run_str(
 ) -> Result<RingRun, RingError> {
     let mut sim = Simulator::new(seed);
     let handle = str_ring::build(config, board, &mut sim)?;
-    sim.watch(handle.output())?;
+    let capacity = expected_transitions(periods + WARMUP_PERIODS + 2);
+    sim.watch_with_capacity(handle.output(), capacity)?;
     // The general closure formula stays accurate for NT != NB, where
     // the balanced formula can underestimate the period several-fold.
     let expected = analytic::str_period_general_ps(config, board);
     run_to_periods(&mut sim, handle.output(), expected, periods, WARMUP_PERIODS)?;
     let trace = sim.trace(handle.output()).expect("watched");
     let mut run = RingRun::from_trace(trace, WARMUP_PERIODS, periods)?;
-    run.events_dispatched = sim.stats().events_processed;
+    run.absorb_stats(sim.stats());
     Ok(run)
 }
 
@@ -162,15 +185,16 @@ pub fn run_str_full(
 ) -> Result<StrFullRun, RingError> {
     let mut sim = Simulator::new(seed);
     let handle = str_ring::build(config, board, &mut sim)?;
+    let capacity = expected_transitions(periods + WARMUP_PERIODS + 2);
     for &net in handle.nets() {
-        sim.watch(net)?;
+        sim.watch_with_capacity(net, capacity)?;
     }
     let expected = analytic::str_period_ps(config, board);
     let warmup = WARMUP_PERIODS;
     run_to_periods(&mut sim, handle.output(), expected, periods, warmup)?;
     let trace = sim.trace(handle.output()).expect("watched");
     let mut run = RingRun::from_trace(trace, warmup, periods)?;
-    run.events_dispatched = sim.stats().events_processed;
+    run.absorb_stats(sim.stats());
     let stage_traces: Vec<Trace> = handle
         .nets()
         .iter()

@@ -1,13 +1,20 @@
 //! The simulation kernel: nets, components, scheduling and dispatch.
+//!
+//! The dispatch hot path is allocation-free in steady state: the
+//! pending-event set is a timing wheel whose buckets retain capacity
+//! ([`WheelQueue`]), event liveness lives in a generation-stamped slab
+//! ([`CancelSlab`](crate::slab)), net fan-out is stored inline for the
+//! common small case, and trace recording is a dense indexed lookup.
+//! `docs/engine_perf.md` documents the design and the measured effect.
 
 use std::any::Any;
-use std::collections::HashSet;
 
 use crate::error::SimError;
 use crate::event::{Event, EventId, Occurrence, TimerTag};
-use crate::queue::{BinaryHeapQueue, EventQueue, ScheduledEvent};
+use crate::queue::{EventQueue, ScheduledEvent, WheelQueue};
 use crate::rng::{RngTree, SimRng};
 use crate::signal::{Bit, NetId};
+use crate::slab::{CancelSlab, NO_SLOT};
 use crate::trace::{Trace, TraceSet};
 use crate::Time;
 
@@ -36,12 +43,155 @@ pub trait Component: Any {
     fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>);
 }
 
+/// Fan-out listeners stored inline while small.
+///
+/// Nearly every net in a ring has one to three listeners (the next
+/// stage, the previous stage, the stage's own feedback), so the list
+/// lives in the [`NetState`] itself; only wider fan-outs spill to a
+/// heap vector. Dispatch then copies at most
+/// [`Listeners::INLINE`] words to the stack instead of cloning a
+/// `Vec` per drive — the clone used to be the only per-event heap
+/// allocation in the kernel.
+#[derive(Debug)]
+enum Listeners {
+    /// Up to [`Listeners::INLINE`] component indices, in line.
+    Inline {
+        len: u8,
+        buf: [u32; Listeners::INLINE],
+    },
+    /// The rare wide fan-out.
+    Spilled(Vec<u32>),
+}
+
+/// A borrowless snapshot of a net's fan-out, taken for the duration of
+/// one dispatch (components cannot mutate listener lists mid-dispatch —
+/// [`Context`] has no subscription API — so the snapshot is exact).
+enum Fanout {
+    Inline {
+        len: u8,
+        buf: [u32; Listeners::INLINE],
+    },
+    /// The spilled vector, moved out and restored after dispatch.
+    Taken(Vec<u32>),
+}
+
+impl Listeners {
+    const INLINE: usize = 4;
+
+    const fn new() -> Self {
+        Listeners::Inline {
+            len: 0,
+            buf: [0; Listeners::INLINE],
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Listeners::Inline { len, buf } => &buf[..usize::from(*len)],
+            Listeners::Spilled(vec) => vec,
+        }
+    }
+
+    fn contains(&self, component: u32) -> bool {
+        self.as_slice().contains(&component)
+    }
+
+    fn push(&mut self, component: u32) {
+        match self {
+            Listeners::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n < Listeners::INLINE {
+                    buf[n] = component;
+                    *len += 1;
+                } else {
+                    let mut vec = Vec::with_capacity(Listeners::INLINE * 2);
+                    vec.extend_from_slice(buf);
+                    vec.push(component);
+                    *self = Listeners::Spilled(vec);
+                }
+            }
+            Listeners::Spilled(vec) => vec.push(component),
+        }
+    }
+
+    /// Takes a dispatchable snapshot: a stack copy of the inline array,
+    /// or the moved-out spill vector (restored via [`Listeners::restore`]).
+    #[inline]
+    fn snapshot(&mut self) -> Fanout {
+        match self {
+            Listeners::Inline { len, buf } => Fanout::Inline {
+                len: *len,
+                buf: *buf,
+            },
+            Listeners::Spilled(vec) => Fanout::Taken(std::mem::take(vec)),
+        }
+    }
+
+    /// Puts a spilled vector back after dispatch.
+    #[inline]
+    fn restore(&mut self, vec: Vec<u32>) {
+        debug_assert!(
+            matches!(self, Listeners::Spilled(v) if v.is_empty()),
+            "fan-out cannot change during dispatch"
+        );
+        *self = Listeners::Spilled(vec);
+    }
+}
+
 /// Per-net bookkeeping.
 #[derive(Debug)]
 struct NetState {
     name: String,
     value: Bit,
-    listeners: Vec<usize>,
+    listeners: Listeners,
+}
+
+/// Schedules one occurrence: allocates its liveness slot, stamps the
+/// tie-break sequence number and enqueues it.
+///
+/// This is the single push path shared by [`Simulator`] (`inject`,
+/// `arm_timer`) and [`Context`] (`schedule_net`, `schedule_timer`), so
+/// sequence numbering and slab accounting cannot drift apart.
+#[inline]
+fn push_event<Q: EventQueue + ?Sized>(
+    queue: &mut Q,
+    next_seq: &mut u64,
+    slab: &mut CancelSlab,
+    time: Time,
+    occurrence: Occurrence,
+) -> EventId {
+    let seq = *next_seq;
+    *next_seq += 1;
+    let (slot, generation) = slab.alloc();
+    queue.push(ScheduledEvent {
+        time,
+        seq,
+        slot,
+        occurrence,
+    });
+    EventId::pack(slot, generation)
+}
+
+/// Schedules one fire-and-forget occurrence: same sequence numbering as
+/// [`push_event`], but no cancellation slot — the event cannot be
+/// cancelled and the dispatch path skips the liveness check. This is
+/// the ring-oscillator hot path (stages never cancel their own
+/// firings).
+#[inline]
+fn push_event_uncancellable<Q: EventQueue + ?Sized>(
+    queue: &mut Q,
+    next_seq: &mut u64,
+    time: Time,
+    occurrence: Occurrence,
+) {
+    let seq = *next_seq;
+    *next_seq += 1;
+    queue.push(ScheduledEvent {
+        time,
+        seq,
+        slot: NO_SLOT,
+        occurrence,
+    });
 }
 
 /// The component's view of the simulator during event dispatch.
@@ -54,8 +204,8 @@ pub struct Context<'a> {
     nets: &'a [NetState],
     queue: &'a mut dyn EventQueue,
     next_seq: &'a mut u64,
-    cancelled: &'a mut HashSet<u64>,
-    rng: &'a mut SimRng,
+    slab: &'a mut CancelSlab,
+    rngs: &'a mut [SimRng],
 }
 
 impl<'a> Context<'a> {
@@ -87,13 +237,50 @@ impl<'a> Context<'a> {
     ///
     /// Panics if the delay is negative or non-finite, or the net is
     /// unknown. These are component logic errors, not runtime conditions.
+    #[inline]
     pub fn schedule_net(&mut self, net: NetId, value: Bit, delay_ps: f64) -> EventId {
         assert!(
             delay_ps.is_finite() && delay_ps >= 0.0,
             "delay must be finite and non-negative, got {delay_ps}"
         );
         assert!(net.index() < self.nets.len(), "unknown {net}");
-        self.push(delay_ps, Occurrence::DriveNet { net, value })
+        push_event(
+            self.queue,
+            self.next_seq,
+            self.slab,
+            self.now + delay_ps,
+            Occurrence::DriveNet { net, value },
+        )
+    }
+
+    /// Schedules `net` to be driven to `value` after `delay_ps`,
+    /// without a cancellation handle.
+    ///
+    /// Semantically identical to [`schedule_net`] for an event that is
+    /// never cancelled — same `(time, sequence)` ordering, same
+    /// statistics — but skips the cancellation-slab bookkeeping on both
+    /// the schedule and dispatch paths. Ring stages fire tens of
+    /// millions of these and never cancel one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay is negative or non-finite, or the net is
+    /// unknown.
+    ///
+    /// [`schedule_net`]: Context::schedule_net
+    #[inline]
+    pub fn schedule_net_uncancellable(&mut self, net: NetId, value: Bit, delay_ps: f64) {
+        assert!(
+            delay_ps.is_finite() && delay_ps >= 0.0,
+            "delay must be finite and non-negative, got {delay_ps}"
+        );
+        assert!(net.index() < self.nets.len(), "unknown {net}");
+        push_event_uncancellable(
+            self.queue,
+            self.next_seq,
+            self.now + delay_ps,
+            Occurrence::DriveNet { net, value },
+        );
     }
 
     /// Arms a timer that will deliver [`Event::Timer`] with `tag` back to
@@ -102,13 +289,17 @@ impl<'a> Context<'a> {
     /// # Panics
     ///
     /// Panics if the delay is negative or non-finite.
+    #[inline]
     pub fn schedule_timer(&mut self, delay_ps: f64, tag: TimerTag) -> EventId {
         assert!(
             delay_ps.is_finite() && delay_ps >= 0.0,
             "delay must be finite and non-negative, got {delay_ps}"
         );
-        self.push(
-            delay_ps,
+        push_event(
+            self.queue,
+            self.next_seq,
+            self.slab,
+            self.now + delay_ps,
             Occurrence::FireTimer {
                 component: self.component,
                 tag,
@@ -117,25 +308,15 @@ impl<'a> Context<'a> {
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already fired is a no-op.
+    /// already fired is a no-op, as is cancelling twice.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        self.slab.cancel(id.slot(), id.generation());
     }
 
     /// This component's private deterministic random stream.
+    #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
-        self.rng
-    }
-
-    fn push(&mut self, delay_ps: f64, occurrence: Occurrence) -> EventId {
-        let seq = *self.next_seq;
-        *self.next_seq += 1;
-        self.queue.push(ScheduledEvent {
-            time: self.now + delay_ps,
-            seq,
-            occurrence,
-        });
-        EventId(seq)
+        &mut self.rngs[self.component]
     }
 }
 
@@ -150,14 +331,24 @@ pub struct SimStats {
     pub drives_suppressed: u64,
 }
 
+impl SimStats {
+    /// Accumulates another run's counters into this one (used by sweep
+    /// harnesses aggregating per-shard totals).
+    pub fn absorb(&mut self, other: SimStats) {
+        self.events_processed += other.events_processed;
+        self.events_cancelled += other.events_cancelled;
+        self.drives_suppressed += other.drives_suppressed;
+    }
+}
+
 /// The discrete-event simulator.
 ///
 /// Owns the nets, components, pending-event set, waveform traces and the
 /// random-number tree. Generic over the [`EventQueue`] implementation
-/// (binary heap by default).
+/// (timing wheel by default).
 ///
 /// See the [crate-level documentation](crate) for a complete example.
-pub struct Simulator<Q: EventQueue = BinaryHeapQueue> {
+pub struct Simulator<Q: EventQueue = WheelQueue> {
     queue: Q,
     now: Time,
     next_seq: u64,
@@ -165,17 +356,17 @@ pub struct Simulator<Q: EventQueue = BinaryHeapQueue> {
     components: Vec<Option<Box<dyn Component>>>,
     rngs: Vec<SimRng>,
     traces: TraceSet,
-    cancelled: HashSet<u64>,
+    slab: CancelSlab,
     rng_tree: RngTree,
     stats: SimStats,
     step_limit: u64,
 }
 
-impl Simulator<BinaryHeapQueue> {
-    /// Creates a simulator with the default binary-heap event queue.
+impl Simulator<WheelQueue> {
+    /// Creates a simulator with the default timing-wheel event queue.
     #[must_use]
     pub fn new(master_seed: u64) -> Self {
-        Simulator::with_queue(master_seed, BinaryHeapQueue::new())
+        Simulator::with_queue(master_seed, WheelQueue::new())
     }
 }
 
@@ -191,7 +382,7 @@ impl<Q: EventQueue> Simulator<Q> {
             components: Vec::new(),
             rngs: Vec::new(),
             traces: TraceSet::new(),
-            cancelled: HashSet::new(),
+            slab: CancelSlab::default(),
             rng_tree: RngTree::new(master_seed),
             stats: SimStats::default(),
             step_limit: u64::MAX,
@@ -209,7 +400,7 @@ impl<Q: EventQueue> Simulator<Q> {
         self.nets.push(NetState {
             name: name.into(),
             value: initial,
-            listeners: Vec::new(),
+            listeners: Listeners::new(),
         });
         id
     }
@@ -217,6 +408,7 @@ impl<Q: EventQueue> Simulator<Q> {
     /// Registers a component and derives its private random stream.
     pub fn add_component(&mut self, component: impl Component) -> ComponentId {
         let id = self.components.len();
+        let _ = u32::try_from(id).expect("too many components");
         self.components.push(Some(Box::new(component)));
         self.rngs.push(self.rng_tree.stream(id as u64));
         ComponentId(id)
@@ -236,8 +428,9 @@ impl<Q: EventQueue> Simulator<Q> {
             .nets
             .get_mut(net.index())
             .ok_or(SimError::UnknownNet(net))?;
-        if !state.listeners.contains(&component.0) {
-            state.listeners.push(component.0);
+        let index = u32::try_from(component.0).expect("component ids fit u32");
+        if !state.listeners.contains(index) {
+            state.listeners.push(index);
         }
         Ok(())
     }
@@ -256,6 +449,23 @@ impl<Q: EventQueue> Simulator<Q> {
         Ok(())
     }
 
+    /// Starts recording `net` with trace storage preallocated for
+    /// `transitions` transitions — measurement loops that know their
+    /// horizon use this to keep recording reallocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] if the net is unknown.
+    pub fn watch_with_capacity(
+        &mut self,
+        net: NetId,
+        transitions: usize,
+    ) -> Result<(), SimError> {
+        self.watch(net)?;
+        self.traces.reserve(net, transitions);
+        Ok(())
+    }
+
     /// Schedules an externally driven transition on `net`.
     ///
     /// # Errors
@@ -269,7 +479,13 @@ impl<Q: EventQueue> Simulator<Q> {
         if !delay_ps.is_finite() || delay_ps < 0.0 {
             return Err(SimError::InvalidDelay(delay_ps));
         }
-        Ok(self.push(delay_ps, Occurrence::DriveNet { net, value }))
+        Ok(push_event(
+            &mut self.queue,
+            &mut self.next_seq,
+            &mut self.slab,
+            self.now + delay_ps,
+            Occurrence::DriveNet { net, value },
+        ))
     }
 
     /// Arms a timer on behalf of `component` (typically to bootstrap it).
@@ -289,8 +505,11 @@ impl<Q: EventQueue> Simulator<Q> {
         if !delay_ps.is_finite() || delay_ps < 0.0 {
             return Err(SimError::InvalidDelay(delay_ps));
         }
-        Ok(self.push(
-            delay_ps,
+        Ok(push_event(
+            &mut self.queue,
+            &mut self.next_seq,
+            &mut self.slab,
+            self.now + delay_ps,
             Occurrence::FireTimer {
                 component: component.0,
                 tag,
@@ -298,9 +517,10 @@ impl<Q: EventQueue> Simulator<Q> {
         ))
     }
 
-    /// Cancels a scheduled event (no-op if it already fired).
+    /// Cancels a scheduled event. Cancelling an event that already
+    /// fired is a no-op, as is cancelling twice.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        self.slab.cancel(id.slot(), id.generation());
     }
 
     /// The current simulation time.
@@ -388,6 +608,39 @@ impl<Q: EventQueue> Simulator<Q> {
         (boxed.as_mut() as &mut dyn Any).downcast_mut::<T>()
     }
 
+    /// Handles one popped event: retires its liveness slot, then either
+    /// skips it (cancelled) or advances time and dispatches it.
+    ///
+    /// Returns `Ok(true)` if the event was dispatched, `Ok(false)` if it
+    /// had been cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimitExceeded`] if the step limit was
+    /// reached.
+    #[inline]
+    fn process(&mut self, event: ScheduledEvent) -> Result<bool, SimError> {
+        if event.slot != NO_SLOT && self.slab.finish(event.slot) {
+            self.stats.events_cancelled += 1;
+            return Ok(false);
+        }
+        if self.stats.events_processed >= self.step_limit {
+            return Err(SimError::StepLimitExceeded {
+                limit: self.step_limit,
+            });
+        }
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        self.stats.events_processed += 1;
+        match event.occurrence {
+            Occurrence::DriveNet { net, value } => self.drive_net(net, value),
+            Occurrence::FireTimer { component, tag } => {
+                self.dispatch(component, Event::Timer { tag });
+            }
+        }
+        Ok(true)
+    }
+
     /// Dispatches the next pending event.
     ///
     /// Returns `Ok(false)` when the queue is empty.
@@ -396,49 +649,31 @@ impl<Q: EventQueue> Simulator<Q> {
     ///
     /// Returns [`SimError::StepLimitExceeded`] if the step limit was
     /// reached.
+    #[inline]
     pub fn step(&mut self) -> Result<bool, SimError> {
-        loop {
-            let Some(event) = self.queue.pop() else {
-                return Ok(false);
-            };
-            debug_assert!(event.time >= self.now, "time went backwards");
-            if self.cancelled.remove(&event.seq) {
-                self.stats.events_cancelled += 1;
-                continue;
+        while let Some(event) = self.queue.pop() {
+            if self.process(event)? {
+                return Ok(true);
             }
-            if self.stats.events_processed >= self.step_limit {
-                return Err(SimError::StepLimitExceeded {
-                    limit: self.step_limit,
-                });
-            }
-            self.now = event.time;
-            self.stats.events_processed += 1;
-            match event.occurrence {
-                Occurrence::DriveNet { net, value } => self.drive_net(net, value),
-                Occurrence::FireTimer { component, tag } => {
-                    self.dispatch(component, Event::Timer { tag });
-                }
-            }
-            return Ok(true);
         }
+        Ok(false)
     }
 
     /// Runs until the pending-event set is empty or the next event lies
     /// beyond `horizon`; simulation time is left at `min(horizon, last
     /// event time)`.
     ///
+    /// The loop issues one bounded pop per event
+    /// ([`EventQueue::pop_at_or_before`]) instead of a `peek_time` +
+    /// `pop` pair, so queue implementations locate the minimum once.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::StepLimitExceeded`] if the step limit was
     /// reached first.
     pub fn run_until(&mut self, horizon: Time) -> Result<(), SimError> {
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            if !self.step()? {
-                break;
-            }
+        while let Some(event) = self.queue.pop_at_or_before(horizon) {
+            self.process(event)?;
         }
         if self.now < horizon {
             self.now = horizon;
@@ -463,17 +698,8 @@ impl<Q: EventQueue> Simulator<Q> {
         Ok(done)
     }
 
-    fn push(&mut self, delay_ps: f64, occurrence: Occurrence) -> EventId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(ScheduledEvent {
-            time: self.now + delay_ps,
-            seq,
-            occurrence,
-        });
-        EventId(seq)
-    }
-
+    /// Applies a net transition and notifies the fan-out.
+    #[inline]
     fn drive_net(&mut self, net: NetId, value: Bit) {
         let state = &mut self.nets[net.index()];
         if state.value == value {
@@ -481,20 +707,55 @@ impl<Q: EventQueue> Simulator<Q> {
             return;
         }
         state.value = value;
+        // Snapshot the fan-out without cloning: inline lists copy to
+        // the stack, spilled lists are moved out and restored below.
+        // (Listener lists cannot change during dispatch — Context has
+        // no subscription API — so the snapshot stays exact.)
+        let fanout = state.listeners.snapshot();
         self.traces.record(net, self.now, value);
-        // Listener list is cloned so components may add listeners later
-        // without invalidating this dispatch.
-        let listeners = state.listeners.clone();
-        for listener in listeners {
-            self.dispatch(listener, Event::NetChanged { net, value });
+        let event = Event::NetChanged { net, value };
+        // One Context serves the whole fan-out; only the component index
+        // changes between listeners.
+        let mut ctx = Context {
+            now: self.now,
+            component: 0,
+            nets: &self.nets,
+            queue: &mut self.queue,
+            next_seq: &mut self.next_seq,
+            slab: &mut self.slab,
+            rngs: &mut self.rngs,
+        };
+        // Components live in a separate field from everything Context
+        // borrows, so each listener gets a direct `&mut` — no box
+        // take/restore on the hot path.
+        match fanout {
+            Fanout::Inline { len, buf } => {
+                for &listener in &buf[..usize::from(len)] {
+                    let component = listener as usize;
+                    let Some(Some(boxed)) = self.components.get_mut(component) else {
+                        continue;
+                    };
+                    ctx.component = component;
+                    boxed.on_event(&event, &mut ctx);
+                }
+            }
+            Fanout::Taken(vec) => {
+                for &listener in &vec {
+                    let component = listener as usize;
+                    let Some(Some(boxed)) = self.components.get_mut(component) else {
+                        continue;
+                    };
+                    ctx.component = component;
+                    boxed.on_event(&event, &mut ctx);
+                }
+                self.nets[net.index()].listeners.restore(vec);
+            }
         }
     }
 
+    #[inline]
     fn dispatch(&mut self, component: usize, event: Event) {
-        let Some(slot) = self.components.get_mut(component) else {
-            return;
-        };
-        let Some(mut boxed) = slot.take() else {
+        let Some(Some(boxed)) = self.components.get_mut(component) else {
             return;
         };
         let mut ctx = Context {
@@ -503,11 +764,10 @@ impl<Q: EventQueue> Simulator<Q> {
             nets: &self.nets,
             queue: &mut self.queue,
             next_seq: &mut self.next_seq,
-            cancelled: &mut self.cancelled,
-            rng: &mut self.rngs[component],
+            slab: &mut self.slab,
+            rngs: &mut self.rngs,
         };
         boxed.on_event(&event, &mut ctx);
-        self.components[component] = Some(boxed);
     }
 }
 
@@ -526,6 +786,7 @@ impl<Q: EventQueue + std::fmt::Debug> std::fmt::Debug for Simulator<Q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::{BinaryHeapQueue, CalendarQueue};
 
     /// Inverting delay stage used across engine tests.
     struct Inverter {
@@ -630,6 +891,76 @@ mod tests {
         assert_eq!(sim.stats().events_cancelled, 1);
     }
 
+    /// Exercises every cancellation edge case on one queue
+    /// implementation and returns the final statistics.
+    fn cancellation_semantics_on<Q: EventQueue>(mut sim: Simulator<Q>) -> SimStats {
+        let net = sim.add_net("n");
+        sim.watch(net).expect("net exists");
+
+        // A fired event: cancelling afterwards must be a no-op.
+        let fired = sim.inject(net, Bit::High, 1.0).expect("valid");
+        sim.run_until(Time::from_ps(5.0)).expect("no limit");
+        assert_eq!(sim.stats().events_processed, 1);
+        sim.cancel(fired); // stale: no effect, ever
+        sim.cancel(fired);
+
+        // A pending event cancelled twice counts once.
+        let pending = sim.inject(net, Bit::Low, 10.0).expect("valid");
+        sim.cancel(pending);
+        sim.cancel(pending);
+
+        // A later event still fires normally even though the slab may
+        // recycle the cancelled event's slot.
+        sim.inject(net, Bit::Low, 20.0).expect("valid");
+        sim.run_until(Time::from_ps(100.0)).expect("no limit");
+
+        // The stale handle aimed at the (long fired) first event must
+        // not have cancelled anything that reused its slot.
+        assert_eq!(sim.trace(net).expect("watched").len(), 2);
+        sim.stats()
+    }
+
+    #[test]
+    fn cancellation_semantics_are_identical_across_queues() {
+        let wheel = cancellation_semantics_on(Simulator::new(3));
+        let heap = cancellation_semantics_on(Simulator::with_queue(3, BinaryHeapQueue::new()));
+        let cal = cancellation_semantics_on(Simulator::with_queue(3, CalendarQueue::new(50.0)));
+        assert_eq!(wheel.events_cancelled, 1, "cancel-twice counts once");
+        assert_eq!(wheel.events_processed, 2);
+        assert_eq!(wheel, heap);
+        assert_eq!(wheel, cal);
+    }
+
+    #[test]
+    fn cancel_from_context_is_honoured() {
+        /// Schedules two future drives and cancels one of them.
+        struct Canceller {
+            net: NetId,
+            armed: bool,
+        }
+        impl Component for Canceller {
+            fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>) {
+                if matches!(event, Event::Timer { .. }) && !self.armed {
+                    self.armed = true;
+                    let keep = ctx.schedule_net(self.net, Bit::High, 10.0);
+                    let drop = ctx.schedule_net(self.net, Bit::Low, 20.0);
+                    ctx.cancel(drop);
+                    ctx.cancel(drop); // twice: still one cancellation
+                    let _ = keep;
+                }
+            }
+        }
+        let mut sim = Simulator::new(5);
+        let net = sim.add_net("n");
+        sim.watch(net).expect("net exists");
+        let comp = sim.add_component(Canceller { net, armed: false });
+        sim.arm_timer(comp, 1.0, 0).expect("valid");
+        sim.run_until(Time::from_ps(100.0)).expect("no limit");
+        assert_eq!(sim.trace(net).expect("watched").len(), 1, "one drive fired");
+        assert_eq!(sim.stats().events_cancelled, 1);
+        assert_eq!(sim.net_value(net).expect("known"), Bit::High);
+    }
+
     #[test]
     fn no_change_drives_are_suppressed() {
         let mut sim = Simulator::new(1);
@@ -689,6 +1020,56 @@ mod tests {
     }
 
     #[test]
+    fn wide_fanout_spills_and_still_dispatches() {
+        // More listeners than the inline capacity: the spill vector is
+        // taken and restored around dispatch, and every listener fires
+        // on every drive.
+        let mut sim = Simulator::new(1);
+        let src = sim.add_net("src");
+        let mut outs = Vec::new();
+        for i in 0..7 {
+            // Outputs start High so the inverted drive (Low) records.
+            let out = sim.add_net_with(format!("out{i}"), Bit::High);
+            let comp = sim.add_component(Inverter {
+                input: src,
+                output: out,
+                delay: 1.0 + i as f64,
+            });
+            sim.listen(src, comp).expect("net exists");
+            sim.watch(out).expect("net exists");
+            outs.push(out);
+        }
+        sim.inject(src, Bit::High, 0.0).expect("valid");
+        sim.run_until(Time::from_ps(50.0)).expect("no limit");
+        for &out in &outs {
+            assert_eq!(sim.trace(out).expect("watched").len(), 1);
+        }
+        // Drive again: the restored spill list must still be intact.
+        sim.inject(src, Bit::Low, 0.0).expect("valid");
+        sim.run_until(Time::from_ps(100.0)).expect("no limit");
+        for &out in &outs {
+            assert_eq!(sim.trace(out).expect("watched").len(), 2);
+        }
+    }
+
+    #[test]
+    fn duplicate_listen_registers_once() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_net("a");
+        let comp = sim.add_component(Ticker {
+            period: 0.0,
+            remaining: 0,
+            fired: 0,
+        });
+        sim.listen(a, comp).expect("net exists");
+        sim.listen(a, comp).expect("net exists");
+        sim.inject(a, Bit::High, 0.0).expect("valid");
+        sim.run_until(Time::from_ps(10.0)).expect("no limit");
+        assert_eq!(sim.stats().events_processed, 1);
+        assert_eq!(sim.nets[a.index()].listeners.as_slice().len(), 1);
+    }
+
+    #[test]
     fn identical_seeds_give_identical_runs() {
         fn run(seed: u64) -> Vec<(f64, u8)> {
             let mut sim = Simulator::new(seed);
@@ -707,7 +1088,7 @@ mod tests {
     }
 
     #[test]
-    fn calendar_queue_engine_matches_heap_engine() {
+    fn all_queue_engines_match() {
         fn run<Q: EventQueue>(mut sim: Simulator<Q>) -> Vec<f64> {
             let nets = ring(&mut sim, 7, 93.0);
             sim.watch(nets[0]).expect("net exists");
@@ -720,12 +1101,11 @@ mod tests {
                 .map(|t| t.as_ps())
                 .collect()
         }
-        let heap = run(Simulator::new(9));
-        let cal = run(Simulator::with_queue(
-            9,
-            crate::queue::CalendarQueue::new(50.0),
-        ));
-        assert_eq!(heap, cal);
+        let wheel = run(Simulator::new(9));
+        let heap = run(Simulator::with_queue(9, BinaryHeapQueue::new()));
+        let cal = run(Simulator::with_queue(9, CalendarQueue::new(50.0)));
+        assert_eq!(wheel, heap);
+        assert_eq!(wheel, cal);
     }
 
     #[test]

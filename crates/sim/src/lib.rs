@@ -66,15 +66,16 @@ pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod signal;
+mod slab;
 pub mod sweep;
 pub mod time;
 pub mod trace;
 pub mod vcd;
 
-pub use engine::{Component, ComponentId, Context, Simulator};
+pub use engine::{Component, ComponentId, Context, SimStats, Simulator};
 pub use error::SimError;
 pub use event::{Event, EventId, TimerTag};
-pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, ScheduledEvent};
+pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, ScheduledEvent, WheelQueue};
 pub use rng::{Normal, RngTree, SimRng};
 pub use signal::{Bit, Edge, NetId};
 pub use sweep::{JobMeter, ShardStats, SweepJob, SweepOutcome, SweepRunner, SweepStats};

@@ -1,17 +1,22 @@
 //! Pending-event set implementations.
 //!
 //! The simulator is generic over its pending-event set through the
-//! [`EventQueue`] trait. Two implementations are provided:
+//! [`EventQueue`] trait. Three implementations are provided:
 //!
-//! * [`BinaryHeapQueue`] — the default; a binary heap keyed by
-//!   `(time, sequence)`.
-//! * [`CalendarQueue`] — a bucketed (calendar) queue, included as the
-//!   classic discrete-event-simulation alternative and exercised by the
-//!   `engine` ablation bench.
+//! * [`WheelQueue`] — the default; a two-level timing wheel with
+//!   lazily sorted buckets, giving O(1) amortized push/pop on the
+//!   clustered workloads ring simulations produce.
+//! * [`BinaryHeapQueue`] — a binary heap keyed by `(time, sequence)`;
+//!   the classic O(log n) baseline.
+//! * [`CalendarQueue`] — a bucketed (calendar) queue over a `BTreeMap`
+//!   of lazily sorted buckets, included as the classic
+//!   discrete-event-simulation alternative.
 //!
-//! Both orderings are **deterministic**: ties in time are broken by the
-//! monotonically increasing insertion sequence number, so runs are
-//! reproducible regardless of floating-point time collisions.
+//! All orderings are **deterministic and identical**: events pop in
+//! `(time, sequence)` order, where ties in time are broken by the
+//! monotonically increasing insertion sequence number. The equivalence
+//! is pinned by unit tests here and by the property suite in
+//! `crates/sim/tests/properties.rs`.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -24,10 +29,10 @@ use crate::Time;
 pub struct ScheduledEvent {
     /// When the event fires.
     pub(crate) time: Time,
-    /// Insertion sequence number; also the public [`EventId`] payload.
-    ///
-    /// [`EventId`]: crate::EventId
+    /// Insertion sequence number — the deterministic tie-break.
     pub(crate) seq: u64,
+    /// Cancellation-slab slot holding this event's liveness state.
+    pub(crate) slot: u32,
     /// What happens.
     pub(crate) occurrence: Occurrence,
 }
@@ -45,6 +50,7 @@ impl ScheduledEvent {
         self.seq
     }
 
+    #[inline]
     fn key(&self) -> (Time, u64) {
         (self.time, self.seq)
     }
@@ -65,15 +71,37 @@ impl PartialOrd for ScheduledEvent {
 /// A deterministic pending-event set.
 ///
 /// Implementors must pop events in `(time, sequence)` order.
+///
+/// `peek_time` takes `&mut self` so implementations may organize their
+/// storage lazily (the wheel and calendar queues sort buckets on
+/// demand); it must not change the observable pop sequence.
 pub trait EventQueue {
-    /// Inserts an event.
+    /// Inserts an event. The event's time is never earlier than the
+    /// time of the most recently popped event (simulation time is
+    /// monotone).
     fn push(&mut self, event: ScheduledEvent);
 
     /// Removes and returns the earliest event, or `None` when empty.
     fn pop(&mut self) -> Option<ScheduledEvent>;
 
+    /// Removes and returns the earliest event **only if** it fires at
+    /// or before `horizon`; otherwise leaves the queue untouched and
+    /// returns `None`.
+    ///
+    /// This is the hot-path primitive behind
+    /// [`Simulator::run_until`](crate::Simulator::run_until): one call
+    /// per event instead of a `peek_time` + `pop` pair. The default
+    /// implementation is exactly that pair; implementations override it
+    /// to locate the minimum once.
+    fn pop_at_or_before(&mut self, horizon: Time) -> Option<ScheduledEvent> {
+        if self.peek_time()? > horizon {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Returns the time of the earliest event without removing it.
-    fn peek_time(&self) -> Option<Time>;
+    fn peek_time(&mut self) -> Option<Time>;
 
     /// Number of pending events.
     fn len(&self) -> usize;
@@ -84,7 +112,7 @@ pub trait EventQueue {
     }
 }
 
-/// Binary-heap pending-event set (the default).
+/// Binary-heap pending-event set (the O(log n) baseline).
 #[derive(Debug, Default)]
 pub struct BinaryHeapQueue {
     heap: BinaryHeap<std::cmp::Reverse<ScheduledEvent>>,
@@ -99,15 +127,25 @@ impl BinaryHeapQueue {
 }
 
 impl EventQueue for BinaryHeapQueue {
+    #[inline]
     fn push(&mut self, event: ScheduledEvent) {
         self.heap.push(std::cmp::Reverse(event));
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<ScheduledEvent> {
         self.heap.pop().map(|r| r.0)
     }
 
-    fn peek_time(&self) -> Option<Time> {
+    #[inline]
+    fn pop_at_or_before(&mut self, horizon: Time) -> Option<ScheduledEvent> {
+        if self.heap.peek()?.0.time > horizon {
+            return None;
+        }
+        self.heap.pop().map(|r| r.0)
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
         self.heap.peek().map(|r| r.0.time)
     }
 
@@ -116,16 +154,289 @@ impl EventQueue for BinaryHeapQueue {
     }
 }
 
+/// A lazily sorted event bucket shared by [`WheelQueue`] and
+/// [`CalendarQueue`].
+///
+/// Events accumulate unsorted; the first pop (or peek) after a push
+/// sorts the bucket **descending** by `(time, seq)` so the minimum sits
+/// at the tail and `Vec::pop` drains it in O(1). Keys are unique
+/// (sequence numbers never repeat), so the unstable sort is
+/// deterministic.
+#[derive(Debug, Default)]
+struct LazyBucket {
+    events: Vec<ScheduledEvent>,
+    sorted: bool,
+}
+
+impl LazyBucket {
+    #[inline]
+    fn push(&mut self, event: ScheduledEvent) {
+        self.events.push(event);
+        self.sorted = false;
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Establishes the descending order if a push disturbed it.
+    #[inline]
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // Ring workloads leave only one or two events per bucket;
+            // handle those without the sort-call overhead.
+            match self.events.len() {
+                0 | 1 => {}
+                2 => {
+                    if self.events[0].cmp(&self.events[1]) == std::cmp::Ordering::Less {
+                        self.events.swap(0, 1);
+                    }
+                }
+                _ => self.events.sort_unstable_by(|a, b| b.cmp(a)),
+            }
+            self.sorted = true;
+        }
+    }
+
+    /// Sorts if needed and returns the earliest event in the bucket.
+    #[inline]
+    fn ensure_min(&mut self) -> Option<&ScheduledEvent> {
+        self.ensure_sorted();
+        self.events.last()
+    }
+
+    /// Pops the earliest event; callers must have a non-empty bucket.
+    #[inline]
+    fn pop_min(&mut self) -> ScheduledEvent {
+        debug_assert!(self.sorted, "pop_min follows ensure_min");
+        self.events.pop().expect("bucket is non-empty")
+    }
+}
+
+/// Number of near-window buckets in a [`WheelQueue`] (power of two).
+const WHEEL_SLOTS: usize = 256;
+
+/// Two-level timing wheel — the default pending-event set.
+///
+/// The **near window** is a ring of [`WHEEL_SLOTS`] buckets of
+/// `bucket_width_ps` picoseconds each, covering the time span right
+/// ahead of the cursor; events beyond it overflow into a **far** map of
+/// coarse buckets keyed by absolute bucket index. Ring-oscillator
+/// workloads schedule every event at most a few gate delays ahead, so
+/// in steady state every push and pop touches only the near ring:
+///
+/// * `push` is a multiply, a mask and a `Vec::push` — O(1), and after
+///   warm-up allocation-free (bucket vectors retain their capacity);
+/// * `pop` pops the tail of the current bucket — O(1) amortized, with
+///   one O(k log k) lazy sort per bucket generation (k = events that
+///   landed in the bucket);
+/// * far-window events (long timers) pay one `BTreeMap` operation each,
+///   amortized into the window advance.
+///
+/// # Determinism
+///
+/// Pop order is exactly `(time, sequence)`: bucket indices are a
+/// monotone function of time, so cross-bucket order is correct by
+/// construction, and within a bucket the lazy sort orders by the full
+/// key. A push whose time quantizes to a bucket the cursor already
+/// passed (possible only through floating-point edge cases, since event
+/// times are never earlier than the last popped time) is clamped to the
+/// cursor bucket, which preserves the pop order — see the proof sketch
+/// in `docs/engine_perf.md`.
+#[derive(Debug)]
+pub struct WheelQueue {
+    /// The near ring; bucket for absolute index `b` lives at
+    /// `b % WHEEL_SLOTS`.
+    slots: Box<[LazyBucket]>,
+    /// Absolute bucket index of the cursor (earliest possibly non-empty
+    /// near bucket).
+    cur: u64,
+    /// Overflow: absolute bucket index -> events, for buckets at or
+    /// beyond `cur + WHEEL_SLOTS`.
+    far: BTreeMap<u64, Vec<ScheduledEvent>>,
+    /// Reciprocal of the bucket width (multiplication beats division on
+    /// the push hot path; monotonicity in time is all that matters).
+    inv_width: f64,
+    /// Events in the near ring.
+    near_len: usize,
+    /// Total pending events (near + far).
+    len: usize,
+}
+
+impl WheelQueue {
+    /// Default bucket width: 64 ps, a fraction of one gate delay, so
+    /// consecutive ring events land a few buckets ahead of the cursor
+    /// and rarely force a re-sort of the bucket being drained.
+    pub const DEFAULT_BUCKET_WIDTH_PS: f64 = 64.0;
+
+    /// Creates an empty wheel with the default bucket width.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_bucket_width(Self::DEFAULT_BUCKET_WIDTH_PS)
+    }
+
+    /// Creates an empty wheel with an explicit bucket width in
+    /// picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width_ps` is not finite and positive.
+    #[must_use]
+    pub fn with_bucket_width(bucket_width_ps: f64) -> Self {
+        assert!(
+            bucket_width_ps.is_finite() && bucket_width_ps > 0.0,
+            "bucket width must be positive, got {bucket_width_ps}"
+        );
+        let mut slots = Vec::with_capacity(WHEEL_SLOTS);
+        slots.resize_with(WHEEL_SLOTS, LazyBucket::default);
+        WheelQueue {
+            slots: slots.into_boxed_slice(),
+            cur: 0,
+            far: BTreeMap::new(),
+            inv_width: bucket_width_ps.recip(),
+            near_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Absolute bucket index of an instant. Monotone in `time`;
+    /// saturates at 0 for (theoretical) negative instants.
+    #[inline]
+    fn bucket_of(&self, time: Time) -> u64 {
+        // `as` saturates: negatives -> 0, huge -> u64::MAX.
+        (time.as_ps() * self.inv_width) as u64
+    }
+
+    #[inline]
+    fn slot_of(bucket: u64) -> usize {
+        (bucket % WHEEL_SLOTS as u64) as usize
+    }
+
+    /// Advances the cursor past its (empty) bucket, pulling in the far
+    /// bucket that just entered the near window, if any.
+    fn advance(&mut self) {
+        debug_assert!(self.slots[Self::slot_of(self.cur)].is_empty());
+        self.cur += 1;
+        let entering = self.cur + WHEEL_SLOTS as u64 - 1;
+        if let Some(events) = self.far.remove(&entering) {
+            let bucket = &mut self.slots[Self::slot_of(entering)];
+            debug_assert!(bucket.is_empty());
+            self.near_len += events.len();
+            bucket.events = events;
+            bucket.sorted = false;
+        }
+    }
+
+    /// Repositions the cursor when the near ring is empty: jumps to the
+    /// earliest far bucket and pulls every far bucket inside the new
+    /// window into the ring.
+    fn refill_from_far(&mut self) {
+        debug_assert_eq!(self.near_len, 0);
+        let Some((&first, _)) = self.far.iter().next() else {
+            return;
+        };
+        self.cur = first;
+        let window_end = self.cur + WHEEL_SLOTS as u64;
+        while let Some((&b, _)) = self.far.iter().next() {
+            if b >= window_end {
+                break;
+            }
+            let events = self.far.remove(&b).expect("key just observed");
+            let bucket = &mut self.slots[Self::slot_of(b)];
+            debug_assert!(bucket.is_empty());
+            self.near_len += events.len();
+            bucket.events = events;
+            bucket.sorted = false;
+        }
+    }
+
+    /// Positions the cursor on the next non-empty bucket, sorts it, and
+    /// returns it, or `None` when the queue is empty. The bucket's
+    /// minimum sits at the vector tail.
+    #[inline]
+    fn min_bucket(&mut self) -> Option<&mut LazyBucket> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.near_len == 0 {
+            self.refill_from_far();
+        }
+        while self.slots[Self::slot_of(self.cur)].is_empty() {
+            self.advance();
+        }
+        let bucket = &mut self.slots[Self::slot_of(self.cur)];
+        bucket.ensure_sorted();
+        Some(bucket)
+    }
+}
+
+impl Default for WheelQueue {
+    fn default() -> Self {
+        WheelQueue::new()
+    }
+}
+
+impl EventQueue for WheelQueue {
+    #[inline]
+    fn push(&mut self, event: ScheduledEvent) {
+        // Clamping to the cursor bucket keeps the order invariant even
+        // if quantization places the event behind the cursor (event
+        // times are never earlier than the last popped time, so the
+        // clamp can only be triggered by float rounding at a bucket
+        // boundary or by a cursor parked ahead after a bounded pop).
+        let bucket = self.bucket_of(event.time).max(self.cur);
+        if bucket < self.cur + WHEEL_SLOTS as u64 {
+            self.slots[Self::slot_of(bucket)].push(event);
+            self.near_len += 1;
+        } else {
+            self.far.entry(bucket).or_default().push(event);
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        let event = self.min_bucket()?.pop_min();
+        self.near_len -= 1;
+        self.len -= 1;
+        Some(event)
+    }
+
+    #[inline]
+    fn pop_at_or_before(&mut self, horizon: Time) -> Option<ScheduledEvent> {
+        let bucket = self.min_bucket()?;
+        if bucket.ensure_min().expect("bucket is non-empty").time > horizon {
+            return None;
+        }
+        let event = bucket.pop_min();
+        self.near_len -= 1;
+        self.len -= 1;
+        Some(event)
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.min_bucket()
+            .map(|b| b.ensure_min().expect("bucket is non-empty").time)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// Calendar (bucketed) pending-event set.
 ///
-/// Events are grouped into fixed-width time buckets; the earliest bucket is
-/// scanned on pop. For workloads whose pending events cluster in a narrow
-/// time window (like ring oscillators, where every stage fires within one
-/// period) this trades heap reshuffling for short bucket scans.
+/// Events are grouped into fixed-width time buckets held in a
+/// `BTreeMap`; the earliest bucket is sorted lazily (descending) so its
+/// minimum pops from the tail in O(1). For workloads whose pending
+/// events cluster in a narrow time window (like ring oscillators, where
+/// every stage fires within one period) this trades heap reshuffling
+/// for one amortized sort per bucket generation.
 #[derive(Debug)]
 pub struct CalendarQueue {
-    /// Bucket index -> events in that bucket (unsorted).
-    buckets: BTreeMap<u64, Vec<ScheduledEvent>>,
+    /// Bucket index -> lazily sorted events in that bucket.
+    buckets: BTreeMap<u64, LazyBucket>,
     /// Width of one bucket, picoseconds.
     bucket_width: f64,
     len: usize,
@@ -159,6 +470,14 @@ impl CalendarQueue {
             idx as u64
         }
     }
+
+    /// Sorts the earliest bucket if needed and returns a handle to it.
+    #[inline]
+    fn first_bucket(&mut self) -> Option<(u64, &mut LazyBucket)> {
+        let (&index, bucket) = self.buckets.iter_mut().next()?;
+        let _ = bucket.ensure_min();
+        Some((index, bucket))
+    }
 }
 
 impl Default for CalendarQueue {
@@ -176,24 +495,31 @@ impl EventQueue for CalendarQueue {
     }
 
     fn pop(&mut self) -> Option<ScheduledEvent> {
-        let (&bucket, events) = self.buckets.iter_mut().next()?;
-        let best = events
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.key())
-            .map(|(i, _)| i)
-            .expect("bucket is non-empty");
-        let event = events.swap_remove(best);
-        if events.is_empty() {
-            self.buckets.remove(&bucket);
+        let (index, bucket) = self.first_bucket()?;
+        let event = bucket.pop_min();
+        if bucket.is_empty() {
+            self.buckets.remove(&index);
         }
         self.len -= 1;
         Some(event)
     }
 
-    fn peek_time(&self) -> Option<Time> {
-        let (_, events) = self.buckets.iter().next()?;
-        events.iter().map(|e| e.time).min()
+    fn pop_at_or_before(&mut self, horizon: Time) -> Option<ScheduledEvent> {
+        let (index, bucket) = self.first_bucket()?;
+        if bucket.ensure_min()?.time > horizon {
+            return None;
+        }
+        let event = bucket.pop_min();
+        if bucket.is_empty() {
+            self.buckets.remove(&index);
+        }
+        self.len -= 1;
+        Some(event)
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.first_bucket()
+            .and_then(|(_, bucket)| bucket.ensure_min().map(|e| e.time))
     }
 
     fn len(&self) -> usize {
@@ -211,6 +537,7 @@ mod tests {
         ScheduledEvent {
             time: Time::from_ps(time),
             seq,
+            slot: 0,
             occurrence: Occurrence::DriveNet {
                 net: NetId(0),
                 value: Bit::High,
@@ -259,6 +586,83 @@ mod tests {
     }
 
     #[test]
+    fn wheel_orders_by_time_then_sequence() {
+        let mut q = WheelQueue::new();
+        q.push(ev(5.0, 1));
+        q.push(ev(1.0, 2));
+        q.push(ev(5.0, 0));
+        q.push(ev(3.0, 3));
+        q.push(ev(0.0, 9));
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(Time::from_ps(0.0)));
+        assert_eq!(
+            drain(&mut q),
+            vec![(0.0, 9), (1.0, 2), (3.0, 3), (5.0, 0), (5.0, 1)]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_crosses_near_far_boundary() {
+        // Events straddling the near window (256 buckets x 64 ps =
+        // 16384 ps) must pop in global order: far buckets are pulled in
+        // as the cursor advances.
+        let mut q = WheelQueue::new();
+        let times = [
+            0.5, 100.0, 16_383.9, 16_384.0, 20_000.0, 1e6, 2e6, 2e6 + 1.0,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(ev(t, i as u64));
+        }
+        let drained = drain(&mut q);
+        let got: Vec<f64> = drained.iter().map(|&(t, _)| t).collect();
+        let mut want = times.to_vec();
+        want.sort_by(f64::total_cmp);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wheel_interleaves_push_and_pop() {
+        // Popping then pushing events near the cursor (including into
+        // the bucket currently being drained) keeps the order exact.
+        let mut q = WheelQueue::with_bucket_width(10.0);
+        q.push(ev(5.0, 0));
+        q.push(ev(6.0, 1));
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        // Same bucket as the one just drained from.
+        q.push(ev(5.5, 2));
+        q.push(ev(7.0, 3));
+        assert_eq!(
+            drain(&mut q),
+            vec![(5.5, 2), (6.0, 1), (7.0, 3)]
+        );
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        for q in [
+            &mut BinaryHeapQueue::new() as &mut dyn EventQueue,
+            &mut CalendarQueue::new(3.0),
+            &mut WheelQueue::with_bucket_width(3.0),
+        ] {
+            q.push(ev(10.0, 0));
+            q.push(ev(20.0, 1));
+            assert!(q.pop_at_or_before(Time::from_ps(9.0)).is_none());
+            assert_eq!(q.len(), 2, "bounded pop must not consume");
+            assert_eq!(
+                q.pop_at_or_before(Time::from_ps(10.0)).map(|e| e.seq),
+                Some(0)
+            );
+            assert!(q.pop_at_or_before(Time::from_ps(15.0)).is_none());
+            assert_eq!(
+                q.pop_at_or_before(Time::from_ps(1e9)).map(|e| e.seq),
+                Some(1)
+            );
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
     fn calendar_handles_same_bucket_collisions() {
         let mut q = CalendarQueue::new(1000.0);
         for seq in (0..50).rev() {
@@ -272,29 +676,67 @@ mod tests {
     }
 
     #[test]
+    fn calendar_single_bucket_drains_in_loglinear_time() {
+        // Regression guard for the old O(k^2) bucket pop (a linear
+        // min-scan per pop, re-scanned after every swap_remove): 30_000
+        // events in ONE bucket used to cost ~4.5e8 key comparisons to
+        // drain; the lazily sorted bucket needs one O(k log k) sort.
+        // The generous wall-clock bound only trips on a quadratic
+        // regression, not on machine noise.
+        const EVENTS: u64 = 30_000;
+        let mut q = CalendarQueue::new(1e9);
+        for seq in (0..EVENTS).rev() {
+            q.push(ev(seq as f64, seq));
+        }
+        let started = std::time::Instant::now();
+        let drained = drain(&mut q);
+        assert_eq!(drained.len(), EVENTS as usize);
+        assert!(
+            drained.windows(2).all(|w| w[0] <= w[1]),
+            "sorted drain order"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(1),
+            "single-bucket drain took {:?} — quadratic pop is back",
+            started.elapsed()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn calendar_rejects_bad_width() {
         let _ = CalendarQueue::new(0.0);
     }
 
     #[test]
+    #[should_panic(expected = "positive")]
+    fn wheel_rejects_bad_width() {
+        let _ = WheelQueue::with_bucket_width(-1.0);
+    }
+
+    #[test]
     fn queues_agree_on_random_workload() {
-        // Deterministic pseudo-random insert/pop interleaving.
+        // Deterministic pseudo-random insert/pop interleaving across
+        // all three implementations.
         let mut heap = BinaryHeapQueue::new();
         let mut cal = CalendarQueue::new(7.0);
+        let mut wheel = WheelQueue::with_bucket_width(13.0);
         let mut state = 0x9e3779b97f4a7c15u64;
 
         let mut heap_out = Vec::new();
         let mut cal_out = Vec::new();
+        let mut wheel_out = Vec::new();
         for seq in 0..500 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let t = (state >> 40) as f64 / 16.0;
             let e = ev(t, seq);
             heap.push(e);
             cal.push(e);
+            wheel.push(e);
             if state.is_multiple_of(3) {
                 heap_out.push(heap.pop().map(|e| e.key()));
                 cal_out.push(cal.pop().map(|e| e.key()));
+                wheel_out.push(wheel.pop().map(|e| e.key()));
             }
         }
         while let Some(e) = heap.pop() {
@@ -303,6 +745,29 @@ mod tests {
         while let Some(e) = cal.pop() {
             cal_out.push(Some(e.key()));
         }
+        while let Some(e) = wheel.pop() {
+            wheel_out.push(Some(e.key()));
+        }
         assert_eq!(heap_out, cal_out);
+        assert_eq!(heap_out, wheel_out);
+    }
+
+    #[test]
+    fn wheel_reuses_bucket_capacity() {
+        // Steady-state pushes into the near window must not reallocate:
+        // drain a bucket, push into it again, and the capacity is
+        // retained (zero-allocation dispatch hot path).
+        let mut q = WheelQueue::with_bucket_width(10.0);
+        for i in 0..8 {
+            q.push(ev(5.0, i));
+        }
+        while q.pop().is_some() {}
+        let cap_before: usize = q.slots.iter().map(|b| b.events.capacity()).sum();
+        assert!(cap_before >= 8, "drained buckets keep their capacity");
+        for i in 0..8 {
+            q.push(ev(5.0, 100 + i));
+        }
+        let cap_after: usize = q.slots.iter().map(|b| b.events.capacity()).sum();
+        assert_eq!(cap_before, cap_after, "no reallocation on refill");
     }
 }

@@ -106,6 +106,7 @@ impl SimRng {
     }
 
     /// Uniform sample in `[0, 1)`.
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
         // 53 random mantissa bits.
         (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -126,17 +127,23 @@ impl SimRng {
 
     /// Standard normal sample (mean 0, standard deviation 1) via
     /// Box–Muller with spare caching.
+    #[inline]
     pub fn standard_normal(&mut self) -> f64 {
         if let Some(z) = self.spare.take() {
             return z;
         }
-        // Box–Muller: u1 in (0,1] to avoid ln(0).
+        // Box–Muller: u1 in (0,1] to avoid ln(0). `sin_cos` shares the
+        // argument reduction between the two projections; libm computes
+        // it with the same kernels as separate `sin`/`cos` calls, so the
+        // samples (and every downstream RNG-dependent result) stay
+        // bit-identical to the two-call form.
         let u1 = 1.0 - self.uniform();
         let u2 = self.uniform();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = std::f64::consts::TAU * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
+        let (sin, cos) = theta.sin_cos();
+        self.spare = Some(r * sin);
+        r * cos
     }
 
     /// Normal sample with the given mean and standard deviation.
@@ -144,6 +151,7 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if `sigma` is negative or non-finite.
+    #[inline]
     pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
         assert!(
             sigma.is_finite() && sigma >= 0.0,

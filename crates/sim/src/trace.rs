@@ -1,7 +1,5 @@
 //! Waveform traces: recorded net transitions and derived measurements.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::signal::{Bit, Edge, NetId};
@@ -43,10 +41,18 @@ impl Trace {
     /// Records a transition. Transitions at identical or decreasing times
     /// are accepted (the simulator guarantees monotonicity); redundant
     /// writes to the same level are ignored.
+    #[inline]
     pub fn record(&mut self, time: Time, value: Bit) {
         if self.last_value() != value {
             self.transitions.push((time, value));
         }
+    }
+
+    /// Reserves room for at least `additional` further transitions, so a
+    /// measurement loop that knows its horizon records without
+    /// reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.transitions.reserve(additional);
     }
 
     /// The level after the most recent transition.
@@ -97,6 +103,15 @@ impl Trace {
             .filter(|&&(_, v)| v == target)
             .map(|&(t, _)| t)
             .collect()
+    }
+
+    /// Number of edges of the given direction, without allocating the
+    /// instants vector ([`edges`](Trace::edges) does). Progress checks in
+    /// measurement loops poll this after every horizon extension.
+    #[must_use]
+    pub fn edge_count(&self, edge: Edge) -> usize {
+        let target = edge.target_level();
+        self.transitions.iter().filter(|&&(_, v)| v == target).count()
     }
 
     /// Instants of all rising edges.
@@ -156,10 +171,25 @@ impl Trace {
     }
 }
 
+/// Sentinel in the dense net-index → trace-slot map for unwatched nets.
+const UNWATCHED: u32 = u32::MAX;
+
 /// Recorded traces for all watched nets of a simulation.
+///
+/// Storage is a dense `net index → slot` map over a vector of traces
+/// kept sorted by [`NetId`], so the per-transition [`record`] on the
+/// dispatch hot path is one indexed load (the previous `BTreeMap`
+/// representation paid a tree descent per recorded — or unwatched —
+/// drive). Watching a net is O(watched) but happens only at setup.
+///
+/// [`record`]: TraceSet::record
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TraceSet {
-    traces: BTreeMap<NetId, Trace>,
+    /// `slots[net.index()]` is the position of the net's trace in
+    /// `traces`, or [`UNWATCHED`].
+    slots: Vec<u32>,
+    /// `(net, trace)` pairs sorted by net id.
+    traces: Vec<(NetId, Trace)>,
 }
 
 impl TraceSet {
@@ -172,31 +202,67 @@ impl TraceSet {
     /// Starts recording `net`, with `initial` as its current level.
     /// Re-watching a net is a no-op.
     pub fn watch(&mut self, net: NetId, initial: Bit) {
-        self.traces.entry(net).or_insert_with(|| Trace::new(initial));
+        let index = net.index();
+        if index >= self.slots.len() {
+            self.slots.resize(index + 1, UNWATCHED);
+        }
+        if self.slots[index] != UNWATCHED {
+            return;
+        }
+        // Insert in net order; later slots shift one position right.
+        let pos = self
+            .traces
+            .partition_point(|&(existing, _)| existing < net);
+        for slot in &mut self.slots {
+            if *slot != UNWATCHED && *slot >= pos as u32 {
+                *slot += 1;
+            }
+        }
+        self.slots[index] = u32::try_from(pos).expect("watched net count fits u32");
+        self.traces.insert(pos, (net, Trace::new(initial)));
     }
 
     /// Whether `net` is being recorded.
     #[must_use]
     pub fn is_watched(&self, net: NetId) -> bool {
-        self.traces.contains_key(&net)
+        self.slots.get(net.index()).is_some_and(|&s| s != UNWATCHED)
     }
 
     /// Records a transition if the net is watched.
+    #[inline]
     pub fn record(&mut self, net: NetId, time: Time, value: Bit) {
-        if let Some(trace) = self.traces.get_mut(&net) {
-            trace.record(time, value);
+        if let Some(&slot) = self.slots.get(net.index()) {
+            if slot != UNWATCHED {
+                self.traces[slot as usize].1.record(time, value);
+            }
+        }
+    }
+
+    /// Preallocates room for `additional` further transitions on the
+    /// trace of `net` (no-op if unwatched).
+    pub fn reserve(&mut self, net: NetId, additional: usize) {
+        if let Some(trace) = self.get_mut(net) {
+            trace.reserve(additional);
         }
     }
 
     /// The trace of `net`, if watched.
     #[must_use]
     pub fn get(&self, net: NetId) -> Option<&Trace> {
-        self.traces.get(&net)
+        let &slot = self.slots.get(net.index())?;
+        (slot != UNWATCHED).then(|| &self.traces[slot as usize].1)
+    }
+
+    /// Mutable access to the trace of `net`, if watched (e.g. for
+    /// warm-up removal via [`Trace::discard_prefix`]).
+    pub fn get_mut(&mut self, net: NetId) -> Option<&mut Trace> {
+        let &slot = self.slots.get(net.index())?;
+        (slot != UNWATCHED).then(|| &mut self.traces[slot as usize].1)
     }
 
     /// Iterates over `(net, trace)` pairs in net order.
     pub fn iter(&self) -> impl Iterator<Item = (NetId, &Trace)> {
-        self.traces.iter().map(|(&net, trace)| (net, trace))
+        self.traces.iter().map(|(net, trace)| (*net, trace))
     }
 
     /// Number of watched nets.
@@ -279,6 +345,35 @@ mod tests {
         let mut t2 = square_wave(100.0, 1);
         t2.discard_prefix(100); // over-long prefix is clamped
         assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn edge_count_matches_edges() {
+        let trace = square_wave(100.0, 5);
+        assert_eq!(trace.edge_count(Edge::Rising), trace.rising_edges().len());
+        assert_eq!(trace.edge_count(Edge::Falling), trace.falling_edges().len());
+        assert_eq!(Trace::new(Bit::Low).edge_count(Edge::Rising), 0);
+    }
+
+    #[test]
+    fn out_of_order_watch_keeps_net_order() {
+        let mut set = TraceSet::new();
+        for raw in [7u32, 2, 9, 0, 2] {
+            set.watch(NetId(raw), Bit::Low);
+        }
+        assert_eq!(set.len(), 4);
+        let order: Vec<u32> = set.iter().map(|(net, _)| net.index() as u32).collect();
+        assert_eq!(order, vec![0, 2, 7, 9], "iteration is in net order");
+        // Each watched net resolves to its own trace after the shifts.
+        set.record(NetId(2), Time::from_ps(1.0), Bit::High);
+        set.record(NetId(9), Time::from_ps(2.0), Bit::High);
+        assert_eq!(set.get(NetId(2)).expect("watched").len(), 1);
+        assert_eq!(set.get(NetId(9)).expect("watched").len(), 1);
+        assert_eq!(set.get(NetId(7)).expect("watched").len(), 0);
+        assert!(set.get(NetId(3)).is_none());
+        set.reserve(NetId(2), 1000);
+        set.reserve(NetId(3), 1000); // unwatched: no-op
+        assert!(set.get_mut(NetId(0)).is_some());
     }
 
     #[test]

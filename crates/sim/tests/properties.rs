@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use strent_sim::{
-    Bit, BinaryHeapQueue, CalendarQueue, Edge, Simulator, Time, Trace,
+    Bit, BinaryHeapQueue, CalendarQueue, Edge, EventQueue, SimStats, Simulator, Time, Trace,
+    WheelQueue,
 };
 
 /// Strategy producing a list of (time, seq-order irrelevant) event times.
@@ -11,28 +12,110 @@ fn times() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0_f64..1e6, 1..200)
 }
 
+/// Runs one injection workload and returns its observable outcome:
+/// every recorded transition plus the exact kernel statistics.
+fn run_workload<Q: EventQueue>(
+    mut sim: Simulator<Q>,
+    ts: &[f64],
+) -> (Vec<(Time, Bit)>, SimStats) {
+    let net = sim.add_net("n");
+    sim.watch(net).expect("net exists");
+    let mut level = Bit::Low;
+    for &t in ts {
+        level = !level;
+        sim.inject(net, level, t).expect("valid");
+    }
+    sim.run_until(Time::from_ps(2e6)).expect("no limit");
+    let transitions = sim.trace(net).expect("watched").transitions().to_vec();
+    (transitions, sim.stats())
+}
+
+/// Runs a workload with interleaved cancellations and partial horizons:
+/// events are injected in two batches, `mask` marks which get cancelled
+/// (some before any run, some after a partial run when their siblings
+/// already fired), and the sim runs to an intermediate horizon between
+/// the batches.
+fn run_cancelling_workload<Q: EventQueue>(
+    mut sim: Simulator<Q>,
+    ts: &[f64],
+    mask: &[bool],
+    split: usize,
+) -> (Vec<(Time, Bit)>, SimStats) {
+    let net = sim.add_net("n");
+    sim.watch(net).expect("net exists");
+    let split = split.min(ts.len());
+    let mut level = Bit::Low;
+    let mut first_ids = Vec::new();
+    for &t in &ts[..split] {
+        level = !level;
+        first_ids.push(sim.inject(net, level, t).expect("valid"));
+    }
+    // Cancel the masked half of the first batch up front...
+    for (i, &id) in first_ids.iter().enumerate() {
+        if mask[i % mask.len()] {
+            sim.cancel(id);
+        }
+    }
+    // ...run half the horizon, so the rest of the batch fires...
+    sim.run_until(Time::from_ps(5e5)).expect("no limit");
+    // ...then cancel everything in the first batch again: pending
+    // events get cancelled once (idempotent), fired ones are stale
+    // handles that must hit nothing, even where slots were recycled.
+    for &id in &first_ids {
+        sim.cancel(id);
+    }
+    // Second batch scheduled relative to the advanced current time.
+    let mut second_ids = Vec::new();
+    for &t in &ts[split..] {
+        level = !level;
+        second_ids.push(sim.inject(net, level, t).expect("valid"));
+    }
+    for (i, &id) in second_ids.iter().enumerate() {
+        if mask[(i + 1) % mask.len()] {
+            sim.cancel(id);
+        }
+    }
+    sim.run_until(Time::from_ps(2e6)).expect("no limit");
+    let transitions = sim.trace(net).expect("watched").transitions().to_vec();
+    (transitions, sim.stats())
+}
+
 proptest! {
-    /// Both queue implementations pop any workload in identical order.
+    /// All three queue implementations pop any workload in identical
+    /// order.
     #[test]
     fn queues_are_equivalent(ts in times(), width in 1.0_f64..10_000.0) {
-        let mut sim_heap = Simulator::with_queue(7, BinaryHeapQueue::new());
-        let mut sim_cal = Simulator::with_queue(7, CalendarQueue::new(width));
-        let a = sim_heap.add_net("a");
-        let b = sim_cal.add_net("a");
-        sim_heap.watch(a).expect("net exists");
-        sim_cal.watch(b).expect("net exists");
-        let mut level = Bit::Low;
-        for &t in &ts {
-            level = !level;
-            sim_heap.inject(a, level, t).expect("valid");
-            sim_cal.inject(b, level, t).expect("valid");
-        }
-        sim_heap.run_until(Time::from_ps(2e6)).expect("no limit");
-        sim_cal.run_until(Time::from_ps(2e6)).expect("no limit");
-        prop_assert_eq!(
-            sim_heap.trace(a).expect("watched").transitions(),
-            sim_cal.trace(b).expect("watched").transitions()
+        let heap = run_workload(Simulator::with_queue(7, BinaryHeapQueue::new()), &ts);
+        let cal = run_workload(Simulator::with_queue(7, CalendarQueue::new(width)), &ts);
+        let wheel = run_workload(Simulator::with_queue(7, WheelQueue::new()), &ts);
+        let narrow = run_workload(
+            Simulator::with_queue(7, WheelQueue::with_bucket_width(width)),
+            &ts,
         );
+        prop_assert_eq!(&heap, &cal);
+        prop_assert_eq!(&heap, &wheel);
+        prop_assert_eq!(&heap, &narrow);
+    }
+
+    /// Interleaving cancellations (fresh, duplicate and stale handles)
+    /// with partial runs leaves all three queues in agreement, down to
+    /// the exact cancellation counters.
+    #[test]
+    fn queues_are_equivalent_under_cancellation(
+        ts in times(),
+        mask in prop::collection::vec(any::<bool>(), 1..32),
+        split_num in 0_usize..=100,
+        width in 1.0_f64..10_000.0,
+    ) {
+        let split = ts.len() * split_num / 100;
+        let heap = run_cancelling_workload(
+            Simulator::with_queue(7, BinaryHeapQueue::new()), &ts, &mask, split);
+        let cal = run_cancelling_workload(
+            Simulator::with_queue(7, CalendarQueue::new(width)), &ts, &mask, split);
+        let wheel = run_cancelling_workload(
+            Simulator::with_queue(7, WheelQueue::new()), &ts, &mask, split);
+        prop_assert_eq!(&heap, &cal);
+        prop_assert_eq!(&heap, &wheel);
     }
 
     /// Trace transitions are always strictly alternating in level and

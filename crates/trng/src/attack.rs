@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use strent_analysis::jitter;
 use strent_device::{Board, Supply};
+use strent_sim::SimStats;
 
 use crate::elementary::EntropySource;
 use crate::error::TrngError;
@@ -105,6 +106,25 @@ pub fn probe_response(
     seed: u64,
     periods: usize,
 ) -> Result<ModulationResponse, TrngError> {
+    probe_response_metered(source, board, supply_amplitude_v, freq_mhz, seed, periods)
+        .map(|(response, _)| response)
+}
+
+/// Like [`probe_response`], also returning the combined simulator
+/// kernel statistics of the clean and attacked runs — callers inside a
+/// metered sweep feed these to their `JobMeter`.
+///
+/// # Errors
+///
+/// Propagates ring simulation and analysis errors.
+pub fn probe_response_metered(
+    source: &EntropySource,
+    board: &Board,
+    supply_amplitude_v: f64,
+    freq_mhz: f64,
+    seed: u64,
+    periods: usize,
+) -> Result<(ModulationResponse, SimStats), TrngError> {
     let clean = source.run(board, seed, periods)?;
     let sigma_random = jitter::period_jitter(&clean.periods_ps)?;
     let mut attacked_board = board.clone();
@@ -112,13 +132,18 @@ pub fn probe_response(
     attacked_board.set_supply(Supply::sine(dc, supply_amplitude_v, freq_mhz));
     let attacked = source.run(&attacked_board, seed, periods)?;
     let det = lockin_amplitude_ps(&attacked.periods_ps, freq_mhz)?;
-    Ok(ModulationResponse {
-        freq_mhz,
-        supply_amplitude_v,
-        mean_period_ps: 1e6 / attacked.frequency_mhz,
-        det_amplitude_ps: det,
-        sigma_random_ps: sigma_random,
-    })
+    let mut stats = clean.stats;
+    stats.absorb(attacked.stats);
+    Ok((
+        ModulationResponse {
+            freq_mhz,
+            supply_amplitude_v,
+            mean_period_ps: 1e6 / attacked.frequency_mhz,
+            det_amplitude_ps: det,
+            sigma_random_ps: sigma_random,
+        },
+        stats,
+    ))
 }
 
 /// Builds an attacked elementary-TRNG phase model from a measured

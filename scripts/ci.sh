@@ -18,15 +18,41 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== bench_sweep smoke (quick) =="
 out="$(mktemp -t BENCH_sweep.XXXXXX.json)"
-trap 'rm -f "$out"' EXIT
+engine_out="$(mktemp -t BENCH_engine.XXXXXX.json)"
+trap 'rm -f "$out" "$engine_out"' EXIT
 cargo run -q --release -p strent-bench --bin bench_sweep --offline -- \
-    --quick --out "$out"
-# The emitter hand-formats its JSON; make sure it stays parseable.
+    --quick --out "$out" --engine-out "$engine_out"
+# Both emitters hand-format their JSON; make sure they stay parseable
+# and that the engine report actually carries throughput numbers.
+[ -s "$engine_out" ] || { echo "BENCH_engine.json was not emitted"; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$out"
     echo "BENCH_sweep.json: valid JSON"
+    python3 - "$engine_out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+micro = report["str32_dispatch_microbench"]["queues"]
+assert {q["name"] for q in micro} == {"wheel", "binary_heap", "calendar"}
+for entry in micro:
+    assert entry["events_per_sec"] > 0, f"bogus events/sec in {entry}"
+experiments = report["experiments"]
+assert experiments, "engine report lists no experiments"
+# Stages whose jobs feed kernel stats through their JobMeter must keep
+# doing so (a few ext_* helpers still hide their simulators and
+# legitimately report 0 events).
+metered = {"fig5", "fig8", "obs_a", "table1", "table2", "ext_charlie",
+           "ext_mode", "ext_det", "ext_flicker", "ext_method"}
+for entry in experiments:
+    assert entry["wall_ns"] > 0, f"bogus wall time in {entry}"
+    if entry["label"] in metered:
+        assert entry["events_per_sec"] > 0, f"unmetered stage {entry}"
+print(f"BENCH_engine.json: valid JSON, {len(experiments)} experiments")
+PY
 else
-    echo "BENCH_sweep.json: python3 unavailable, JSON validation skipped"
+    echo "bench JSON: python3 unavailable, validation skipped"
 fi
+
+echo "== criterion engine smoke (--test) =="
+cargo bench -q -p strent-bench --bench engine --offline -- --test
 
 echo "== CI green =="

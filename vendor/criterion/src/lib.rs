@@ -73,18 +73,23 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
 pub struct Criterion {
     default_sample_size: usize,
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench -- <filter>` passes the filter as the first free
-        // argument; flags criterion would normally parse are ignored.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        // argument. `--test` (as with real criterion) switches to a
+        // run-once smoke mode: every benchmark body executes a single
+        // time so CI can prove the harness still works without paying
+        // for measurement. Other flags are ignored.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.into_iter().find(|a| !a.starts_with('-'));
         Criterion {
             default_sample_size: 10,
             filter,
+            test_mode,
         }
     }
 }
@@ -99,10 +104,14 @@ impl Criterion {
         if self.matches(name) {
             let mut bencher = Bencher {
                 samples: Vec::new(),
-                sample_size: self.default_sample_size,
+                sample_size: self.sample_size_for(None),
             };
             routine(&mut bencher);
-            report(name, &bencher, None);
+            if self.test_mode {
+                println!("{name}: test ok");
+            } else {
+                report(name, &bencher, None);
+            }
         }
         self
     }
@@ -119,6 +128,16 @@ impl Criterion {
 
     fn matches(&self, name: &str) -> bool {
         self.filter.as_ref().is_none_or(|f| name.contains(f.as_str()))
+    }
+
+    /// Effective sample count: 1 in `--test` mode, else the group's
+    /// override or the default.
+    fn sample_size_for(&self, group_override: Option<usize>) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            group_override.unwrap_or(self.default_sample_size)
+        }
     }
 }
 
@@ -155,12 +174,14 @@ impl BenchmarkGroup<'_> {
         if self.criterion.matches(&full) {
             let mut bencher = Bencher {
                 samples: Vec::new(),
-                sample_size: self
-                    .sample_size
-                    .unwrap_or(self.criterion.default_sample_size),
+                sample_size: self.criterion.sample_size_for(self.sample_size),
             };
             routine(&mut bencher);
-            report(&full, &bencher, self.throughput);
+            if self.criterion.test_mode {
+                println!("{full}: test ok");
+            } else {
+                report(&full, &bencher, self.throughput);
+            }
         }
         self
     }
@@ -199,6 +220,7 @@ mod tests {
         let mut c = Criterion {
             default_sample_size: 3,
             filter: None,
+            test_mode: false,
         };
         let mut ran = 0usize;
         c.bench_function("smoke", |b| b.iter(|| ran += 1));
@@ -218,11 +240,31 @@ mod tests {
         let mut c = Criterion {
             default_sample_size: 1,
             filter: Some("match-me".into()),
+            test_mode: false,
         };
         let mut ran = false;
         c.bench_function("other", |b| b.iter(|| ran = true));
         assert!(!ran);
         c.bench_function("does-match-me", |b| b.iter(|| ran = true));
         assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion {
+            default_sample_size: 50,
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        // 1 warm-up + 1 sample, regardless of the configured size.
+        assert_eq!(ran, 2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(40);
+        let mut n = 0usize;
+        group.bench_function("inner", |b| b.iter(|| n += 1));
+        group.finish();
+        assert_eq!(n, 2);
     }
 }

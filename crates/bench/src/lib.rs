@@ -6,6 +6,8 @@
 //! * Criterion benches (`benches/`) — regeneration benchmarks per
 //!   table/figure plus engine and TRNG ablations.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::process::ExitCode;
 
@@ -18,6 +20,10 @@ pub struct ReproOptions {
     pub effort: Effort,
     /// The master seed.
     pub seed: u64,
+    /// Escalate netlist lints (SL0xx) from warnings to hard errors —
+    /// the CI setting, so a structurally suspect netlist fails the run
+    /// instead of printing to stderr.
+    pub deny_lints: bool,
 }
 
 impl Default for ReproOptions {
@@ -25,12 +31,14 @@ impl Default for ReproOptions {
         ReproOptions {
             effort: Effort::Full,
             seed: strentropy::calibration::PAPER_SEED,
+            deny_lints: false,
         }
     }
 }
 
 impl ReproOptions {
-    /// Parses `--quick` and `--seed N` from an argument iterator.
+    /// Parses `--quick`, `--seed N` and `--deny-lints` from an
+    /// argument iterator.
     ///
     /// Unknown arguments are reported on the returned `Err`.
     ///
@@ -45,6 +53,7 @@ impl ReproOptions {
             match arg.as_str() {
                 "--quick" => options.effort = Effort::Quick,
                 "--full" => options.effort = Effort::Full,
+                "--deny-lints" => options.deny_lints = true,
                 "--seed" => {
                     let value = args
                         .next()
@@ -69,10 +78,13 @@ pub fn repro_main<T: Display, E: Display>(
     let options = match ReproOptions::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(msg) => {
-            eprintln!("{msg}\nusage: {name} [--quick|--full] [--seed N]");
+            eprintln!("{msg}\nusage: {name} [--quick|--full] [--seed N] [--deny-lints]");
             return ExitCode::FAILURE;
         }
     };
+    if options.deny_lints {
+        strentropy::rings::lint::set_policy(strentropy::rings::LintPolicy::Deny);
+    }
     eprintln!(
         "# {name} ({:?} effort, seed {})",
         options.effort, options.seed
@@ -107,6 +119,9 @@ mod tests {
         assert_eq!(o.seed, 7);
         let o = parse(&["--full"]).expect("valid");
         assert_eq!(o.effort, Effort::Full);
+        assert!(!o.deny_lints);
+        let o = parse(&["--deny-lints"]).expect("valid");
+        assert!(o.deny_lints);
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ExtCharlieResult, Experimen
         let charlie = *job.config;
         let config = StrConfig::new(32, 16)
             .expect("valid counts")
-            .with_charlie_ps(charlie);
+            .with_charlie_ps(charlie)?;
         let run = measure::run_str(&config, &board, job.seed(), periods)?;
         meter.record_sim(run.stats);
         Ok(ExtCharliePoint {

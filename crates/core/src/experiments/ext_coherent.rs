@@ -111,7 +111,7 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ExtCoherentResult, Experime
             let b = IroConfig::new(5)
                 .expect("valid length")
                 .with_placement_base(100)
-                .with_routing_ps(a.routing_ps(board) + detune);
+                .with_routing_ps(a.routing_ps(board) + detune)?;
             (
                 1e6 / measure::run_iro(&a, board, seed_a, periods)?.frequency_mhz,
                 1e6 / measure::run_iro(&b, board, seed_b, periods)?.frequency_mhz,
@@ -124,7 +124,7 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<ExtCoherentResult, Experime
             let b = StrConfig::new(96, 48)
                 .expect("valid counts")
                 .with_placement_base(1000)
-                .with_routing_ps(a.routing_ps(board) + detune);
+                .with_routing_ps(a.routing_ps(board) + detune)?;
             (
                 1e6 / measure::run_str(&a, board, seed_a, periods)?.frequency_mhz,
                 1e6 / measure::run_str(&b, board, seed_b, periods)?.frequency_mhz,

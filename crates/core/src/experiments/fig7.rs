@@ -107,7 +107,7 @@ pub fn run(effort: Effort, seed: u64) -> Result<Fig7Result, ExperimentError> {
     for &l in &[8usize, 16, 32] {
         let config = StrConfig::new(l, l / 2)
             .expect("valid counts")
-            .with_routing_ps(0.0);
+            .with_routing_ps(0.0)?;
         let run = measure::run_str(&config, &board, seed, periods)?;
         let t = 1e6 / run.frequency_mhz;
         let deff = t * (l as f64 / 2.0) / (2.0 * l as f64);
@@ -126,7 +126,7 @@ pub fn run(effort: Effort, seed: u64) -> Result<Fig7Result, ExperimentError> {
     for tokens in (4..=28).step_by(2) {
         let config = StrConfig::new(l, tokens)
             .expect("valid counts")
-            .with_routing_ps(0.0);
+            .with_routing_ps(0.0)?;
         let run = measure::run_str(&config, &board, seed, periods)?;
         let h = (1e6 / run.frequency_mhz) / 2.0;
         let delta = h * (l as f64 - 2.0 * tokens as f64) / (2.0 * l as f64);

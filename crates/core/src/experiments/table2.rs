@@ -93,7 +93,8 @@ pub fn run_with(runner: &ExperimentRunner) -> Result<Table2Result, ExperimentErr
             // (~305 MHz, vs 376 MHz in Table I) — see calibration docs.
             let routing = config.routing_ps(calibration::paper_boards().board(0));
             config = config
-                .with_routing_ps(routing + calibration::TABLE2_IRO5_EXTRA_ROUTING_PS);
+                .with_routing_ps(routing + calibration::TABLE2_IRO5_EXTRA_ROUTING_PS)
+                .expect("calibrated routing is non-negative");
         }
         specs.push((format!("IRO {l}C"), RingSpec::Iro(config)));
     }

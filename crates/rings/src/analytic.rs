@@ -163,7 +163,10 @@ mod tests {
     fn iro_predictions_match_paper_calibration() {
         let board = quiet_board();
         // IRO 3C with no routing: 2*3*255 = 1530 ps -> 653.6 MHz.
-        let c3 = IroConfig::new(3).expect("valid").with_routing_ps(0.0);
+        let c3 = IroConfig::new(3)
+            .expect("valid")
+            .with_routing_ps(0.0)
+            .expect("valid routing");
         assert!((iro_period_ps(&c3, &board) - 1530.0).abs() < 1e-9);
         assert!((iro_frequency_mhz(&c3, &board) - 653.6).abs() < 0.5);
         // IRO 5C with calibrated routing lands near Table I's 376 MHz.

@@ -44,12 +44,19 @@ impl Component for EdgeCounter {
 /// Handle to an instantiated divider.
 #[derive(Debug, Clone, Copy)]
 pub struct DividerHandle {
+    input: NetId,
     output: NetId,
     component: ComponentId,
     n: u64,
 }
 
 impl DividerHandle {
+    /// The ring net the counter listens on.
+    #[must_use]
+    pub fn input(&self) -> NetId {
+        self.input
+    }
+
     /// The `osc_mes` net (one full period = `2n` input periods).
     #[must_use]
     pub fn output(&self) -> NetId {
@@ -97,6 +104,7 @@ pub fn build<Q: EventQueue>(
     sim.listen(input, component)?;
     sim.watch(output)?;
     Ok(DividerHandle {
+        input,
         output,
         component,
         n,

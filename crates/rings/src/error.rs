@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use strent_sim::SimError;
+use strent_sim::{Diagnostic, LintCode, SimError};
 
 /// Errors reported by ring construction and measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,28 @@ pub enum RingError {
     },
     /// An underlying simulator error.
     Sim(SimError),
+    /// The pre-simulation static verifier rejected the netlist or
+    /// configuration under the deny policy (see [`crate::lint`]).
+    Lint(Vec<Diagnostic>),
+}
+
+impl RingError {
+    /// The `SL0xx` diagnostic view of this error: lint rejections carry
+    /// their findings verbatim, and configuration rejections surface as
+    /// an `SL010` diagnostic (so every typed validation failure has a
+    /// stable machine-readable code).
+    #[must_use]
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        match self {
+            RingError::Lint(diagnostics) => diagnostics.clone(),
+            RingError::InvalidConfig(msg) => vec![Diagnostic::new(
+                LintCode::InvalidRingConfig,
+                "ring config",
+                msg.clone(),
+            )],
+            _ => Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for RingError {
@@ -48,6 +70,17 @@ impl fmt::Display for RingError {
                 "simulation horizon reached with {collected}/{requested} periods"
             ),
             RingError::Sim(e) => write!(f, "simulator error: {e}"),
+            RingError::Lint(diagnostics) => {
+                write!(
+                    f,
+                    "static verification failed with {} finding(s):",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, " {d};")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -90,6 +123,38 @@ mod tests {
         let wrapped = RingError::from(SimError::InvalidDelay(-1.0));
         assert!(wrapped.to_string().contains("simulator"));
         assert!(Error::source(&wrapped).is_some());
+        let lint = RingError::Lint(vec![Diagnostic::new(
+            LintCode::OrphanNet,
+            "net 3",
+            "dangling",
+        )]);
+        let text = lint.to_string();
+        assert!(text.contains("1 finding"), "{text}");
+        assert!(text.contains("SL001"), "{text}");
+    }
+
+    #[test]
+    fn errors_surface_as_sl_diagnostics() {
+        let invalid = RingError::InvalidConfig("NT must be even".into());
+        let diags = invalid.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::InvalidRingConfig);
+        assert_eq!(diags[0].code.code(), "SL010");
+        assert!(diags[0].message.contains("NT"));
+        let lint = RingError::Lint(vec![Diagnostic::new(
+            LintCode::DividerUnreachable,
+            "divider(n=4)",
+            "input is not a ring net",
+        )]);
+        assert_eq!(lint.diagnostics()[0].code.code(), "SL014");
+        assert!(
+            RingError::NotOscillating {
+                observed_transitions: 0
+            }
+            .diagnostics()
+            .is_empty(),
+            "runtime failures are not static findings"
+        );
     }
 
     #[test]

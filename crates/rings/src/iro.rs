@@ -70,17 +70,18 @@ impl IroConfig {
     ///
     /// [`RoutingModel`]: strent_device::RoutingModel
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the value is negative or non-finite.
-    #[must_use]
-    pub fn with_routing_ps(mut self, routing_ps: f64) -> Self {
-        assert!(
-            routing_ps.is_finite() && routing_ps >= 0.0,
-            "routing override must be non-negative"
-        );
+    /// Returns [`RingError::InvalidConfig`] (surfaced as an `SL010`
+    /// diagnostic) if the value is negative or non-finite.
+    pub fn with_routing_ps(mut self, routing_ps: f64) -> Result<Self, RingError> {
+        if !(routing_ps.is_finite() && routing_ps >= 0.0) {
+            return Err(RingError::InvalidConfig(format!(
+                "routing override must be non-negative, got {routing_ps}"
+            )));
+        }
         self.routing_override_ps = Some(routing_ps);
-        self
+        Ok(self)
     }
 
     /// The per-stage routing overhead this configuration resolves to on
@@ -257,15 +258,27 @@ mod tests {
         let board = quiet_board();
         let c = IroConfig::new(5).expect("valid");
         assert!((c.routing_ps(&board) - 11.0).abs() < 1e-9);
-        let c = c.with_routing_ps(99.0);
+        let c = c.with_routing_ps(99.0).expect("valid routing");
         assert_eq!(c.routing_ps(&board), 99.0);
         assert_eq!(c.cells(&board).len(), 5);
+        // The former panics are now typed SL010-backed rejections.
+        assert!(IroConfig::new(5)
+            .expect("valid")
+            .with_routing_ps(-1.0)
+            .is_err());
+        assert!(IroConfig::new(5)
+            .expect("valid")
+            .with_routing_ps(f64::NAN)
+            .is_err());
     }
 
     #[test]
     fn ideal_iro_period_is_two_laps() {
         let board = quiet_board();
-        let config = IroConfig::new(3).expect("valid").with_routing_ps(0.0);
+        let config = IroConfig::new(3)
+            .expect("valid")
+            .with_routing_ps(0.0)
+            .expect("valid routing");
         let mut sim = Simulator::new(7);
         let handle = build(&config, &board, &mut sim).expect("valid");
         sim.watch(handle.output()).expect("net exists");
@@ -301,7 +314,10 @@ mod tests {
             .with_sigma_intra(0.0)
             .with_sigma_inter(0.0);
         let board = Board::new(tech, 0, 1);
-        let config = IroConfig::new(5).expect("valid").with_routing_ps(0.0);
+        let config = IroConfig::new(5)
+            .expect("valid")
+            .with_routing_ps(0.0)
+            .expect("valid routing");
         let mut sim = Simulator::new(3);
         let handle = build(&config, &board, &mut sim).expect("valid");
         sim.watch(handle.output()).expect("net exists");

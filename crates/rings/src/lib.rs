@@ -19,7 +19,11 @@
 //! * [`mode`] — oscillation-mode detection: evenly-spaced vs burst
 //!   (Fig. 5) from simulated traces;
 //! * [`measure`] — convenience runners that build a ring, simulate it and
-//!   return period series ready for `strent-analysis`.
+//!   return period series ready for `strent-analysis`;
+//! * [`lint`] — the ring-aware half of the `simlint` static verifier:
+//!   oscillation conditions, token conservation, Eq. 1 burst-mode
+//!   prediction and wiring checks, run on every netlist the measurement
+//!   runners build (see `docs/static_analysis.md`).
 //!
 //! ## Example: measure a 16-stage STR
 //!
@@ -46,6 +50,7 @@ pub mod counter;
 pub mod divider;
 pub mod error;
 pub mod iro;
+pub mod lint;
 pub mod measure;
 pub mod mode;
 pub mod state;
@@ -54,6 +59,7 @@ pub mod str_ring;
 pub use charlie::CharlieModel;
 pub use error::RingError;
 pub use iro::IroConfig;
+pub use lint::LintPolicy;
 pub use mode::OscillationMode;
 pub use state::StrState;
 pub use str_ring::StrConfig;

@@ -10,6 +10,7 @@ use strent_sim::{Edge, SimStats, Simulator, Time, Trace};
 use crate::analytic;
 use crate::error::RingError;
 use crate::iro::{self, IroConfig};
+use crate::lint;
 use crate::str_ring::{self, StrConfig};
 
 /// Number of initial periods discarded as start-up transient.
@@ -120,6 +121,9 @@ pub fn run_iro(
     let handle = iro::build(config, board, &mut sim)?;
     let capacity = expected_transitions(periods + WARMUP_PERIODS + 2);
     sim.watch_with_capacity(handle.output(), capacity)?;
+    let mut report = sim.lint_netlist();
+    report.extend(lint::verify_built_iro(&sim, &handle, config));
+    lint::enforce(&report)?;
     let expected = analytic::iro_period_ps(config, board);
     run_to_periods(&mut sim, handle.output(), expected, periods, WARMUP_PERIODS)?;
     let trace = sim.trace(handle.output()).expect("watched");
@@ -144,6 +148,10 @@ pub fn run_str(
     let handle = str_ring::build(config, board, &mut sim)?;
     let capacity = expected_transitions(periods + WARMUP_PERIODS + 2);
     sim.watch_with_capacity(handle.output(), capacity)?;
+    let mut report = sim.lint_netlist();
+    report.extend(lint::verify_built_str(&sim, &handle));
+    report.extend(lint::verify_str_config(config, board));
+    lint::enforce(&report)?;
     // The general closure formula stays accurate for NT != NB, where
     // the balanced formula can underestimate the period several-fold.
     let expected = analytic::str_period_general_ps(config, board);
@@ -189,6 +197,19 @@ pub fn run_str_full(
     for &net in handle.nets() {
         sim.watch_with_capacity(net, capacity)?;
     }
+    // Mode diagnosis is this runner's purpose, so the Eq. 1 burst
+    // prediction (SL012) is not a finding here — Fig. 5 and the mode
+    // map deliberately provoke the burst regime. Structural findings
+    // still apply.
+    let mut report = sim.lint_netlist();
+    report.extend(lint::verify_built_str(&sim, &handle));
+    report.extend(
+        lint::verify_str_config(config, board)
+            .into_iter()
+            .filter(|d| d.code != strent_sim::LintCode::BurstModePredicted)
+            .collect(),
+    );
+    lint::enforce(&report)?;
     let expected = analytic::str_period_ps(config, board);
     let warmup = WARMUP_PERIODS;
     run_to_periods(&mut sim, handle.output(), expected, periods, warmup)?;

@@ -90,6 +90,12 @@ impl StrConfig {
         self.length - self.tokens
     }
 
+    /// The initial token layout.
+    #[must_use]
+    pub fn layout(&self) -> TokenLayout {
+        self.layout
+    }
+
     /// Selects the initial token layout.
     #[must_use]
     pub fn with_layout(mut self, layout: TokenLayout) -> Self {
@@ -106,33 +112,35 @@ impl StrConfig {
 
     /// Overrides the per-stage routing overhead (ps).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the value is negative or non-finite.
-    #[must_use]
-    pub fn with_routing_ps(mut self, routing_ps: f64) -> Self {
-        assert!(
-            routing_ps.is_finite() && routing_ps >= 0.0,
-            "routing override must be non-negative"
-        );
+    /// Returns [`RingError::InvalidConfig`] (surfaced as an `SL010`
+    /// diagnostic) if the value is negative or non-finite.
+    pub fn with_routing_ps(mut self, routing_ps: f64) -> Result<Self, RingError> {
+        if !(routing_ps.is_finite() && routing_ps >= 0.0) {
+            return Err(RingError::InvalidConfig(format!(
+                "routing override must be non-negative, got {routing_ps}"
+            )));
+        }
         self.routing_override_ps = Some(routing_ps);
-        self
+        Ok(self)
     }
 
     /// Overrides the nominal Charlie magnitude (ps) — used by ablation
     /// studies; the default comes from the board's technology.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the value is negative or non-finite.
-    #[must_use]
-    pub fn with_charlie_ps(mut self, charlie_ps: f64) -> Self {
-        assert!(
-            charlie_ps.is_finite() && charlie_ps >= 0.0,
-            "Charlie override must be non-negative"
-        );
+    /// Returns [`RingError::InvalidConfig`] (surfaced as an `SL010`
+    /// diagnostic) if the value is negative or non-finite.
+    pub fn with_charlie_ps(mut self, charlie_ps: f64) -> Result<Self, RingError> {
+        if !(charlie_ps.is_finite() && charlie_ps >= 0.0) {
+            return Err(RingError::InvalidConfig(format!(
+                "Charlie override must be non-negative, got {charlie_ps}"
+            )));
+        }
         self.charlie_override_ps = Some(charlie_ps);
-        self
+        Ok(self)
     }
 
     /// The initial logical state this configuration produces.
@@ -307,6 +315,13 @@ pub struct StrHandle {
 }
 
 impl StrHandle {
+    /// Assembles a handle from raw parts — only for the lint tests,
+    /// which forge mis-wired handles to prove `SL013` fires.
+    #[cfg(test)]
+    pub(crate) fn from_parts(nets: Vec<NetId>, components: Vec<ComponentId>) -> Self {
+        StrHandle { nets, components }
+    }
+
     /// The stage output nets `C[0..L]`.
     #[must_use]
     pub fn nets(&self) -> &[NetId] {
@@ -424,17 +439,30 @@ mod tests {
             "initial state matches config"
         );
         let clustered = c.clone().with_layout(TokenLayout::Clustered);
+        assert_eq!(clustered.layout(), TokenLayout::Clustered);
         assert_eq!(
             clustered.initial_state().token_positions(),
             (0..8).collect::<Vec<_>>()
         );
+        // The former panics are now typed SL010-backed rejections.
+        assert!(c.clone().with_routing_ps(-1.0).is_err());
+        assert!(c.clone().with_routing_ps(f64::INFINITY).is_err());
+        assert!(c.clone().with_charlie_ps(-0.5).is_err());
+        assert!(c.clone().with_charlie_ps(f64::NAN).is_err());
+        match c.clone().with_charlie_ps(-0.5) {
+            Err(e) => assert_eq!(e.diagnostics()[0].code.code(), "SL010"),
+            Ok(_) => panic!("negative Charlie accepted"),
+        }
     }
 
     #[test]
     fn ideal_str_period_matches_analytic() {
         // NT = NB, no noise, no routing: T = 2*L*(Ds + Dch)/NT = 4*(Ds+Dch).
         let board = quiet_board();
-        let config = StrConfig::new(8, 4).expect("valid").with_routing_ps(0.0);
+        let config = StrConfig::new(8, 4)
+            .expect("valid")
+            .with_routing_ps(0.0)
+            .expect("valid routing");
         let periods = run_periods(&config, &board, 60.0);
         assert!(periods.len() > 10, "got {} periods", periods.len());
         let expected = 4.0 * (255.0 + 128.0);
@@ -447,7 +475,10 @@ mod tests {
     fn four_stage_ring_matches_paper_frequency() {
         // STR 4C: the paper reports ~653-669 MHz.
         let board = quiet_board();
-        let config = StrConfig::new(4, 2).expect("valid").with_routing_ps(0.0);
+        let config = StrConfig::new(4, 2)
+            .expect("valid")
+            .with_routing_ps(0.0)
+            .expect("valid routing");
         let periods = run_periods(&config, &board, 60.0);
         assert!(periods.len() > 10);
         let mean = periods.iter().skip(5).sum::<f64>() / (periods.len() - 5) as f64;
@@ -462,7 +493,8 @@ mod tests {
         for &l in &[4usize, 8, 16, 24, 48] {
             let config = StrConfig::new(l, l / 2)
                 .expect("valid")
-                .with_routing_ps(0.0);
+                .with_routing_ps(0.0)
+                .expect("valid routing");
             let periods = run_periods(&config, &board, 80.0);
             assert!(periods.len() > 5, "L={l}: only {} periods", periods.len());
         }
@@ -479,7 +511,8 @@ mod tests {
         for &l in &[8usize, 32] {
             let config = StrConfig::new(l, l / 2)
                 .expect("valid")
-                .with_routing_ps(0.0);
+                .with_routing_ps(0.0)
+                .expect("valid routing");
             let periods = run_periods(&config, &board, 3_000.0);
             assert!(periods.len() > 400, "L={l}");
             let skip = 50;

@@ -11,6 +11,7 @@ use std::any::Any;
 
 use crate::error::SimError;
 use crate::event::{Event, EventId, Occurrence, TimerTag};
+use crate::lint::{Diagnostic, LintCode, LintReport};
 use crate::queue::{EventQueue, ScheduledEvent, WheelQueue};
 use crate::rng::{RngTree, SimRng};
 use crate::signal::{Bit, NetId};
@@ -75,8 +76,14 @@ enum Fanout {
     Taken(Vec<u32>),
 }
 
+/// Number of listeners a net stores inline before spilling to the
+/// heap. Published so static verifiers ([`Simulator::lint_netlist`],
+/// `strent_rings::lint`) can flag fan-outs that leave the
+/// zero-allocation dispatch fast path.
+pub const INLINE_FANOUT: usize = 4;
+
 impl Listeners {
-    const INLINE: usize = 4;
+    const INLINE: usize = INLINE_FANOUT;
 
     const fn new() -> Self {
         Listeners::Inline {
@@ -354,6 +361,10 @@ pub struct Simulator<Q: EventQueue = WheelQueue> {
     next_seq: u64,
     nets: Vec<NetState>,
     components: Vec<Option<Box<dyn Component>>>,
+    /// Whether a bootstrap timer was ever armed for each component —
+    /// consulted by [`Simulator::lint_netlist`] to tell apart
+    /// components reachable through a timer from truly orphaned ones.
+    timer_armed: Vec<bool>,
     rngs: Vec<SimRng>,
     traces: TraceSet,
     slab: CancelSlab,
@@ -380,6 +391,7 @@ impl<Q: EventQueue> Simulator<Q> {
             next_seq: 0,
             nets: Vec::new(),
             components: Vec::new(),
+            timer_armed: Vec::new(),
             rngs: Vec::new(),
             traces: TraceSet::new(),
             slab: CancelSlab::default(),
@@ -410,6 +422,7 @@ impl<Q: EventQueue> Simulator<Q> {
         let id = self.components.len();
         let _ = u32::try_from(id).expect("too many components");
         self.components.push(Some(Box::new(component)));
+        self.timer_armed.push(false);
         self.rngs.push(self.rng_tree.stream(id as u64));
         ComponentId(id)
     }
@@ -505,6 +518,7 @@ impl<Q: EventQueue> Simulator<Q> {
         if !delay_ps.is_finite() || delay_ps < 0.0 {
             return Err(SimError::InvalidDelay(delay_ps));
         }
+        self.timer_armed[component.0] = true;
         Ok(push_event(
             &mut self.queue,
             &mut self.next_seq,
@@ -572,6 +586,82 @@ impl<Q: EventQueue> Simulator<Q> {
     #[must_use]
     pub fn net_count(&self) -> usize {
         self.nets.len()
+    }
+
+    /// The components subscribed to `net`, in subscription order.
+    ///
+    /// A verification-time accessor (it allocates); dispatch never
+    /// uses it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] if the net is unknown.
+    pub fn listeners(&self, net: NetId) -> Result<Vec<ComponentId>, SimError> {
+        let state = self
+            .nets
+            .get(net.index())
+            .ok_or(SimError::UnknownNet(net))?;
+        Ok(state
+            .listeners
+            .as_slice()
+            .iter()
+            .map(|&c| ComponentId(c as usize))
+            .collect())
+    }
+
+    /// Runs the structural netlist checks and returns the findings.
+    ///
+    /// Intended to run **after wiring and before the first event**:
+    ///
+    /// * `SL001` — a net nobody listens to and nobody watches;
+    /// * `SL002` — a component with no subscriptions and no armed
+    ///   bootstrap timer (it can never be dispatched);
+    /// * `SL003` — a net whose fan-out spilled the inline listener
+    ///   storage (dispatch leaves the zero-allocation fast path).
+    ///
+    /// The pass only reads bookkeeping that wiring already built, so
+    /// it consumes no randomness and cannot perturb a simulation run.
+    #[must_use]
+    pub fn lint_netlist(&self) -> LintReport {
+        let mut report = LintReport::new();
+        let mut subscribed = vec![false; self.components.len()];
+        for (i, state) in self.nets.iter().enumerate() {
+            let fan_out = state.listeners.as_slice();
+            for &listener in fan_out {
+                if let Some(flag) = subscribed.get_mut(listener as usize) {
+                    *flag = true;
+                }
+            }
+            let net = NetId(u32::try_from(i).expect("net ids fit u32"));
+            if fan_out.is_empty() && !self.traces.is_watched(net) {
+                report.push(Diagnostic::new(
+                    LintCode::OrphanNet,
+                    format!("net {i} ({})", state.name),
+                    "no listeners and not watched: drives on this net have no effect",
+                ));
+            }
+            if fan_out.len() > INLINE_FANOUT {
+                report.push(Diagnostic::new(
+                    LintCode::SpilledFanout,
+                    format!("net {i} ({})", state.name),
+                    format!(
+                        "fan-out {} exceeds the inline capacity {INLINE_FANOUT}: \
+                         dispatch takes the spilled (allocating) path",
+                        fan_out.len()
+                    ),
+                ));
+            }
+        }
+        for (i, component) in self.components.iter().enumerate() {
+            if component.is_some() && !subscribed[i] && !self.timer_armed[i] {
+                report.push(Diagnostic::new(
+                    LintCode::UnreachableComponent,
+                    format!("component {i}"),
+                    "no net subscriptions and no armed timer: it can never be dispatched",
+                ));
+            }
+        }
+        report
     }
 
     /// All recorded traces.
@@ -1106,6 +1196,88 @@ mod tests {
         let cal = run(Simulator::with_queue(9, CalendarQueue::new(50.0)));
         assert_eq!(wheel, heap);
         assert_eq!(wheel, cal);
+    }
+
+    #[test]
+    fn lint_flags_orphan_net_unreachable_component_and_spill() {
+        use crate::lint::LintCode;
+
+        let mut sim = Simulator::new(1);
+        // Orphan: no listeners, not watched -> SL001.
+        let orphan = sim.add_net("dangling");
+        // Unreachable: no subscriptions, no timer -> SL002.
+        let _idle = sim.add_component(Ticker {
+            period: 1.0,
+            remaining: 0,
+            fired: 0,
+        });
+        // Spilled fan-out: INLINE + 1 listeners -> SL003 (and the net
+        // itself has listeners, so no SL001 for it).
+        let wide = sim.add_net("wide");
+        for i in 0..=INLINE_FANOUT {
+            let out = sim.add_net(format!("out{i}"));
+            sim.watch(out).expect("net exists");
+            let comp = sim.add_component(Inverter {
+                input: wide,
+                output: out,
+                delay: 1.0,
+            });
+            sim.listen(wide, comp).expect("net exists");
+        }
+        let report = sim.lint_netlist();
+        assert!(report.has_code(LintCode::OrphanNet));
+        assert!(report.has_code(LintCode::UnreachableComponent));
+        assert!(report.has_code(LintCode::SpilledFanout));
+        let orphan_subject = format!("net {} (dangling)", orphan.index());
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == LintCode::OrphanNet && d.subject == orphan_subject),
+            "orphan names the net: {report}"
+        );
+    }
+
+    #[test]
+    fn lint_accepts_a_well_formed_netlist() {
+        // A ring (every net listened), a watched output and an armed
+        // timer component: nothing to report.
+        let mut sim = Simulator::new(1);
+        let nets = ring(&mut sim, 3, 100.0);
+        sim.watch(nets[0]).expect("net exists");
+        let ticker = sim.add_component(Ticker {
+            period: 50.0,
+            remaining: 1,
+            fired: 0,
+        });
+        sim.arm_timer(ticker, 50.0, 7).expect("valid");
+        let report = sim.lint_netlist();
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn watched_but_unlistened_net_is_not_an_orphan() {
+        // A measurement tap: no listeners, but watched. The trace is
+        // the observer, so the net is not an orphan.
+        let mut sim = Simulator::new(1);
+        let tap = sim.add_net("tap");
+        sim.watch(tap).expect("net exists");
+        assert!(sim.lint_netlist().is_clean());
+    }
+
+    #[test]
+    fn listeners_accessor_reports_subscriptions() {
+        let mut sim = Simulator::new(1);
+        let net = sim.add_net("n");
+        let comp = sim.add_component(Ticker {
+            period: 1.0,
+            remaining: 0,
+            fired: 0,
+        });
+        assert_eq!(sim.listeners(net).expect("known"), vec![]);
+        sim.listen(net, comp).expect("net exists");
+        assert_eq!(sim.listeners(net).expect("known"), vec![comp]);
+        assert!(sim.listeners(NetId(9)).is_err());
     }
 
     #[test]

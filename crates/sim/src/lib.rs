@@ -63,6 +63,7 @@
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod lint;
 pub mod queue;
 pub mod rng;
 pub mod signal;
@@ -72,9 +73,10 @@ pub mod time;
 pub mod trace;
 pub mod vcd;
 
-pub use engine::{Component, ComponentId, Context, SimStats, Simulator};
+pub use engine::{Component, ComponentId, Context, SimStats, Simulator, INLINE_FANOUT};
 pub use error::SimError;
 pub use event::{Event, EventId, TimerTag};
+pub use lint::{Diagnostic, LintCode, LintReport, Severity};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, ScheduledEvent, WheelQueue};
 pub use rng::{Normal, RngTree, SimRng};
 pub use signal::{Bit, Edge, NetId};

@@ -638,6 +638,55 @@ mod tests {
         );
     }
 
+    /// Invariant test (simlint relies on it): a push whose time
+    /// quantizes to a bucket the cursor already passed is clamped to
+    /// the cursor bucket, and the (time, seq) pop order survives. The
+    /// cursor parks ahead when the queue drains (it stays at the bucket
+    /// of the last popped event), so a subsequent push at an earlier
+    /// wall-clock time — legal only through float rounding at a bucket
+    /// boundary, but exercised here directly — must not vanish behind
+    /// the cursor or pop out of order.
+    #[test]
+    fn wheel_clamps_push_behind_parked_cursor() {
+        let mut q = WheelQueue::with_bucket_width(10.0);
+        // Park the cursor deep into the ring: pop an event at t=2005
+        // (bucket 200), leaving `cur` = 200 with an empty queue.
+        q.push(ev(2_005.0, 0));
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        assert!(q.is_empty());
+        // These quantize to buckets 0 and 1 — far behind the cursor —
+        // and must clamp into bucket 200 while keeping (time, seq)
+        // order among themselves and against an in-window push.
+        q.push(ev(15.0, 3));
+        q.push(ev(5.0, 2));
+        q.push(ev(2_010.0, 1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Time::from_ps(5.0)));
+        assert_eq!(
+            drain(&mut q),
+            vec![(5.0, 2), (15.0, 3), (2_010.0, 1)]
+        );
+    }
+
+    /// Invariant test: the clamp also holds when the cursor was parked
+    /// by a *bounded* pop (`pop_at_or_before` advancing to a non-empty
+    /// bucket without consuming it) rather than by draining the queue.
+    #[test]
+    fn wheel_clamp_after_bounded_pop_keeps_order() {
+        let mut q = WheelQueue::with_bucket_width(10.0);
+        q.push(ev(500.0, 0));
+        // The bounded pop repositions the cursor onto bucket 50 (the
+        // earliest non-empty one) and returns nothing.
+        assert!(q.pop_at_or_before(Time::from_ps(100.0)).is_none());
+        // Bucket 3 quantization — behind the parked cursor.
+        q.push(ev(30.0, 1));
+        assert_eq!(
+            drain(&mut q),
+            vec![(30.0, 1), (500.0, 0)],
+            "clamped event still pops before the later in-window event"
+        );
+    }
+
     #[test]
     fn pop_at_or_before_respects_horizon() {
         for q in [

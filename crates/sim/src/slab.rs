@@ -135,4 +135,48 @@ mod tests {
         slab.cancel(17, 0); // never allocated
         assert_eq!(slab.live(), 0);
     }
+
+    /// Invariant test (simlint relies on it): generation stamps wrap
+    /// with `wrapping_add`, and a handle from the pre-wrap generation
+    /// must not cancel the post-wrap occupant. Without wrapping
+    /// semantics, `finish` would panic on overflow after 2^32 reuses of
+    /// one slot; without the stale-handle check, an `EventId` kept
+    /// alive across the wrap could cancel an unrelated event.
+    #[test]
+    fn generation_wraparound_keeps_stale_handles_dead() {
+        let mut slab = CancelSlab::default();
+        let (slot, generation) = slab.alloc();
+        assert_eq!(generation, 0);
+        // Age the slot to the last representable generation.
+        slab.slots[slot as usize].generation = u32::MAX;
+        let stale = u32::MAX; // handle minted just before the wrap
+        assert!(!slab.finish(slot), "not cancelled");
+        assert_eq!(
+            slab.slots[slot as usize].generation, 0,
+            "generation wraps to zero instead of overflowing"
+        );
+        let (slot2, generation2) = slab.alloc();
+        assert_eq!(slot2, slot, "slot recycled across the wrap");
+        assert_eq!(generation2, 0);
+        slab.cancel(slot, stale); // pre-wrap handle
+        assert!(
+            !slab.finish(slot2),
+            "stale pre-wrap handle must not cancel the new occupant"
+        );
+    }
+
+    /// Invariant test: a handle whose generation collides *after* the
+    /// wrap (generation 0 again) is honoured — generation reuse is an
+    /// accepted 1-in-2^32 ABA window, documented here so a future
+    /// change to the stamp width keeps the test honest.
+    #[test]
+    fn generation_wraparound_aba_window_is_exact() {
+        let mut slab = CancelSlab::default();
+        let (slot, _) = slab.alloc();
+        slab.slots[slot as usize].generation = u32::MAX;
+        assert!(!slab.finish(slot));
+        let (_, generation) = slab.alloc();
+        slab.cancel(slot, generation); // matching post-wrap handle
+        assert!(slab.finish(slot), "matching generation still cancels");
+    }
 }

@@ -1,0 +1,7 @@
+//! Fixture: ambient RNG — randomness must flow from the seeded tree,
+//! never from thread-local or OS entropy.
+
+pub fn jitter_sample() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen::<f64>()
+}

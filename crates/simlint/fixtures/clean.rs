@@ -1,0 +1,33 @@
+//! Fixture: exercises every escape hatch and must stay quiet.
+//! HashMap in comments, strings and `#[cfg(test)]` regions; an inline
+//! allow directive; a SAFETY-documented unsafe block.
+
+pub fn describe() -> &'static str {
+    // A HashMap mentioned in a comment never fires.
+    "uses HashMap and Instant::now only in this string"
+}
+
+pub fn vetted_wall_clock_stat() -> u128 {
+    // simlint: allow(SL102) wall-clock progress stat, not simulation state
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+pub fn documented_unsafe(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    // SAFETY: emptiness checked above, so index 0 is in bounds.
+    unsafe { *values.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_hash_and_time() {
+        let mut seen = HashSet::new();
+        seen.insert(std::time::Instant::now());
+        assert_eq!(seen.len(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: float reduction over an unordered iterator. Float addition
+//! is not associative, so summation order changes the result bits.
+
+use std::collections::BTreeMap;
+
+pub fn mean_period(periods: &BTreeMap<String, f64>) -> f64 {
+    let total: f64 = periods.values().sum::<f64>();
+    total / periods.len() as f64
+}

@@ -1,0 +1,18 @@
+//! Fixture: seeded HashMap iteration — the canonical determinism bug.
+//! Even with a fixed simulation seed, `HashMap` iteration order varies
+//! per process (SipHash keys are randomized), so the fold below visits
+//! components in a different order every run.
+
+use std::collections::HashMap;
+
+pub fn component_phase_sum(seed: u64) -> f64 {
+    let mut phases: HashMap<u64, f64> = HashMap::new();
+    for i in 0..16 {
+        phases.insert(i, (seed.wrapping_add(i) % 255) as f64);
+    }
+    let mut sum = 0.0;
+    for (_, phase) in &phases {
+        sum += phase; // order-dependent float accumulation
+    }
+    sum
+}

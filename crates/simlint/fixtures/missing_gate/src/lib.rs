@@ -1,0 +1,6 @@
+//! Fixture: a crate root with no unsafe code anywhere and no
+//! `#![forbid(unsafe_code)]` gate — fires SL106.
+
+pub fn safe_but_ungated() -> u32 {
+    42
+}

@@ -1,0 +1,12 @@
+//! Fixture: an `unsafe` block with no SAFETY comment (fires SL105),
+//! next to a properly documented one (does not fire).
+
+pub fn undocumented(values: &[u64], index: usize) -> u64 {
+    unsafe { *values.get_unchecked(index) }
+}
+
+pub fn documented(values: &[u64], index: usize) -> u64 {
+    assert!(index < values.len());
+    // SAFETY: the assert above guarantees `index` is in bounds.
+    unsafe { *values.get_unchecked(index) }
+}

@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads in deterministic code. Simulated time is
+//! the only clock the hot path may consult.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp_events() -> (Instant, SystemTime) {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    (started, wall)
+}

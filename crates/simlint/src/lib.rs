@@ -1,0 +1,969 @@
+//! Determinism and `unsafe`-code hygiene linter for the strentropy
+//! workspace (the `SL1xx` half of `simlint`; the `SL0xx` netlist half
+//! lives in `strent_sim::lint` / `strent_rings::lint`).
+//!
+//! The whole reproduction rests on bit-determinism: the same seed must
+//! produce the same period series on any machine, any worker count.
+//! This crate scans workspace sources for constructs that silently
+//! break that contract in deterministic code — hash-order iteration,
+//! wall-clock reads, ambient RNGs, unordered float reductions — plus an
+//! `unsafe`-block audit requiring `// SAFETY:` comments and per-crate
+//! `#![forbid(unsafe_code)]` gates.
+//!
+//! The scanner is a hand-rolled token state machine (no external
+//! dependencies, consistent with the vendored offline stubs): it blanks
+//! comments and string/char literals before matching, so `"HashMap"`
+//! inside a string or a doc comment never fires, and it skips
+//! `#[cfg(test)]` regions by brace tracking — tests may use wall clocks
+//! and hash sets freely.
+//!
+//! Diagnostic codes are stable (`docs/static_analysis.md` is the
+//! catalog):
+//!
+//! | code  | finding |
+//! |-------|---------|
+//! | SL101 | `HashMap`/`HashSet` in deterministic code |
+//! | SL102 | `Instant::now`/`SystemTime` in deterministic code |
+//! | SL103 | ambient RNG (`thread_rng`, `rand::random`, `from_entropy`, `OsRng`) |
+//! | SL104 | unordered float reduction (`.values()`/`.keys()`/`par_iter` + `sum`/`fold`) |
+//! | SL105 | `unsafe` without a `// SAFETY:` comment in the 3 preceding lines |
+//! | SL106 | crate root missing `#![forbid(unsafe_code)]` while the crate has no unsafe |
+//!
+//! Vetted sites are excused either inline (`// simlint: allow(SL102)`
+//! on the offending or preceding line) or via the allowlist file
+//! `scripts/simlint.allow`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees must stay deterministic: everything a
+/// simulation result flows through. `bench` is excluded (wall-clock
+/// timing is its job), as are the vendored stubs.
+pub const DETERMINISTIC_CRATES: [&str; 6] = [
+    "crates/sim",
+    "crates/rings",
+    "crates/device",
+    "crates/analysis",
+    "crates/trng",
+    "crates/core",
+];
+
+/// One finding of the source scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDiagnostic {
+    /// Stable code (`SL101`..`SL106`).
+    pub code: &'static str,
+    /// `"error"` or `"warning"` (both fatal under `--deny`).
+    pub severity: &'static str,
+    /// Path relative to the scanned root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for SourceDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}: {}",
+            self.path, self.line, self.code, self.severity, self.message
+        )
+    }
+}
+
+/// The result of scanning a tree.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Number of `.rs` files visited.
+    pub files_scanned: usize,
+    /// All findings, in path/line order.
+    pub diagnostics: Vec<SourceDiagnostic>,
+}
+
+impl ScanReport {
+    /// Whether the scan found nothing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Hand-formatted machine-readable JSON (`{"version":1,...}`) —
+    /// no serializer crate in the closure, so the shape is tested
+    /// against `python3 -c "json.load"` in CI.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"code\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}",
+                d.code,
+                d.severity,
+                json_escape(&d.path),
+                d.line,
+                json_escape(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// File-level allowlist for vetted sites (`scripts/simlint.allow`).
+///
+/// Line format: `<path-suffix> <code> [justification...]`; `#` starts a
+/// comment. A diagnostic is excused when its code matches and its path
+/// ends with the entry's path suffix.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (nothing excused).
+    #[must_use]
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parses the allowlist format; unknown lines are rejected so typos
+    /// cannot silently excuse nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(path), Some(code)) = (parts.next(), parts.next()) else {
+                return Err(format!(
+                    "allowlist line {}: expected '<path> <code> [reason]', got {raw:?}",
+                    i + 1
+                ));
+            };
+            if !code.starts_with("SL") {
+                return Err(format!(
+                    "allowlist line {}: {code:?} is not an SLxxx code",
+                    i + 1
+                ));
+            }
+            entries.push((path.replace('\\', "/"), code.to_owned()));
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads and parses an allowlist file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO or parse failure as a message.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Whether `(path, code)` is excused.
+    #[must_use]
+    pub fn allows(&self, path: &str, code: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(p, c)| c == code && (path == p || path.ends_with(&format!("/{p}")) || path.ends_with(p.as_str())))
+    }
+}
+
+/// Blanks comments and string/char literal *contents* with spaces,
+/// preserving line boundaries and byte columns, so token matching and
+/// brace counting never trip over `format!("{i}")` or `"HashMap"`.
+fn strip_source(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut state = State::Normal;
+    let mut lines: Vec<String> = Vec::new();
+    for raw_line in source.lines() {
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut out = String::with_capacity(raw_line.len());
+        let mut i = 0usize;
+        // A line comment never crosses a newline.
+        if state == State::LineComment {
+            state = State::Normal;
+        }
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                State::Normal => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::Block(1);
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        out.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b' => {
+                        // Possible raw/byte string: r", r#", br", b".
+                        let mut j = i + 1;
+                        if c == 'b' && bytes.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = (c == 'r' || bytes.get(i + 1) == Some(&'r') || hashes == 0)
+                            && bytes.get(j) == Some(&'"')
+                            && (c == 'r' || c == 'b');
+                        // Reject identifiers like `rings` (prev char is
+                        // part of an identifier, or no quote follows).
+                        let prev_ident = i > 0 && is_ident_char(bytes[i - 1]);
+                        if is_raw && !prev_ident && bytes.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                out.push(' ');
+                            }
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A literal is 'x' or
+                        // an escape; a lifetime is '<ident> with no
+                        // closing quote.
+                        if next == Some('\\') {
+                            // Escape: scan to the closing quote.
+                            out.push('\'');
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                out.push(' ');
+                                j += 1;
+                            }
+                            if j < bytes.len() {
+                                out.push(' '); // the escaped payload end
+                                out.push('\'');
+                                i = j + 1;
+                            } else {
+                                i = j;
+                            }
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            out.push('\'');
+                            out.push(' ');
+                            out.push('\'');
+                            i += 3;
+                        } else {
+                            out.push('\'');
+                            i += 1;
+                        }
+                    }
+                    c => {
+                        out.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => {
+                    out.push(' ');
+                    i += 1;
+                }
+                State::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::Block(depth + 1);
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Normal;
+                        out.push('"');
+                        i += 1;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0u32;
+                        while seen < hashes && bytes.get(j) == Some(&'#') {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            state = State::Normal;
+                            for _ in i..j {
+                                out.push(' ');
+                            }
+                            i = j;
+                        } else {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(out);
+    }
+    lines
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items (the attribute, the
+/// item header and the braced body) — determinism rules don't apply to
+/// tests.
+fn test_mask(stripped: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; stripped.len()];
+    let mut in_region = false;
+    let mut pending = false;
+    let mut depth: i64 = 0;
+    for (idx, line) in stripped.iter().enumerate() {
+        if in_region {
+            mask[idx] = true;
+            depth += brace_delta(line);
+            if depth <= 0 {
+                in_region = false;
+            }
+            continue;
+        }
+        let mut search_from = 0usize;
+        if !pending {
+            if let Some(pos) = line.find("#[cfg(test") {
+                pending = true;
+                mask[idx] = true;
+                search_from = pos;
+            }
+        } else {
+            mask[idx] = true;
+        }
+        if pending {
+            // Look for the start of the item body, or a `;` ending a
+            // braceless item (e.g. `#[cfg(test)] use foo;`).
+            for (off, c) in line[search_from..].char_indices() {
+                match c {
+                    '{' => {
+                        depth = 1 + brace_delta(&line[search_from + off + 1..]);
+                        pending = false;
+                        if depth > 0 {
+                            in_region = true;
+                        }
+                        break;
+                    }
+                    ';' => {
+                        pending = false;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    mask
+}
+
+fn brace_delta(s: &str) -> i64 {
+    let mut delta = 0i64;
+    for c in s.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Finds `token` in `line` at an identifier boundary (so `unsafe` never
+/// matches inside `unsafe_code`). Tokens may contain `::`.
+fn has_token(line: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(token) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !is_ident_char(line[..abs].chars().next_back().unwrap_or(' '));
+        let after = line[abs + token.len()..].chars().next();
+        let after_ok = !after.is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + token.len();
+    }
+    false
+}
+
+/// Whether the raw line (or one of the `window` raw lines before it)
+/// carries an inline `// simlint: allow(<code>)` directive.
+fn inline_allowed(raw: &[&str], idx: usize, code: &str) -> bool {
+    let needle = format!("simlint: allow({code})");
+    let from = idx.saturating_sub(1);
+    raw[from..=idx].iter().any(|l| l.contains(&needle))
+}
+
+/// Whether a `// SAFETY:` comment appears on the line or within the 3
+/// preceding lines.
+fn has_safety_comment(raw: &[&str], idx: usize) -> bool {
+    let from = idx.saturating_sub(3);
+    raw[from..=idx].iter().any(|l| l.contains("// SAFETY:"))
+}
+
+/// Scans one file's source text. `deterministic` enables the SL101-104
+/// rules (hot-path files); the `unsafe` audit (SL105) always runs.
+/// Returns findings not excused inline or by the allowlist.
+#[must_use]
+pub fn scan_source(
+    path: &str,
+    source: &str,
+    deterministic: bool,
+    allowlist: &Allowlist,
+) -> Vec<SourceDiagnostic> {
+    let raw: Vec<&str> = source.lines().collect();
+    let stripped = strip_source(source);
+    let mask = test_mask(&stripped);
+    let mut out = Vec::new();
+    let push = |code: &'static str,
+                    severity: &'static str,
+                    idx: usize,
+                    message: String,
+                    out: &mut Vec<SourceDiagnostic>| {
+        if !inline_allowed(&raw, idx, code) && !allowlist.allows(path, code) {
+            out.push(SourceDiagnostic {
+                code,
+                severity,
+                path: path.to_owned(),
+                line: idx + 1,
+                message,
+            });
+        }
+    };
+    for (idx, line) in stripped.iter().enumerate() {
+        if deterministic && !mask[idx] {
+            for container in ["HashMap", "HashSet"] {
+                if has_token(line, container) {
+                    push(
+                        "SL101",
+                        "error",
+                        idx,
+                        format!(
+                            "{container} in deterministic code: iteration order is \
+                             nondeterministic; use Vec or BTreeMap"
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+            if has_token(line, "Instant::now") || has_token(line, "SystemTime") {
+                push(
+                    "SL102",
+                    "error",
+                    idx,
+                    "wall-clock read in deterministic code: results must depend \
+                     only on the seed"
+                        .to_owned(),
+                    &mut out,
+                );
+            }
+            for rng in ["thread_rng", "rand::random", "from_entropy", "OsRng"] {
+                if has_token(line, rng) {
+                    push(
+                        "SL103",
+                        "error",
+                        idx,
+                        format!(
+                            "ambient RNG `{rng}` in deterministic code: all randomness \
+                             must flow from the seeded RngTree"
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+            let unordered = [".values()", ".keys()", "par_iter"]
+                .iter()
+                .any(|p| line.contains(p));
+            let reduces = [".sum::<f64>", ".sum::<f32>", ".fold("]
+                .iter()
+                .any(|p| line.contains(p));
+            if unordered && reduces {
+                push(
+                    "SL104",
+                    "error",
+                    idx,
+                    "float reduction over an unordered iterator: summation order \
+                     changes the result bits; collect and sort (or iterate a Vec) first"
+                        .to_owned(),
+                    &mut out,
+                );
+            }
+        }
+        if has_token(line, "unsafe") && !has_safety_comment(&raw, idx) {
+            push(
+                "SL105",
+                "error",
+                idx,
+                "unsafe without a `// SAFETY:` comment in the 3 preceding lines"
+                    .to_owned(),
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+/// Checks the per-crate `unsafe` gate (SL106): a crate with no unsafe
+/// anywhere must say so in its root with `#![forbid(unsafe_code)]` (or
+/// `deny`), so a future unsafe block cannot slip in unreviewed.
+#[must_use]
+pub fn check_crate_gate(
+    root_path: &str,
+    root_source: &str,
+    crate_has_unsafe: bool,
+    allowlist: &Allowlist,
+) -> Option<SourceDiagnostic> {
+    if crate_has_unsafe || allowlist.allows(root_path, "SL106") {
+        return None;
+    }
+    let gated = strip_source(root_source).iter().any(|l| {
+        l.contains("#![forbid(unsafe_code)]") || l.contains("#![deny(unsafe_code)]")
+    });
+    if gated {
+        return None;
+    }
+    Some(SourceDiagnostic {
+        code: "SL106",
+        severity: "warning",
+        path: root_path.to_owned(),
+        line: 1,
+        message: "crate has no unsafe code but its root lacks \
+                  #![forbid(unsafe_code)]"
+            .to_owned(),
+    })
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn crate_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::new();
+    for group in ["crates", "vendor"] {
+        let base = root.join(group);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = fs::read_dir(&base)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        dirs.extend(entries);
+    }
+    Ok(dirs)
+}
+
+/// Scans the whole workspace at `root`: determinism rules over the
+/// [`DETERMINISTIC_CRATES`] `src/` trees, the `unsafe` audit over every
+/// crate (including vendored stubs, the root meta-crate, examples and
+/// integration tests), and the per-crate gate check.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn scan_workspace(root: &Path, allowlist: &Allowlist) -> io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    let scan_tree = |dir: &Path,
+                         deterministic: bool,
+                         report: &mut ScanReport|
+     -> io::Result<bool> {
+        let mut files = Vec::new();
+        rs_files(dir, &mut files)?;
+        let mut saw_unsafe = false;
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let label = rel_label(root, &file);
+            report.files_scanned += 1;
+            saw_unsafe |= strip_source(&source)
+                .iter()
+                .any(|l| has_token(l, "unsafe"));
+            report
+                .diagnostics
+                .extend(scan_source(&label, &source, deterministic, allowlist));
+        }
+        Ok(saw_unsafe)
+    };
+
+    for crate_dir in crate_dirs(root)? {
+        let rel = rel_label(root, &crate_dir);
+        let deterministic = DETERMINISTIC_CRATES.contains(&rel.as_str());
+        let mut crate_has_unsafe = false;
+        for sub in ["src", "benches", "tests", "examples"] {
+            // Determinism rules cover only `src/`; a crate's benches
+            // and integration tests may use wall clocks freely.
+            let det = deterministic && sub == "src";
+            crate_has_unsafe |= scan_tree(&crate_dir.join(sub), det, &mut report)?;
+        }
+        for root_name in ["src/lib.rs", "src/main.rs"] {
+            let root_file = crate_dir.join(root_name);
+            if root_file.is_file() {
+                let source = fs::read_to_string(&root_file)?;
+                report.diagnostics.extend(check_crate_gate(
+                    &rel_label(root, &root_file),
+                    &source,
+                    crate_has_unsafe,
+                    allowlist,
+                ));
+                break;
+            }
+        }
+    }
+    // The root meta-crate, workspace examples and integration tests.
+    let mut meta_has_unsafe = false;
+    for sub in ["src", "examples", "tests"] {
+        meta_has_unsafe |= scan_tree(&root.join(sub), false, &mut report)?;
+    }
+    let meta_root = root.join("src/lib.rs");
+    if meta_root.is_file() {
+        let source = fs::read_to_string(&meta_root)?;
+        report.diagnostics.extend(check_crate_gate(
+            "src/lib.rs",
+            &source,
+            meta_has_unsafe,
+            allowlist,
+        ));
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.code).cmp(&(&b.path, b.line, b.code)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_det(source: &str) -> Vec<SourceDiagnostic> {
+        scan_source("crates/sim/src/x.rs", source, true, &Allowlist::empty())
+    }
+
+    #[test]
+    fn hash_containers_fire_sl101() {
+        let diags = scan_det("use std::collections::HashMap;\nlet m = HashMap::new();\n");
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == "SL101"));
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn wall_clock_fires_sl102() {
+        let diags = scan_det("let t = Instant::now();\nlet s = SystemTime::now();\n");
+        assert_eq!(diags.iter().filter(|d| d.code == "SL102").count(), 2);
+    }
+
+    #[test]
+    fn ambient_rng_fires_sl103() {
+        let diags = scan_det("let mut rng = thread_rng();\nlet x: u8 = rand::random();\n");
+        assert_eq!(diags.iter().filter(|d| d.code == "SL103").count(), 2);
+    }
+
+    #[test]
+    fn unordered_reduction_fires_sl104() {
+        let diags = scan_det("let s: f64 = map.values().sum::<f64>();\n");
+        assert_eq!(diags.iter().filter(|d| d.code == "SL104").count(), 1);
+        // Ordered reductions are fine.
+        assert!(scan_det("let s: f64 = vec.iter().sum::<f64>();\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_safety_fires_sl105_everywhere() {
+        let source = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let det = scan_source("crates/sim/src/x.rs", source, true, &Allowlist::empty());
+        let non_det = scan_source("crates/bench/src/x.rs", source, false, &Allowlist::empty());
+        assert_eq!(det.iter().filter(|d| d.code == "SL105").count(), 1);
+        assert_eq!(non_det.iter().filter(|d| d.code == "SL105").count(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_unsafe_audit() {
+        let source = "// SAFETY: index bounds checked above.\nfn f() { unsafe { x() } }\n";
+        assert!(scan_det(source).is_empty());
+    }
+
+    #[test]
+    fn unsafe_code_attribute_is_not_an_unsafe_token() {
+        assert!(scan_det("#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let source = concat!(
+            "// a HashMap in a comment\n",
+            "/* Instant::now() in a block comment */\n",
+            "let s = \"HashSet and thread_rng\";\n",
+            "let r = r#\"SystemTime\"#;\n",
+            "let c = '\\u{41}';\n",
+        );
+        assert!(scan_det(source).is_empty(), "{:?}", scan_det(source));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_from_determinism_rules() {
+        let source = concat!(
+            "fn prod() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::collections::HashSet;\n",
+            "    fn t() { let _ = std::time::Instant::now(); }\n",
+            "}\n",
+        );
+        assert!(scan_det(source).is_empty(), "{:?}", scan_det(source));
+        // ...but code after the region is scanned again.
+        let trailing = format!("{source}fn later() {{ let m = HashMap::new(); }}\n");
+        let diags = scan_det(&trailing);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SL101");
+        assert_eq!(diags[0].line, 7);
+    }
+
+    #[test]
+    fn braces_in_format_strings_do_not_break_region_tracking() {
+        let source = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let s = format!(\"{i}\"); }\n",
+            "}\n",
+            "fn prod() { let m = HashMap::new(); }\n",
+        );
+        let diags = scan_det(source);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn inline_allow_directive_excuses_a_site() {
+        let same = "let t = Instant::now(); // simlint: allow(SL102)\n";
+        assert!(scan_det(same).is_empty());
+        let preceding =
+            "// simlint: allow(SL102) wall-clock stats only\nlet t = Instant::now();\n";
+        assert!(scan_det(preceding).is_empty());
+        // The directive is code-specific.
+        let wrong = "let t = Instant::now(); // simlint: allow(SL101)\n";
+        assert_eq!(scan_det(wrong).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_excuses_by_path_suffix_and_code() {
+        let allow = Allowlist::parse(
+            "# vetted sites\ncrates/sim/src/x.rs SL102 wall-clock stats only\n",
+        )
+        .expect("parses");
+        let diags = scan_source(
+            "crates/sim/src/x.rs",
+            "let t = Instant::now();\n",
+            true,
+            &allow,
+        );
+        assert!(diags.is_empty());
+        let other = scan_source(
+            "crates/sim/src/y.rs",
+            "let t = Instant::now();\n",
+            true,
+            &allow,
+        );
+        assert_eq!(other.len(), 1, "different file is not excused");
+        assert!(Allowlist::parse("whatever NOTACODE\n").is_err());
+    }
+
+    #[test]
+    fn crate_gate_check_fires_only_without_unsafe_and_without_gate() {
+        let allow = Allowlist::empty();
+        let missing = check_crate_gate("crates/x/src/lib.rs", "pub fn f() {}\n", false, &allow);
+        assert_eq!(missing.expect("fires").code, "SL106");
+        let gated = check_crate_gate(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            false,
+            &allow,
+        );
+        assert!(gated.is_none());
+        let has_unsafe = check_crate_gate("crates/x/src/lib.rs", "pub fn f() {}\n", true, &allow);
+        assert!(has_unsafe.is_none(), "crates with unsafe use SL105 instead");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = ScanReport {
+            files_scanned: 3,
+            diagnostics: vec![SourceDiagnostic {
+                code: "SL101",
+                severity: "error",
+                path: "crates/sim/src/x.rs".into(),
+                line: 7,
+                message: "a \"quoted\" message".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\\\"quoted\\\""));
+        let empty = ScanReport::default().to_json();
+        assert!(empty.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn fixtures_fire_every_source_code() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let expect = [
+            ("hash_iteration.rs", "SL101"),
+            ("wall_clock.rs", "SL102"),
+            ("ambient_rng.rs", "SL103"),
+            ("float_reduction.rs", "SL104"),
+            ("unsafe_no_safety.rs", "SL105"),
+        ];
+        for (file, code) in expect {
+            let source = fs::read_to_string(fixtures.join(file)).expect(file);
+            let label = format!("crates/sim/src/{file}");
+            let diags = scan_source(&label, &source, true, &Allowlist::empty());
+            assert!(
+                diags.iter().any(|d| d.code == code),
+                "{file} must fire {code}, got {diags:?}"
+            );
+        }
+        let gate_root = fixtures.join("missing_gate/src/lib.rs");
+        let source = fs::read_to_string(&gate_root).expect("fixture");
+        let diag = check_crate_gate(
+            "fixtures/missing_gate/src/lib.rs",
+            &source,
+            false,
+            &Allowlist::empty(),
+        );
+        assert_eq!(diag.expect("fires").code, "SL106");
+        // The clean fixture exercises every escape hatch and stays quiet.
+        let clean = fs::read_to_string(fixtures.join("clean.rs")).expect("fixture");
+        let diags = scan_source("crates/sim/src/clean.rs", &clean, true, &Allowlist::empty());
+        assert!(diags.is_empty(), "clean fixture fired: {diags:?}");
+    }
+
+    #[test]
+    fn workspace_is_clean_under_the_checked_in_allowlist() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let allowlist =
+            Allowlist::load(&root.join("scripts/simlint.allow")).expect("allowlist loads");
+        let report = scan_workspace(root, &allowlist).expect("scan succeeds");
+        assert!(report.files_scanned > 40, "only {} files", report.files_scanned);
+        assert!(
+            report.is_clean(),
+            "workspace has simlint findings:\n{}",
+            report
+                .diagnostics
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! `simlint` CLI — scans the workspace for determinism and
+//! `unsafe`-code hygiene violations (see `docs/static_analysis.md`).
+//!
+//! ```text
+//! simlint [--root DIR] [--allowlist FILE] [--deny] [--json] [--self-test]
+//! ```
+//!
+//! - `--root DIR`        workspace root to scan (default: `.`)
+//! - `--allowlist FILE`  vetted-site allowlist (default: `<root>/scripts/simlint.allow` if present)
+//! - `--deny`            exit 1 on any diagnostic (CI mode; default exits 0 and just prints)
+//! - `--json`            emit the machine-readable report on stdout
+//! - `--self-test`       scan the bundled fixtures and verify every SL1xx code fires
+//!
+//! Exit codes: 0 clean (or warn mode), 1 findings under `--deny` or a
+//! failed self-test, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::{check_crate_gate, scan_source, scan_workspace, Allowlist};
+
+struct Options {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        allowlist: None,
+        deny: false,
+        json: false,
+        self_test: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root needs a value".to_owned())?,
+                );
+            }
+            "--allowlist" => {
+                opts.allowlist = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--allowlist needs a value".to_owned())?,
+                ));
+            }
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--self-test" => opts.self_test = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Proves each SL1xx diagnostic fires on its bundled fixture — run by
+/// CI so a scanner regression cannot silently stop detecting a class.
+fn self_test(root: &Path) -> Result<(), String> {
+    let fixtures = root.join("crates/simlint/fixtures");
+    let empty = Allowlist::empty();
+    let expect = [
+        ("hash_iteration.rs", "SL101"),
+        ("wall_clock.rs", "SL102"),
+        ("ambient_rng.rs", "SL103"),
+        ("float_reduction.rs", "SL104"),
+        ("unsafe_no_safety.rs", "SL105"),
+    ];
+    for (file, code) in expect {
+        let path = fixtures.join(file);
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
+        // Fixtures are labelled as deterministic-crate files so the
+        // determinism rules apply.
+        let label = format!("crates/sim/src/{file}");
+        let diags = scan_source(&label, &source, true, &empty);
+        if !diags.iter().any(|d| d.code == code) {
+            return Err(format!("fixture {file} no longer fires {code}: {diags:?}"));
+        }
+        println!("self-test: {file} fires {code}");
+    }
+    let gate_root = fixtures.join("missing_gate/src/lib.rs");
+    let source = std::fs::read_to_string(&gate_root)
+        .map_err(|e| format!("cannot read fixture {}: {e}", gate_root.display()))?;
+    match check_crate_gate("fixtures/missing_gate/src/lib.rs", &source, false, &empty) {
+        Some(d) if d.code == "SL106" => println!("self-test: missing_gate fires SL106"),
+        other => return Err(format!("missing_gate fixture no longer fires SL106: {other:?}")),
+    }
+    let clean = fixtures.join("clean.rs");
+    let source = std::fs::read_to_string(&clean)
+        .map_err(|e| format!("cannot read fixture {}: {e}", clean.display()))?;
+    let diags = scan_source("crates/sim/src/clean.rs", &source, true, &empty);
+    if !diags.is_empty() {
+        return Err(format!("clean fixture fired: {diags:?}"));
+    }
+    println!("self-test: clean fixture stays quiet");
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    if opts.self_test {
+        self_test(&opts.root)?;
+        return Ok(ExitCode::SUCCESS);
+    }
+    let allowlist = match &opts.allowlist {
+        Some(path) => Allowlist::load(path)?,
+        None => {
+            let default = opts.root.join("scripts/simlint.allow");
+            if default.is_file() {
+                Allowlist::load(&default)?
+            } else {
+                Allowlist::empty()
+            }
+        }
+    };
+    let report = scan_workspace(&opts.root, &allowlist)
+        .map_err(|e| format!("scan failed: {e}"))?;
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            eprintln!("simlint: {d}");
+        }
+        eprintln!(
+            "simlint: {} file(s) scanned, {} finding(s)",
+            report.files_scanned,
+            report.diagnostics.len()
+        );
+    }
+    if opts.deny && !report.is_clean() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("simlint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         0,
         1,
     );
-    let config = StrConfig::new(16, 8)?.with_routing_ps(0.0);
+    let config = StrConfig::new(16, 8)?.with_routing_ps(0.0)?;
     let run = measure::run_str(&config, &board, 1, 200)?;
     let deff = (1e6 / run.frequency_mhz) / 4.0; // T = 4 Deff at NT = NB = L/2
     println!(

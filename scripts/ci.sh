@@ -16,11 +16,36 @@ cargo test -q --workspace --offline
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== bench_sweep smoke (quick) =="
+echo "== simlint self-test (every SL1xx code fires on its fixture) =="
+cargo run -q --release -p simlint --offline -- --self-test
+
+echo "== simlint (deny mode, clean tree) =="
+cargo run -q --release -p simlint --offline -- \
+    --deny --allowlist scripts/simlint.allow
+
+echo "== simlint JSON shape =="
+if command -v python3 >/dev/null 2>&1; then
+    cargo run -q --release -p simlint --offline -- \
+        --allowlist scripts/simlint.allow --json \
+        | python3 -c "
+import json, sys
+report = json.load(sys.stdin)
+assert report['version'] == 1, report
+assert report['files_scanned'] > 40, report
+assert report['diagnostics'] == [], report['diagnostics']
+print(f\"simlint JSON: valid, {report['files_scanned']} files scanned\")
+"
+else
+    echo "simlint JSON: python3 unavailable, validation skipped"
+fi
+
+echo "== bench_sweep smoke (quick, netlist lints denied) =="
 out="$(mktemp -t BENCH_sweep.XXXXXX.json)"
 engine_out="$(mktemp -t BENCH_engine.XXXXXX.json)"
 trap 'rm -f "$out" "$engine_out"' EXIT
-cargo run -q --release -p strent-bench --bin bench_sweep --offline -- \
+# STRENT_LINT=deny escalates the SL0xx netlist verifier to hard errors:
+# every ring the smoke run builds must pass static verification.
+STRENT_LINT=deny cargo run -q --release -p strent-bench --bin bench_sweep --offline -- \
     --quick --out "$out" --engine-out "$engine_out"
 # Both emitters hand-format their JSON; make sure they stay parseable
 # and that the engine report actually carries throughput numbers.

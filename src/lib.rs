@@ -2,4 +2,6 @@
 //!
 //! See [`strentropy`] for the actual library surface.
 
+#![forbid(unsafe_code)]
+
 pub use strentropy;

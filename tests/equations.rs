@@ -44,7 +44,8 @@ fn eq3_charlie_delay_shapes_the_period() {
     for &l in &[8usize, 16, 32] {
         let config = StrConfig::new(l, l / 2)
             .expect("valid counts")
-            .with_routing_ps(0.0);
+            .with_routing_ps(0.0)
+            .expect("valid routing");
         let run = measure::run_str(&config, &board, 3, 200).expect("oscillates");
         let period = 1e6 / run.frequency_mhz;
         let predicted = 2.0 * l as f64 * charlie0 / (l as f64 / 2.0);

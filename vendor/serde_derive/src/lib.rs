@@ -4,6 +4,8 @@
 //! serializer crate in the closure), so the derives only need to make
 //! `#[derive(Serialize, Deserialize)]` attributes compile.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts and discards a `#[derive(Serialize)]` request.

@@ -1,35 +1,50 @@
 //! Regenerates every table and figure of the paper in one run — the
 //! source of `EXPERIMENTS.md`'s measured numbers.
+//!
+//! By default a failing section aborts the run. Under `--keep-going`
+//! the remaining sections still execute, partial output is kept, and a
+//! JSON failure report lands on stderr before the (still non-zero)
+//! exit — the experiment-level analogue of the sweep layer's partial
+//! results + failure manifest.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use strent_bench::ReproOptions;
+use strent_bench::{section_failure_report, ReproOptions};
 use strentropy::experiments;
 
 fn main() -> ExitCode {
     let options = match ReproOptions::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(msg) => {
-            eprintln!("{msg}\nusage: repro_all [--quick|--full] [--seed N]");
+            eprintln!("{msg}\nusage: repro_all [--quick|--full] [--seed N] [--keep-going]");
             return ExitCode::FAILURE;
         }
     };
     let (effort, seed) = (options.effort, options.seed);
     eprintln!("# repro_all ({effort:?} effort, seed {seed})");
 
+    let mut sections = 0usize;
+    let mut failures: Vec<(String, String)> = Vec::new();
+
     macro_rules! section {
         ($id:literal, $module:ident) => {
+            sections += 1;
             let start = Instant::now();
             println!("\n================ {} ================", $id);
             match experiments::$module::run(effort, seed) {
-                Ok(result) => println!("{result}"),
+                Ok(result) => {
+                    println!("{result}");
+                    eprintln!("[{} done in {:.1}s]", $id, start.elapsed().as_secs_f64());
+                }
                 Err(err) => {
                     eprintln!("{} failed: {err}", $id);
-                    return ExitCode::FAILURE;
+                    if !options.keep_going {
+                        return ExitCode::FAILURE;
+                    }
+                    failures.push(($id.to_owned(), err.to_string()));
                 }
             }
-            eprintln!("[{} done in {:.1}s]", $id, start.elapsed().as_secs_f64());
         };
     }
 
@@ -51,5 +66,11 @@ fn main() -> ExitCode {
     section!("EXT-RESTART", ext_restart);
     section!("EXT-MULTI", ext_multi);
     section!("EXT-COHERENT", ext_coherent);
-    ExitCode::SUCCESS
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{}", section_failure_report(sections, &failures));
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,14 @@
+//! Regenerates the EXT-DEGRADATION campaign: fault injection against
+//! the online health tests, on both ring families.
+//!
+//! Not part of `repro_all` — fault campaigns are opt-in so the default
+//! reproduction output stays byte-stable.
+
+use std::process::ExitCode;
+
+use strent_bench::repro_main;
+use strentropy::experiments::degradation;
+
+fn main() -> ExitCode {
+    repro_main("repro_degradation", degradation::run)
+}

@@ -1,0 +1,137 @@
+//! Robustness smoke test: drives a resilient sweep with injected
+//! failures and checks the partial-results contract end to end.
+//!
+//! Fourteen jobs run through [`SweepRunner::run_resilient`]; jobs 3 and
+//! 9 panic on every attempt, job 6 runs a free-running oscillator that
+//! exhausts its event budget (a stall), and the remaining eleven finish
+//! normally. The binary asserts eleven successes plus a three-entry
+//! failure manifest, prints the manifest JSON on stdout, and exits zero
+//! only under `--keep-going` (partial results accepted); without the
+//! flag the failures make the run exit non-zero — the same gate
+//! `repro_all` applies to failing sections.
+
+use std::process::ExitCode;
+
+use strent_bench::ReproOptions;
+use strentropy::sim::{
+    Bit, Component, Context, Event, JobError, NetId, RetryPolicy, SimError, Simulator,
+    SweepRunner, Time,
+};
+
+/// Jobs that panic on every attempt.
+const PANICKING: [usize; 2] = [3, 9];
+/// The job whose simulation never terminates on its own.
+const STALLING: usize = 6;
+/// Total jobs in the sweep.
+const JOBS: usize = 14;
+
+/// An inverting delay stage closed on itself: oscillates forever.
+struct LoopedInverter {
+    net: NetId,
+    delay_ps: f64,
+}
+
+impl Component for LoopedInverter {
+    fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>) {
+        if let Event::NetChanged { net, value } = *event {
+            if net == self.net {
+                ctx.schedule_net(self.net, !value, self.delay_ps);
+            }
+        }
+    }
+}
+
+fn oscillator(seed: u64) -> Result<Simulator, SimError> {
+    let mut sim = Simulator::new(seed);
+    let net = sim.add_net("osc");
+    let inv = sim.add_component(LoopedInverter {
+        net,
+        delay_ps: 100.0,
+    });
+    sim.listen(net, inv)?;
+    sim.inject(net, Bit::High, 0.0)?;
+    Ok(sim)
+}
+
+fn main() -> ExitCode {
+    let options = match ReproOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\nusage: robustness_smoke [--seed N] [--keep-going]");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("# robustness_smoke (seed {})", options.seed);
+
+    let configs: Vec<usize> = (0..JOBS).collect();
+    let policy = RetryPolicy::default()
+        .with_attempts(2)
+        .with_max_events(2_000);
+    // The injected panics are the point of this smoke; keep the default
+    // hook from spraying backtraces over the CI log. The payloads still
+    // reach the failure manifest through catch_unwind.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = SweepRunner::new(options.seed).run_resilient(
+        &configs,
+        policy,
+        |job, meter| -> Result<u64, JobError<SimError>> {
+            if PANICKING.contains(&job.index) {
+                panic!("injected panic in job {}", job.index);
+            }
+            let mut sim = oscillator(job.seed()).map_err(JobError::from_sim)?;
+            job.budget.apply_to(&mut sim);
+            // The stalling job asks for an endless horizon; everyone
+            // else stops well inside the 2000-event budget.
+            let horizon = if job.index == STALLING { 1e15 } else { 50_000.0 };
+            sim.run_until(Time::from_ps(horizon))
+                .map_err(JobError::from_sim)?;
+            meter.record_sim(sim.stats());
+            Ok(sim.stats().events_processed)
+        },
+    );
+
+    let _ = std::panic::take_hook();
+    let manifest = report.failure_manifest_json();
+    println!("{manifest}");
+
+    // The smoke contract: partial results survive, failures are typed.
+    let mut problems = Vec::new();
+    if report.successes() != JOBS - 3 {
+        problems.push(format!("expected 11 successes, got {}", report.successes()));
+    }
+    let got: Vec<(usize, &str, u32)> = report
+        .failures
+        .iter()
+        .map(|f| (f.index, f.kind.label(), f.attempts))
+        .collect();
+    let want = vec![(3, "panicked", 2), (6, "stalled", 2), (9, "panicked", 2)];
+    if got != want {
+        problems.push(format!("manifest mismatch: got {got:?}, want {want:?}"));
+    }
+    for (index, slot) in report.results.iter().enumerate() {
+        let should_fail = PANICKING.contains(&index) || index == STALLING;
+        if slot.is_some() == should_fail {
+            problems.push(format!("job {index}: wrong slot state"));
+        }
+    }
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("smoke FAILED: {p}");
+        }
+        return ExitCode::from(2);
+    }
+
+    eprintln!(
+        "smoke ok: {}/{} successes, {} manifest entries",
+        report.successes(),
+        JOBS,
+        report.failures.len()
+    );
+    if options.keep_going {
+        eprintln!("--keep-going: partial results accepted");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("failures present and no --keep-going: exiting non-zero");
+        ExitCode::FAILURE
+    }
+}

@@ -24,6 +24,11 @@ pub struct ReproOptions {
     /// the CI setting, so a structurally suspect netlist fails the run
     /// instead of printing to stderr.
     pub deny_lints: bool,
+    /// Keep running after a section fails (multi-section binaries like
+    /// `repro_all`): remaining sections still execute, failures are
+    /// collected into a JSON report on stderr, and the exit code stays
+    /// non-zero.
+    pub keep_going: bool,
 }
 
 impl Default for ReproOptions {
@@ -32,6 +37,7 @@ impl Default for ReproOptions {
             effort: Effort::Full,
             seed: strentropy::calibration::PAPER_SEED,
             deny_lints: false,
+            keep_going: false,
         }
     }
 }
@@ -54,6 +60,7 @@ impl ReproOptions {
                 "--quick" => options.effort = Effort::Quick,
                 "--full" => options.effort = Effort::Full,
                 "--deny-lints" => options.deny_lints = true,
+                "--keep-going" => options.keep_going = true,
                 "--seed" => {
                     let value = args
                         .next()
@@ -67,6 +74,54 @@ impl ReproOptions {
         }
         Ok(options)
     }
+}
+
+/// Renders the failure half of a multi-section run as deterministic
+/// JSON: which sections failed and why, alongside the totals — the
+/// `repro_all --keep-going` counterpart of the sweep layer's
+/// [`failure_manifest_json`](strentropy::sim::SweepReport::failure_manifest_json).
+#[must_use]
+pub fn section_failure_report(sections: usize, failures: &[(String, String)]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"sections\": {sections},\n"));
+    out.push_str(&format!(
+        "  \"completed\": {},\n",
+        sections.saturating_sub(failures.len())
+    ));
+    out.push_str("  \"failures\": [");
+    for (i, (section, error)) in failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"section\": \"{}\", \"error\": \"{}\"}}",
+            escape_json(section),
+            escape_json(error)
+        ));
+    }
+    if failures.is_empty() {
+        out.push_str("]\n}");
+    } else {
+        out.push_str("\n  ]\n}");
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Runs one experiment and prints its report — the body of every
@@ -129,5 +184,28 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn keep_going_flag_parses() {
+        assert!(!parse(&[]).expect("valid").keep_going);
+        assert!(parse(&["--keep-going"]).expect("valid").keep_going);
+    }
+
+    #[test]
+    fn section_failure_report_shape() {
+        let clean = section_failure_report(18, &[]);
+        assert!(clean.contains("\"sections\": 18"));
+        assert!(clean.contains("\"completed\": 18"));
+        assert!(clean.contains("\"failures\": []"));
+        let failures = vec![
+            ("FIG5".to_owned(), "ring \"a\" died\n".to_owned()),
+            ("TAB1".to_owned(), "nope".to_owned()),
+        ];
+        let report = section_failure_report(18, &failures);
+        assert!(report.contains("\"completed\": 16"));
+        assert!(report.contains("\\\"a\\\""), "quotes escaped: {report}");
+        assert!(report.contains("\\n"), "newlines escaped");
+        assert!(report.contains("\"section\": \"TAB1\""));
     }
 }

@@ -6,6 +6,7 @@
 //! enough for the test suite; `Effort::Full` is what the `repro_*`
 //! binaries and `EXPERIMENTS.md` use.
 
+pub mod degradation;
 pub mod ext_charlie;
 pub mod ext_coherent;
 pub mod ext_det;
@@ -90,6 +91,15 @@ impl Error for ExperimentError {
 impl From<RingError> for ExperimentError {
     fn from(e: RingError) -> Self {
         ExperimentError::Ring(e)
+    }
+}
+
+impl From<strent_sim::SimError> for ExperimentError {
+    /// Engine errors surface through the ring layer's wrapper, so a
+    /// `FaultPlan` builder failing inside an experiment job carries the
+    /// same shape as one failing inside a ring runner.
+    fn from(e: strent_sim::SimError) -> Self {
+        ExperimentError::Ring(RingError::Sim(e))
     }
 }
 

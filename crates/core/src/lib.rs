@@ -29,6 +29,7 @@
 //! | [`experiments::ext_restart`] | restart-based true-randomness certification |
 //! | [`experiments::ext_multi`] | future work — the multi-phase STR TRNG |
 //! | [`experiments::ext_coherent`] | ref \[7\] — coherent sampling across devices |
+//! | [`experiments::degradation`] | SP 800-90B §4.4 — fault injection vs online health tests |
 //!
 //! ## Quickstart
 //!

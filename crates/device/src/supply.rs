@@ -52,6 +52,19 @@ pub enum Supply {
         /// Step instant, picoseconds.
         at_ps: f64,
     },
+    /// Holds `nominal` except during `[from_ps, until_ps)`, where the
+    /// rail sags to `droop` — the transient supply-droop fault window
+    /// used by the fault-injection subsystem.
+    Droop {
+        /// Level outside the droop window, volts.
+        nominal: f64,
+        /// Sagged level inside the window, volts.
+        droop: f64,
+        /// Window start, picoseconds.
+        from_ps: f64,
+        /// Window end (exclusive), picoseconds.
+        until_ps: f64,
+    },
 }
 
 impl Supply {
@@ -109,6 +122,35 @@ impl Supply {
         Supply::Step { before, after, at_ps }
     }
 
+    /// A transient droop: `nominal` outside `[from_ps, until_ps)`,
+    /// `droop` inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either level is non-positive/non-finite, the droop
+    /// level is not below nominal, or the window is empty/non-finite.
+    #[must_use]
+    pub fn droop(nominal: f64, droop: f64, from_ps: f64, until_ps: f64) -> Self {
+        assert!(
+            nominal.is_finite() && nominal > 0.0 && droop.is_finite() && droop > 0.0,
+            "supply levels must be positive"
+        );
+        assert!(
+            droop < nominal,
+            "droop level {droop} must lie below nominal {nominal}"
+        );
+        assert!(
+            from_ps.is_finite() && until_ps.is_finite() && until_ps > from_ps,
+            "droop window [{from_ps}, {until_ps}) must be non-empty and finite"
+        );
+        Supply::Droop {
+            nominal,
+            droop,
+            from_ps,
+            until_ps,
+        }
+    }
+
     /// The voltage at simulation time `t_ps` picoseconds.
     #[must_use]
     pub fn voltage_at(&self, t_ps: f64) -> f64 {
@@ -130,6 +172,18 @@ impl Supply {
                     after
                 }
             }
+            Supply::Droop {
+                nominal,
+                droop,
+                from_ps,
+                until_ps,
+            } => {
+                if t_ps >= from_ps && t_ps < until_ps {
+                    droop
+                } else {
+                    nominal
+                }
+            }
         }
     }
 
@@ -140,6 +194,7 @@ impl Supply {
             Supply::Dc { volts } => volts,
             Supply::Sine { dc, .. } => dc,
             Supply::Step { after, .. } => after,
+            Supply::Droop { nominal, .. } => nominal,
         }
     }
 }
@@ -185,6 +240,28 @@ mod tests {
     #[test]
     fn default_is_nominal() {
         assert_eq!(Supply::default().voltage_at(0.0), 1.2);
+    }
+
+    #[test]
+    fn droop_sags_only_inside_the_window() {
+        let s = Supply::droop(1.2, 0.6, 1_000.0, 2_000.0);
+        assert_eq!(s.voltage_at(999.9), 1.2);
+        assert_eq!(s.voltage_at(1_000.0), 0.6);
+        assert_eq!(s.voltage_at(1_999.9), 0.6);
+        assert_eq!(s.voltage_at(2_000.0), 1.2);
+        assert_eq!(s.dc_level(), 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below nominal")]
+    fn droop_above_nominal_rejected() {
+        let _ = Supply::droop(1.2, 1.3, 0.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_droop_window_rejected() {
+        let _ = Supply::droop(1.2, 0.6, 10.0, 10.0);
     }
 
     #[test]

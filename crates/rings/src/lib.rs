@@ -20,6 +20,9 @@
 //!   (Fig. 5) from simulated traces;
 //! * [`measure`] — convenience runners that build a ring, simulate it and
 //!   return period series ready for `strent-analysis`;
+//! * [`fault`] — fault-armed runners for degradation studies: fixed
+//!   horizon, no oscillation requirement, supply droops applied at the
+//!   device layer and everything else on the engine;
 //! * [`lint`] — the ring-aware half of the `simlint` static verifier:
 //!   oscillation conditions, token conservation, Eq. 1 burst-mode
 //!   prediction and wiring checks, run on every netlist the measurement
@@ -49,6 +52,7 @@ pub mod charlie;
 pub mod counter;
 pub mod divider;
 pub mod error;
+pub mod fault;
 pub mod iro;
 pub mod lint;
 pub mod measure;

@@ -11,6 +11,7 @@ use std::any::Any;
 
 use crate::error::SimError;
 use crate::event::{Event, EventId, Occurrence, TimerTag};
+use crate::fault::{self, DriftState, FaultAction, FaultKind, FaultPlan, FaultRuntime, FaultTarget, ForceState};
 use crate::lint::{Diagnostic, LintCode, LintReport};
 use crate::queue::{EventQueue, ScheduledEvent, WheelQueue};
 use crate::rng::{RngTree, SimRng};
@@ -213,6 +214,10 @@ pub struct Context<'a> {
     next_seq: &'a mut u64,
     slab: &'a mut CancelSlab,
     rngs: &'a mut [SimRng],
+    /// Armed delay-drift (aging) records; empty unless a fault plan
+    /// with drift specs is armed, so the hot path pays one emptiness
+    /// check.
+    drift: &'a [DriftState],
 }
 
 impl<'a> Context<'a> {
@@ -251,6 +256,7 @@ impl<'a> Context<'a> {
             "delay must be finite and non-negative, got {delay_ps}"
         );
         assert!(net.index() < self.nets.len(), "unknown {net}");
+        let delay_ps = self.aged_delay(delay_ps);
         push_event(
             self.queue,
             self.next_seq,
@@ -282,6 +288,7 @@ impl<'a> Context<'a> {
             "delay must be finite and non-negative, got {delay_ps}"
         );
         assert!(net.index() < self.nets.len(), "unknown {net}");
+        let delay_ps = self.aged_delay(delay_ps);
         push_event_uncancellable(
             self.queue,
             self.next_seq,
@@ -324,6 +331,18 @@ impl<'a> Context<'a> {
     #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rngs[self.component]
+    }
+
+    /// Applies any armed delay-drift (aging) records for this component
+    /// to a propagation delay. With no fault plan armed the table is
+    /// empty and the delay passes through untouched — same bits, one
+    /// branch.
+    #[inline]
+    fn aged_delay(&self, delay_ps: f64) -> f64 {
+        if self.drift.is_empty() {
+            return delay_ps;
+        }
+        delay_ps * fault::drift_scale(self.drift, self.component, self.now.as_ps())
     }
 }
 
@@ -371,6 +390,10 @@ pub struct Simulator<Q: EventQueue = WheelQueue> {
     rng_tree: RngTree,
     stats: SimStats,
     step_limit: u64,
+    /// Armed fault plan, if any. `None` (the default) keeps the hot
+    /// path fault-free: `drive_net` pays one branch, `Context` carries
+    /// an empty drift table.
+    faults: Option<Box<FaultRuntime>>,
 }
 
 impl Simulator<WheelQueue> {
@@ -398,6 +421,7 @@ impl<Q: EventQueue> Simulator<Q> {
             rng_tree: RngTree::new(master_seed),
             stats: SimStats::default(),
             step_limit: u64::MAX,
+            faults: None,
         }
     }
 
@@ -727,6 +751,7 @@ impl<Q: EventQueue> Simulator<Q> {
             Occurrence::FireTimer { component, tag } => {
                 self.dispatch(component, Event::Timer { tag });
             }
+            Occurrence::FaultEdge { action } => self.apply_fault_edge(action),
         }
         Ok(true)
     }
@@ -788,9 +813,22 @@ impl<Q: EventQueue> Simulator<Q> {
         Ok(done)
     }
 
-    /// Applies a net transition and notifies the fan-out.
+    /// Applies a net transition and notifies the fan-out, honoring any
+    /// active stuck-at/glitch clamp on the net (the clamp overrides the
+    /// incoming level and remembers it for the release edge).
     #[inline]
     fn drive_net(&mut self, net: NetId, value: Bit) {
+        let value = match &mut self.faults {
+            None => value,
+            Some(rt) => rt.filter(net.0, value),
+        };
+        self.drive_net_raw(net, value);
+    }
+
+    /// The unfiltered drive path: applies the transition regardless of
+    /// clamps. Fault edges use this to force and release levels.
+    #[inline]
+    fn drive_net_raw(&mut self, net: NetId, value: Bit) {
         let state = &mut self.nets[net.index()];
         if state.value == value {
             self.stats.drives_suppressed += 1;
@@ -814,6 +852,7 @@ impl<Q: EventQueue> Simulator<Q> {
             next_seq: &mut self.next_seq,
             slab: &mut self.slab,
             rngs: &mut self.rngs,
+            drift: self.faults.as_deref().map_or(&[], FaultRuntime::drift_table),
         };
         // Components live in a separate field from everything Context
         // borrows, so each listener gets a direct `&mut` — no box
@@ -856,8 +895,177 @@ impl<Q: EventQueue> Simulator<Q> {
             next_seq: &mut self.next_seq,
             slab: &mut self.slab,
             rngs: &mut self.rngs,
+            drift: self.faults.as_deref().map_or(&[], FaultRuntime::drift_table),
         };
         boxed.on_event(&event, &mut ctx);
+    }
+
+    /// Executes one armed fault action: opens or closes a forcing
+    /// window and drives the corresponding level through the raw
+    /// (unfiltered) path.
+    fn apply_fault_edge(&mut self, action: usize) {
+        let Some(rt) = self.faults.as_mut() else {
+            debug_assert!(false, "fault edge fired with no runtime armed");
+            return;
+        };
+        let (net, value) = match rt.actions[action] {
+            FaultAction::ForceStart(i) => {
+                let force = &mut rt.forces[i];
+                force.prev = self.nets[force.net as usize].value;
+                force.active = true;
+                force.blocked = None;
+                (NetId(force.net), force.value)
+            }
+            FaultAction::ForceEnd(i) => {
+                let force = &mut rt.forces[i];
+                force.active = false;
+                // Wake the fan-out back up: resume the last level the
+                // ring tried to drive into the clamp, or restore the
+                // pre-window level if nothing fired into it.
+                let wake = force.blocked.take().unwrap_or(force.prev);
+                (NetId(force.net), wake)
+            }
+        };
+        self.drive_net_raw(net, value);
+    }
+
+    /// Arms a fault plan: resolves net names and stage indices, stores
+    /// the forcing windows / drift records and queues their edge
+    /// events. May be called repeatedly; plans accumulate.
+    ///
+    /// `stages` maps [`FaultTarget::Stage`] positions to component ids
+    /// (pass a ring handle's component list, or `&[]` if the plan only
+    /// targets nets).
+    ///
+    /// Supply-droop specs are device-layer faults; strip them with
+    /// [`FaultPlan::without_supply_faults`] first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNetName`] for an unresolvable net
+    /// name and [`SimError::InvalidFault`] for supply specs, stage
+    /// indices out of range, mismatched target/kind pairs or onsets
+    /// before the current simulation time.
+    pub fn arm_faults(
+        &mut self,
+        plan: &FaultPlan,
+        stages: &[ComponentId],
+    ) -> Result<(), SimError> {
+        let was_armed = self.faults.is_some();
+        let mut rt = match self.faults.take() {
+            Some(boxed) => *boxed,
+            None => FaultRuntime::default(),
+        };
+        let snapshot = (rt.forces.len(), rt.drifts.len(), rt.actions.len());
+        // Validate and stage everything before queueing edge events so
+        // a failed arm leaves the simulator untouched.
+        let mut edges: Vec<(f64, usize)> = Vec::new();
+        let result = (|| {
+            for spec in plan.specs() {
+                if spec.at_ps < self.now.as_ps() {
+                    return Err(SimError::InvalidFault(format!(
+                        "onset {} ps lies before current time {}",
+                        spec.at_ps, self.now
+                    )));
+                }
+                match (&spec.target, &spec.kind) {
+                    (FaultTarget::Supply, _) | (_, FaultKind::SupplyDroop { .. }) => {
+                        return Err(SimError::InvalidFault(
+                            "supply faults are applied at the device layer; strip them \
+                             with FaultPlan::without_supply_faults before arming"
+                                .to_owned(),
+                        ));
+                    }
+                    (FaultTarget::Net(name), FaultKind::StuckAt { value, until_ps }) => {
+                        let net = self.resolve_net(name)?;
+                        let index = rt.forces.len();
+                        rt.forces.push(ForceState {
+                            net: net.0,
+                            value: *value,
+                            active: false,
+                            prev: Bit::Low,
+                            blocked: None,
+                        });
+                        edges.push((spec.at_ps, rt.actions.len()));
+                        rt.actions.push(FaultAction::ForceStart(index));
+                        edges.push((*until_ps, rt.actions.len()));
+                        rt.actions.push(FaultAction::ForceEnd(index));
+                    }
+                    (FaultTarget::Net(name), FaultKind::Glitch { value, width_ps }) => {
+                        let net = self.resolve_net(name)?;
+                        let index = rt.forces.len();
+                        rt.forces.push(ForceState {
+                            net: net.0,
+                            value: *value,
+                            active: false,
+                            prev: Bit::Low,
+                            blocked: None,
+                        });
+                        edges.push((spec.at_ps, rt.actions.len()));
+                        rt.actions.push(FaultAction::ForceStart(index));
+                        edges.push((spec.at_ps + width_ps, rt.actions.len()));
+                        rt.actions.push(FaultAction::ForceEnd(index));
+                    }
+                    (FaultTarget::Stage(stage), FaultKind::DelayDrift { factor, ramp_ps }) => {
+                        let component = stages.get(*stage).ok_or_else(|| {
+                            SimError::InvalidFault(format!(
+                                "stage {stage} out of range (ring has {} stages)",
+                                stages.len()
+                            ))
+                        })?;
+                        rt.drifts.push(DriftState {
+                            component: u32::try_from(component.0)
+                                .expect("component ids fit u32"),
+                            factor: *factor,
+                            from_ps: spec.at_ps,
+                            ramp_ps: *ramp_ps,
+                        });
+                    }
+                    (target, kind) => {
+                        return Err(SimError::InvalidFault(format!(
+                            "fault kind {kind:?} cannot target {target:?}"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(err) = result {
+            // Roll back to the pre-call runtime: drop everything this
+            // plan staged, restore the previous armed state (if any).
+            rt.forces.truncate(snapshot.0);
+            rt.drifts.truncate(snapshot.1);
+            rt.actions.truncate(snapshot.2);
+            if was_armed {
+                self.faults = Some(Box::new(rt));
+            }
+            return Err(err);
+        }
+        for (at_ps, action) in edges {
+            push_event(
+                &mut self.queue,
+                &mut self.next_seq,
+                &mut self.slab,
+                Time::from_ps(at_ps),
+                Occurrence::FaultEdge { action },
+            );
+        }
+        self.faults = Some(Box::new(rt));
+        Ok(())
+    }
+
+    /// Looks up a net by its registered name (linear scan — an
+    /// arm-time convenience, not a hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNetName`] if no net has that name.
+    pub fn resolve_net(&self, name: &str) -> Result<NetId, SimError> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(u32::try_from(i).expect("net ids fit u32")))
+            .ok_or_else(|| SimError::UnknownNetName(name.to_owned()))
     }
 }
 

@@ -28,6 +28,13 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// A fault target named a net that does not exist in this
+    /// simulator.
+    UnknownNetName(String),
+    /// A `FaultPlan` was malformed (invalid window, bad factor,
+    /// stage index out of range, or supply faults handed to the
+    /// engine instead of the device layer).
+    InvalidFault(String),
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +51,10 @@ impl fmt::Display for SimError {
             SimError::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} events exceeded")
             }
+            SimError::UnknownNetName(name) => {
+                write!(f, "fault targets unknown net {name:?}")
+            }
+            SimError::InvalidFault(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }
@@ -69,6 +80,10 @@ mod tests {
         assert!(err.to_string().contains('7'));
         let err = SimError::UnknownComponent(2);
         assert!(err.to_string().contains("#2"));
+        let err = SimError::UnknownNetName("str99".to_owned());
+        assert!(err.to_string().contains("str99"));
+        let err = SimError::InvalidFault("bad window".to_owned());
+        assert!(err.to_string().contains("bad window"));
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub(crate) enum Occurrence {
     DriveNet { net: NetId, value: Bit },
     /// Deliver `Event::Timer { tag }` to `component`.
     FireTimer { component: usize, tag: TimerTag },
+    /// Apply fault action `action` (an index into the armed
+    /// `FaultRuntime`'s action table): open or close a forcing window.
+    /// Only ever queued while a fault plan is armed.
+    FaultEdge { action: usize },
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod lint;
 pub mod queue;
 pub mod rng;
@@ -76,10 +77,14 @@ pub mod vcd;
 pub use engine::{Component, ComponentId, Context, SimStats, Simulator, INLINE_FANOUT};
 pub use error::SimError;
 pub use event::{Event, EventId, TimerTag};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
 pub use lint::{Diagnostic, LintCode, LintReport, Severity};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, ScheduledEvent, WheelQueue};
 pub use rng::{Normal, RngTree, SimRng};
 pub use signal::{Bit, Edge, NetId};
-pub use sweep::{JobMeter, ShardStats, SweepJob, SweepOutcome, SweepRunner, SweepStats};
+pub use sweep::{
+    FailureKind, JobBudget, JobError, JobFailure, JobMeter, RetryPolicy, ShardStats,
+    StallCause, SweepJob, SweepOutcome, SweepReport, SweepRunner, SweepStats,
+};
 pub use time::Time;
 pub use trace::{Trace, TraceSet};

@@ -1,0 +1,19 @@
+//! Fixture: bare unwrap/expect on `JoinHandle::join`. A worker panic
+//! crossing this line loses its payload and its origin; production code
+//! must match the `Err` and re-panic with shard/job context.
+
+use std::thread;
+
+pub fn swallow_worker_panics(workers: usize) -> Vec<u64> {
+    let handles: Vec<thread::JoinHandle<u64>> =
+        (0..workers).map(|i| thread::spawn(move || i as u64)).collect();
+    handles
+        .into_iter()
+        .map(|handle| handle.join().expect("worker panicked"))
+        .collect()
+}
+
+pub fn path_joins_never_fire(root: &std::path::Path) -> String {
+    // `Path::join` takes an argument — not the JoinHandle signature.
+    root.join("scripts").join("ci.sh").to_str().unwrap().to_owned()
+}

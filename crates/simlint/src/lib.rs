@@ -28,6 +28,7 @@
 //! | SL104 | unordered float reduction (`.values()`/`.keys()`/`par_iter` + `sum`/`fold`) |
 //! | SL105 | `unsafe` without a `// SAFETY:` comment in the 3 preceding lines |
 //! | SL106 | crate root missing `#![forbid(unsafe_code)]` while the crate has no unsafe |
+//! | SL107 | bare `.unwrap()`/`.expect(...)` on `JoinHandle::join` in non-test `src/` |
 //!
 //! Vetted sites are excused either inline (`// simlint: allow(SL102)`
 //! on the offending or preceding line) or via the allowlist file
@@ -56,7 +57,7 @@ pub const DETERMINISTIC_CRATES: [&str; 6] = [
 /// One finding of the source scanner.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceDiagnostic {
-    /// Stable code (`SL101`..`SL106`).
+    /// Stable code (`SL101`..`SL107`).
     pub code: &'static str,
     /// `"error"` or `"warning"` (both fatal under `--deny`).
     pub severity: &'static str,
@@ -581,6 +582,27 @@ pub fn scan_source(
                 &mut out,
             );
         }
+        // SL107 applies to every crate's `src/` tree, not just the
+        // deterministic ones — a swallowed worker panic loses its
+        // payload anywhere. `.join()` with empty parens is the
+        // `JoinHandle` signature; `Path::join("x")` takes an argument
+        // and never matches. Tests may unwrap joins freely.
+        if !mask[idx]
+            && path.contains("/src/")
+            && line.contains(".join()")
+            && (line.contains(".unwrap()") || line.contains(".expect("))
+        {
+            push(
+                "SL107",
+                "error",
+                idx,
+                "bare unwrap/expect on JoinHandle::join: a worker panic loses its \
+                 payload and origin; match the Err and re-panic with the payload \
+                 plus shard/job context"
+                    .to_owned(),
+                &mut out,
+            );
+        }
     }
     out
 }
@@ -785,6 +807,49 @@ mod tests {
     }
 
     #[test]
+    fn join_unwrap_fires_sl107() {
+        let diags = scan_det("let stats = handle.join().unwrap();\n");
+        assert_eq!(diags.iter().filter(|d| d.code == "SL107").count(), 1);
+        let diags = scan_det("let stats = handle.join().expect(\"worker died\");\n");
+        assert_eq!(diags.iter().filter(|d| d.code == "SL107").count(), 1);
+        // SL107 is not a determinism rule: it fires in any crate's src/.
+        let bench = scan_source(
+            "crates/bench/src/x.rs",
+            "handle.join().unwrap();\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert_eq!(bench.iter().filter(|d| d.code == "SL107").count(), 1);
+    }
+
+    #[test]
+    fn path_join_and_tests_are_exempt_from_sl107() {
+        // `Path::join` takes an argument — never matches the empty-paren
+        // `JoinHandle::join` signature.
+        assert!(scan_det("let p = root.join(\"src\").join(\"lib.rs\");\n").is_empty());
+        assert!(scan_det("let s = parts.join(\", \"); s.parse().unwrap();\n").is_empty());
+        // Integration tests and benches live outside src/.
+        let outside = scan_source(
+            "crates/sim/tests/determinism.rs",
+            "handle.join().unwrap();\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(outside.is_empty());
+        // #[cfg(test)] regions inside src/ may unwrap joins freely.
+        let in_test_mod = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { handle.join().unwrap(); }\n",
+            "}\n",
+        );
+        assert!(scan_det(in_test_mod).is_empty());
+        // Vetted propagation sites carry the inline directive.
+        let allowed = "handle.join().unwrap() // simlint: allow(SL107) re-panics above\n";
+        assert!(scan_det(allowed).is_empty());
+    }
+
+    #[test]
     fn safety_comment_satisfies_the_unsafe_audit() {
         let source = "// SAFETY: index bounds checked above.\nfn f() { unsafe { x() } }\n";
         assert!(scan_det(source).is_empty());
@@ -920,6 +985,7 @@ mod tests {
             ("ambient_rng.rs", "SL103"),
             ("float_reduction.rs", "SL104"),
             ("unsafe_no_safety.rs", "SL105"),
+            ("join_unwrap.rs", "SL107"),
         ];
         for (file, code) in expect {
             let source = fs::read_to_string(fixtures.join(file)).expect(file);

@@ -71,6 +71,7 @@ fn self_test(root: &Path) -> Result<(), String> {
         ("ambient_rng.rs", "SL103"),
         ("float_reduction.rs", "SL104"),
         ("unsafe_no_safety.rs", "SL105"),
+        ("join_unwrap.rs", "SL107"),
     ];
     for (file, code) in expect {
         let path = fixtures.join(file);

@@ -198,6 +198,65 @@ impl AdaptiveProportionTest {
     }
 }
 
+/// Where the online tests first fired relative to a fault onset —
+/// the detection-latency view the degradation experiments assert on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlarmLatency {
+    /// Samples past `onset` until the first RCT alarm; `None` if the
+    /// RCT never fired at or after the onset.
+    pub rct_latency: Option<usize>,
+    /// Samples past `onset` until the first APT alarm; `None` if the
+    /// APT never fired at or after the onset.
+    pub apt_latency: Option<usize>,
+    /// RCT alarms strictly before the onset (false positives).
+    pub rct_before_onset: u64,
+    /// APT alarms strictly before the onset (false positives).
+    pub apt_before_onset: u64,
+}
+
+/// Feeds `bits` through both online tests and reports when each first
+/// alarmed relative to the fault onset at sample index `onset`.
+///
+/// Latency is `alarm_index - onset` for the first alarm at or after
+/// the onset, so a healthy-until-`onset` stream that trips the RCT on
+/// the very next sample reports latency 0. Alarms before the onset are
+/// counted separately — a sound monitor expects zero there.
+///
+/// # Errors
+///
+/// Returns [`TrngError::InvalidParameter`] for an invalid entropy claim.
+pub fn alarm_latency(
+    bits: &BitString,
+    claimed_min_entropy: f64,
+    onset: usize,
+) -> Result<AlarmLatency, TrngError> {
+    let mut rct = RepetitionCountTest::for_min_entropy(claimed_min_entropy)?;
+    let mut apt = AdaptiveProportionTest::for_min_entropy(claimed_min_entropy)?;
+    let mut latency = AlarmLatency {
+        rct_latency: None,
+        apt_latency: None,
+        rct_before_onset: 0,
+        apt_before_onset: 0,
+    };
+    for (i, b) in bits.iter().enumerate() {
+        if rct.feed(b) == HealthEvent::Alarm {
+            if i < onset {
+                latency.rct_before_onset += 1;
+            } else if latency.rct_latency.is_none() {
+                latency.rct_latency = Some(i - onset);
+            }
+        }
+        if apt.feed(b) == HealthEvent::Alarm {
+            if i < onset {
+                latency.apt_before_onset += 1;
+            } else if latency.apt_latency.is_none() {
+                latency.apt_latency = Some(i - onset);
+            }
+        }
+    }
+    Ok(latency)
+}
+
 /// Runs both health tests over a complete bit string, returning
 /// `(rct alarms, apt alarms)`.
 ///
@@ -274,6 +333,33 @@ mod tests {
             .count();
         assert!(alarms >= 40, "continuous alarms: {alarms}");
         assert_eq!(rct.alarms(), alarms as u64);
+    }
+
+    #[test]
+    fn alarm_latency_separates_onset_sides() {
+        // Healthy prefix, then stuck: RCT fires within its cutoff of
+        // the onset and nothing fires before it.
+        let onset = 4_096;
+        let mut bits = random_bits(onset, 0.5, 6);
+        bits.extend(std::iter::repeat_n(1u8, 200));
+        let lat = alarm_latency(&bits, 1.0, onset).expect("valid");
+        assert_eq!(lat.rct_before_onset, 0);
+        assert_eq!(lat.apt_before_onset, 0);
+        let cutoff = RepetitionCountTest::for_min_entropy(1.0)
+            .expect("valid")
+            .cutoff() as usize;
+        let rct = lat.rct_latency.expect("stuck tail alarms");
+        assert!(rct < cutoff, "latency {rct} under cutoff {cutoff}");
+    }
+
+    #[test]
+    fn alarm_latency_reports_pre_onset_alarms() {
+        // Stuck from the start with the "onset" placed late: every
+        // alarm lands in the before-onset bucket.
+        let bits: BitString = std::iter::repeat_n(0u8, 100).collect();
+        let lat = alarm_latency(&bits, 1.0, 1_000).expect("valid");
+        assert!(lat.rct_before_onset >= 1);
+        assert_eq!(lat.rct_latency, None);
     }
 
     #[test]

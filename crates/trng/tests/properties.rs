@@ -5,6 +5,9 @@ use proptest::prelude::*;
 use strent_trng::battery;
 use strent_trng::coherent::CoherentSampler;
 use strent_trng::entropy;
+use strent_trng::health::{
+    self, AdaptiveProportionTest, RepetitionCountTest, APT_WINDOW,
+};
 use strent_trng::phase::PhaseModel;
 use strent_trng::postprocess;
 use strent_trng::BitString;
@@ -127,5 +130,61 @@ proptest! {
         let t2 = t1 + delta;
         let gen = CoherentSampler::new(t1, t2, 0.0, 1).expect("valid");
         prop_assert!((gen.beat_samples() - t2 / delta).abs() < 1e-9);
+    }
+
+    /// A stream that goes stuck-at after a healthy prefix trips the RCT
+    /// within `C_RCT` samples of the onset, for any seed, onset length
+    /// and stuck polarity.
+    #[test]
+    fn stuck_stream_trips_rct_within_cutoff(
+        seed in any::<u64>(),
+        onset in 64usize..2048,
+        stuck in 0u8..=1,
+    ) {
+        let mut rng = strent_sim::RngTree::new(seed).stream(0);
+        let mut bits: BitString =
+            (0..onset).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        let cutoff = RepetitionCountTest::for_min_entropy(1.0)
+            .expect("valid")
+            .cutoff() as usize;
+        bits.extend(std::iter::repeat_n(stuck, cutoff + 8));
+        let lat = health::alarm_latency(&bits, 1.0, onset).expect("valid");
+        let rct = lat.rct_latency.expect("stuck tail must alarm");
+        // A run in flight at the onset can only shorten the latency.
+        prop_assert!(rct < cutoff, "latency {} vs cutoff {}", rct, cutoff);
+    }
+
+    /// A glitch-biased stream (87.5% forced ones) trips the APT within
+    /// one 1024-sample window of the onset when the fault lands on a
+    /// window boundary.
+    #[test]
+    fn biased_glitch_stream_trips_apt_within_one_window(
+        seed in any::<u64>(),
+        windows_before in 0usize..4,
+    ) {
+        let onset = windows_before * APT_WINDOW as usize;
+        let mut rng = strent_sim::RngTree::new(seed).stream(0);
+        let mut bits: BitString =
+            (0..onset).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        // The glitch burst forces ones on 7 of 8 samples; the first
+        // post-onset sample is forced so the window reference is 1.
+        bits.push(1);
+        for _ in 1..APT_WINDOW as usize {
+            bits.push(u8::from(rng.bernoulli(0.875)));
+        }
+        let lat = health::alarm_latency(&bits, 1.0, onset).expect("valid");
+        prop_assert_eq!(lat.apt_before_onset, 0);
+        let apt = lat.apt_latency.expect("biased window must alarm");
+        prop_assert!(
+            apt < APT_WINDOW as usize,
+            "latency {} vs window {}",
+            apt,
+            APT_WINDOW
+        );
+        // Sanity: the cutoff the alarm beat is the SP 800-90B one.
+        let apt_cutoff = AdaptiveProportionTest::for_min_entropy(1.0)
+            .expect("valid")
+            .cutoff() as usize;
+        prop_assert!(apt >= apt_cutoff / 2, "alarm cannot precede the count");
     }
 }

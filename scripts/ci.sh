@@ -77,6 +77,47 @@ else
     echo "bench JSON: python3 unavailable, validation skipped"
 fi
 
+echo "== robustness smoke (panic isolation, watchdogs, partial results) =="
+manifest="$(mktemp -t robustness_manifest.XXXXXX.json)"
+trap 'rm -f "$out" "$engine_out" "$manifest"' EXIT
+# Without --keep-going the injected failures must force a non-zero exit...
+if cargo run -q --release -p strent-bench --bin robustness_smoke --offline \
+    > "$manifest" 2>/dev/null; then
+    echo "robustness_smoke exited zero without --keep-going"; exit 1
+fi
+# ...and with it, partial results are accepted (exit zero) while the
+# failure manifest still lands on stdout.
+cargo run -q --release -p strent-bench --bin robustness_smoke --offline -- \
+    --keep-going > "$manifest"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$manifest" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["version"] == 1, report
+assert report["jobs"] == 14 and report["successes"] == 11, report
+kinds = [(f["index"], f["kind"]) for f in report["failures"]]
+assert kinds == [(3, "panicked"), (6, "stalled"), (9, "panicked")], kinds
+print("robustness manifest: valid JSON, 11/14 successes, 3 typed failures")
+PY
+else
+    echo "robustness manifest: python3 unavailable, validation skipped"
+fi
+
+echo "== degradation campaign smoke (quick, netlist lints denied) =="
+# Every fault class must alarm the online health tests on both ring
+# families: 8 scenario rows, all marked detected, zero marked NO.
+degradation="$(mktemp -t degradation.XXXXXX.txt)"
+trap 'rm -f "$out" "$engine_out" "$manifest" "$degradation"' EXIT
+STRENT_LINT=deny cargo run -q --release -p strent-bench \
+    --bin repro_degradation --offline -- --quick --deny-lints > "$degradation"
+detected=$(grep -c ' yes$' "$degradation" || true)
+if [ "$detected" -ne 8 ] || grep -q ' NO$' "$degradation"; then
+    echo "degradation campaign: expected 8 detected scenarios, got $detected"
+    cat "$degradation"
+    exit 1
+fi
+echo "degradation campaign: 8/8 fault scenarios detected"
+
 echo "== criterion engine smoke (--test) =="
 cargo bench -q -p strent-bench --bench engine --offline -- --test
 

@@ -9,6 +9,7 @@
 
 use strentropy::experiments::runner::ExperimentRunner;
 use strentropy::experiments::{fig5, obs_a, table2, Effort};
+use strentropy::sim::{JobError, RetryPolicy, SimError, SweepRunner};
 
 const SEED: u64 = 2012;
 
@@ -66,6 +67,52 @@ fn repeated_runs_with_one_seed_replay_exactly() {
     // ...and a different seed must actually change the measurements.
     let c = obs_a::run(Effort::Quick, SEED + 1).expect("simulates");
     assert_ne!(a, c, "distinct seeds must draw distinct noise");
+}
+
+#[test]
+fn resilient_sweep_is_identical_across_thread_counts() {
+    // The fault-tolerance layer must honour the same contract as the
+    // healthy path: with panicking and failing jobs in the mix, the
+    // surviving results, the sorted failure manifest and its JSON
+    // rendering are all byte-identical at any worker count — retries
+    // re-fork the same per-job seed, so attempts differ only in budget.
+    let configs: Vec<usize> = (0..24).collect();
+    let policy = RetryPolicy::default().with_attempts(3).with_max_events(10_000);
+    let sweep = |threads: usize| {
+        SweepRunner::new(SEED).with_threads(threads).run_resilient(
+            &configs,
+            policy,
+            |job, _meter| -> Result<(usize, u64), JobError<SimError>> {
+                if job.index % 7 == 3 {
+                    panic!("injected panic in job {}", job.index);
+                }
+                if job.index % 11 == 5 {
+                    return Err(JobError::Failed(SimError::UnknownNetName(format!(
+                        "fault{}",
+                        job.index
+                    ))));
+                }
+                // A seed-dependent payload: any cross-thread seed mixup
+                // changes the bytes, not just the slot pattern.
+                Ok((job.index, job.seed()))
+            },
+        )
+    };
+    let reference = sweep(1);
+    assert!(!reference.failures.is_empty(), "injected failures must appear");
+    assert!(reference.successes() > 0, "partial results must survive");
+    for threads in [2, 8] {
+        let run = sweep(threads);
+        assert_eq!(
+            run.results, reference.results,
+            "surviving results diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.failure_manifest_json(),
+            reference.failure_manifest_json(),
+            "failure manifest bytes diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,653 @@
+//! Load bench for `strent-serve`: drives N concurrent clients with
+//! deterministic request traces and emits `BENCH_serve.json` with four
+//! sections:
+//!
+//! * `determinism` — the full served byte stream (deterministic
+//!   round-barrier mode) digested at 1, 2 and 8 pool workers; the
+//!   digests must be identical (the worker-count invariance contract);
+//! * `load` — a fair-mode run with concurrent client threads:
+//!   throughput, p50/p99 request latency, typed-`Busy` rejection rate;
+//! * `fault_drill` — a pool with one permanently clamped source: the
+//!   slot must alarm, quarantine and replace its ring while the
+//!   delivered stream re-passes the SP 800-90B monitors with zero
+//!   alarms (bytes-per-alarm is the headline number);
+//! * `--smoke` additionally exercises the Unix-socket frontend: a
+//!   server on a temp socket, three concurrent `UdsClient`s, and a
+//!   byte-for-byte check of the served allocation against a fresh
+//!   in-process pool replay.
+//!
+//! The JSON is hand-formatted — the workspace builds offline against
+//! stub crates, so no serializer is assumed.
+//!
+//! Usage: `serve_load [--quick|--full] [--seed N] [--clients N]
+//! [--requests N] [--bytes N] [--out PATH] [--smoke] [--socket PATH]`
+//! (default `--quick`, `BENCH_serve.json` in the current directory).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use strent_serve::{
+    EntropyService, SchedulerMode, ServeConfig, SourcePool, UdsClient, UdsServer,
+};
+use strent_sim::{Bit, FaultPlan};
+use strent_trng::bits::BitString;
+use strent_trng::health;
+use strent_trng::postprocess::ConditionerKind;
+use strentropy::pool::{PoolConfig, RingSpec, SourceSpec};
+
+/// Worker counts the determinism section digests the stream at.
+const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
+
+struct Options {
+    full: bool,
+    seed: u64,
+    clients: usize,
+    requests: usize,
+    bytes: usize,
+    out: String,
+    smoke: bool,
+    socket: Option<String>,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        full: false,
+        seed: 42,
+        clients: 3,
+        requests: 6,
+        bytes: 32,
+        out: "BENCH_serve.json".to_owned(),
+        smoke: false,
+        socket: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.full = false,
+            "--full" => options.full = true,
+            "--smoke" => options.smoke = true,
+            "--seed" => {
+                let value = args.next().ok_or("--seed requires a value")?;
+                options.seed = value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--clients" => {
+                let value = args.next().ok_or("--clients requires a value")?;
+                options.clients =
+                    value.parse().map_err(|_| format!("invalid clients: {value}"))?;
+            }
+            "--requests" => {
+                let value = args.next().ok_or("--requests requires a value")?;
+                options.requests =
+                    value.parse().map_err(|_| format!("invalid requests: {value}"))?;
+            }
+            "--bytes" => {
+                let value = args.next().ok_or("--bytes requires a value")?;
+                options.bytes = value.parse().map_err(|_| format!("invalid bytes: {value}"))?;
+            }
+            "--out" => options.out = args.next().ok_or("--out requires a value")?.clone(),
+            "--socket" => options.socket = Some(args.next().ok_or("--socket requires a value")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if options.full {
+        options.requests *= 4;
+        options.bytes *= 2;
+    }
+    if options.clients == 0 || options.requests == 0 || options.bytes == 0 {
+        return Err("--clients/--requests/--bytes must be positive".to_owned());
+    }
+    Ok(options)
+}
+
+/// A pool configuration sized for the bench: raw conditioner (the
+/// stream content is what's digested; conditioning ratios are covered
+/// by the serve crate's own tests) and small batches for quick rounds.
+fn bench_pool(sources: usize, seed: u64) -> PoolConfig {
+    let mut config = PoolConfig::mixed_default(sources, seed);
+    config.conditioner = ConditionerKind::Raw;
+    config.sample_period_factor = 2.37;
+    config.batch_raw_bits = 64;
+    config.warmup_periods = 16.0;
+    config
+}
+
+/// FNV-1a 64-bit — a stable stream digest with no dependencies.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The deterministic request trace of one client: sizes vary by
+/// (client, round) so the allocation exercises uneven grants while
+/// staying a pure function of the bench parameters.
+fn request_size(options: &Options, client: usize, round: usize) -> usize {
+    1 + (options.bytes + client * 7 + round * 3) % (2 * options.bytes)
+}
+
+/// Serves every client's full trace in deterministic round-barrier mode
+/// and returns the per-client streams, in client-id order.
+fn deterministic_run(options: &Options, workers: usize) -> Result<Vec<Vec<u8>>, String> {
+    let config = ServeConfig {
+        pool: bench_pool(options.clients.max(2), options.seed),
+        workers,
+        mode: SchedulerMode::Deterministic {
+            expected_clients: options.clients,
+        },
+    };
+    let service =
+        EntropyService::start(&config).map_err(|e| format!("service start failed: {e}"))?;
+    let mut handles = Vec::new();
+    for client_id in 0..options.clients {
+        let client = service
+            .connect(u32::try_from(client_id).expect("small id"))
+            .map_err(|e| format!("client {client_id} failed to register: {e}"))?;
+        let requests = options.requests;
+        let sizes: Vec<usize> = (0..requests)
+            .map(|round| request_size(options, client_id, round))
+            .collect();
+        handles.push(thread::spawn(move || {
+            let mut stream = Vec::new();
+            for nbytes in sizes {
+                match client.request(nbytes) {
+                    Ok(grant) => stream.extend(grant),
+                    Err(e) => return Err(format!("grant failed: {e}")),
+                }
+            }
+            client.close();
+            Ok(stream)
+        }));
+    }
+    let mut streams = Vec::with_capacity(options.clients);
+    for (client_id, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(stream)) => streams.push(stream),
+            Ok(Err(e)) => return Err(format!("client {client_id}: {e}")),
+            Err(_) => return Err(format!("client {client_id} panicked")),
+        }
+    }
+    service
+        .shutdown()
+        .map_err(|e| format!("shutdown failed: {e}"))?;
+    Ok(streams)
+}
+
+/// Replays the expected allocation from a fresh single-worker pool: the
+/// round barrier grants in ascending client id, so the pool stream is
+/// consumed in (round, client) order.
+fn replay_allocation(options: &Options, sources: usize) -> Result<Vec<Vec<u8>>, String> {
+    let config = bench_pool(sources, options.seed);
+    let mut pool = SourcePool::start(&config, 1).map_err(|e| format!("pool: {e}"))?;
+    let mut streams = vec![Vec::new(); options.clients];
+    for round in 0..options.requests {
+        for (client_id, stream) in streams.iter_mut().enumerate() {
+            let nbytes = request_size(options, client_id, round);
+            let grant = pool.read_bytes(nbytes).map_err(|e| format!("read: {e}"))?;
+            stream.extend(grant);
+        }
+    }
+    pool.shutdown();
+    Ok(streams)
+}
+
+struct DeterminismSection {
+    digests: Vec<(usize, u64)>,
+    bytes_per_run: usize,
+    bit_identical: bool,
+    matches_replay: bool,
+}
+
+fn determinism(options: &Options) -> Result<DeterminismSection, String> {
+    let mut digests = Vec::new();
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for workers in WORKER_SWEEP {
+        let streams = deterministic_run(options, workers)?;
+        let concat: Vec<u8> = streams.iter().flatten().copied().collect();
+        digests.push((workers, fnv1a(&concat)));
+        if reference.is_none() {
+            reference = Some(streams);
+        }
+    }
+    let reference = reference.expect("at least one run");
+    let bytes_per_run = reference.iter().map(Vec::len).sum();
+    let bit_identical = digests.iter().all(|&(_, d)| d == digests[0].1);
+    let replay = replay_allocation(options, options.clients.max(2))?;
+    Ok(DeterminismSection {
+        digests,
+        bytes_per_run,
+        bit_identical,
+        matches_replay: replay == reference,
+    })
+}
+
+struct LoadSection {
+    grants: u64,
+    rejections: u64,
+    total_bytes: u64,
+    wall_ns: u128,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+impl LoadSection {
+    fn throughput_bytes_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    fn rejection_rate(&self) -> f64 {
+        let attempts = self.grants + self.rejections;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.rejections as f64 / attempts as f64
+    }
+}
+
+fn percentile_us(sorted_ns: &[u64], pct: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * pct).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// Fair-mode load run: every client thread issues its trace, retrying
+/// (and counting) typed `Busy` rejections. The in-flight budget is kept
+/// below the client count so admission control actually engages.
+fn load_run(options: &Options) -> Result<LoadSection, String> {
+    let config = ServeConfig {
+        pool: bench_pool(options.clients.max(2), options.seed),
+        workers: 2,
+        mode: SchedulerMode::Fair {
+            max_in_flight: options.clients.saturating_sub(1).max(1),
+        },
+    };
+    let service =
+        EntropyService::start(&config).map_err(|e| format!("service start failed: {e}"))?;
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_id in 0..options.clients {
+        let client = service
+            .connect(u32::try_from(client_id).expect("small id"))
+            .map_err(|e| format!("client {client_id} failed to register: {e}"))?;
+        let sizes: Vec<usize> = (0..options.requests)
+            .map(|round| request_size(options, client_id, round))
+            .collect();
+        handles.push(thread::spawn(move || {
+            let mut latencies_ns = Vec::with_capacity(sizes.len());
+            let mut rejections = 0u64;
+            let mut bytes = 0u64;
+            for nbytes in sizes {
+                loop {
+                    let t0 = Instant::now();
+                    match client.request(nbytes) {
+                        Ok(grant) => {
+                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                            bytes += grant.len() as u64;
+                            break;
+                        }
+                        Err(e) if e.is_busy() => {
+                            rejections += 1;
+                            thread::sleep(Duration::from_micros(50));
+                        }
+                        Err(e) => return Err(format!("grant failed: {e}")),
+                    }
+                }
+            }
+            client.close();
+            Ok((latencies_ns, rejections, bytes))
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut rejections = 0u64;
+    let mut total_bytes = 0u64;
+    for (client_id, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok((lat, rej, bytes))) => {
+                latencies.extend(lat);
+                rejections += rej;
+                total_bytes += bytes;
+            }
+            Ok(Err(e)) => return Err(format!("client {client_id}: {e}")),
+            Err(_) => return Err(format!("client {client_id} panicked")),
+        }
+    }
+    let wall_ns = started.elapsed().as_nanos();
+    service
+        .shutdown()
+        .map_err(|e| format!("shutdown failed: {e}"))?;
+    latencies.sort_unstable();
+    Ok(LoadSection {
+        grants: latencies.len() as u64,
+        rejections,
+        total_bytes,
+        wall_ns,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    })
+}
+
+struct FaultSection {
+    delivered_bytes: u64,
+    alarms: u64,
+    requarantines: u64,
+    replacements: u64,
+    health_clean: bool,
+}
+
+impl FaultSection {
+    fn bytes_per_alarm(&self) -> f64 {
+        if self.alarms == 0 {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 / self.alarms as f64
+    }
+}
+
+/// Fault drill: slot 0 is permanently clamped low, so its ring must be
+/// quarantined and replaced while the pooled stream stays health-clean.
+fn fault_drill(options: &Options) -> Result<FaultSection, String> {
+    let mut config = bench_pool(2, options.seed);
+    config.max_relock_windows = 4;
+    let spec = &config.sources[0];
+    let period = spec.ring.stream_config().predicted_period_ps(&spec.board(0));
+    let clamp_from = config.warmup_periods * period;
+    // Ring nets are named `str{i}` / `iro{i}`; clamp the first stage.
+    let net = match spec.ring {
+        RingSpec::Str32 | RingSpec::Str64 => "str0",
+        RingSpec::Iro32 => "iro0",
+    };
+    let plan = FaultPlan::new(spec.seed)
+        .with_stuck_at(net, Bit::Low, clamp_from, 1e12)
+        .map_err(|e| format!("fault plan: {e}"))?;
+    config.sources[0] = SourceSpec::new(spec.ring, spec.seed).with_fault(plan);
+
+    let mut pool = SourcePool::start(&config, 2).map_err(|e| format!("pool: {e}"))?;
+    let nbytes = options.requests * options.bytes * 2;
+    let delivered = pool.read_bytes(nbytes).map_err(|e| format!("read: {e}"))?;
+    let status = pool.status().to_vec();
+    pool.shutdown();
+
+    let alarms: u64 = status.iter().map(|s| s.stats.alarms).sum();
+    let requarantines: u64 = status.iter().map(|s| s.stats.requarantines).sum();
+    let replacements: u64 = status.iter().map(|s| s.stats.replacements).sum();
+    let bits = BitString::from_packed(&delivered, delivered.len() * 8);
+    let (rct, apt) = health::scan(&bits, config.claimed_min_entropy)
+        .map_err(|e| format!("health scan: {e}"))?;
+    Ok(FaultSection {
+        delivered_bytes: delivered.len() as u64,
+        alarms,
+        requarantines,
+        replacements,
+        health_clean: (rct, apt) == (0, 0),
+    })
+}
+
+struct SmokeSection {
+    socket: String,
+    clients: usize,
+    bytes_served: usize,
+    deterministic: bool,
+    clean_shutdown: bool,
+}
+
+/// Socket smoke: a UDS server in deterministic mode, three concurrent
+/// `UdsClient`s, and the served allocation checked byte-for-byte
+/// against a fresh in-process pool replay.
+fn uds_smoke(options: &Options) -> Result<SmokeSection, String> {
+    let clients = 3usize;
+    let smoke = Options {
+        full: options.full,
+        seed: options.seed,
+        clients,
+        requests: options.requests.min(4),
+        bytes: options.bytes.min(24),
+        out: String::new(),
+        smoke: true,
+        socket: None,
+    };
+    let socket = options.socket.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("strent-serve-smoke-{}.sock", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let config = ServeConfig {
+        pool: bench_pool(clients, smoke.seed),
+        workers: 2,
+        mode: SchedulerMode::Deterministic {
+            expected_clients: clients,
+        },
+    };
+    let service =
+        EntropyService::start(&config).map_err(|e| format!("service start failed: {e}"))?;
+    let server = UdsServer::start(service.connector(), &socket)
+        .map_err(|e| format!("server start failed: {e}"))?;
+
+    let (tx, rx) = mpsc::channel();
+    let mut handles = Vec::new();
+    for client_id in 0..clients {
+        let path = socket.clone();
+        let sizes: Vec<u32> = (0..smoke.requests)
+            .map(|round| {
+                u32::try_from(request_size(&smoke, client_id, round)).expect("small size")
+            })
+            .collect();
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || {
+            let run = || -> Result<Vec<u8>, String> {
+                let mut client =
+                    UdsClient::connect(&path, u32::try_from(client_id).expect("small id"))
+                        .map_err(|e| format!("connect: {e}"))?;
+                let mut stream = Vec::new();
+                for nbytes in sizes {
+                    stream.extend(
+                        client
+                            .request(nbytes)
+                            .map_err(|e| format!("request: {e}"))?,
+                    );
+                }
+                client.close().map_err(|e| format!("close: {e}"))?;
+                Ok(stream)
+            };
+            let _ = tx.send((client_id, run()));
+        }));
+    }
+    drop(tx);
+    let mut streams = vec![Vec::new(); clients];
+    for _ in 0..clients {
+        let (client_id, result) = rx
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| "smoke client timed out".to_owned())?;
+        streams[client_id] = result.map_err(|e| format!("client {client_id}: {e}"))?;
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let clean_shutdown = server.shutdown().is_ok() && service.shutdown().is_ok();
+
+    let replay = replay_allocation(&smoke, clients)?;
+    Ok(SmokeSection {
+        socket,
+        clients,
+        bytes_served: streams.iter().map(Vec::len).sum(),
+        deterministic: streams == replay,
+        clean_shutdown,
+    })
+}
+
+fn emit_json(
+    options: &Options,
+    det: &DeterminismSection,
+    load: &LoadSection,
+    fault: &FaultSection,
+    smoke: Option<&SmokeSection>,
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"strentropy-bench-serve/1\",");
+    let _ = writeln!(
+        json,
+        "  \"effort\": \"{}\",",
+        if options.full { "full" } else { "quick" }
+    );
+    let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(
+        json,
+        "  \"trace\": {{\"clients\": {}, \"requests_per_client\": {}, \
+         \"base_bytes\": {}}},",
+        options.clients, options.requests, options.bytes
+    );
+    json.push_str("  \"determinism\": {\n");
+    json.push_str("    \"worker_digests\": [");
+    for (i, (workers, digest)) in det.digests.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"workers\": {workers}, \"fnv1a64\": \"{digest:016x}\"}}",
+            if i == 0 { "" } else { ", " }
+        );
+    }
+    json.push_str("],\n");
+    let _ = writeln!(json, "    \"bytes_per_run\": {},", det.bytes_per_run);
+    let _ = writeln!(json, "    \"bit_identical\": {},", det.bit_identical);
+    let _ = writeln!(json, "    \"matches_pool_replay\": {}", det.matches_replay);
+    json.push_str("  },\n");
+    json.push_str("  \"load\": {\n");
+    let _ = writeln!(json, "    \"grants\": {},", load.grants);
+    let _ = writeln!(json, "    \"rejections\": {},", load.rejections);
+    let _ = writeln!(json, "    \"rejection_rate\": {:.4},", load.rejection_rate());
+    let _ = writeln!(json, "    \"total_bytes\": {},", load.total_bytes);
+    let _ = writeln!(json, "    \"wall_ns\": {},", load.wall_ns);
+    let _ = writeln!(
+        json,
+        "    \"throughput_bytes_per_sec\": {:.0},",
+        load.throughput_bytes_per_sec()
+    );
+    let _ = writeln!(json, "    \"latency_p50_us\": {:.1},", load.p50_us);
+    let _ = writeln!(json, "    \"latency_p99_us\": {:.1}", load.p99_us);
+    json.push_str("  },\n");
+    json.push_str("  \"fault_drill\": {\n");
+    let _ = writeln!(json, "    \"delivered_bytes\": {},", fault.delivered_bytes);
+    let _ = writeln!(json, "    \"alarms\": {},", fault.alarms);
+    let _ = writeln!(json, "    \"requarantines\": {},", fault.requarantines);
+    let _ = writeln!(json, "    \"replacements\": {},", fault.replacements);
+    let _ = writeln!(json, "    \"bytes_per_alarm\": {:.1},", fault.bytes_per_alarm());
+    let _ = writeln!(json, "    \"health_clean\": {}", fault.health_clean);
+    let _ = write!(json, "  }}");
+    if let Some(smoke) = smoke {
+        json.push_str(",\n  \"uds_smoke\": {\n");
+        let _ = writeln!(json, "    \"socket\": \"{}\",", smoke.socket);
+        let _ = writeln!(json, "    \"clients\": {},", smoke.clients);
+        let _ = writeln!(json, "    \"bytes_served\": {},", smoke.bytes_served);
+        let _ = writeln!(json, "    \"deterministic\": {},", smoke.deterministic);
+        let _ = writeln!(json, "    \"clean_shutdown\": {}", smoke.clean_shutdown);
+        let _ = write!(json, "  }}");
+    }
+    json.push_str("\n}\n");
+    json
+}
+
+fn main() -> ExitCode {
+    let options = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!(
+                "{msg}\nusage: serve_load [--quick|--full] [--seed N] [--clients N] \
+                 [--requests N] [--bytes N] [--out PATH] [--smoke] [--socket PATH]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# serve_load: seed {}, {} clients x {} requests (base {} bytes)",
+        options.seed, options.clients, options.requests, options.bytes
+    );
+
+    let det = match determinism(&options) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("determinism section failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# determinism: {} bytes/run, digests {} across workers {:?}",
+        det.bytes_per_run,
+        if det.bit_identical { "identical" } else { "DIVERGED" },
+        WORKER_SWEEP
+    );
+    let load = match load_run(&options) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("load section failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# load: {} grants, {} rejections, {:.0} B/s, p50 {:.0}us p99 {:.0}us",
+        load.grants,
+        load.rejections,
+        load.throughput_bytes_per_sec(),
+        load.p50_us,
+        load.p99_us
+    );
+    let fault = match fault_drill(&options) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fault drill failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# fault drill: {} alarms, {} replacements, {:.0} bytes/alarm, clean={}",
+        fault.alarms,
+        fault.replacements,
+        fault.bytes_per_alarm(),
+        fault.health_clean
+    );
+    let smoke = if options.smoke {
+        match uds_smoke(&options) {
+            Ok(s) => {
+                eprintln!(
+                    "# uds smoke: {} clients on {}, {} bytes, deterministic={}, shutdown={}",
+                    s.clients, s.socket, s.bytes_served, s.deterministic, s.clean_shutdown
+                );
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("uds smoke failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let failed = !det.bit_identical
+        || !det.matches_replay
+        || fault.alarms == 0
+        || fault.replacements == 0
+        || !fault.health_clean
+        || smoke.as_ref().is_some_and(|s| !s.deterministic || !s.clean_shutdown);
+
+    let json = emit_json(&options, &det, &load, &fault, smoke.as_ref());
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {}", options.out);
+    if failed {
+        eprintln!("serve_load: an invariant failed (see the JSON report)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -32,7 +32,11 @@ use super::runner::ExperimentRunner;
 use super::{Effort, ExperimentError};
 
 /// The claimed per-bit min-entropy the monitors are configured for.
-const CLAIMED_H: f64 = 1.0;
+///
+/// Shared with the serving layer ([`crate::pool`]) so the health
+/// cutoffs a served source is gated by are exactly the ones this
+/// experiment characterizes (see `docs/serving.md`).
+pub const CLAIMED_H: f64 = 1.0;
 
 /// Monitor samples per healthy half-period is this over two.
 const SAMPLES_PER_PERIOD: f64 = 8.0;

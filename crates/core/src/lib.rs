@@ -51,6 +51,7 @@
 
 pub mod calibration;
 pub mod experiments;
+pub mod pool;
 pub mod report;
 
 pub use strent_analysis as analysis;
@@ -73,5 +74,6 @@ pub mod prelude {
 
     pub use crate::calibration;
     pub use crate::experiments::{self, Effort};
+    pub use crate::pool::{PoolConfig, RingSpec, SourceSpec, SourceState};
     pub use crate::report::Table;
 }

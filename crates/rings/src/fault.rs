@@ -42,7 +42,7 @@ pub struct DegradedRun {
 /// model holds a single sag window. The drooped rail must stay above
 /// the technology threshold voltage, where the delay model loses
 /// meaning (the device layer would panic).
-fn apply_supply_faults(board: &Board, plan: &FaultPlan) -> Result<Board, RingError> {
+pub(crate) fn apply_supply_faults(board: &Board, plan: &FaultPlan) -> Result<Board, RingError> {
     let droops = plan.supply_faults();
     let Some(spec) = droops.first() else {
         return Ok(board.clone());

@@ -20,6 +20,9 @@
 //!   (Fig. 5) from simulated traces;
 //! * [`measure`] — convenience runners that build a ring, simulate it and
 //!   return period series ready for `strent-analysis`;
+//! * [`stream`] — long-running incremental sources for the serving
+//!   layer: one ring kept alive indefinitely, advanced in batches, with
+//!   trace pruning so memory stays bounded over uptime;
 //! * [`fault`] — fault-armed runners for degradation studies: fixed
 //!   horizon, no oscillation requirement, supply droops applied at the
 //!   device layer and everything else on the engine;
@@ -59,6 +62,7 @@ pub mod measure;
 pub mod mode;
 pub mod state;
 pub mod str_ring;
+pub mod stream;
 
 pub use charlie::CharlieModel;
 pub use error::RingError;
@@ -67,3 +71,4 @@ pub use lint::LintPolicy;
 pub use mode::OscillationMode;
 pub use state::StrState;
 pub use str_ring::StrConfig;
+pub use stream::{RingStream, StreamConfig};

@@ -1,0 +1,44 @@
+//! # strent-serve — health-gated entropy as a service
+//!
+//! The experiment layer answers "which oscillator is the better entropy
+//! source?"; this crate asks the follow-on production question: what
+//! does it take to *serve* bytes from a pool of such sources, with the
+//! SP 800-90B continuous health tests standing between the rings and
+//! every consumer?
+//!
+//! * [`source`] — one pool slot: a live [`RingStream`] + sampler +
+//!   conditioner + [`HealthMonitor`], with the quarantine → drain →
+//!   re-lock → (readmit | replace) lifecycle;
+//! * [`pool`] — N sources produced by W worker threads, consumed in a
+//!   deterministic round-robin interleave so the served stream is
+//!   independent of W (the `SweepRunner` determinism contract, applied
+//!   to a service);
+//! * [`scheduler`] — the request scheduler: deterministic round-barrier
+//!   mode (reproducible byte allocation across clients) and fair mode
+//!   (deficit round-robin with a bounded in-flight budget and typed
+//!   [`ServeError::Busy`] rejections);
+//! * [`wire`] — the length-prefixed frame codec of the socket protocol;
+//! * [`server`] — the Unix-domain-socket frontend over the same core.
+//!
+//! See `docs/serving.md` for the architecture and the determinism
+//! contract, and `BENCH_serve.json` (emitted by the `serve_load` bench)
+//! for throughput/latency/backpressure numbers.
+//!
+//! [`RingStream`]: strent_rings::stream::RingStream
+//! [`HealthMonitor`]: strent_trng::HealthMonitor
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod pool;
+pub mod scheduler;
+pub mod server;
+pub mod source;
+pub mod wire;
+
+pub use error::ServeError;
+pub use pool::{PoolChunk, SourcePool, SourceStatus};
+pub use scheduler::{Connector, EntropyClient, EntropyService, SchedulerMode, ServeConfig};
+pub use server::{UdsClient, UdsServer};
+pub use source::PooledSource;

@@ -1,0 +1,349 @@
+//! The source pool: W worker threads producing batches from S sources,
+//! consumed in a deterministic interleave.
+//!
+//! ## The determinism contract
+//!
+//! Each source's byte stream is a pure function of its spec and the
+//! pool config (see [`PooledSource`]). Workers only decide *when* a
+//! batch gets computed, never *what* it contains; the consumer side
+//! reads batches strictly round-robin by source index (round `r` takes
+//! batch `r` of source 0, then source 1, …). The concatenated stream is
+//! therefore bit-identical for any worker count — the same contract the
+//! experiment layer's `SweepRunner` pins for thread-count invariance,
+//! applied to a long-running service.
+//!
+//! Backpressure inside the pool is structural: each source feeds a
+//! bounded channel, so workers stall (cheaply, in simulated-time work
+//! not yet done) when the consumer falls behind, and memory stays
+//! bounded.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use strentropy::pool::{PoolConfig, SourceState, SourceStats};
+
+use crate::error::ServeError;
+use crate::source::PooledSource;
+
+/// Batches a source may run ahead of the consumer.
+const CHANNEL_DEPTH: usize = 2;
+
+/// How long the consumer waits for one batch before declaring a source
+/// stuck (a healthy batch takes milliseconds of host time).
+const PRODUCE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Producer backoff while its bounded channel is full.
+const SEND_BACKOFF: Duration = Duration::from_micros(200);
+
+/// One health-passed byte batch, tagged with its origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolChunk {
+    /// Per-source batch sequence number (0-based).
+    pub round: u64,
+    /// Pool slot that produced the bytes.
+    pub source: usize,
+    /// The conditioned, health-passed bytes.
+    pub bytes: Vec<u8>,
+    /// Source lifecycle state after producing this batch.
+    pub state: SourceState,
+    /// Lifetime counters after producing this batch.
+    pub stats: SourceStats,
+    /// Ring generation that produced the batch.
+    pub generation: u64,
+}
+
+/// Last observed condition of one pool slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceStatus {
+    /// Lifecycle state.
+    pub state: SourceState,
+    /// Lifetime counters.
+    pub stats: SourceStats,
+    /// Ring generation.
+    pub generation: u64,
+}
+
+impl Default for SourceStatus {
+    fn default() -> Self {
+        SourceStatus {
+            state: SourceState::Healthy,
+            stats: SourceStats::default(),
+            generation: 0,
+        }
+    }
+}
+
+/// A running pool of entropy sources.
+#[derive(Debug)]
+pub struct SourcePool {
+    receivers: Vec<Receiver<PoolChunk>>,
+    workers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    cursor: usize,
+    rounds_completed: u64,
+    status: Vec<SourceStatus>,
+    buffer: VecDeque<u8>,
+    finished: bool,
+}
+
+impl SourcePool {
+    /// Validates `config`, builds every source (fail-fast, in slot
+    /// order) and spawns `workers` producer threads. Source `i` is
+    /// owned by worker `i % workers`; ownership only affects wall-clock
+    /// scheduling, never byte content.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration or a source that
+    /// fails to build (static verification, bad fault plan, …).
+    pub fn start(config: &PoolConfig, workers: usize) -> Result<Self, ServeError> {
+        config.validate()?;
+        let mut sources = Vec::with_capacity(config.sources.len());
+        for (i, spec) in config.sources.iter().enumerate() {
+            sources.push(PooledSource::build(i, spec, config)?);
+        }
+        let worker_count = workers.clamp(1, sources.len());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut receivers = Vec::with_capacity(sources.len());
+        let mut senders = Vec::with_capacity(sources.len());
+        for _ in 0..sources.len() {
+            let (tx, rx) = mpsc::sync_channel(CHANNEL_DEPTH);
+            senders.push(Some(tx));
+            receivers.push(rx);
+        }
+
+        let status = vec![SourceStatus::default(); sources.len()];
+        let mut groups: Vec<Vec<(PooledSource, SyncSender<PoolChunk>)>> =
+            (0..worker_count).map(|_| Vec::new()).collect();
+        for (i, source) in sources.into_iter().enumerate() {
+            let tx = senders[i].take().expect("one sender per source");
+            groups[i % worker_count].push((source, tx));
+        }
+
+        let mut handles = Vec::with_capacity(worker_count);
+        for (w, group) in groups.into_iter().enumerate() {
+            let flag = Arc::clone(&shutdown);
+            let handle = thread::Builder::new()
+                .name(format!("strent-serve-worker-{w}"))
+                .spawn(move || worker_loop(group, &flag))
+                .map_err(ServeError::Io)?;
+            handles.push(handle);
+        }
+
+        Ok(SourcePool {
+            receivers,
+            workers: handles,
+            shutdown,
+            cursor: 0,
+            rounds_completed: 0,
+            status,
+            buffer: VecDeque::new(),
+            finished: false,
+        })
+    }
+
+    /// Number of pool slots.
+    #[must_use]
+    pub fn sources(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Completed consumption rounds (every source read once per round).
+    #[must_use]
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Last observed status of every slot, in slot order.
+    #[must_use]
+    pub fn status(&self) -> &[SourceStatus] {
+        &self.status
+    }
+
+    /// The next chunk in the deterministic interleave (round-robin by
+    /// slot index).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] if the slot's worker produced nothing
+    /// within the produce deadline, [`ServeError::SourceFailed`] if it
+    /// died, [`ServeError::Shutdown`] after [`SourcePool::shutdown`].
+    pub fn next_chunk(&mut self) -> Result<PoolChunk, ServeError> {
+        if self.finished {
+            return Err(ServeError::Shutdown);
+        }
+        let i = self.cursor;
+        let chunk = self.receivers[i]
+            .recv_timeout(PRODUCE_TIMEOUT)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => ServeError::Timeout,
+                RecvTimeoutError::Disconnected => ServeError::SourceFailed { source: i },
+            })?;
+        self.status[i] = SourceStatus {
+            state: chunk.state,
+            stats: chunk.stats,
+            generation: chunk.generation,
+        };
+        self.cursor = (self.cursor + 1) % self.receivers.len();
+        if self.cursor == 0 {
+            self.rounds_completed += 1;
+        }
+        Ok(chunk)
+    }
+
+    /// Reads exactly `n` bytes of the pooled stream, buffering any
+    /// chunk remainder for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SourcePool::next_chunk`].
+    pub fn read_bytes(&mut self, n: usize) -> Result<Vec<u8>, ServeError> {
+        while self.buffer.len() < n {
+            let chunk = self.next_chunk()?;
+            self.buffer.extend(chunk.bytes);
+        }
+        Ok(self.buffer.drain(..n).collect())
+    }
+
+    /// Stops the workers and joins them. Idempotent; also run on drop.
+    pub fn shutdown(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the receivers disconnects every channel, so workers
+        // blocked on a full send exit immediately.
+        self.receivers.clear();
+        for handle in self.workers.drain(..) {
+            // A panicked worker already printed its message; the pool
+            // is going away either way.
+            if handle.join().is_err() {
+                continue;
+            }
+        }
+    }
+}
+
+impl Drop for SourcePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Producer loop: round-robin over the worker's sources, pushing each
+/// batch into that source's bounded channel.
+fn worker_loop(mut group: Vec<(PooledSource, SyncSender<PoolChunk>)>, shutdown: &AtomicBool) {
+    let mut rounds = vec![0u64; group.len()];
+    'outer: loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        for (k, (source, tx)) in group.iter_mut().enumerate() {
+            if shutdown.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            let Ok(bytes) = source.next_batch() else {
+                // Unrecoverable simulator error: drop every sender so
+                // the consumer sees the disconnect as SourceFailed.
+                break 'outer;
+            };
+            let mut chunk = PoolChunk {
+                round: rounds[k],
+                source: source.index(),
+                bytes,
+                state: source.state(),
+                stats: source.stats(),
+                generation: source.generation(),
+            };
+            rounds[k] += 1;
+            loop {
+                match tx.try_send(chunk) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        chunk = back;
+                        if shutdown.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        thread::sleep(SEND_BACKOFF);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break 'outer,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strent_trng::postprocess::ConditionerKind;
+
+    fn small_config(sources: usize) -> PoolConfig {
+        let mut config = PoolConfig::mixed_default(sources, 42);
+        config.conditioner = ConditionerKind::Raw;
+        config.sample_period_factor = 2.37;
+        config.batch_raw_bits = 64;
+        config.warmup_periods = 16.0;
+        config
+    }
+
+    #[test]
+    fn stream_is_worker_count_invariant() {
+        let config = small_config(3);
+        let mut reference: Option<Vec<u8>> = None;
+        for workers in [1usize, 2, 8] {
+            let mut pool = SourcePool::start(&config, workers).expect("starts");
+            let bytes = pool.read_bytes(96).expect("reads");
+            pool.shutdown();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(expected) => {
+                    assert_eq!(&bytes, expected, "{workers} workers diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_interleave_round_robin_by_slot() {
+        let config = small_config(3);
+        let mut pool = SourcePool::start(&config, 2).expect("starts");
+        for round in 0..3u64 {
+            for slot in 0..3usize {
+                let chunk = pool.next_chunk().expect("produces");
+                assert_eq!((chunk.source, chunk.round), (slot, round));
+                assert!(!chunk.bytes.is_empty());
+            }
+            assert_eq!(pool.rounds_completed(), round + 1);
+        }
+        assert_eq!(pool.status().len(), 3);
+        pool.shutdown();
+        assert!(matches!(pool.next_chunk(), Err(ServeError::Shutdown)));
+    }
+
+    #[test]
+    fn invalid_config_fails_fast() {
+        let mut config = small_config(2);
+        config.batch_raw_bits = 0;
+        assert!(matches!(
+            SourcePool::start(&config, 1),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let config = small_config(2);
+        let mut pool = SourcePool::start(&config, 4).expect("starts");
+        let _ = pool.read_bytes(8).expect("reads");
+        pool.shutdown();
+        pool.shutdown();
+        drop(pool);
+    }
+}

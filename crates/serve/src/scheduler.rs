@@ -1,0 +1,541 @@
+//! The request scheduler and the in-process client API.
+//!
+//! One scheduler thread owns the [`SourcePool`] and is the only
+//! consumer of the pooled byte stream; frontends (the in-process
+//! [`EntropyClient`] and the socket server) are thin message producers
+//! over the same channel. Two scheduling modes:
+//!
+//! * **Deterministic** ([`SchedulerMode::Deterministic`]) — the server
+//!   waits until `expected_clients` clients have registered, then
+//!   serves in *rounds*: a round runs only when every open client has a
+//!   request pending, and grants are issued in ascending client id.
+//!   Which bytes each client receives is then a pure function of the
+//!   pool config and the per-client request traces — independent of
+//!   thread timing, connection order and worker count. This mirrors the
+//!   `SweepRunner` determinism contract at the service boundary.
+//! * **Fair** ([`SchedulerMode::Fair`]) — deficit round-robin: each
+//!   serving pass grants at most one request per client, in ascending
+//!   client id, so a greedy client cannot starve the others. Admission
+//!   is bounded: when `max_in_flight` requests are already queued, new
+//!   arrivals are rejected immediately with the typed
+//!   [`ServeError::Busy`] — backpressure, not unbounded queueing.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use strentropy::pool::PoolConfig;
+
+use crate::error::ServeError;
+use crate::pool::{SourcePool, SourceStatus};
+
+/// How long a client waits for its grant. Generous: a pool rebuilding a
+/// dead ring mid-request stays well under this.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Scheduler idle tick — the loop re-checks for work at least this
+/// often even with no incoming messages.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// How requests are admitted and ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// Round-barrier serving for reproducible byte allocation; see the
+    /// module docs.
+    Deterministic {
+        /// Clients that must register before any request is served.
+        expected_clients: usize,
+    },
+    /// Deficit round-robin with a bounded in-flight budget.
+    Fair {
+        /// Queued requests admitted before new ones get
+        /// [`ServeError::Busy`]. Zero rejects everything (useful for
+        /// drills).
+        max_in_flight: usize,
+    },
+}
+
+/// Full service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The source pool to serve from.
+    pub pool: PoolConfig,
+    /// Producer worker threads (clamped to `[1, sources]`).
+    pub workers: usize,
+    /// Scheduling mode.
+    pub mode: SchedulerMode,
+}
+
+type ReplyTx = SyncSender<Result<Vec<u8>, ServeError>>;
+
+enum Msg {
+    Register {
+        client_id: u32,
+        reply: SyncSender<Result<(), ServeError>>,
+    },
+    Request {
+        client_id: u32,
+        nbytes: usize,
+        reply: ReplyTx,
+    },
+    Close {
+        client_id: u32,
+    },
+    Status {
+        reply: SyncSender<Vec<SourceStatus>>,
+    },
+    Shutdown,
+}
+
+/// The running entropy service: owns the scheduler thread.
+#[derive(Debug)]
+pub struct EntropyService {
+    tx: Sender<Msg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EntropyService {
+    /// Builds the pool (fail-fast) and spawns the scheduler thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid pool configuration or a source
+    /// that fails to build.
+    pub fn start(config: &ServeConfig) -> Result<Self, ServeError> {
+        let pool = SourcePool::start(&config.pool, config.workers)?;
+        let mode = config.mode;
+        let (tx, rx) = mpsc::channel();
+        let handle = thread::Builder::new()
+            .name("strent-serve-scheduler".to_owned())
+            .spawn(move || Scheduler::new(pool, mode).run(&rx))
+            .map_err(ServeError::Io)?;
+        Ok(EntropyService {
+            tx,
+            handle: Some(handle),
+        })
+    }
+
+    /// A cloneable handle frontends use to register clients.
+    #[must_use]
+    pub fn connector(&self) -> Connector {
+        Connector {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Registers a client with the given id and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] for a duplicate id,
+    /// [`ServeError::Shutdown`] if the scheduler is gone.
+    pub fn connect(&self, client_id: u32) -> Result<EntropyClient, ServeError> {
+        self.connector().connect(client_id)
+    }
+
+    /// Snapshot of every pool slot's health/lifecycle status.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] or [`ServeError::Timeout`] if the
+    /// scheduler cannot answer.
+    pub fn status(&self) -> Result<Vec<SourceStatus>, ServeError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Msg::Status { reply })
+            .map_err(|_| ServeError::Shutdown)?;
+        recv_reply(&rx)
+    }
+
+    /// Stops the scheduler (which stops the pool) and joins it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] if the scheduler thread panicked.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            if handle.join().is_err() {
+                return Err(ServeError::Shutdown);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for EntropyService {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A cloneable client-registration handle (used by the socket server's
+/// connection threads).
+#[derive(Debug, Clone)]
+pub struct Connector {
+    tx: Sender<Msg>,
+}
+
+impl Connector {
+    /// Registers a client with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EntropyService::connect`].
+    pub fn connect(&self, client_id: u32) -> Result<EntropyClient, ServeError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Msg::Register { client_id, reply })
+            .map_err(|_| ServeError::Shutdown)?;
+        recv_reply(&rx)??;
+        Ok(EntropyClient {
+            id: client_id,
+            tx: self.tx.clone(),
+        })
+    }
+}
+
+/// Waits for one reply with the standard timeout mapping.
+fn recv_reply<T>(rx: &Receiver<T>) -> Result<T, ServeError> {
+    match rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(value) => Ok(value),
+        Err(RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
+        Err(RecvTimeoutError::Disconnected) => Err(ServeError::Shutdown),
+    }
+}
+
+/// An in-process client of the service. Dropping it closes the client
+/// (in deterministic mode, removing it from the round barrier).
+#[derive(Debug)]
+pub struct EntropyClient {
+    id: u32,
+    tx: Sender<Msg>,
+}
+
+impl EntropyClient {
+    /// This client's id (its rank in the deterministic serving order).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Requests exactly `nbytes` conditioned, health-passed bytes,
+    /// blocking until granted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Busy`] when the in-flight budget rejected the
+    /// request (retry later); [`ServeError::Shutdown`] /
+    /// [`ServeError::Timeout`] when the service went away.
+    pub fn request(&self, nbytes: usize) -> Result<Vec<u8>, ServeError> {
+        if nbytes == 0 {
+            return Ok(Vec::new());
+        }
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Msg::Request {
+                client_id: self.id,
+                nbytes,
+                reply,
+            })
+            .map_err(|_| ServeError::Shutdown)?;
+        recv_reply(&rx)?
+    }
+
+    /// Closes the client explicitly (equivalent to dropping it).
+    pub fn close(self) {}
+}
+
+impl Drop for EntropyClient {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Close { client_id: self.id });
+    }
+}
+
+struct ClientSlot {
+    pending: VecDeque<(usize, ReplyTx)>,
+}
+
+struct Scheduler {
+    pool: SourcePool,
+    mode: SchedulerMode,
+    clients: BTreeMap<u32, ClientSlot>,
+    registered: usize,
+}
+
+impl Scheduler {
+    fn new(pool: SourcePool, mode: SchedulerMode) -> Self {
+        Scheduler {
+            pool,
+            mode,
+            clients: BTreeMap::new(),
+            registered: 0,
+        }
+    }
+
+    fn run(mut self, rx: &Receiver<Msg>) {
+        loop {
+            // Drain every queued message first so the in-flight count
+            // reflects real arrival bursts, then serve.
+            loop {
+                match rx.try_recv() {
+                    Ok(msg) => {
+                        if !self.handle(msg) {
+                            self.pool.shutdown();
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.pool.shutdown();
+                        return;
+                    }
+                }
+            }
+            self.serve();
+            if !self.has_serveable_work() {
+                // Idle (or barred): block for the next message. The
+                // idle tick bounds the wait so a shutdown flag flip or
+                // a barrier change is never missed for long.
+                match rx.recv_timeout(IDLE_TICK) {
+                    Ok(msg) => {
+                        if !self.handle(msg) {
+                            self.pool.shutdown();
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.pool.shutdown();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one message; `false` means shut down.
+    fn handle(&mut self, msg: Msg) -> bool {
+        match msg {
+            Msg::Register { client_id, reply } => {
+                let result = match self.clients.entry(client_id) {
+                    Entry::Occupied(_) => Err(ServeError::Protocol(format!(
+                        "client id {client_id} is already registered"
+                    ))),
+                    Entry::Vacant(slot) => {
+                        slot.insert(ClientSlot {
+                            pending: VecDeque::new(),
+                        });
+                        self.registered += 1;
+                        Ok(())
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Msg::Request {
+                client_id,
+                nbytes,
+                reply,
+            } => self.admit(client_id, nbytes, reply),
+            Msg::Close { client_id } => {
+                // Dropping the slot drops any pending reply senders;
+                // their clients observe Shutdown.
+                self.clients.remove(&client_id);
+            }
+            Msg::Status { reply } => {
+                let _ = reply.send(self.pool.status().to_vec());
+            }
+            Msg::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Admission control for one request.
+    fn admit(&mut self, client_id: u32, nbytes: usize, reply: ReplyTx) {
+        if let SchedulerMode::Fair { max_in_flight } = self.mode {
+            let in_flight = self.in_flight();
+            if in_flight >= max_in_flight {
+                let _ = reply.send(Err(ServeError::Busy { in_flight }));
+                return;
+            }
+            // Fair mode admits unregistered clients on first contact.
+            if let Entry::Vacant(slot) = self.clients.entry(client_id) {
+                slot.insert(ClientSlot {
+                    pending: VecDeque::new(),
+                });
+                self.registered += 1;
+            }
+        } else if !self.clients.contains_key(&client_id) {
+            let _ = reply.send(Err(ServeError::Protocol(format!(
+                "client {client_id} sent a request before registering"
+            ))));
+            return;
+        }
+        if let Some(slot) = self.clients.get_mut(&client_id) {
+            slot.pending.push_back((nbytes, reply));
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.clients.values().map(|s| s.pending.len()).sum()
+    }
+
+    fn has_serveable_work(&self) -> bool {
+        match self.mode {
+            SchedulerMode::Deterministic { expected_clients } => {
+                self.barrier_ready(expected_clients)
+            }
+            SchedulerMode::Fair { .. } => self.in_flight() > 0,
+        }
+    }
+
+    /// The round barrier: everyone expected has registered, at least
+    /// one client is still open, and every open client has a request.
+    fn barrier_ready(&self, expected_clients: usize) -> bool {
+        self.registered >= expected_clients
+            && !self.clients.is_empty()
+            && self.clients.values().all(|s| !s.pending.is_empty())
+    }
+
+    fn serve(&mut self) {
+        match self.mode {
+            SchedulerMode::Deterministic { expected_clients } => {
+                while self.barrier_ready(expected_clients) {
+                    self.serve_one_pass();
+                }
+            }
+            SchedulerMode::Fair { .. } => {
+                while self.in_flight() > 0 {
+                    self.serve_one_pass();
+                }
+            }
+        }
+    }
+
+    /// Grants at most one pending request per client, in ascending
+    /// client-id order.
+    fn serve_one_pass(&mut self) {
+        let ids: Vec<u32> = self.clients.keys().copied().collect();
+        for id in ids {
+            let Some(slot) = self.clients.get_mut(&id) else {
+                continue;
+            };
+            let Some((nbytes, reply)) = slot.pending.pop_front() else {
+                continue;
+            };
+            let grant = self.pool.read_bytes(nbytes);
+            let _ = reply.send(grant);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strent_trng::postprocess::ConditionerKind;
+
+    fn small_serve_config(sources: usize, mode: SchedulerMode) -> ServeConfig {
+        let mut pool = PoolConfig::mixed_default(sources, 42);
+        pool.conditioner = ConditionerKind::Raw;
+        pool.sample_period_factor = 2.37;
+        pool.batch_raw_bits = 64;
+        pool.warmup_periods = 16.0;
+        ServeConfig {
+            pool,
+            workers: 2,
+            mode,
+        }
+    }
+
+    #[test]
+    fn single_client_stream_matches_the_pool_prefix() {
+        let config = small_serve_config(
+            2,
+            SchedulerMode::Deterministic {
+                expected_clients: 1,
+            },
+        );
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(0).expect("registers");
+        let mut served = Vec::new();
+        for n in [8usize, 16, 4] {
+            let grant = client.request(n).expect("granted");
+            assert_eq!(grant.len(), n);
+            served.extend(grant);
+        }
+        client.close();
+        service.shutdown().expect("clean shutdown");
+
+        let mut pool = SourcePool::start(&config.pool, 1).expect("starts");
+        let expected = pool.read_bytes(28).expect("reads");
+        assert_eq!(served, expected, "served stream is the pool stream");
+    }
+
+    #[test]
+    fn zero_budget_rejects_with_typed_busy() {
+        let config = small_serve_config(2, SchedulerMode::Fair { max_in_flight: 0 });
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(1).expect("registers");
+        let err = client.request(8).expect_err("budget 0 rejects everything");
+        assert!(err.is_busy(), "{err}");
+        assert!(matches!(err, ServeError::Busy { in_flight: 0 }));
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn fair_mode_serves_sequential_requests() {
+        let config = small_serve_config(2, SchedulerMode::Fair { max_in_flight: 4 });
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(9).expect("registers");
+        let a = client.request(16).expect("granted");
+        let b = client.request(16).expect("granted");
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, b, "stream advances between grants");
+        assert!(client.request(0).expect("trivial").is_empty());
+        let status = service.status().expect("answers");
+        assert_eq!(status.len(), 2);
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn duplicate_client_ids_are_rejected() {
+        let config = small_serve_config(
+            2,
+            SchedulerMode::Deterministic {
+                expected_clients: 1,
+            },
+        );
+        let service = EntropyService::start(&config).expect("starts");
+        let _first = service.connect(3).expect("registers");
+        let err = service.connect(3).expect_err("duplicate id");
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn unregistered_deterministic_request_is_a_protocol_error() {
+        let config = small_serve_config(
+            2,
+            SchedulerMode::Deterministic {
+                expected_clients: 1,
+            },
+        );
+        let service = EntropyService::start(&config).expect("starts");
+        let registered = service.connect(0).expect("registers");
+        // Forge a client handle that never registered.
+        let rogue = EntropyClient {
+            id: 99,
+            tx: registered.tx.clone(),
+        };
+        let err = rogue.request(4).expect_err("must register first");
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        drop(rogue);
+        registered.close();
+        service.shutdown().expect("clean shutdown");
+    }
+}

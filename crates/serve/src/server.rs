@@ -1,0 +1,297 @@
+//! The Unix-domain-socket frontend.
+//!
+//! A [`UdsServer`] listens on a filesystem socket and translates
+//! [`wire`] frames into the same scheduler messages the in-process
+//! [`EntropyClient`](crate::EntropyClient) sends — both frontends share
+//! one core, so scheduling semantics (round barrier, fairness, Busy)
+//! are identical over the socket.
+//!
+//! Liveness discipline (enforced by simlint rule SL108): the accept
+//! loop runs non-blocking with a shutdown check per tick, and every
+//! connection socket is armed with a read timeout before its read loop
+//! starts, so neither a silent peer nor a forgotten connection can keep
+//! the server alive past shutdown.
+
+use std::io::ErrorKind;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::scheduler::{Connector, EntropyClient};
+use crate::wire::{
+    self, OP_BUSY, OP_CLOSE, OP_ERR, OP_HELLO, OP_HELLO_OK, OP_OK, OP_REQ,
+};
+
+/// Poll interval of the non-blocking accept loop.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+/// Read timeout armed on every connection socket; each expiry re-checks
+/// the shutdown flag.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Read timeout for [`UdsClient`] replies.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(150);
+
+/// A running socket frontend.
+#[derive(Debug)]
+pub struct UdsServer {
+    path: PathBuf,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl UdsServer {
+    /// Binds `path` (replacing any stale socket file) and starts the
+    /// accept loop. Clients registered over the socket go through
+    /// `connector` into the shared scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket cannot be bound or configured.
+    pub fn start(connector: Connector, path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref().to_path_buf();
+        // A stale socket file from a crashed predecessor would make
+        // bind fail; removing a *live* server's socket is the
+        // operator's own foot-gun, exactly as with any UDS daemon.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_handle = thread::Builder::new()
+            .name("strent-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &connector, &flag))
+            .map_err(ServeError::Io)?;
+        Ok(UdsServer {
+            path,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The socket path the server is bound to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops accepting, drains connection threads and removes the
+    /// socket file.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] if the accept thread panicked.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let panicked = match self.accept_handle.take() {
+            Some(handle) => handle.join().is_err(),
+            None => false,
+        };
+        let _ = std::fs::remove_file(&self.path);
+        if panicked {
+            return Err(ServeError::Shutdown);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for UdsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn accept_loop(listener: &UnixListener, connector: &Connector, shutdown: &Arc<AtomicBool>) {
+    // Only this thread touches the registry, so a plain Vec suffices.
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        // The listener is nonblocking; WouldBlock is the idle tick.
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let connector = connector.clone();
+                let flag = Arc::clone(shutdown);
+                let spawned = thread::Builder::new()
+                    .name("strent-serve-conn".to_owned())
+                    .spawn(move || connection_loop(stream, &connector, &flag));
+                // On spawn failure the connection is dropped; the peer
+                // sees EOF and retries.
+                if let Ok(handle) = spawned {
+                    connections.push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+            Err(_) => break,
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// One connection: HELLO, then a REQ/grant loop until CLOSE, EOF,
+/// error, or server shutdown.
+fn connection_loop(mut stream: UnixStream, connector: &Connector, shutdown: &Arc<AtomicBool>) {
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(CONN_READ_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let mut client: Option<EntropyClient> = None;
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // The stream carries a read timeout (armed above); an expiry
+        // loops back to the shutdown check.
+        let (op, payload) = match wire::read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let ok = match (op, &client) {
+            (OP_HELLO, None) => match wire::parse_u32(&payload) {
+                Ok(id) => match connector.connect(id) {
+                    Ok(c) => {
+                        client = Some(c);
+                        wire::write_frame(&mut stream, OP_HELLO_OK, &[]).is_ok()
+                    }
+                    Err(e) => {
+                        send_err(&mut stream, &e);
+                        false
+                    }
+                },
+                Err(e) => {
+                    send_err(&mut stream, &ServeError::Protocol(e.to_string()));
+                    false
+                }
+            },
+            (OP_HELLO, Some(_)) => {
+                send_err(
+                    &mut stream,
+                    &ServeError::Protocol("duplicate HELLO on one connection".to_owned()),
+                );
+                false
+            }
+            (OP_REQ, Some(c)) => match wire::parse_u32(&payload) {
+                Ok(nbytes) => match c.request(nbytes as usize) {
+                    Ok(bytes) => wire::write_frame(&mut stream, OP_OK, &bytes).is_ok(),
+                    Err(ServeError::Busy { in_flight }) => {
+                        let count = u32::try_from(in_flight).unwrap_or(u32::MAX);
+                        wire::write_frame(&mut stream, OP_BUSY, &count.to_le_bytes()).is_ok()
+                    }
+                    Err(e) => {
+                        send_err(&mut stream, &e);
+                        false
+                    }
+                },
+                Err(e) => {
+                    send_err(&mut stream, &ServeError::Protocol(e.to_string()));
+                    false
+                }
+            },
+            (OP_REQ, None) => {
+                send_err(
+                    &mut stream,
+                    &ServeError::Protocol("REQ before HELLO".to_owned()),
+                );
+                false
+            }
+            (OP_CLOSE, _) => false,
+            (other, _) => {
+                send_err(
+                    &mut stream,
+                    &ServeError::Protocol(format!("unknown opcode 0x{other:02x}")),
+                );
+                false
+            }
+        };
+        if !ok {
+            // Dropping `client` (if any) sends Close to the scheduler.
+            return;
+        }
+    }
+}
+
+fn send_err(stream: &mut UnixStream, error: &ServeError) {
+    let _ = wire::write_frame(stream, OP_ERR, error.to_string().as_bytes());
+}
+
+/// A minimal synchronous client for the socket protocol — used by the
+/// load bench, the CI smoke test and integration tests.
+#[derive(Debug)]
+pub struct UdsClient {
+    stream: UnixStream,
+}
+
+impl UdsClient {
+    /// Connects to the server socket and registers `client_id`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::Protocol`] if the server
+    /// rejected the registration.
+    pub fn connect(path: impl AsRef<Path>, client_id: u32) -> Result<Self, ServeError> {
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        let mut client = UdsClient { stream };
+        wire::write_frame(&mut client.stream, OP_HELLO, &client_id.to_le_bytes())?;
+        // Reply reads are bounded by the read timeout set above.
+        let (op, payload) = wire::read_frame(&mut client.stream)?;
+        match op {
+            OP_HELLO_OK => Ok(client),
+            OP_ERR => Err(ServeError::Protocol(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            other => Err(ServeError::Protocol(format!(
+                "expected HELLO_OK, got opcode 0x{other:02x}"
+            ))),
+        }
+    }
+
+    /// Requests `nbytes` bytes over the socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Busy`] for a backpressure rejection, transport or
+    /// protocol errors otherwise.
+    pub fn request(&mut self, nbytes: u32) -> Result<Vec<u8>, ServeError> {
+        wire::write_frame(&mut self.stream, OP_REQ, &nbytes.to_le_bytes())?;
+        // Reply reads are bounded by the connect-time read timeout.
+        let (op, payload) = wire::read_frame(&mut self.stream)?;
+        match op {
+            OP_OK => Ok(payload),
+            OP_BUSY => Err(ServeError::Busy {
+                in_flight: wire::parse_u32(&payload).unwrap_or(0) as usize,
+            }),
+            OP_ERR => Err(ServeError::Protocol(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply opcode 0x{other:02x}"
+            ))),
+        }
+    }
+
+    /// Sends CLOSE and drops the connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors writing the final frame.
+    pub fn close(mut self) -> Result<(), ServeError> {
+        wire::write_frame(&mut self.stream, OP_CLOSE, &[])?;
+        Ok(())
+    }
+}

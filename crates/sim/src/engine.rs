@@ -39,8 +39,11 @@ impl ComponentId {
 /// through the [`Context`].
 ///
 /// The `Any` supertrait allows typed access to a component after the run
-/// via [`Simulator::component`] / [`Simulator::component_mut`].
-pub trait Component: Any {
+/// via [`Simulator::component`] / [`Simulator::component_mut`]. The
+/// `Send` supertrait lets a whole built simulator move across threads
+/// (the serving layer hands long-running rings to worker threads);
+/// components are plain state machines, so the bound costs nothing.
+pub trait Component: Any + Send {
     /// Handles one event. Called by the simulator during dispatch.
     fn on_event(&mut self, event: &Event, ctx: &mut Context<'_>);
 }

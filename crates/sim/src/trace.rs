@@ -169,6 +169,21 @@ impl Trace {
         self.initial = self.transitions[n - 1].1;
         self.transitions.drain(..n);
     }
+
+    /// Discards every transition strictly before `time`, keeping the
+    /// level held at `time` as the new initial level, and returns how
+    /// many transitions were dropped.
+    ///
+    /// This is the memory bound for *long-running* sources: a serving
+    /// worker that has sampled a trace window prunes it before advancing
+    /// the simulation further, so the trace never grows with uptime.
+    /// [`value_at`](Trace::value_at) and the edge helpers keep answering
+    /// correctly for instants at or after `time`.
+    pub fn discard_before(&mut self, time: Time) -> usize {
+        let n = self.transitions.partition_point(|&(t, _)| t < time);
+        self.discard_prefix(n);
+        n
+    }
 }
 
 /// Sentinel in the dense net-index → trace-slot map for unwatched nets.
@@ -345,6 +360,29 @@ mod tests {
         let mut t2 = square_wave(100.0, 1);
         t2.discard_prefix(100); // over-long prefix is clamped
         assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn discard_before_preserves_values_at_and_after_the_cut() {
+        let mut trace = square_wave(100.0, 4); // edges at 0,50,100,...,350
+        let dropped = trace.discard_before(Time::from_ps(120.0));
+        assert_eq!(dropped, 3, "0, 50 and 100 ps transitions dropped");
+        // At the cut instant the level is what it was mid-wave.
+        assert_eq!(trace.initial(), Bit::High);
+        assert_eq!(trace.value_at(Time::from_ps(120.0)), Bit::High);
+        assert_eq!(trace.value_at(Time::from_ps(150.0)), Bit::Low);
+        // Exactly-at-cut transitions survive (strictly-before contract).
+        let mut t2 = square_wave(100.0, 2);
+        t2.discard_before(Time::from_ps(100.0));
+        assert_eq!(t2.transitions().first(), Some(&(Time::from_ps(100.0), Bit::High)));
+        // A cut past the end keeps the final level as initial.
+        let mut t3 = square_wave(100.0, 2);
+        let dropped = t3.discard_before(Time::from_ps(1e9));
+        assert_eq!(dropped, 4);
+        assert!(t3.is_empty());
+        assert_eq!(t3.value_at(Time::from_ps(1e9)), Bit::Low);
+        // Pruning an empty trace is a no-op.
+        assert_eq!(Trace::new(Bit::Low).discard_before(Time::from_ps(5.0)), 0);
     }
 
     #[test]

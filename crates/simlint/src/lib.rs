@@ -29,6 +29,7 @@
 //! | SL105 | `unsafe` without a `// SAFETY:` comment in the 3 preceding lines |
 //! | SL106 | crate root missing `#![forbid(unsafe_code)]` while the crate has no unsafe |
 //! | SL107 | bare `.unwrap()`/`.expect(...)` on `JoinHandle::join` in non-test `src/` |
+//! | SL108 | unguarded blocking read in `crates/serve` `src/` (no timeout/shutdown guard nearby) |
 //!
 //! Vetted sites are excused either inline (`// simlint: allow(SL102)`
 //! on the offending or preceding line) or via the allowlist file
@@ -484,6 +485,27 @@ fn has_safety_comment(raw: &[&str], idx: usize) -> bool {
     raw[from..=idx].iter().any(|l| l.contains("// SAFETY:"))
 }
 
+/// Blocking-read call shapes SL108 looks for in the serving layer.
+/// `read_frame(` is the crate's own frame decoder — itself a blocking
+/// read over whatever transport it is handed.
+const BLOCKING_READS: [&str; 5] =
+    [".recv()", ".accept()", ".read_exact(", ".read(", "read_frame("];
+
+/// Liveness guards SL108 accepts on the line or within the 3 preceding
+/// raw lines. Comments count: a `// bounded by the read timeout` note
+/// next to the call is exactly the documentation the rule wants.
+const LIVENESS_GUARDS: [&str; 5] =
+    ["timeout", "shutdown", "nonblocking", "try_recv", "deadline"];
+
+/// Whether a liveness guard token appears on the raw line or within the
+/// 3 preceding raw lines (comments included, unlike the token scan).
+fn has_liveness_guard(raw: &[&str], idx: usize) -> bool {
+    let from = idx.saturating_sub(3);
+    raw[from..=idx]
+        .iter()
+        .any(|l| LIVENESS_GUARDS.iter().any(|g| l.contains(g)))
+}
+
 /// Scans one file's source text. `deterministic` enables the SL101-104
 /// rules (hot-path files); the `unsafe` audit (SL105) always runs.
 /// Returns findings not excused inline or by the allowlist.
@@ -602,6 +624,31 @@ pub fn scan_source(
                     .to_owned(),
                 &mut out,
             );
+        }
+        // SL108 guards the serving layer's liveness: strent-serve is a
+        // long-running daemon, so every blocking read in its src/ tree
+        // (channel recv, socket accept, transport read) must sit next
+        // to a timeout, shutdown check or nonblocking setup — otherwise
+        // a silent peer or a dead worker pins a thread forever. Tests
+        // may block freely.
+        if !mask[idx] && path.starts_with("crates/serve/") && path.contains("/src/") {
+            for pattern in BLOCKING_READS {
+                if line.contains(pattern) && !has_liveness_guard(&raw, idx) {
+                    push(
+                        "SL108",
+                        "error",
+                        idx,
+                        format!(
+                            "unguarded blocking read `{pattern}` in the serving layer: \
+                             add a timeout/deadline, a nonblocking setup, or a shutdown \
+                             check within the 3 preceding lines (a comment naming the \
+                             guard counts)"
+                        ),
+                        &mut out,
+                    );
+                    break;
+                }
+            }
         }
     }
     out
@@ -850,6 +897,59 @@ mod tests {
     }
 
     #[test]
+    fn unguarded_blocking_reads_fire_sl108_only_in_the_serving_layer() {
+        let scan_serve = |source: &str| {
+            scan_source("crates/serve/src/x.rs", source, false, &Allowlist::empty())
+        };
+        for bad in [
+            "let msg = rx.recv().map_err(drop);\n",
+            "let (stream, _) = listener.accept()?;\n",
+            "stream.read_exact(&mut buf)?;\n",
+            "let frame = wire::read_frame(&mut stream)?;\n",
+        ] {
+            let diags = scan_serve(bad);
+            assert_eq!(
+                diags.iter().filter(|d| d.code == "SL108").count(),
+                1,
+                "{bad:?} must fire SL108, got {diags:?}"
+            );
+        }
+        // A guard on the line or within the 3 preceding lines excuses
+        // the read; comments count.
+        for good in [
+            "let msg = rx.recv_timeout(TICK);\n",
+            "listener.set_nonblocking(true)?;\nlet (stream, _) = listener.accept()?;\n",
+            "// Bounded by the caller-armed read timeout.\nstream.read_exact(&mut buf)?;\n",
+            "if shutdown.load(Ordering::Relaxed) { return; }\nlet m = rx.recv().ok();\n",
+        ] {
+            assert!(scan_serve(good).is_empty(), "{good:?} fired: {:?}", scan_serve(good));
+        }
+        // The rule is scoped: other crates and serve's own tests are
+        // free to block.
+        let elsewhere = scan_source(
+            "crates/core/src/x.rs",
+            "let msg = rx.recv().unwrap_or(0);\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(elsewhere.iter().all(|d| d.code != "SL108"));
+        let in_tests = scan_source(
+            "crates/serve/tests/x.rs",
+            "let msg = rx.recv().unwrap_or(0);\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(in_tests.iter().all(|d| d.code != "SL108"));
+        let in_test_mod = scan_serve(concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(rx: Rx) { let _ = rx.recv(); }\n",
+            "}\n",
+        ));
+        assert!(in_test_mod.is_empty(), "{in_test_mod:?}");
+    }
+
+    #[test]
     fn safety_comment_satisfies_the_unsafe_audit() {
         let source = "// SAFETY: index bounds checked above.\nfn f() { unsafe { x() } }\n";
         assert!(scan_det(source).is_empty());
@@ -986,10 +1086,14 @@ mod tests {
             ("float_reduction.rs", "SL104"),
             ("unsafe_no_safety.rs", "SL105"),
             ("join_unwrap.rs", "SL107"),
+            ("blocking_recv.rs", "SL108"),
         ];
         for (file, code) in expect {
             let source = fs::read_to_string(fixtures.join(file)).expect(file);
-            let label = format!("crates/sim/src/{file}");
+            // SL108 is scoped to the serving layer, so its fixture is
+            // labelled there; the rest pose as deterministic-crate files.
+            let crate_dir = if code == "SL108" { "serve" } else { "sim" };
+            let label = format!("crates/{crate_dir}/src/{file}");
             let diags = scan_source(&label, &source, true, &Allowlist::empty());
             assert!(
                 diags.iter().any(|d| d.code == code),

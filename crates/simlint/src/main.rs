@@ -72,14 +72,17 @@ fn self_test(root: &Path) -> Result<(), String> {
         ("float_reduction.rs", "SL104"),
         ("unsafe_no_safety.rs", "SL105"),
         ("join_unwrap.rs", "SL107"),
+        ("blocking_recv.rs", "SL108"),
     ];
     for (file, code) in expect {
         let path = fixtures.join(file);
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
         // Fixtures are labelled as deterministic-crate files so the
-        // determinism rules apply.
-        let label = format!("crates/sim/src/{file}");
+        // determinism rules apply; the SL108 fixture is labelled in
+        // the serving layer, the rule's scope.
+        let crate_dir = if code == "SL108" { "serve" } else { "sim" };
+        let label = format!("crates/{crate_dir}/src/{file}");
         let diags = scan_source(&label, &source, true, &empty);
         if !diags.iter().any(|d| d.code == code) {
             return Err(format!("fixture {file} no longer fires {code}: {diags:?}"));

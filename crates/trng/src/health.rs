@@ -198,6 +198,112 @@ impl AdaptiveProportionTest {
     }
 }
 
+/// Both SP 800-90B continuous tests behind one feed point — the unit a
+/// serving layer attaches to each entropy source.
+///
+/// # Alarm-counter semantics across re-arm
+///
+/// [`reset`](HealthMonitor::reset) clears the *windowed* test state
+/// (the RCT run, the APT window) so a source re-admitted after
+/// quarantine is judged only on post-readmission bits. The **lifetime
+/// alarm counters are monotone**: they survive every reset and count
+/// alarms over the monitor's whole life. This is what makes a
+/// `bytes-per-alarm` figure well-defined for a long-running service —
+/// `delivered_bytes / monitor.alarms()` never goes backwards because a
+/// quarantine cycle re-armed the windows.
+///
+/// # Examples
+///
+/// ```
+/// use strent_trng::health::{HealthEvent, HealthMonitor};
+///
+/// let mut mon = HealthMonitor::new(1.0)?;
+/// let stuck: strent_trng::BitString = std::iter::repeat_n(1u8, 64).collect();
+/// assert!(mon.scan_chunk(&stuck) >= 1);
+/// mon.reset(); // quarantine over: windows re-armed...
+/// assert_eq!(mon.feed(1), HealthEvent::Ok);
+/// assert!(mon.alarms() >= 1); // ...but the lifetime count survives.
+/// # Ok::<(), strent_trng::TrngError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthMonitor {
+    claimed_min_entropy: f64,
+    rct: RepetitionCountTest,
+    apt: AdaptiveProportionTest,
+}
+
+impl HealthMonitor {
+    /// Builds both tests for a claimed per-bit min-entropy `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::InvalidParameter`] unless `0 < h <= 1`.
+    pub fn new(claimed_min_entropy: f64) -> Result<Self, TrngError> {
+        Ok(HealthMonitor {
+            claimed_min_entropy,
+            rct: RepetitionCountTest::for_min_entropy(claimed_min_entropy)?,
+            apt: AdaptiveProportionTest::for_min_entropy(claimed_min_entropy)?,
+        })
+    }
+
+    /// The entropy claim the cutoffs were derived from.
+    #[must_use]
+    pub fn claimed_min_entropy(&self) -> f64 {
+        self.claimed_min_entropy
+    }
+
+    /// Feeds one sample through both tests; [`HealthEvent::Alarm`] if
+    /// either fires.
+    pub fn feed(&mut self, bit: u8) -> HealthEvent {
+        let rct = self.rct.feed(bit);
+        let apt = self.apt.feed(bit);
+        if rct == HealthEvent::Alarm || apt == HealthEvent::Alarm {
+            HealthEvent::Alarm
+        } else {
+            HealthEvent::Ok
+        }
+    }
+
+    /// Feeds a whole chunk and returns how many samples alarmed (either
+    /// test). A gating consumer treats any non-zero return as "discard
+    /// this chunk and quarantine the source".
+    pub fn scan_chunk(&mut self, bits: &BitString) -> u64 {
+        bits.iter()
+            .filter(|&b| self.feed(b) == HealthEvent::Alarm)
+            .count() as u64
+    }
+
+    /// Re-arms the windowed state after a quarantine: the RCT run and
+    /// the APT window restart empty, so stale pre-quarantine samples
+    /// cannot trip an alarm on the first post-readmission bits. The
+    /// lifetime alarm counters are **not** cleared (see the type docs).
+    pub fn reset(&mut self) {
+        self.rct.last = None;
+        self.rct.run = 0;
+        self.apt.reference = None;
+        self.apt.seen = 0;
+        self.apt.matches = 0;
+    }
+
+    /// Lifetime alarm total across both tests — monotone over resets.
+    #[must_use]
+    pub fn alarms(&self) -> u64 {
+        self.rct.alarms() + self.apt.alarms()
+    }
+
+    /// Lifetime RCT alarms (monotone over resets).
+    #[must_use]
+    pub fn rct_alarms(&self) -> u64 {
+        self.rct.alarms()
+    }
+
+    /// Lifetime APT alarms (monotone over resets).
+    #[must_use]
+    pub fn apt_alarms(&self) -> u64 {
+        self.apt.alarms()
+    }
+}
+
 /// Where the online tests first fired relative to a fault onset —
 /// the detection-latency view the degradation experiments assert on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -367,5 +473,62 @@ mod tests {
         assert!(RepetitionCountTest::for_min_entropy(0.0).is_err());
         assert!(RepetitionCountTest::for_min_entropy(1.5).is_err());
         assert!(AdaptiveProportionTest::for_min_entropy(-0.1).is_err());
+        assert!(HealthMonitor::new(0.0).is_err());
+    }
+
+    #[test]
+    fn monitor_matches_standalone_scan() {
+        let mut bits = random_bits(30_000, 0.5, 7);
+        bits.extend(std::iter::repeat_n(1u8, 80));
+        let (rct, apt) = scan(&bits, 1.0).expect("valid");
+        let mut mon = HealthMonitor::new(1.0).expect("valid");
+        let alarmed = mon.scan_chunk(&bits);
+        assert_eq!(mon.rct_alarms(), rct);
+        assert_eq!(mon.apt_alarms(), apt);
+        // scan_chunk counts alarming *samples*; one sample can trip
+        // both tests, so it is bounded by the per-test totals.
+        assert!(alarmed >= rct.max(apt) && alarmed <= rct + apt);
+        assert!((mon.claimed_min_entropy() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn reset_rearms_windows_but_keeps_lifetime_counters() {
+        let mut mon = HealthMonitor::new(1.0).expect("valid");
+        // One bit short of the RCT cutoff: the run is primed.
+        let cutoff = RepetitionCountTest::for_min_entropy(1.0)
+            .expect("valid")
+            .cutoff();
+        for _ in 0..cutoff - 1 {
+            assert_eq!(mon.feed(0), HealthEvent::Ok);
+        }
+        // Without a reset the next identical bit would alarm; after one
+        // it takes a full fresh run again.
+        mon.reset();
+        assert_eq!(mon.feed(0), HealthEvent::Ok);
+        assert_eq!(mon.alarms(), 0);
+
+        // Now trip an alarm, reset, and check the counter survives.
+        let stuck: BitString = std::iter::repeat_n(1u8, 2 * cutoff as usize).collect();
+        assert!(mon.scan_chunk(&stuck) >= 1);
+        let before = mon.alarms();
+        assert!(before >= 1);
+        mon.reset();
+        assert_eq!(mon.alarms(), before, "counters are monotone over reset");
+        // Healthy traffic after the reset never alarms.
+        assert_eq!(mon.scan_chunk(&random_bits(20_000, 0.5, 8)), 0);
+        assert_eq!(mon.alarms(), before);
+    }
+
+    #[test]
+    fn reset_prevents_stale_window_alarms() {
+        // Fill most of an APT window with ones, reset, then feed a
+        // biased-but-short burst: without the re-arm the stale matches
+        // would push past the cutoff.
+        let mut mon = HealthMonitor::new(1.0).expect("valid");
+        let heavy: BitString = std::iter::repeat_n([1u8, 1, 0], 200).flatten().collect();
+        mon.scan_chunk(&heavy);
+        mon.reset();
+        let light: BitString = std::iter::repeat_n([1u8, 0], 250).flatten().collect();
+        assert_eq!(mon.scan_chunk(&light), 0, "no alarms from stale state");
     }
 }

@@ -64,3 +64,5 @@ pub mod sampler;
 
 pub use bits::BitString;
 pub use error::TrngError;
+pub use health::HealthMonitor;
+pub use postprocess::{ConditionerKind, StreamConditioner};

@@ -2,13 +2,170 @@
 //!
 //! Raw ring-sampling bits are biased and correlated when the accumulated
 //! jitter per sample is small; TRNG designs therefore condition the raw
-//! stream. Three classic schemes are provided.
+//! stream. Three classic schemes are provided, each in two forms:
+//!
+//! * the original **batch** functions ([`von_neumann`],
+//!   [`xor_decimate`], [`parity_filter`]) — one whole [`BitString`] in,
+//!   one out;
+//! * a **streaming** engine ([`StreamConditioner`]) that accepts chunks
+//!   and carries partial state (a held von Neumann half-pair, a partial
+//!   XOR block) across feeds, so a long-running serving layer never
+//!   re-buffers its history per request.
+//!
+//! The batch functions are thin wrappers over a fresh streaming engine
+//! fed exactly once, so the two paths cannot drift apart — the
+//! equivalence is also pinned by tests that slice an input at random
+//! points and compare against the batch result.
 
 use crate::bits::BitString;
+
+/// Which conditioning scheme a [`StreamConditioner`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConditionerKind {
+    /// Pass-through: raw bits are delivered unchanged.
+    Raw,
+    /// Von Neumann unbiasing (variable rate, removes all bias from
+    /// independent bits).
+    VonNeumann,
+    /// XOR decimation by the given factor (fixed rate, exponential bias
+    /// reduction).
+    XorDecimate(u32),
+}
+
+impl ConditionerKind {
+    /// A short stable label (used in reports and JSON).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ConditionerKind::Raw => "raw".to_owned(),
+            ConditionerKind::VonNeumann => "von_neumann".to_owned(),
+            ConditionerKind::XorDecimate(f) => format!("xor{f}"),
+        }
+    }
+}
+
+/// Incremental conditioner: feed raw chunks, collect conditioned bits,
+/// with partial state carried across chunk boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use strent_trng::postprocess::{ConditionerKind, StreamConditioner};
+/// use strent_trng::BitString;
+///
+/// let mut stream = StreamConditioner::new(ConditionerKind::VonNeumann);
+/// // `[0]` then `[1, ...]`: the pair straddles the chunk boundary.
+/// let first: BitString = [0u8].iter().copied().collect();
+/// let second: BitString = [1u8, 1, 0].iter().copied().collect();
+/// let mut out = stream.feed(&first);
+/// out.extend(stream.feed(&second).iter());
+/// assert_eq!(out.as_slice(), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConditioner {
+    kind: ConditionerKind,
+    /// Von Neumann: the first half of a pending pair.
+    held: Option<u8>,
+    /// XOR decimation: parity and fill of the current block.
+    acc: u8,
+    filled: u32,
+}
+
+impl StreamConditioner {
+    /// Creates a conditioner with empty carried state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is `XorDecimate(0)` (matching the batch
+    /// function's contract).
+    #[must_use]
+    pub fn new(kind: ConditionerKind) -> Self {
+        if let ConditionerKind::XorDecimate(factor) = kind {
+            assert!(factor > 0, "decimation factor must be positive");
+        }
+        StreamConditioner {
+            kind,
+            held: None,
+            acc: 0,
+            filled: 0,
+        }
+    }
+
+    /// The scheme this conditioner applies.
+    #[must_use]
+    pub fn kind(&self) -> ConditionerKind {
+        self.kind
+    }
+
+    /// Feeds one chunk and returns the conditioned bits it completed.
+    /// Bits belonging to an unfinished pair/block stay carried for the
+    /// next feed.
+    pub fn feed(&mut self, chunk: &BitString) -> BitString {
+        let mut out = BitString::with_capacity(match self.kind {
+            ConditionerKind::Raw => chunk.len(),
+            ConditionerKind::VonNeumann => chunk.len() / 4 + 1,
+            ConditionerKind::XorDecimate(f) => chunk.len() / f as usize + 1,
+        });
+        match self.kind {
+            ConditionerKind::Raw => out.extend(chunk.iter()),
+            ConditionerKind::VonNeumann => {
+                for b in chunk.iter() {
+                    match self.held.take() {
+                        None => self.held = Some(b),
+                        Some(first) => match (first, b) {
+                            (0, 1) => out.push(0),
+                            (1, 0) => out.push(1),
+                            _ => {}
+                        },
+                    }
+                }
+            }
+            ConditionerKind::XorDecimate(factor) => {
+                for b in chunk.iter() {
+                    self.acc ^= b;
+                    self.filled += 1;
+                    if self.filled == factor {
+                        out.push(self.acc);
+                        self.acc = 0;
+                        self.filled = 0;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Raw bits currently carried (an unfinished pair or block) — at
+    /// most `factor - 1` for XOR decimation, at most 1 for von Neumann.
+    #[must_use]
+    pub fn pending_bits(&self) -> u32 {
+        match self.kind {
+            ConditionerKind::Raw => 0,
+            ConditionerKind::VonNeumann => u32::from(self.held.is_some()),
+            ConditionerKind::XorDecimate(_) => self.filled,
+        }
+    }
+
+    /// The worst-case ratio of raw bits consumed per conditioned bit
+    /// produced — `1` for raw, `2` per *attempted* output for von
+    /// Neumann (rate is variable), `factor` for XOR decimation.
+    #[must_use]
+    pub fn raw_bits_per_output(&self) -> u32 {
+        match self.kind {
+            ConditionerKind::Raw => 1,
+            ConditionerKind::VonNeumann => 2,
+            ConditionerKind::XorDecimate(f) => f,
+        }
+    }
+}
 
 /// Von Neumann unbiasing: consume bit pairs, emit `0` for `01`, `1` for
 /// `10`, drop `00`/`11`. Removes all bias from independent bits at the
 /// cost of a variable (~4x for fair input) rate reduction.
+///
+/// A thin wrapper over a fresh [`StreamConditioner`] fed once (a
+/// trailing unpaired bit stays held and is dropped, exactly the old
+/// `chunks_exact(2)` semantics).
 ///
 /// # Examples
 ///
@@ -21,32 +178,24 @@ use crate::bits::BitString;
 /// ```
 #[must_use]
 pub fn von_neumann(bits: &BitString) -> BitString {
-    let mut out = BitString::with_capacity(bits.len() / 4);
-    for pair in bits.as_slice().chunks_exact(2) {
-        match (pair[0], pair[1]) {
-            (0, 1) => out.push(0),
-            (1, 0) => out.push(1),
-            _ => {}
-        }
-    }
-    out
+    StreamConditioner::new(ConditionerKind::VonNeumann).feed(bits)
 }
 
 /// XOR decimation: each output bit is the XOR of `factor` consecutive
 /// input bits. Reduces bias exponentially (piling-up lemma) at a fixed
 /// `factor`-to-1 rate.
 ///
+/// A thin wrapper over a fresh [`StreamConditioner`] fed once (a
+/// trailing partial block stays held and is dropped, exactly the old
+/// `chunks_exact(factor)` semantics).
+///
 /// # Panics
 ///
 /// Panics if `factor == 0`.
 #[must_use]
 pub fn xor_decimate(bits: &BitString, factor: usize) -> BitString {
-    assert!(factor > 0, "decimation factor must be positive");
-    let mut out = BitString::with_capacity(bits.len() / factor);
-    for block in bits.as_slice().chunks_exact(factor) {
-        out.push(block.iter().fold(0, |acc, &b| acc ^ b));
-    }
-    out
+    let factor = u32::try_from(factor).unwrap_or(0);
+    StreamConditioner::new(ConditionerKind::XorDecimate(factor)).feed(bits)
 }
 
 /// Parity filter: an alias of [`xor_decimate`] kept for the literature
@@ -123,5 +272,72 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_factor_rejected() {
         let _ = xor_decimate(&BitString::new(), 0);
+    }
+
+    /// Feeds `raw` to a fresh conditioner in chunks cut at pseudo-random
+    /// points and returns the concatenated output.
+    fn feed_in_chunks(kind: ConditionerKind, raw: &BitString, split_seed: u64) -> BitString {
+        let mut rng = strent_sim::RngTree::new(split_seed).stream(1);
+        let mut stream = StreamConditioner::new(kind);
+        let mut out = BitString::new();
+        let mut start = 0usize;
+        while start < raw.len() {
+            let len = 1 + (rng.next_u64() as usize) % 97;
+            let end = (start + len).min(raw.len());
+            out.extend(stream.feed(&raw.slice(start, end - start)).iter());
+            start = end;
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_equals_batch_for_any_chunking() {
+        let raw = biased_bits(20_001, 0.63); // odd length: a bit stays held
+        for split_seed in 0..5 {
+            let vn = feed_in_chunks(ConditionerKind::VonNeumann, &raw, split_seed);
+            assert_eq!(vn, von_neumann(&raw), "VN split seed {split_seed}");
+            for factor in [2usize, 3, 4, 7] {
+                let xd = feed_in_chunks(
+                    ConditionerKind::XorDecimate(factor as u32),
+                    &raw,
+                    split_seed,
+                );
+                assert_eq!(
+                    xd,
+                    xor_decimate(&raw, factor),
+                    "XOR factor {factor} split seed {split_seed}"
+                );
+            }
+            let id = feed_in_chunks(ConditionerKind::Raw, &raw, split_seed);
+            assert_eq!(id, raw, "raw passthrough split seed {split_seed}");
+        }
+    }
+
+    #[test]
+    fn carried_state_spans_chunk_boundaries() {
+        // `01` split across feeds still emits the von Neumann `0`.
+        let mut vn = StreamConditioner::new(ConditionerKind::VonNeumann);
+        let first: BitString = [0u8].iter().copied().collect();
+        let second: BitString = [1u8].iter().copied().collect();
+        assert!(vn.feed(&first).is_empty());
+        assert_eq!(vn.pending_bits(), 1);
+        assert_eq!(vn.feed(&second).as_slice(), &[0]);
+        assert_eq!(vn.pending_bits(), 0);
+
+        // A 3-block split 2 + 1 completes on the second feed.
+        let mut xd = StreamConditioner::new(ConditionerKind::XorDecimate(3));
+        let first: BitString = [1u8, 0].iter().copied().collect();
+        let second: BitString = [1u8].iter().copied().collect();
+        assert!(xd.feed(&first).is_empty());
+        assert_eq!(xd.pending_bits(), 2);
+        assert_eq!(xd.feed(&second).as_slice(), &[0]);
+        assert_eq!(xd.raw_bits_per_output(), 3);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(ConditionerKind::Raw.label(), "raw");
+        assert_eq!(ConditionerKind::VonNeumann.label(), "von_neumann");
+        assert_eq!(ConditionerKind::XorDecimate(4).label(), "xor4");
     }
 }

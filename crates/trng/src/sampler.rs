@@ -71,6 +71,11 @@ impl Sampler {
 
     /// Samples a recorded trace starting at `t0`, producing `count` bits.
     ///
+    /// The waveform is considered defined only up to its last recorded
+    /// transition. When the producer knows the simulation ran further
+    /// (a stalled ring is flat, not unknown), use
+    /// [`sample_trace_until`](Sampler::sample_trace_until).
+    ///
     /// # Errors
     ///
     /// Returns an error (via [`RingError::HorizonExceeded`]) if the trace
@@ -82,11 +87,38 @@ impl Sampler {
         count: usize,
         rng: &mut SimRng,
     ) -> Result<BitString, TrngError> {
-        let last_needed = t0 + self.period_ps * count as f64;
         let trace_end = trace
             .transitions()
             .last()
             .map_or(Time::ZERO, |&(t, _)| t);
+        self.sample_trace_until(trace, t0, count, trace_end, rng)
+    }
+
+    /// Samples a trace whose waveform is known valid up to
+    /// `valid_until` — typically the simulation horizon. Beyond the
+    /// last recorded transition the signal holds its final value, so a
+    /// stuck ring yields a (correctly alarming) constant bit stream
+    /// instead of a horizon error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (via [`RingError::HorizonExceeded`]) if the
+    /// last sample instant lies past both `valid_until` and the final
+    /// recorded transition.
+    pub fn sample_trace_until(
+        &self,
+        trace: &Trace,
+        t0: Time,
+        count: usize,
+        valid_until: Time,
+        rng: &mut SimRng,
+    ) -> Result<BitString, TrngError> {
+        let last_needed = t0 + self.period_ps * count as f64;
+        let trace_end = trace
+            .transitions()
+            .last()
+            .map_or(Time::ZERO, |&(t, _)| t)
+            .max(valid_until);
         if trace_end < last_needed {
             return Err(TrngError::Ring(RingError::HorizonExceeded {
                 collected: ((trace_end - t0) / self.period_ps).max(0.0) as usize,
@@ -207,5 +239,116 @@ mod tests {
         assert!(Sampler::new(0.0, 0.0).is_err());
         assert!(Sampler::new(100.0, -1.0).is_err());
         assert!(Sampler::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn flat_tail_samples_hold_the_final_value() {
+        // Ten cycles end Low at 950 ps; the simulation "ran" to 5 ns.
+        // sample_trace refuses past the final edge, sample_trace_until
+        // reads the held Low level.
+        let trace = square_trace(100.0, 10);
+        let sampler = Sampler::new(400.0, 10.0).expect("valid");
+        let mut rng = RngTree::new(5).stream(0);
+        assert!(sampler
+            .sample_trace(&trace, Time::ZERO, 10, &mut rng)
+            .is_err());
+        let bits = sampler
+            .sample_trace_until(&trace, Time::ZERO, 10, Time::from_ps(5_000.0), &mut rng)
+            .expect("valid to the simulation horizon");
+        assert_eq!(bits.len(), 10);
+        // Samples at 1.2 ns and beyond all read the held Low.
+        assert!(bits.as_slice()[2..].iter().all(|&b| b == 0), "{bits:?}");
+        // A horizon short of the request still errors with progress.
+        assert!(sampler
+            .sample_trace_until(&trace, Time::ZERO, 20, Time::from_ps(5_000.0), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_trace_window_is_horizon_exceeded_with_zero_collected() {
+        // A trace with no transitions at all ends at t = 0: any request
+        // fails cleanly instead of inventing flat samples.
+        let trace = Trace::new(Bit::Low);
+        let sampler = Sampler::new(100.0, 10.0).expect("valid");
+        let mut rng = RngTree::new(1).stream(0);
+        let err = sampler
+            .sample_trace(&trace, Time::ZERO, 5, &mut rng)
+            .expect_err("empty trace cannot satisfy any sample");
+        match err {
+            TrngError::Ring(RingError::HorizonExceeded {
+                collected,
+                requested,
+            }) => {
+                assert_eq!(collected, 0);
+                assert_eq!(requested, 5);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // Zero requested bits from an empty trace is trivially fine.
+        let bits = sampler
+            .sample_trace(&trace, Time::ZERO, 0, &mut rng)
+            .expect("nothing to sample");
+        assert!(bits.is_empty());
+    }
+
+    #[test]
+    fn sample_period_longer_than_the_trace_reports_partial_progress() {
+        // Ten 100 ps cycles span 1 ns; a 400 ps sampler asking for 10
+        // bits needs 4 ns. The error reports how many bits the trace
+        // could have provided.
+        let trace = square_trace(100.0, 10);
+        let sampler = Sampler::new(400.0, 0.0).expect("valid");
+        let mut rng = RngTree::new(3).stream(0);
+        let err = sampler
+            .sample_trace(&trace, Time::ZERO, 10, &mut rng)
+            .expect_err("trace far too short");
+        match err {
+            TrngError::Ring(RingError::HorizonExceeded {
+                collected,
+                requested,
+            }) => {
+                assert!(collected < 10, "partial progress {collected}");
+                assert_eq!(requested, 10);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // One period beyond the whole trace: even a single bit fails.
+        let sampler = Sampler::new(2_000.0, 0.0).expect("valid");
+        assert!(sampler
+            .sample_trace(&trace, Time::ZERO, 1, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn metastability_window_straddling_the_final_edge_still_flips() {
+        // The last transition of the trace is the falling edge at
+        // 950 ps. Sample exactly there with a window: the sampler must
+        // treat it as metastable even though no transition follows.
+        let trace = square_trace(100.0, 10);
+        let last = trace.transitions().last().map(|&(t, _)| t).expect("edges");
+        assert_eq!(last, Time::from_ps(950.0));
+        let sampler = Sampler::new(950.0, 30.0).expect("valid");
+        let flips: usize = (0..200)
+            .filter(|&seed| {
+                let mut rng = RngTree::new(seed).stream(0);
+                let bits = sampler
+                    .sample_trace(&trace, Time::ZERO, 1, &mut rng)
+                    .expect("exactly reaches the final edge");
+                bits.as_slice()[0] == 1
+            })
+            .count();
+        assert!(
+            (40..160).contains(&flips),
+            "final-edge sample is a coin flip, got {flips}/200 ones"
+        );
+        // Just outside the half-window the read is deterministic: the
+        // instant 930 ps sits 20 ps before the final edge (half-window
+        // is 15 ps), inside the High segment that began at 900 ps.
+        let sampler = Sampler::new(930.0, 30.0).expect("valid");
+        let mut rng = RngTree::new(9).stream(0);
+        let bits = sampler
+            .sample_trace(&trace, Time::ZERO, 1, &mut rng)
+            .expect("within the trace");
+        assert_eq!(bits.as_slice(), &[1], "outside the window reads High");
     }
 }

@@ -103,11 +103,53 @@ else
     echo "robustness manifest: python3 unavailable, validation skipped"
 fi
 
+echo "== serve smoke (pool determinism, fault drill, UDS frontend) =="
+serve_out="$(mktemp -t BENCH_serve.XXXXXX.json)"
+serve_sock="$(mktemp -u -t strent-serve-ci.XXXXXX.sock)"
+trap 'rm -f "$out" "$engine_out" "$manifest" "$serve_out" "$serve_sock"' EXIT
+# --smoke drives a UDS server on a temp socket with 3 concurrent
+# clients and checks the served allocation byte-for-byte against an
+# in-process pool replay; the binary exits nonzero if any invariant
+# (worker-count digest identity, fault containment, clean shutdown)
+# fails.
+STRENT_LINT=deny cargo run -q --release -p strent-bench --bin serve_load --offline -- \
+    --quick --smoke --socket "$serve_sock" --out "$serve_out"
+[ -s "$serve_out" ] || { echo "BENCH_serve.json was not emitted"; exit 1; }
+[ -e "$serve_sock" ] && { echo "serve smoke left its socket behind"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$serve_out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "strentropy-bench-serve/1", report
+det = report["determinism"]
+digests = {d["fnv1a64"] for d in det["worker_digests"]}
+workers = sorted(d["workers"] for d in det["worker_digests"])
+assert workers == [1, 2, 8], workers
+assert len(digests) == 1 and det["bit_identical"], det
+assert det["matches_pool_replay"], det
+load = report["load"]
+assert load["grants"] > 0 and load["total_bytes"] > 0, load
+assert load["throughput_bytes_per_sec"] > 0, load
+assert 0 <= load["rejection_rate"] <= 1, load
+assert load["latency_p99_us"] >= load["latency_p50_us"] >= 0, load
+fault = report["fault_drill"]
+assert fault["alarms"] >= 1 and fault["replacements"] >= 1, fault
+assert fault["bytes_per_alarm"] > 0 and fault["health_clean"], fault
+smoke = report["uds_smoke"]
+assert smoke["clients"] == 3 and smoke["bytes_served"] > 0, smoke
+assert smoke["deterministic"] and smoke["clean_shutdown"], smoke
+print(f"BENCH_serve.json: valid, digest {digests.pop()} at workers {workers}, "
+      f"{fault['bytes_per_alarm']:.0f} bytes/alarm")
+PY
+else
+    echo "BENCH_serve.json: python3 unavailable, validation skipped"
+fi
+
 echo "== degradation campaign smoke (quick, netlist lints denied) =="
 # Every fault class must alarm the online health tests on both ring
 # families: 8 scenario rows, all marked detected, zero marked NO.
 degradation="$(mktemp -t degradation.XXXXXX.txt)"
-trap 'rm -f "$out" "$engine_out" "$manifest" "$degradation"' EXIT
+trap 'rm -f "$out" "$engine_out" "$manifest" "$serve_out" "$serve_sock" "$degradation"' EXIT
 STRENT_LINT=deny cargo run -q --release -p strent-bench \
     --bin repro_degradation --offline -- --quick --deny-lints > "$degradation"
 detected=$(grep -c ' yes$' "$degradation" || true)

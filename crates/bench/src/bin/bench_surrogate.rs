@@ -1,0 +1,306 @@
+//! Emits `BENCH_surrogate.json`: sampled-bit throughput of the
+//! calibrated surrogate tier against the full discrete-event stream on
+//! the three serving presets, plus the period-moment agreement the
+//! speedup is conditional on (see `docs/surrogate.md`).
+//!
+//! Both backends are driven through [`EntropySource`] — the same
+//! chunked advance/sample/prune loop the serving layer uses — so the
+//! measured ratio is the one a pool actually sees. Calibration cost is
+//! reported separately: it is a one-time spend per `(ring, board,
+//! seed)`, not part of the steady-state samples/s.
+//!
+//! The JSON is hand-formatted — the workspace builds offline against
+//! stub crates, so no serializer is assumed.
+//!
+//! Usage: `bench_surrogate [--quick|--full] [--seed N] [--out PATH]`
+//! (default `--quick`, `BENCH_surrogate.json` in the current
+//! directory).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use strent_rings::measure::{self, RingRun, WARMUP_PERIODS};
+use strent_rings::stream::StreamConfig;
+use strent_rings::surrogate::{Calibrator, EntropySource, SourceBackend, SurrogateStream};
+use strent_rings::RingError;
+use strent_sim::{RngTree, Time};
+use strent_trng::sampler::Sampler;
+use strentropy::pool::{RingSpec, SourceSpec};
+
+/// Sampler period as a multiple of the ring period — matches the
+/// serving default's order of magnitude while staying incommensurate
+/// with the waveform.
+const SAMPLE_PERIOD_FACTOR: f64 = 2.37;
+
+/// Samples produced per chunk before pruning the consumed waveform.
+const CHUNK: usize = 4096;
+
+/// RNG key for the sampler's metastability draws.
+const SAMPLER_RNG_KEY: u64 = 0xBE7C_5A3D;
+
+struct Options {
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        quick: true,
+        seed: strentropy::calibration::PAPER_SEED,
+        out: "BENCH_surrogate.json".to_owned(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--full" => options.quick = false,
+            "--seed" => {
+                let value = args.next().ok_or("--seed requires a value")?;
+                options.seed = value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--out" => options.out = args.next().ok_or("--out requires a value")?.clone(),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// One backend's measured steady-state throughput.
+struct Throughput {
+    wall_ns: u128,
+    samples: usize,
+    /// Time spent in [`EntropySource::build`] (calibration for the
+    /// surrogate, netlist construction for the full sim).
+    build_ns: u128,
+    backend: SourceBackend,
+    ones_fraction: f64,
+}
+
+impl Throughput {
+    fn samples_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.samples as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+/// Drives `samples` sampled bits through the serving-style chunked
+/// loop (advance the waveform, sample a chunk, prune what was
+/// consumed) and reports the best wall time of `reps` runs.
+fn probe_backend(
+    ring: &RingSpec,
+    seed: u64,
+    backend: SourceBackend,
+    samples: usize,
+    reps: usize,
+) -> Result<Throughput, RingError> {
+    let spec = SourceSpec::new(*ring, seed);
+    let board = spec.board(0);
+    let config = ring.stream_config();
+    let mut best: Option<Throughput> = None;
+    for _ in 0..reps {
+        let build_started = Instant::now();
+        let mut source = EntropySource::build(&config, &board, seed, None, backend)?;
+        let build_ns = build_started.elapsed().as_nanos();
+        let period = source.expected_period_ps();
+        let sample_ps = SAMPLE_PERIOD_FACTOR * period;
+        let sampler = Sampler::new(sample_ps, 0.0).expect("valid sampler");
+        let mut rng = RngTree::new(seed).stream(SAMPLER_RNG_KEY);
+        let warmup_ps = WARMUP_PERIODS as f64 * period;
+        source.advance_by(warmup_ps)?;
+        let mut cursor = source.now().as_ps().max(warmup_ps);
+        let mut produced = 0usize;
+        let mut ones = 0usize;
+        let started = Instant::now();
+        while produced < samples {
+            let n = CHUNK.min(samples - produced);
+            let span = n as f64 * sample_ps;
+            while source.now().as_ps() < cursor + span {
+                let deficit = cursor + span - source.now().as_ps();
+                source.advance_by(deficit + period)?;
+            }
+            let bits = sampler
+                .sample_trace_until(
+                    source.trace(),
+                    Time::from_ps(cursor),
+                    n,
+                    source.now(),
+                    &mut rng,
+                )
+                .map_err(|_| RingError::NotOscillating {
+                    observed_transitions: produced,
+                })?;
+            ones += bits.count_ones();
+            cursor += span;
+            source.prune_before(Time::from_ps(cursor));
+            produced += n;
+        }
+        let probe = Throughput {
+            wall_ns: started.elapsed().as_nanos(),
+            samples,
+            build_ns,
+            backend: source.selected_backend(),
+            ones_fraction: ones as f64 / samples as f64,
+        };
+        if best.as_ref().is_none_or(|b| probe.wall_ns < b.wall_ns) {
+            best = Some(probe);
+        }
+    }
+    Ok(best.expect("at least one rep ran"))
+}
+
+/// Mean and standard deviation of a period series.
+fn moments(periods_ps: &[f64]) -> (f64, f64) {
+    let n = periods_ps.len().max(1) as f64;
+    let mean = periods_ps.iter().sum::<f64>() / n;
+    let var = periods_ps.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Period moments from the event-driven reference run.
+fn full_sim_moments(ring: &RingSpec, seed: u64, periods: usize) -> Result<(f64, f64), RingError> {
+    let board = SourceSpec::new(*ring, seed).board(0);
+    let run: RingRun = match ring.stream_config() {
+        StreamConfig::Iro(config) => measure::run_iro(&config, &board, seed, periods)?,
+        StreamConfig::Str(config) => measure::run_str(&config, &board, seed, periods)?,
+    };
+    Ok(moments(&run.periods_ps))
+}
+
+/// Period moments from a calibrated surrogate replay (same warm-up
+/// discard as the event-driven runners).
+fn surrogate_moments(ring: &RingSpec, seed: u64, periods: usize) -> Result<(f64, f64), RingError> {
+    let board = SourceSpec::new(*ring, seed).board(0);
+    let model = Calibrator::default().fit(&ring.stream_config(), &board, seed)?;
+    let mut stream = SurrogateStream::new(model, seed);
+    stream.next_periods(WARMUP_PERIODS);
+    stream.prune_before(stream.now());
+    Ok(moments(&stream.next_periods(periods)))
+}
+
+fn main() -> ExitCode {
+    let options = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\nusage: bench_surrogate [--quick|--full] [--seed N] [--out PATH]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (samples, moment_periods, reps) = if options.quick {
+        (60_000, 2_000, 2)
+    } else {
+        (250_000, 8_000, 3)
+    };
+    eprintln!(
+        "# bench_surrogate: {} samples/preset, seed {}, best of {reps}",
+        samples, options.seed
+    );
+
+    let presets = [RingSpec::Str32, RingSpec::Str64, RingSpec::Iro32];
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"strentropy-bench-surrogate/1\",");
+    let _ = writeln!(
+        json,
+        "  \"effort\": \"{}\",",
+        if options.quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"sample_period_factor\": {SAMPLE_PERIOD_FACTOR},");
+    let _ = writeln!(json, "  \"samples_per_preset\": {samples},");
+    let _ = writeln!(json, "  \"moment_periods\": {moment_periods},");
+    json.push_str("  \"presets\": [\n");
+
+    let mut str32_speedup = 0.0;
+    for (i, ring) in presets.iter().enumerate() {
+        let full = match probe_backend(ring, options.seed, SourceBackend::FullSim, samples, reps) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{} full-sim probe failed: {e}", ring.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        let surr = match probe_backend(ring, options.seed, SourceBackend::Surrogate, samples, reps)
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{} surrogate probe failed: {e}", ring.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        if surr.backend != SourceBackend::Surrogate {
+            eprintln!("{} unexpectedly fell back to the full sim", ring.label());
+            return ExitCode::FAILURE;
+        }
+        let (full_mean, full_sigma) = match full_sim_moments(ring, options.seed, moment_periods) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{} full-sim moments failed: {e}", ring.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (surr_mean, surr_sigma) = match surrogate_moments(ring, options.seed, moment_periods) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{} surrogate moments failed: {e}", ring.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        let speedup = surr.samples_per_sec() / full.samples_per_sec().max(1e-9);
+        if *ring == RingSpec::Str32 {
+            str32_speedup = speedup;
+        }
+        eprintln!(
+            "# {}: full {:.0} samples/s, surrogate {:.0} samples/s ({speedup:.1}x)",
+            ring.label(),
+            full.samples_per_sec(),
+            surr.samples_per_sec()
+        );
+        let _ = writeln!(json, "    {{\"label\": \"{}\",", ring.label());
+        let _ = writeln!(
+            json,
+            "     \"full_sim\": {{\"wall_ns\": {}, \"samples_per_sec\": {:.0}, \
+             \"build_ns\": {}, \"ones_fraction\": {:.4}, \
+             \"period_mean_ps\": {:.4}, \"period_sigma_ps\": {:.4}}},",
+            full.wall_ns,
+            full.samples_per_sec(),
+            full.build_ns,
+            full.ones_fraction,
+            full_mean,
+            full_sigma
+        );
+        let _ = writeln!(
+            json,
+            "     \"surrogate\": {{\"wall_ns\": {}, \"samples_per_sec\": {:.0}, \
+             \"calibration_ns\": {}, \"ones_fraction\": {:.4}, \
+             \"period_mean_ps\": {:.4}, \"period_sigma_ps\": {:.4}}},",
+            surr.wall_ns,
+            surr.samples_per_sec(),
+            surr.build_ns,
+            surr.ones_fraction,
+            surr_mean,
+            surr_sigma
+        );
+        let _ = writeln!(
+            json,
+            "     \"speedup\": {:.3}, \"mean_rel_err\": {:.6}, \"sigma_ratio\": {:.4}}}{}",
+            speedup,
+            (surr_mean - full_mean).abs() / full_mean,
+            surr_sigma / full_sigma.max(1e-12),
+            if i + 1 == presets.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"str32_speedup\": {str32_speedup:.3}");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {} (str32 speedup {str32_speedup:.1}x)", options.out);
+    ExitCode::SUCCESS
+}

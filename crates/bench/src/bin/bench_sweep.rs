@@ -176,13 +176,23 @@ fn engine_json(options: &Options, threads: usize, stages: &[StageReport]) -> Str
         let s = &report.stats;
         let _ = write!(
             json,
-            "    {{\"label\": \"{}\", \"jobs\": {}, \"wall_ns\": {}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \"cancelled\": {}, \"suppressed\": {}}}",
-            report.label,
-            s.jobs,
-            s.wall_ns,
-            s.events(),
-            s.events_per_sec(),
+            "    {{\"label\": \"{}\", \"jobs\": {}, \"wall_ns\": {}",
+            report.label, s.jobs, s.wall_ns,
+        );
+        // Stages that drive traces through samplers without metering a
+        // simulator record no events; omitting the fields keeps a zero
+        // from masquerading as a measured throughput of zero.
+        if s.events() > 0 {
+            let _ = write!(
+                json,
+                ", \"events\": {}, \"events_per_sec\": {:.0}",
+                s.events(),
+                s.events_per_sec(),
+            );
+        }
+        let _ = write!(
+            json,
+            ", \"cancelled\": {}, \"suppressed\": {}}}",
             s.cancelled(),
             s.suppressed()
         );

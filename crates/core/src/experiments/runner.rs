@@ -21,6 +21,8 @@ use std::sync::Mutex;
 
 use strent_device::Board;
 use strent_rings::measure::{self, RingRun};
+use strent_rings::stream::StreamConfig;
+use strent_rings::surrogate::{self, Calibrator, SourceBackend, SurrogateStream};
 use strent_rings::{IroConfig, StrConfig};
 use strent_sim::{JobMeter, RngTree, SweepJob, SweepRunner, SweepStats};
 
@@ -222,6 +224,61 @@ impl RingSpec {
         meter.record_sim(run.stats);
         Ok(run)
     }
+
+    /// This spec as a stream configuration (the vocabulary the
+    /// surrogate tier and the serving layer share).
+    #[must_use]
+    pub fn stream_config(&self) -> StreamConfig {
+        match self {
+            RingSpec::Iro(config) => StreamConfig::Iro(config.clone()),
+            RingSpec::Str(config) => StreamConfig::Str(config.clone()),
+        }
+    }
+
+    /// Like [`measure`](RingSpec::measure), but honoring a waveform
+    /// backend request: with [`SourceBackend::Surrogate`] an eligible
+    /// ring is calibrated once and replayed at O(1) per period, while
+    /// boundary configurations silently fall back to the event-driven
+    /// run. Surrogate workloads meter their emitted transitions as
+    /// events, so sweep stages stay comparable in the perf reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ring simulation and calibration errors.
+    pub fn measure_with(
+        &self,
+        backend: SourceBackend,
+        board: &Board,
+        seed: u64,
+        periods: usize,
+        meter: &mut JobMeter,
+    ) -> Result<RingRun, ExperimentError> {
+        let config = self.stream_config();
+        if backend == SourceBackend::FullSim
+            || !surrogate::surrogate_eligible(&config, board, false)
+        {
+            return self.measure(board, seed, periods, meter);
+        }
+        let model = Calibrator::default().fit(&config, board, seed)?;
+        let mut stream = SurrogateStream::new(model, seed);
+        // The AR(1) flicker starts at rest; discard the same warm-up
+        // span the event-driven runners do so the retained window is
+        // stationary.
+        let warmup = measure::WARMUP_PERIODS;
+        stream.next_periods(warmup);
+        stream.prune_before(stream.now());
+        let periods_ps = stream.next_periods(periods);
+        let stats = stream.stats();
+        meter.record_sim(stats);
+        let mean = periods_ps.iter().sum::<f64>() / periods_ps.len().max(1) as f64;
+        Ok(RingRun {
+            half_periods_ps: stream.trace().half_periods(),
+            frequency_mhz: 1e6 / mean,
+            periods_ps,
+            events_dispatched: stats.events_processed,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -300,5 +357,38 @@ mod tests {
         assert_eq!(runs[0].periods_ps.len(), 50);
         let stages = runner.take_stages();
         assert!(stages[0].stats.events() > 0, "events metered");
+    }
+
+    #[test]
+    fn ring_spec_measures_through_the_surrogate_backend() {
+        let board = calibration::default_board();
+        let spec = RingSpec::Str(StrConfig::new(32, 16).expect("valid"));
+        let runner = ExperimentRunner::new(Effort::Quick, 13);
+        let runs = runner
+            .run_stage("surrogate", std::slice::from_ref(&spec), |job, meter| {
+                job.config
+                    .measure_with(SourceBackend::Surrogate, &board, job.seed(), 400, meter)
+            })
+            .expect("calibrates");
+        assert_eq!(runs[0].periods_ps.len(), 400);
+        let stages = runner.take_stages();
+        assert!(stages[0].stats.events() > 0, "surrogate transitions metered");
+        // Statistical agreement with the event-driven run: mean within
+        // 2%, jitter within a factor 2 on a short window.
+        let full = runner
+            .run_stage("full", &[spec], |job, meter| {
+                job.config
+                    .measure_with(SourceBackend::FullSim, &board, job.seed(), 400, meter)
+            })
+            .expect("oscillates");
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let sigma = |xs: &[f64]| {
+            let m = mean(xs);
+            (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let (ms, mf) = (mean(&runs[0].periods_ps), mean(&full[0].periods_ps));
+        assert!((ms / mf - 1.0).abs() < 0.02, "means {ms} vs {mf}");
+        let (ss, sf) = (sigma(&runs[0].periods_ps), sigma(&full[0].periods_ps));
+        assert!(ss / sf < 2.0 && sf / ss < 2.0, "sigmas {ss} vs {sf}");
     }
 }

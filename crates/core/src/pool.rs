@@ -18,6 +18,7 @@
 
 use strent_device::{Board, Technology};
 use strent_rings::stream::StreamConfig;
+use strent_rings::surrogate::SourceBackend;
 use strent_rings::{IroConfig, StrConfig};
 use strent_sim::FaultPlan;
 use strent_trng::postprocess::ConditionerKind;
@@ -80,6 +81,12 @@ pub struct SourceSpec {
     pub board_seed: u64,
     /// Fault plan to arm at build time, if any.
     pub fault: Option<FaultPlan>,
+    /// Requested waveform backend. [`SourceBackend::FullSim`] (the
+    /// default) always simulates; [`SourceBackend::Surrogate`] opts
+    /// into the calibrated fast path, which still falls back to the
+    /// full simulation near mode boundaries or when `fault` is armed
+    /// (`strent_rings::surrogate::surrogate_eligible`).
+    pub backend: SourceBackend,
 }
 
 impl SourceSpec {
@@ -92,6 +99,7 @@ impl SourceSpec {
             seed,
             board_seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
             fault: None,
+            backend: SourceBackend::FullSim,
         }
     }
 
@@ -106,6 +114,14 @@ impl SourceSpec {
     #[must_use]
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Requests a waveform backend (subject to the surrogate fallback
+    /// rules at build time).
+    #[must_use]
+    pub fn with_backend(mut self, backend: SourceBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -407,5 +423,20 @@ mod tests {
         assert_eq!(spec.board_seed, 77);
         assert_eq!(spec.fault, Some(plan));
         assert_eq!(spec.board(4).id(), 4);
+    }
+
+    #[test]
+    fn backend_defaults_to_full_sim_and_round_trips() {
+        let spec = SourceSpec::new(RingSpec::Str32, 9);
+        assert_eq!(spec.backend, SourceBackend::FullSim);
+        let spec = spec.with_backend(SourceBackend::Surrogate);
+        assert_eq!(spec.backend, SourceBackend::Surrogate);
+        // The default pool stays on the full simulator, so existing
+        // reproduction output is untouched by the surrogate tier.
+        let pool = PoolConfig::mixed_default(3, 1);
+        assert!(pool
+            .sources
+            .iter()
+            .all(|s| s.backend == SourceBackend::FullSim));
     }
 }

@@ -23,6 +23,10 @@
 //! * [`stream`] — long-running incremental sources for the serving
 //!   layer: one ring kept alive indefinitely, advanced in batches, with
 //!   trace pruning so memory stays bounded over uptime;
+//! * [`surrogate`] — the calibrated O(1)-per-sample fast path for
+//!   locked rings: a stochastic period model fitted from a short full
+//!   run, plus the `FullSim`/`Surrogate` backend selector with
+//!   automatic fallback near mode boundaries (see `docs/surrogate.md`);
 //! * [`fault`] — fault-armed runners for degradation studies: fixed
 //!   horizon, no oscillation requirement, supply droops applied at the
 //!   device layer and everything else on the engine;
@@ -63,6 +67,7 @@ pub mod mode;
 pub mod state;
 pub mod str_ring;
 pub mod stream;
+pub mod surrogate;
 
 pub use charlie::CharlieModel;
 pub use error::RingError;
@@ -72,3 +77,4 @@ pub use mode::OscillationMode;
 pub use state::StrState;
 pub use str_ring::StrConfig;
 pub use stream::{RingStream, StreamConfig};
+pub use surrogate::{Calibrator, EntropySource, SourceBackend, SurrogateModel, SurrogateStream};

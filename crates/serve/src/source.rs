@@ -16,7 +16,7 @@
 //! makes the pool's served stream independent of worker-thread count.
 
 use strent_rings::fault::rising_interval_cv;
-use strent_rings::stream::RingStream;
+use strent_rings::surrogate::{EntropySource, SourceBackend};
 use strent_sim::{RngTree, SimRng, Time};
 use strent_trng::postprocess::StreamConditioner;
 use strent_trng::sampler::Sampler;
@@ -38,7 +38,7 @@ pub struct PooledSource {
     index: usize,
     spec: SourceSpec,
     config: PoolConfig,
-    stream: RingStream,
+    stream: EntropySource,
     sampler: Sampler,
     meta_rng: SimRng,
     conditioner: StreamConditioner,
@@ -64,11 +64,15 @@ impl PooledSource {
         config: &PoolConfig,
     ) -> Result<Self, ServeError> {
         config.validate()?;
-        let stream = RingStream::build(
+        // All ring construction goes through the backend selector so
+        // the surrogate fallback rules cannot be bypassed (simlint
+        // SL109 enforces this for the whole serving layer).
+        let stream = EntropySource::build(
             &spec.ring.stream_config(),
             &spec.board(index),
             spec.seed,
             spec.fault.as_ref(),
+            spec.backend,
         )?;
         let period = stream.expected_period_ps();
         let sampler = Sampler::new(
@@ -114,6 +118,14 @@ impl PooledSource {
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The waveform backend the fallback rules actually selected (may
+    /// be [`SourceBackend::FullSim`] even for a surrogate-requesting
+    /// spec — e.g. while a fault plan is armed).
+    #[must_use]
+    pub fn backend(&self) -> SourceBackend {
+        self.stream.selected_backend()
     }
 
     /// Produces one raw batch of `batch_raw_bits` samples starting at
@@ -230,11 +242,12 @@ impl PooledSource {
             .spec
             .seed
             .wrapping_add(self.generation.wrapping_mul(GENERATION_STRIDE));
-        self.stream = RingStream::build(
+        self.stream = EntropySource::build(
             &self.spec.ring.stream_config(),
             &self.spec.board(self.index),
             seed,
             None,
+            self.spec.backend,
         )?;
         self.meta_rng = RngTree::new(seed).stream(META_RNG_KEY);
         let warmup = self.config.warmup_periods * self.stream.expected_period_ps();
@@ -306,6 +319,48 @@ mod tests {
         let mut source = PooledSource::build(0, &spec, &config).expect("builds");
         // 64 raw bits -> 32 conditioned -> 4 bytes per batch.
         assert_eq!(source.next_batch().expect("produces").len(), 4);
+    }
+
+    #[test]
+    fn surrogate_backed_source_serves_deterministic_healthy_batches() {
+        let spec =
+            SourceSpec::new(RingSpec::Str32, 17).with_backend(SourceBackend::Surrogate);
+        let config = test_config();
+        let mut a = PooledSource::build(0, &spec, &config).expect("builds");
+        let mut b = PooledSource::build(0, &spec, &config).expect("builds");
+        assert_eq!(a.backend(), SourceBackend::Surrogate, "str32 is eligible");
+        let mut delivered = Vec::new();
+        for _ in 0..8 {
+            let batch_a = a.next_batch().expect("produces");
+            let batch_b = b.next_batch().expect("produces");
+            assert_eq!(batch_a, batch_b, "surrogate batches are bit-identical");
+            delivered.extend(batch_a);
+        }
+        assert_eq!(a.stats().alarms, 0, "calibrated surrogate stays healthy");
+        let bits = BitString::from_packed(&delivered, delivered.len() * 8);
+        let (rct, apt) =
+            health::scan(&bits, config.claimed_min_entropy).expect("valid claim");
+        assert_eq!((rct, apt), (0, 0), "served surrogate bytes are health-clean");
+    }
+
+    #[test]
+    fn armed_fault_plan_forces_the_full_sim_backend() {
+        // A surrogate cannot reproduce injected faults, so a spec that
+        // both arms a fault plan and requests the surrogate must fall
+        // back to the full discrete-event stream.
+        let config = test_config();
+        let period = RingSpec::Str32
+            .stream_config()
+            .predicted_period_ps(&SourceSpec::new(RingSpec::Str32, 5).board(0));
+        let clamp_from = config.warmup_periods * period;
+        let plan = FaultPlan::new(5)
+            .with_stuck_at("str0", Bit::Low, clamp_from, clamp_from + 50.0 * period)
+            .expect("valid");
+        let spec = SourceSpec::new(RingSpec::Str32, 5)
+            .with_fault(plan)
+            .with_backend(SourceBackend::Surrogate);
+        let source = PooledSource::build(0, &spec, &config).expect("builds");
+        assert_eq!(source.backend(), SourceBackend::FullSim, "fault wins");
     }
 
     #[test]

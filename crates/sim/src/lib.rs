@@ -65,6 +65,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod lint;
+pub mod process;
 pub mod queue;
 pub mod rng;
 pub mod signal;
@@ -79,6 +80,7 @@ pub use error::SimError;
 pub use event::{Event, EventId, TimerTag};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
 pub use lint::{Diagnostic, LintCode, LintReport, Severity};
+pub use process::Ar1Process;
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, ScheduledEvent, WheelQueue};
 pub use rng::{Normal, RngTree, SimRng};
 pub use signal::{Bit, Edge, NetId};

@@ -30,6 +30,7 @@
 //! | SL106 | crate root missing `#![forbid(unsafe_code)]` while the crate has no unsafe |
 //! | SL107 | bare `.unwrap()`/`.expect(...)` on `JoinHandle::join` in non-test `src/` |
 //! | SL108 | unguarded blocking read in `crates/serve` `src/` (no timeout/shutdown guard nearby) |
+//! | SL109 | direct `RingStream::build` in `crates/serve`/`crates/core` `src/` (bypasses the `SourceBackend` selector) |
 //!
 //! Vetted sites are excused either inline (`// simlint: allow(SL102)`
 //! on the offending or preceding line) or via the allowlist file
@@ -650,6 +651,30 @@ pub fn scan_source(
                 }
             }
         }
+        // SL109 protects the surrogate tier's fallback rules: in the
+        // experiment core and the serving layer every ring must be
+        // constructed through `EntropySource::build` (or the metered
+        // `measure` helpers), never by calling `RingStream::build`
+        // directly — a direct call silently ignores the spec's
+        // `SourceBackend` request and the boundary/fault fallback
+        // logic. The rings crate itself (where the selector lives) and
+        // tests are exempt.
+        if !mask[idx]
+            && (path.starts_with("crates/serve/") || path.starts_with("crates/core/"))
+            && path.contains("/src/")
+            && line.contains("RingStream::build")
+        {
+            push(
+                "SL109",
+                "error",
+                idx,
+                "direct RingStream::build bypasses the SourceBackend selector: \
+                 construct rings through EntropySource::build so surrogate \
+                 requests and their fallback rules are honored"
+                    .to_owned(),
+                &mut out,
+            );
+        }
     }
     out
 }
@@ -950,6 +975,45 @@ mod tests {
     }
 
     #[test]
+    fn ring_stream_bypass_fires_sl109_in_the_selector_scoped_crates() {
+        let bad = "let s = RingStream::build(&config, &board, seed, None)?;\n";
+        for scoped in ["crates/serve/src/source.rs", "crates/core/src/pool.rs"] {
+            let diags = scan_source(scoped, bad, false, &Allowlist::empty());
+            assert_eq!(
+                diags.iter().filter(|d| d.code == "SL109").count(),
+                1,
+                "{scoped} must fire SL109, got {diags:?}"
+            );
+        }
+        // The rings crate owns the selector and the stream; it may
+        // construct freely, as may tests anywhere.
+        for exempt in [
+            "crates/rings/src/surrogate.rs",
+            "crates/serve/tests/pool.rs",
+            "crates/core/benches/x.rs",
+        ] {
+            let diags = scan_source(exempt, bad, false, &Allowlist::empty());
+            assert!(diags.iter().all(|d| d.code != "SL109"), "{exempt}: {diags:?}");
+        }
+        let in_test_mod = scan_source(
+            "crates/serve/src/source.rs",
+            concat!(
+                "#[cfg(test)]\n",
+                "mod tests {\n",
+                "    fn t() { let _ = RingStream::build(&c, &b, 1, None); }\n",
+                "}\n",
+            ),
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(in_test_mod.is_empty(), "{in_test_mod:?}");
+        // Going through the selector is exactly what the rule wants.
+        let good = "let s = EntropySource::build(&config, &board, seed, None, backend)?;\n";
+        assert!(scan_source("crates/serve/src/source.rs", good, false, &Allowlist::empty())
+            .is_empty());
+    }
+
+    #[test]
     fn safety_comment_satisfies_the_unsafe_audit() {
         let source = "// SAFETY: index bounds checked above.\nfn f() { unsafe { x() } }\n";
         assert!(scan_det(source).is_empty());
@@ -1087,12 +1151,18 @@ mod tests {
             ("unsafe_no_safety.rs", "SL105"),
             ("join_unwrap.rs", "SL107"),
             ("blocking_recv.rs", "SL108"),
+            ("ring_stream_bypass.rs", "SL109"),
         ];
         for (file, code) in expect {
             let source = fs::read_to_string(fixtures.join(file)).expect(file);
-            // SL108 is scoped to the serving layer, so its fixture is
-            // labelled there; the rest pose as deterministic-crate files.
-            let crate_dir = if code == "SL108" { "serve" } else { "sim" };
+            // SL108/SL109 are scoped to the serving layer, so their
+            // fixtures are labelled there; the rest pose as
+            // deterministic-crate files.
+            let crate_dir = if matches!(code, "SL108" | "SL109") {
+                "serve"
+            } else {
+                "sim"
+            };
             let label = format!("crates/{crate_dir}/src/{file}");
             let diags = scan_source(&label, &source, true, &Allowlist::empty());
             assert!(

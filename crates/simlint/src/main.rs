@@ -73,15 +73,20 @@ fn self_test(root: &Path) -> Result<(), String> {
         ("unsafe_no_safety.rs", "SL105"),
         ("join_unwrap.rs", "SL107"),
         ("blocking_recv.rs", "SL108"),
+        ("ring_stream_bypass.rs", "SL109"),
     ];
     for (file, code) in expect {
         let path = fixtures.join(file);
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
         // Fixtures are labelled as deterministic-crate files so the
-        // determinism rules apply; the SL108 fixture is labelled in
-        // the serving layer, the rule's scope.
-        let crate_dir = if code == "SL108" { "serve" } else { "sim" };
+        // determinism rules apply; the SL108/SL109 fixtures are
+        // labelled in the serving layer, those rules' scope.
+        let crate_dir = if matches!(code, "SL108" | "SL109") {
+            "serve"
+        } else {
+            "sim"
+        };
         let label = format!("crates/{crate_dir}/src/{file}");
         let diags = scan_source(&label, &source, true, &empty);
         if !diags.iter().any(|d| d.code == code) {

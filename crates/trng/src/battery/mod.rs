@@ -105,6 +105,28 @@ pub fn run_all(bits: &BitString) -> Result<BatteryReport, TrngError> {
     Ok(BatteryReport { outcomes })
 }
 
+/// Runs the quick battery — monobit, runs, serial, approximate entropy
+/// and autocorrelation — the subset cheap enough for per-commit CI
+/// gating of surrogate output (the full battery's block tests need far
+/// longer streams for stable verdicts). Same outcome vocabulary as
+/// [`run_all`].
+///
+/// # Errors
+///
+/// Returns [`TrngError::NotEnoughBits`] if the stream is too short for
+/// any constituent test.
+pub fn run_quick(bits: &BitString) -> Result<BatteryReport, TrngError> {
+    Ok(BatteryReport {
+        outcomes: vec![
+            monobit::test(bits)?,
+            runs::test(bits)?,
+            serial::test(bits, 3)?,
+            approx_entropy::test(bits, 2)?,
+            autocorr::test(bits, 8)?,
+        ],
+    })
+}
+
 pub(crate) fn require_bits(bits: &BitString, needed: usize) -> Result<(), TrngError> {
     if bits.len() < needed {
         return Err(TrngError::NotEnoughBits {
@@ -167,6 +189,26 @@ mod tests {
     #[test]
     fn battery_requires_enough_bits() {
         assert!(run_all(&random_bits(100, 1)).is_err());
+        assert!(run_quick(&random_bits(10, 1)).is_err());
+    }
+
+    #[test]
+    fn quick_battery_matches_the_full_battery_verdicts() {
+        let good = random_bits(20_000, 13);
+        let report = run_quick(&good).expect("long enough");
+        assert_eq!(report.outcomes.len(), 5);
+        assert!(
+            report.passed(0.01) >= 4,
+            "good bits mostly pass:\n{}",
+            report.to_table(0.01)
+        );
+        let bad = biased_bits(20_000, 13, 0.6);
+        let report = run_quick(&bad).expect("long enough");
+        assert!(
+            !report.all_passed(0.01),
+            "biased bits must fail:\n{}",
+            report.to_table(0.01)
+        );
     }
 
     #[test]

@@ -63,23 +63,60 @@ for entry in micro:
 experiments = report["experiments"]
 assert experiments, "engine report lists no experiments"
 # Stages whose jobs feed kernel stats through their JobMeter must keep
-# doing so (a few ext_* helpers still hide their simulators and
-# legitimately report 0 events).
+# doing so; the trace-driven stages hide their simulators inside helper
+# types, so they must OMIT the event fields entirely rather than
+# publish a misleading 0.
 metered = {"fig5", "fig8", "obs_a", "table1", "table2", "ext_charlie",
            "ext_mode", "ext_det", "ext_flicker", "ext_method"}
 for entry in experiments:
     assert entry["wall_ns"] > 0, f"bogus wall time in {entry}"
     if entry["label"] in metered:
         assert entry["events_per_sec"] > 0, f"unmetered stage {entry}"
+    elif "events" in entry or "events_per_sec" in entry:
+        assert entry["events"] > 0 and entry["events_per_sec"] > 0, \
+            f"zero event fields must be omitted, not published: {entry}"
 print(f"BENCH_engine.json: valid JSON, {len(experiments)} experiments")
 PY
 else
     echo "bench JSON: python3 unavailable, validation skipped"
 fi
 
+echo "== surrogate equivalence + speedup gate =="
+# The statistical-equivalence harness must be green before the speedup
+# claim means anything: a fast surrogate that drifts from the event-
+# driven reference is worse than no surrogate at all.
+cargo test -q --offline --test surrogate_equivalence
+surrogate_out="$(mktemp -t BENCH_surrogate.XXXXXX.json)"
+trap 'rm -f "$out" "$engine_out" "$surrogate_out"' EXIT
+cargo run -q --release -p strent-bench --bin bench_surrogate --offline -- \
+    --quick --seed 2012 --out "$surrogate_out"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$surrogate_out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "strentropy-bench-surrogate/1", report
+presets = report["presets"]
+assert {p["label"] for p in presets} == {"str32", "str64", "iro32"}, presets
+for p in presets:
+    for side in ("full_sim", "surrogate"):
+        block = p[side]
+        assert block["wall_ns"] > 0 and block["samples_per_sec"] > 0, p
+        assert 0.3 < block["ones_fraction"] < 0.7, p
+        assert block["period_mean_ps"] > 0 and block["period_sigma_ps"] > 0, p
+    assert p["speedup"] > 1.0, f"surrogate slower than full sim: {p}"
+    assert p["mean_rel_err"] < 0.01, f"period mean drifted: {p}"
+    assert 0.5 < p["sigma_ratio"] < 2.0, f"period sigma drifted: {p}"
+speedup = report["str32_speedup"]
+assert speedup >= 50.0, f"str32 speedup {speedup} below the 50x floor"
+print(f"BENCH_surrogate.json: valid, str32 speedup {speedup:.1f}x")
+PY
+else
+    echo "BENCH_surrogate.json: python3 unavailable, validation skipped"
+fi
+
 echo "== robustness smoke (panic isolation, watchdogs, partial results) =="
 manifest="$(mktemp -t robustness_manifest.XXXXXX.json)"
-trap 'rm -f "$out" "$engine_out" "$manifest"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest"' EXIT
 # Without --keep-going the injected failures must force a non-zero exit...
 if cargo run -q --release -p strent-bench --bin robustness_smoke --offline \
     > "$manifest" 2>/dev/null; then
@@ -106,7 +143,7 @@ fi
 echo "== serve smoke (pool determinism, fault drill, UDS frontend) =="
 serve_out="$(mktemp -t BENCH_serve.XXXXXX.json)"
 serve_sock="$(mktemp -u -t strent-serve-ci.XXXXXX.sock)"
-trap 'rm -f "$out" "$engine_out" "$manifest" "$serve_out" "$serve_sock"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock"' EXIT
 # --smoke drives a UDS server on a temp socket with 3 concurrent
 # clients and checks the served allocation byte-for-byte against an
 # in-process pool replay; the binary exits nonzero if any invariant
@@ -149,7 +186,7 @@ echo "== degradation campaign smoke (quick, netlist lints denied) =="
 # Every fault class must alarm the online health tests on both ring
 # families: 8 scenario rows, all marked detected, zero marked NO.
 degradation="$(mktemp -t degradation.XXXXXX.txt)"
-trap 'rm -f "$out" "$engine_out" "$manifest" "$serve_out" "$serve_sock" "$degradation"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$degradation"' EXIT
 STRENT_LINT=deny cargo run -q --release -p strent-bench \
     --bin repro_degradation --offline -- --quick --deny-lints > "$degradation"
 detected=$(grep -c ' yes$' "$degradation" || true)

@@ -1,20 +1,34 @@
-//! Load bench for `strent-serve`: drives N concurrent clients with
-//! deterministic request traces and emits `BENCH_serve.json` with four
-//! sections:
+//! Load bench for `strent-serve`: drives the sharded, readiness-driven
+//! service with deterministic request traces plus multiplexed socket
+//! load, and emits `BENCH_serve.json` (schema
+//! `strentropy-bench-serve/2`) with six sections:
 //!
 //! * `determinism` — the full served byte stream (deterministic
-//!   round-barrier mode) digested at 1, 2 and 8 pool workers; the
-//!   digests must be identical (the worker-count invariance contract);
-//! * `load` — a fair-mode run with concurrent client threads:
-//!   throughput, p50/p99 request latency, typed-`Busy` rejection rate;
+//!   round-barrier mode) digested at 1, 2 and 8 scheduler shards; the
+//!   digests must be identical (the shard-count invariance contract)
+//!   and must match a bare single-worker pool replay;
+//! * `closed_loop` — saturation throughput vs client count (1, 16,
+//!   128, 1024 multiplexed UDS connections, one outstanding request
+//!   each): p50/p99/p999 grant latency and requests/s per point;
+//! * `open_loop` — fixed-arrival-rate runs at fractions of the
+//!   measured closed-loop saturation: achieved rate, tail latency and
+//!   typed backpressure counts (the closed-loop numbers hide
+//!   coordinated omission; these do not — see `docs/engine_perf.md`);
+//! * `shard_scaling` — closed-loop saturation at 1/2/4/8 shards for
+//!   both waveform backends (`full_sim`, `surrogate`), measured with
+//!   in-process clients so the scheduler tier is isolated from the
+//!   single-threaded socket frontend, with the 8-vs-1 speedup per
+//!   backend;
+//! * `backpressure` — a drill with tiny budgets proving all three
+//!   typed classes (`BUSY`, `RATE_LIMITED`, `SHEDDING`) reach clients;
 //! * `fault_drill` — a pool with one permanently clamped source: the
 //!   slot must alarm, quarantine and replace its ring while the
-//!   delivered stream re-passes the SP 800-90B monitors with zero
-//!   alarms (bytes-per-alarm is the headline number);
-//! * `--smoke` additionally exercises the Unix-socket frontend: a
-//!   server on a temp socket, three concurrent `UdsClient`s, and a
-//!   byte-for-byte check of the served allocation against a fresh
-//!   in-process pool replay.
+//!   delivered stream re-passes the SP 800-90B monitors;
+//! * `--smoke` additionally exercises the socket frontend end to end:
+//!   a ≥1024-connection multiplexed drill through the poll event loop
+//!   (no thread per connection), server counter checks, and a
+//!   three-client deterministic byte-for-byte replay over real
+//!   `UdsClient`s.
 //!
 //! The JSON is hand-formatted — the workspace builds offline against
 //! stub crates, so no serializer is assumed.
@@ -29,17 +43,34 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use strent_serve::mux::{self, LoadMode, MuxConfig, MuxReport};
 use strent_serve::{
-    EntropyService, SchedulerMode, ServeConfig, SourcePool, UdsClient, UdsServer,
+    EntropyService, RateLimit, SchedulerMode, ServeConfig, SourcePool, UdsClient, UdsServer,
 };
 use strent_sim::{Bit, FaultPlan};
 use strent_trng::bits::BitString;
 use strent_trng::health;
 use strent_trng::postprocess::ConditionerKind;
+use strent_rings::surrogate::SourceBackend;
 use strentropy::pool::{PoolConfig, RingSpec, SourceSpec};
 
-/// Worker counts the determinism section digests the stream at.
-const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
+/// Shard counts the determinism section digests the stream at.
+const SHARD_SWEEP: [usize; 3] = [1, 2, 8];
+
+/// Shard counts the scaling section saturates at.
+const SCALING_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// In-process clients and per-shard in-flight budget for the
+/// shard-scaling sweep (also emitted into the JSON `shard_scaling`
+/// section so the committed artifact documents its own harness).
+const SCALING_CLIENTS: usize = 64;
+const SCALING_MAX_IN_FLIGHT: usize = 4;
+
+/// Client counts the closed-loop section sweeps.
+const CLIENT_SWEEP: [usize; 4] = [1, 16, 128, 1024];
+
+/// Connections the smoke drill holds open through the poll frontend.
+const SMOKE_CONNS: usize = 1024;
 
 struct Options {
     full: bool,
@@ -114,6 +145,13 @@ fn bench_pool(sources: usize, seed: u64) -> PoolConfig {
     config
 }
 
+/// The bench pool on the calibrated surrogate fast path — the backend
+/// the socket-load sections default to, so a sweep measures the
+/// serving machinery rather than waveform simulation time.
+fn surrogate_pool(sources: usize, seed: u64) -> PoolConfig {
+    bench_pool(sources, seed).with_backend(SourceBackend::Surrogate)
+}
+
 /// FNV-1a 64-bit — a stable stream digest with no dependencies.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -131,16 +169,40 @@ fn request_size(options: &Options, client: usize, round: usize) -> usize {
     1 + (options.bytes + client * 7 + round * 3) % (2 * options.bytes)
 }
 
+fn percentile_us(sorted_ns: &[u64], pct: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * pct).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// p50/p99/p999 in microseconds from an unsorted latency vector.
+fn tails_us(latencies_ns: &mut [u64]) -> (f64, f64, f64) {
+    latencies_ns.sort_unstable();
+    (
+        percentile_us(latencies_ns, 0.50),
+        percentile_us(latencies_ns, 0.99),
+        percentile_us(latencies_ns, 0.999),
+    )
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
 /// Serves every client's full trace in deterministic round-barrier mode
-/// and returns the per-client streams, in client-id order.
-fn deterministic_run(options: &Options, workers: usize) -> Result<Vec<Vec<u8>>, String> {
-    let config = ServeConfig {
-        pool: bench_pool(options.clients.max(2), options.seed),
-        workers,
-        mode: SchedulerMode::Deterministic {
+/// at the given shard count and returns the per-client streams, in
+/// client-id order.
+fn deterministic_run(options: &Options, shards: usize) -> Result<Vec<Vec<u8>>, String> {
+    let mut config = ServeConfig::new(
+        bench_pool(options.clients.max(2), options.seed),
+        SchedulerMode::Deterministic {
             expected_clients: options.clients,
         },
-    };
+    );
+    config.workers = 2;
+    config.shards = shards;
     let service =
         EntropyService::start(&config).map_err(|e| format!("service start failed: {e}"))?;
     let mut handles = Vec::new();
@@ -206,10 +268,10 @@ struct DeterminismSection {
 fn determinism(options: &Options) -> Result<DeterminismSection, String> {
     let mut digests = Vec::new();
     let mut reference: Option<Vec<Vec<u8>>> = None;
-    for workers in WORKER_SWEEP {
-        let streams = deterministic_run(options, workers)?;
+    for shards in SHARD_SWEEP {
+        let streams = deterministic_run(options, shards)?;
         let concat: Vec<u8> = streams.iter().flatten().copied().collect();
-        digests.push((workers, fnv1a(&concat)));
+        digests.push((shards, fnv1a(&concat)));
         if reference.is_none() {
             reference = Some(streams);
         }
@@ -226,115 +288,370 @@ fn determinism(options: &Options) -> Result<DeterminismSection, String> {
     })
 }
 
-struct LoadSection {
-    grants: u64,
-    rejections: u64,
-    total_bytes: u64,
-    wall_ns: u128,
+// ---------------------------------------------------------------------
+// Socket load harness
+// ---------------------------------------------------------------------
+
+/// One measured socket-load point.
+struct LoadPoint {
+    label: f64,
+    report: MuxReport,
     p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+impl LoadPoint {
+    fn throughput_rps(&self) -> f64 {
+        if self.report.wall_ns == 0 {
+            return 0.0;
+        }
+        self.report.grants as f64 * 1e9 / self.report.wall_ns as f64
+    }
+
+    fn throughput_bytes_per_sec(&self) -> f64 {
+        if self.report.wall_ns == 0 {
+            return 0.0;
+        }
+        self.report.bytes as f64 * 1e9 / self.report.wall_ns as f64
+    }
+}
+
+/// Starts a fair-mode service + UDS server on a fresh temp socket, runs
+/// one mux session against it, and tears both down.
+fn socket_run(
+    pool: PoolConfig,
+    shards: usize,
+    max_in_flight: usize,
+    rate_limit: Option<RateLimit>,
+    shed_limit: Option<usize>,
+    mux_config: &MuxConfig,
+    tag: &str,
+) -> Result<(MuxReport, u64, u64), String> {
+    let mut config = ServeConfig::new(pool, SchedulerMode::Fair { max_in_flight });
+    config.shards = shards;
+    config.rate_limit = rate_limit;
+    config.shed_limit = shed_limit;
+    let service =
+        EntropyService::start(&config).map_err(|e| format!("{tag}: service start: {e}"))?;
+    let socket = std::env::temp_dir()
+        .join(format!("strent-serve-{tag}-{}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let server = UdsServer::start(service.connector(), &socket)
+        .map_err(|e| format!("{tag}: server start: {e}"))?;
+    let stats = server.stats();
+    let report = mux::run(&socket, mux_config).map_err(|e| format!("{tag}: mux: {e}"))?;
+    let accepted = stats.accepted();
+    let accept_errors = stats.accept_errors();
+    server
+        .shutdown()
+        .map_err(|e| format!("{tag}: server shutdown: {e}"))?;
+    service
+        .shutdown()
+        .map_err(|e| format!("{tag}: service shutdown: {e}"))?;
+    Ok((report, accepted, accept_errors))
+}
+
+fn point_from(label: f64, mut report: MuxReport) -> LoadPoint {
+    let (p50_us, p99_us, p999_us) = tails_us(&mut report.latencies_ns);
+    LoadPoint {
+        label,
+        report,
+        p50_us,
+        p99_us,
+        p999_us,
+    }
+}
+
+// ---------------------------------------------------------------------
+// closed_loop
+// ---------------------------------------------------------------------
+
+struct ClosedLoopSection {
+    points: Vec<LoadPoint>,
+    saturation_rps: f64,
+}
+
+/// Closed-loop sweep: each connection keeps exactly one request
+/// outstanding, so throughput is the saturation rate at that
+/// concurrency and latency is service time (coordinated omission
+/// hides queueing delay — the open-loop section covers that).
+fn closed_loop(options: &Options) -> Result<ClosedLoopSection, String> {
+    let budget = if options.full { 16_384 } else { 4_096 };
+    let mut points = Vec::new();
+    for &clients in &CLIENT_SWEEP {
+        let requests_per_conn = (budget / clients).clamp(2, 512);
+        let mux_config = MuxConfig {
+            connections: clients,
+            requests_per_conn,
+            nbytes: u32::try_from(options.bytes.min(32)).expect("small"),
+            mode: LoadMode::Closed,
+            first_client_id: 0,
+            retry_backpressure: true,
+            deadline: Duration::from_secs(120),
+        };
+        let (report, _, accept_errors) = socket_run(
+            surrogate_pool(8, options.seed),
+            4,
+            64,
+            None,
+            None,
+            &mux_config,
+            &format!("closed-{clients}"),
+        )?;
+        if accept_errors > 0 {
+            return Err(format!("closed loop at {clients} clients: accept errors"));
+        }
+        points.push(point_from(clients as f64, report));
+    }
+    let saturation_rps = points
+        .iter()
+        .filter(|p| p.label >= 16.0)
+        .map(LoadPoint::throughput_rps)
+        .fold(0.0f64, f64::max);
+    Ok(ClosedLoopSection {
+        points,
+        saturation_rps,
+    })
+}
+
+// ---------------------------------------------------------------------
+// open_loop
+// ---------------------------------------------------------------------
+
+struct OpenLoopSection {
+    conns: usize,
+    points: Vec<LoadPoint>,
+}
+
+/// Open-loop runs at fractions of the measured closed-loop saturation:
+/// arrivals follow a fixed schedule whether or not replies are back, so
+/// the tails include queueing delay (no coordinated omission).
+fn open_loop(options: &Options, saturation_rps: f64) -> Result<OpenLoopSection, String> {
+    let conns = 32usize;
+    let seconds = if options.full { 2.0 } else { 0.75 };
+    let mut points = Vec::new();
+    for fraction in [0.5f64, 0.9, 1.5] {
+        let target_rps = (saturation_rps * fraction).max(50.0);
+        let per_conn_rps = target_rps / conns as f64;
+        let interval_ns = (1e9 / per_conn_rps) as u64;
+        let requests_per_conn = ((target_rps * seconds) / conns as f64).ceil().max(2.0) as usize;
+        let mux_config = MuxConfig {
+            connections: conns,
+            requests_per_conn,
+            nbytes: u32::try_from(options.bytes.min(32)).expect("small"),
+            mode: LoadMode::Open { interval_ns },
+            first_client_id: 0,
+            retry_backpressure: false,
+            deadline: Duration::from_secs(120),
+        };
+        let (report, _, accept_errors) = socket_run(
+            surrogate_pool(8, options.seed),
+            4,
+            64,
+            None,
+            None,
+            &mux_config,
+            &format!("open-{}", (fraction * 100.0) as u32),
+        )?;
+        if accept_errors > 0 {
+            return Err(format!("open loop at {fraction}x: accept errors"));
+        }
+        points.push(point_from(fraction, report));
+    }
+    Ok(OpenLoopSection { conns, points })
+}
+
+// ---------------------------------------------------------------------
+// shard_scaling
+// ---------------------------------------------------------------------
+
+struct ScalingPoint {
+    backend: &'static str,
+    shards: usize,
+    throughput_rps: f64,
     p99_us: f64,
 }
 
-impl LoadSection {
-    fn throughput_bytes_per_sec(&self) -> f64 {
-        if self.wall_ns == 0 {
-            return 0.0;
-        }
-        self.total_bytes as f64 * 1e9 / self.wall_ns as f64
-    }
+struct ScalingSection {
+    points: Vec<ScalingPoint>,
+    speedup_full_sim: f64,
+    speedup_surrogate: f64,
+}
 
-    fn rejection_rate(&self) -> f64 {
-        let attempts = self.grants + self.rejections;
-        if attempts == 0 {
-            return 0.0;
-        }
-        self.rejections as f64 / attempts as f64
+impl ScalingSection {
+    fn best_speedup(&self) -> f64 {
+        self.speedup_full_sim.max(self.speedup_surrogate)
     }
 }
 
-fn percentile_us(sorted_ns: &[u64], pct: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ns.len() - 1) as f64 * pct).round() as usize;
-    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e3
-}
+/// One time-bounded in-process saturation run: `clients` threads in a
+/// closed retry loop against a fair service at `shards`, with the
+/// per-shard in-flight budget fixed — the resource each added shard
+/// brings along.
+fn scaling_point(
+    options: &Options,
+    backend: SourceBackend,
+    shards: usize,
+    clients: usize,
+    max_in_flight: usize,
+    seconds: f64,
+) -> Result<(f64, f64), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
-/// Fair-mode load run: every client thread issues its trace, retrying
-/// (and counting) typed `Busy` rejections. The in-flight budget is kept
-/// below the client count so admission control actually engages.
-fn load_run(options: &Options) -> Result<LoadSection, String> {
-    let config = ServeConfig {
-        pool: bench_pool(options.clients.max(2), options.seed),
-        workers: 2,
-        mode: SchedulerMode::Fair {
-            max_in_flight: options.clients.saturating_sub(1).max(1),
-        },
-    };
+    let mut config = ServeConfig::new(
+        bench_pool(8, options.seed).with_backend(backend),
+        SchedulerMode::Fair { max_in_flight },
+    );
+    config.shards = shards;
     let service =
-        EntropyService::start(&config).map_err(|e| format!("service start failed: {e}"))?;
-    let started = Instant::now();
+        EntropyService::start(&config).map_err(|e| format!("scaling service start: {e}"))?;
+    let connector = service.connector();
+    let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
-    for client_id in 0..options.clients {
-        let client = service
-            .connect(u32::try_from(client_id).expect("small id"))
-            .map_err(|e| format!("client {client_id} failed to register: {e}"))?;
-        let sizes: Vec<usize> = (0..options.requests)
-            .map(|round| request_size(options, client_id, round))
-            .collect();
+    for id in 0..clients {
+        let connector = connector.clone();
+        let stop = Arc::clone(&stop);
         handles.push(thread::spawn(move || {
-            let mut latencies_ns = Vec::with_capacity(sizes.len());
-            let mut rejections = 0u64;
-            let mut bytes = 0u64;
-            for nbytes in sizes {
-                loop {
-                    let t0 = Instant::now();
-                    match client.request(nbytes) {
-                        Ok(grant) => {
-                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                            bytes += grant.len() as u64;
-                            break;
-                        }
-                        Err(e) if e.is_busy() => {
-                            rejections += 1;
-                            thread::sleep(Duration::from_micros(50));
-                        }
-                        Err(e) => return Err(format!("grant failed: {e}")),
-                    }
+            let client = match connector.connect(u32::try_from(id).expect("small id")) {
+                Ok(c) => c,
+                Err(e) => return Err(format!("client {id} connect: {e}")),
+            };
+            let mut latencies_ns = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                match client.request(16) {
+                    Ok(_) => latencies_ns.push(t0.elapsed().as_nanos() as u64),
+                    // Typed backpressure: retry immediately (closed
+                    // retry loop — offered load tracks capacity).
+                    Err(e) if e.backpressure().is_some() => {}
+                    Err(e) => return Err(format!("client {id} request: {e}")),
                 }
             }
-            client.close();
-            Ok((latencies_ns, rejections, bytes))
+            Ok(latencies_ns)
         }));
     }
+    let t0 = Instant::now();
+    thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
     let mut latencies = Vec::new();
-    let mut rejections = 0u64;
-    let mut total_bytes = 0u64;
-    for (client_id, handle) in handles.into_iter().enumerate() {
+    for handle in handles {
         match handle.join() {
-            Ok(Ok((lat, rej, bytes))) => {
-                latencies.extend(lat);
-                rejections += rej;
-                total_bytes += bytes;
-            }
-            Ok(Err(e)) => return Err(format!("client {client_id}: {e}")),
-            Err(_) => return Err(format!("client {client_id} panicked")),
+            Ok(Ok(lat)) => latencies.extend(lat),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err("scaling client panicked".to_owned()),
         }
     }
-    let wall_ns = started.elapsed().as_nanos();
+    let wall = t0.elapsed().as_secs_f64();
     service
         .shutdown()
-        .map_err(|e| format!("shutdown failed: {e}"))?;
-    latencies.sort_unstable();
-    Ok(LoadSection {
-        grants: latencies.len() as u64,
-        rejections,
-        total_bytes,
-        wall_ns,
-        p50_us: percentile_us(&latencies, 0.50),
-        p99_us: percentile_us(&latencies, 0.99),
+        .map_err(|e| format!("scaling shutdown: {e}"))?;
+    let rps = latencies.len() as f64 / wall;
+    let (_, p99_us, _) = tails_us(&mut latencies);
+    Ok((rps, p99_us))
+}
+
+/// Saturation throughput at 1/2/4/8 shards for both backends, using
+/// in-process clients so the sweep isolates the scheduler tier from
+/// the (single-threaded) socket frontend. Each shard brings a fixed
+/// in-flight budget and its own producer worker, so the curve measures
+/// per-shard admission and serving capacity under a closed retry loop
+/// — the speedup column is the honest answer on this host (see
+/// `host_cpus` at the top level and `docs/engine_perf.md`).
+fn shard_scaling(options: &Options) -> Result<ScalingSection, String> {
+    let clients = SCALING_CLIENTS;
+    let max_in_flight = SCALING_MAX_IN_FLIGHT;
+    let seconds = if options.full { 1.5 } else { 0.5 };
+    let mut points = Vec::new();
+    let mut speedups = [0.0f64; 2];
+    for (b, backend) in [SourceBackend::FullSim, SourceBackend::Surrogate]
+        .into_iter()
+        .enumerate()
+    {
+        let backend_label = match backend {
+            SourceBackend::FullSim => "full_sim",
+            SourceBackend::Surrogate => "surrogate",
+        };
+        let mut base_rps = 0.0f64;
+        for &shards in &SCALING_SHARDS {
+            let (rps, p99_us) =
+                scaling_point(options, backend, shards, clients, max_in_flight, seconds)?;
+            if shards == 1 {
+                base_rps = rps;
+            }
+            if shards == 8 && base_rps > 0.0 {
+                speedups[b] = rps / base_rps;
+            }
+            points.push(ScalingPoint {
+                backend: backend_label,
+                shards,
+                throughput_rps: rps,
+                p99_us,
+            });
+        }
+    }
+    Ok(ScalingSection {
+        points,
+        speedup_full_sim: speedups[0],
+        speedup_surrogate: speedups[1],
     })
 }
+
+// ---------------------------------------------------------------------
+// backpressure
+// ---------------------------------------------------------------------
+
+struct BackpressureSection {
+    busy: u64,
+    rate_limited: u64,
+    shed: u64,
+    grants: u64,
+    all_classes_observed: bool,
+}
+
+/// Starves every budget at once — a per-shard in-flight budget of 1, a
+/// trickle token bucket and a global shed watermark of 2 — and proves
+/// each typed class actually reaches clients over the wire.
+fn backpressure_drill(options: &Options) -> Result<BackpressureSection, String> {
+    let mux_config = MuxConfig {
+        connections: 16,
+        requests_per_conn: 6,
+        nbytes: 16,
+        mode: LoadMode::Closed,
+        first_client_id: 0,
+        retry_backpressure: true,
+        deadline: Duration::from_secs(60),
+    };
+    let rate = RateLimit {
+        bytes_per_sec: 4096.0,
+        burst_bytes: 32.0,
+    };
+    let (report, _, accept_errors) = socket_run(
+        surrogate_pool(4, options.seed),
+        2,
+        1,
+        Some(rate),
+        Some(2),
+        &mux_config,
+        "backpressure",
+    )?;
+    if accept_errors > 0 {
+        return Err("backpressure drill: accept errors".to_owned());
+    }
+    Ok(BackpressureSection {
+        busy: report.busy,
+        rate_limited: report.rate_limited,
+        shed: report.shed,
+        grants: report.grants,
+        all_classes_observed: report.busy > 0 && report.rate_limited > 0 && report.shed > 0,
+    })
+}
+
+// ---------------------------------------------------------------------
+// fault_drill
+// ---------------------------------------------------------------------
 
 struct FaultSection {
     delivered_bytes: u64,
@@ -392,51 +709,103 @@ fn fault_drill(options: &Options) -> Result<FaultSection, String> {
     })
 }
 
+// ---------------------------------------------------------------------
+// uds_smoke
+// ---------------------------------------------------------------------
+
 struct SmokeSection {
     socket: String,
-    clients: usize,
+    mux_clients: usize,
+    mux_grants: u64,
+    mux_errors: u64,
+    mux_completed: usize,
+    accepted: u64,
+    accept_errors: u64,
+    register_errors: u64,
+    drained: bool,
+    replay_clients: usize,
     bytes_served: usize,
     deterministic: bool,
     clean_shutdown: bool,
 }
 
-/// Socket smoke: a UDS server in deterministic mode, three concurrent
-/// `UdsClient`s, and the served allocation checked byte-for-byte
-/// against a fresh in-process pool replay.
+/// Socket smoke, two halves:
+///
+/// 1. a 1024-connection closed-loop drill through the poll event loop —
+///    every connection accepted and multiplexed by one thread, the
+///    server counters checked (`accepted >= 1024`, zero accept and
+///    register errors, all slots drained after the clients leave);
+/// 2. a deterministic three-client run over real `UdsClient`s whose
+///    served allocation is checked byte-for-byte against a fresh
+///    in-process pool replay.
 fn uds_smoke(options: &Options) -> Result<SmokeSection, String> {
-    let clients = 3usize;
-    let smoke = Options {
-        full: options.full,
-        seed: options.seed,
-        clients,
-        requests: options.requests.min(4),
-        bytes: options.bytes.min(24),
-        out: String::new(),
-        smoke: true,
-        socket: None,
-    };
+    // Half 1: the big multiplexed drill.
+    let mut config = ServeConfig::new(
+        surrogate_pool(8, options.seed),
+        SchedulerMode::Fair { max_in_flight: 64 },
+    );
+    config.shards = 4;
+    let service =
+        EntropyService::start(&config).map_err(|e| format!("smoke service start: {e}"))?;
     let socket = options.socket.clone().unwrap_or_else(|| {
         std::env::temp_dir()
             .join(format!("strent-serve-smoke-{}.sock", std::process::id()))
             .to_string_lossy()
             .into_owned()
     });
-    let config = ServeConfig {
-        pool: bench_pool(clients, smoke.seed),
-        workers: 2,
-        mode: SchedulerMode::Deterministic {
-            expected_clients: clients,
-        },
-    };
-    let service =
-        EntropyService::start(&config).map_err(|e| format!("service start failed: {e}"))?;
     let server = UdsServer::start(service.connector(), &socket)
-        .map_err(|e| format!("server start failed: {e}"))?;
+        .map_err(|e| format!("smoke server start: {e}"))?;
+    let stats = server.stats();
+    let mux_config = MuxConfig {
+        connections: SMOKE_CONNS,
+        requests_per_conn: 2,
+        nbytes: 16,
+        mode: LoadMode::Closed,
+        first_client_id: 0,
+        retry_backpressure: true,
+        deadline: Duration::from_secs(180),
+    };
+    let report = mux::run(&socket, &mux_config).map_err(|e| format!("smoke mux: {e}"))?;
+    // The clients have all disconnected; the event loop observes the
+    // EOFs and releases every slot. Give it a bounded moment.
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while stats.active() > 0 && Instant::now() < drain_deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    let accepted = stats.accepted();
+    let accept_errors = stats.accept_errors();
+    let register_errors = stats.register_errors();
+    let drained = stats.active() == 0;
+    let mut clean_shutdown = server.shutdown().is_ok() && service.shutdown().is_ok();
+
+    // Half 2: deterministic replay over real socket clients.
+    let replay_clients = 3usize;
+    let smoke = Options {
+        full: options.full,
+        seed: options.seed,
+        clients: replay_clients,
+        requests: options.requests.min(4),
+        bytes: options.bytes.min(24),
+        out: String::new(),
+        smoke: true,
+        socket: None,
+    };
+    let det_config = ServeConfig::new(
+        bench_pool(replay_clients, smoke.seed),
+        SchedulerMode::Deterministic {
+            expected_clients: replay_clients,
+        },
+    );
+    let det_service =
+        EntropyService::start(&det_config).map_err(|e| format!("replay service start: {e}"))?;
+    let det_socket = format!("{socket}.det");
+    let det_server = UdsServer::start(det_service.connector(), &det_socket)
+        .map_err(|e| format!("replay server start: {e}"))?;
 
     let (tx, rx) = mpsc::channel();
     let mut handles = Vec::new();
-    for client_id in 0..clients {
-        let path = socket.clone();
+    for client_id in 0..replay_clients {
+        let path = det_socket.clone();
         let sizes: Vec<u32> = (0..smoke.requests)
             .map(|round| {
                 u32::try_from(request_size(&smoke, client_id, round)).expect("small size")
@@ -463,44 +832,109 @@ fn uds_smoke(options: &Options) -> Result<SmokeSection, String> {
         }));
     }
     drop(tx);
-    let mut streams = vec![Vec::new(); clients];
-    for _ in 0..clients {
+    let mut streams = vec![Vec::new(); replay_clients];
+    for _ in 0..replay_clients {
         let (client_id, result) = rx
             .recv_timeout(Duration::from_secs(120))
-            .map_err(|_| "smoke client timed out".to_owned())?;
-        streams[client_id] = result.map_err(|e| format!("client {client_id}: {e}"))?;
+            .map_err(|_| "smoke replay client timed out".to_owned())?;
+        streams[client_id] = result.map_err(|e| format!("replay client {client_id}: {e}"))?;
     }
     for handle in handles {
         let _ = handle.join();
     }
-    let clean_shutdown = server.shutdown().is_ok() && service.shutdown().is_ok();
+    clean_shutdown =
+        clean_shutdown && det_server.shutdown().is_ok() && det_service.shutdown().is_ok();
 
-    let replay = replay_allocation(&smoke, clients)?;
+    let replay = replay_allocation(&smoke, replay_clients)?;
     Ok(SmokeSection {
         socket,
-        clients,
+        mux_clients: SMOKE_CONNS,
+        mux_grants: report.grants,
+        mux_errors: report.errors,
+        mux_completed: report.completed_conns,
+        accepted,
+        accept_errors,
+        register_errors,
+        drained,
+        replay_clients,
         bytes_served: streams.iter().map(Vec::len).sum(),
         deterministic: streams == replay,
         clean_shutdown,
     })
 }
 
+impl SmokeSection {
+    fn passed(&self) -> bool {
+        self.mux_completed == self.mux_clients
+            && self.mux_errors == 0
+            && self.mux_grants >= (self.mux_clients as u64) * 2
+            && self.accepted >= self.mux_clients as u64
+            && self.accept_errors == 0
+            && self.register_errors == 0
+            && self.drained
+            && self.deterministic
+            && self.clean_shutdown
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+fn push_load_points(json: &mut String, label_key: &str, points: &[LoadPoint], label_int: bool) {
+    for (i, point) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let label = if label_int {
+            format!("{}", point.label as u64)
+        } else {
+            format!("{:.2}", point.label)
+        };
+        let _ = write!(
+            json,
+            "{sep}\n      {{\"{label_key}\": {label}, \"grants\": {}, \"busy\": {}, \
+             \"rate_limited\": {}, \"shed\": {}, \"errors\": {}, \
+             \"throughput_rps\": {:.1}, \"throughput_bytes_per_sec\": {:.0}, \
+             \"wall_ms\": {:.1}, \"latency_p50_us\": {:.1}, \"latency_p99_us\": {:.1}, \
+             \"latency_p999_us\": {:.1}, \"peak_outstanding\": {}, \"deadline_hit\": {}}}",
+            point.report.grants,
+            point.report.busy,
+            point.report.rate_limited,
+            point.report.shed,
+            point.report.errors,
+            point.throughput_rps(),
+            point.throughput_bytes_per_sec(),
+            point.report.wall_ns as f64 / 1e6,
+            point.p50_us,
+            point.p99_us,
+            point.p999_us,
+            point.report.peak_outstanding,
+            point.report.deadline_hit,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     options: &Options,
     det: &DeterminismSection,
-    load: &LoadSection,
+    closed: &ClosedLoopSection,
+    open: &OpenLoopSection,
+    scaling: &ScalingSection,
+    backpressure: &BackpressureSection,
     fault: &FaultSection,
     smoke: Option<&SmokeSection>,
 ) -> String {
+    let host_cpus = thread::available_parallelism().map_or(0, std::num::NonZero::get);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"strentropy-bench-serve/1\",");
+    let _ = writeln!(json, "  \"schema\": \"strentropy-bench-serve/2\",");
     let _ = writeln!(
         json,
         "  \"effort\": \"{}\",",
         if options.full { "full" } else { "quick" }
     );
     let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(
         json,
         "  \"trace\": {{\"clients\": {}, \"requests_per_client\": {}, \
@@ -508,11 +942,11 @@ fn emit_json(
         options.clients, options.requests, options.bytes
     );
     json.push_str("  \"determinism\": {\n");
-    json.push_str("    \"worker_digests\": [");
-    for (i, (workers, digest)) in det.digests.iter().enumerate() {
+    json.push_str("    \"shard_digests\": [");
+    for (i, (shards, digest)) in det.digests.iter().enumerate() {
         let _ = write!(
             json,
-            "{}{{\"workers\": {workers}, \"fnv1a64\": \"{digest:016x}\"}}",
+            "{}{{\"shards\": {shards}, \"fnv1a64\": \"{digest:016x}\"}}",
             if i == 0 { "" } else { ", " }
         );
     }
@@ -521,20 +955,66 @@ fn emit_json(
     let _ = writeln!(json, "    \"bit_identical\": {},", det.bit_identical);
     let _ = writeln!(json, "    \"matches_pool_replay\": {}", det.matches_replay);
     json.push_str("  },\n");
-    json.push_str("  \"load\": {\n");
-    let _ = writeln!(json, "    \"grants\": {},", load.grants);
-    let _ = writeln!(json, "    \"rejections\": {},", load.rejections);
-    let _ = writeln!(json, "    \"rejection_rate\": {:.4},", load.rejection_rate());
-    let _ = writeln!(json, "    \"total_bytes\": {},", load.total_bytes);
-    let _ = writeln!(json, "    \"wall_ns\": {},", load.wall_ns);
+
+    json.push_str("  \"closed_loop\": {\n");
+    json.push_str("    \"backend\": \"surrogate\",\n");
+    json.push_str("    \"points\": [");
+    push_load_points(&mut json, "clients", &closed.points, true);
+    json.push_str("\n    ],\n");
+    let _ = writeln!(json, "    \"saturation_rps\": {:.1}", closed.saturation_rps);
+    json.push_str("  },\n");
+
+    json.push_str("  \"open_loop\": {\n");
+    json.push_str("    \"backend\": \"surrogate\",\n");
+    let _ = writeln!(json, "    \"connections\": {},", open.conns);
+    json.push_str("    \"points\": [");
+    push_load_points(&mut json, "saturation_fraction", &open.points, false);
+    json.push_str("\n    ]\n");
+    json.push_str("  },\n");
+
+    json.push_str("  \"shard_scaling\": {\n");
+    json.push_str("    \"harness\": \"in_process\",\n");
+    let _ = writeln!(json, "    \"clients\": {SCALING_CLIENTS},");
+    let _ = writeln!(json, "    \"max_in_flight\": {SCALING_MAX_IN_FLIGHT},");
+    json.push_str("    \"points\": [");
+    for (i, point) in scaling.points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n      {{\"backend\": \"{}\", \"shards\": {}, \
+             \"throughput_rps\": {:.1}, \"latency_p99_us\": {:.1}}}",
+            if i == 0 { "" } else { "," },
+            point.backend,
+            point.shards,
+            point.throughput_rps,
+            point.p99_us,
+        );
+    }
+    json.push_str("\n    ],\n");
     let _ = writeln!(
         json,
-        "    \"throughput_bytes_per_sec\": {:.0},",
-        load.throughput_bytes_per_sec()
+        "    \"speedup_8v1_full_sim\": {:.2},",
+        scaling.speedup_full_sim
     );
-    let _ = writeln!(json, "    \"latency_p50_us\": {:.1},", load.p50_us);
-    let _ = writeln!(json, "    \"latency_p99_us\": {:.1}", load.p99_us);
+    let _ = writeln!(
+        json,
+        "    \"speedup_8v1_surrogate\": {:.2},",
+        scaling.speedup_surrogate
+    );
+    let _ = writeln!(json, "    \"speedup_8v1\": {:.2}", scaling.best_speedup());
     json.push_str("  },\n");
+
+    json.push_str("  \"backpressure\": {\n");
+    let _ = writeln!(json, "    \"grants\": {},", backpressure.grants);
+    let _ = writeln!(json, "    \"busy\": {},", backpressure.busy);
+    let _ = writeln!(json, "    \"rate_limited\": {},", backpressure.rate_limited);
+    let _ = writeln!(json, "    \"shed\": {},", backpressure.shed);
+    let _ = writeln!(
+        json,
+        "    \"all_classes_observed\": {}",
+        backpressure.all_classes_observed
+    );
+    json.push_str("  },\n");
+
     json.push_str("  \"fault_drill\": {\n");
     let _ = writeln!(json, "    \"delivered_bytes\": {},", fault.delivered_bytes);
     let _ = writeln!(json, "    \"alarms\": {},", fault.alarms);
@@ -546,7 +1026,15 @@ fn emit_json(
     if let Some(smoke) = smoke {
         json.push_str(",\n  \"uds_smoke\": {\n");
         let _ = writeln!(json, "    \"socket\": \"{}\",", smoke.socket);
-        let _ = writeln!(json, "    \"clients\": {},", smoke.clients);
+        let _ = writeln!(json, "    \"mux_clients\": {},", smoke.mux_clients);
+        let _ = writeln!(json, "    \"mux_grants\": {},", smoke.mux_grants);
+        let _ = writeln!(json, "    \"mux_errors\": {},", smoke.mux_errors);
+        let _ = writeln!(json, "    \"mux_completed\": {},", smoke.mux_completed);
+        let _ = writeln!(json, "    \"accepted\": {},", smoke.accepted);
+        let _ = writeln!(json, "    \"accept_errors\": {},", smoke.accept_errors);
+        let _ = writeln!(json, "    \"register_errors\": {},", smoke.register_errors);
+        let _ = writeln!(json, "    \"drained\": {},", smoke.drained);
+        let _ = writeln!(json, "    \"replay_clients\": {},", smoke.replay_clients);
         let _ = writeln!(json, "    \"bytes_served\": {},", smoke.bytes_served);
         let _ = writeln!(json, "    \"deterministic\": {},", smoke.deterministic);
         let _ = writeln!(json, "    \"clean_shutdown\": {}", smoke.clean_shutdown);
@@ -580,25 +1068,65 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "# determinism: {} bytes/run, digests {} across workers {:?}",
+        "# determinism: {} bytes/run, digests {} across shards {:?}",
         det.bytes_per_run,
         if det.bit_identical { "identical" } else { "DIVERGED" },
-        WORKER_SWEEP
+        SHARD_SWEEP
     );
-    let load = match load_run(&options) {
-        Ok(l) => l,
+    let closed = match closed_loop(&options) {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("load section failed: {e}");
+            eprintln!("closed loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for point in &closed.points {
+        eprintln!(
+            "# closed loop: {} clients -> {:.0} req/s, p50 {:.0}us p99 {:.0}us p999 {:.0}us",
+            point.label as u64,
+            point.throughput_rps(),
+            point.p50_us,
+            point.p99_us,
+            point.p999_us
+        );
+    }
+    let open = match open_loop(&options, closed.saturation_rps) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("open loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for point in &open.points {
+        eprintln!(
+            "# open loop: {:.2}x sat -> {:.0} req/s achieved, p99 {:.0}us p999 {:.0}us",
+            point.label,
+            point.throughput_rps(),
+            point.p99_us,
+            point.p999_us
+        );
+    }
+    let scaling = match shard_scaling(&options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("shard scaling failed: {e}");
             return ExitCode::FAILURE;
         }
     };
     eprintln!(
-        "# load: {} grants, {} rejections, {:.0} B/s, p50 {:.0}us p99 {:.0}us",
-        load.grants,
-        load.rejections,
-        load.throughput_bytes_per_sec(),
-        load.p50_us,
-        load.p99_us
+        "# shard scaling: speedup 8v1 full_sim {:.2}x, surrogate {:.2}x",
+        scaling.speedup_full_sim, scaling.speedup_surrogate
+    );
+    let backpressure = match backpressure_drill(&options) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("backpressure drill failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# backpressure: {} grants, busy {}, rate_limited {}, shed {}",
+        backpressure.grants, backpressure.busy, backpressure.rate_limited, backpressure.shed
     );
     let fault = match fault_drill(&options) {
         Ok(f) => f,
@@ -618,8 +1146,14 @@ fn main() -> ExitCode {
         match uds_smoke(&options) {
             Ok(s) => {
                 eprintln!(
-                    "# uds smoke: {} clients on {}, {} bytes, deterministic={}, shutdown={}",
-                    s.clients, s.socket, s.bytes_served, s.deterministic, s.clean_shutdown
+                    "# uds smoke: {} mux conns ({} grants, {} errors), accepted {}, \
+                     deterministic={}, shutdown={}",
+                    s.mux_clients,
+                    s.mux_grants,
+                    s.mux_errors,
+                    s.accepted,
+                    s.deterministic,
+                    s.clean_shutdown
                 );
                 Some(s)
             }
@@ -634,12 +1168,26 @@ fn main() -> ExitCode {
 
     let failed = !det.bit_identical
         || !det.matches_replay
+        || closed.saturation_rps <= 0.0
+        || closed.points.iter().any(|p| p.report.deadline_hit)
+        || open.points.iter().any(|p| p.report.deadline_hit)
+        || scaling.best_speedup() < 2.0
+        || !backpressure.all_classes_observed
         || fault.alarms == 0
         || fault.replacements == 0
         || !fault.health_clean
-        || smoke.as_ref().is_some_and(|s| !s.deterministic || !s.clean_shutdown);
+        || smoke.as_ref().is_some_and(|s| !s.passed());
 
-    let json = emit_json(&options, &det, &load, &fault, smoke.as_ref());
+    let json = emit_json(
+        &options,
+        &det,
+        &closed,
+        &open,
+        &scaling,
+        &backpressure,
+        &fault,
+        smoke.as_ref(),
+    );
     if let Err(e) = std::fs::write(&options.out, &json) {
         eprintln!("cannot write {}: {e}", options.out);
         return ExitCode::FAILURE;

@@ -200,6 +200,18 @@ impl PoolConfig {
         }
     }
 
+    /// Requests the same waveform backend for every source in the pool
+    /// (each source still falls back per the surrogate eligibility
+    /// rules at build time). Lets a preset pool opt into
+    /// [`SourceBackend::Surrogate`] wholesale for load runs.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SourceBackend) -> Self {
+        for spec in &mut self.sources {
+            spec.backend = backend;
+        }
+        self
+    }
+
     /// Checks every parameter; the serving layer calls this before
     /// spawning any worker so a bad config fails fast and typed.
     ///
@@ -438,5 +450,21 @@ mod tests {
             .sources
             .iter()
             .all(|s| s.backend == SourceBackend::FullSim));
+    }
+
+    #[test]
+    fn pool_with_backend_switches_every_source() {
+        let pool = PoolConfig::mixed_default(5, 7).with_backend(SourceBackend::Surrogate);
+        assert!(pool
+            .sources
+            .iter()
+            .all(|s| s.backend == SourceBackend::Surrogate));
+        pool.validate().expect("backend choice stays valid");
+        // Ring/seed layout is untouched — only the backend flips.
+        let full = PoolConfig::mixed_default(5, 7);
+        for (a, b) in pool.sources.iter().zip(&full.sources) {
+            assert_eq!(a.ring, b.ring);
+            assert_eq!(a.seed, b.seed);
+        }
     }
 }

@@ -12,33 +12,49 @@
 //! * [`pool`] — N sources produced by W worker threads, consumed in a
 //!   deterministic round-robin interleave so the served stream is
 //!   independent of W (the `SweepRunner` determinism contract, applied
-//!   to a service);
+//!   to a service); a pool can also run as one shard's partition of the
+//!   global slot set;
 //! * [`scheduler`] — the request scheduler: deterministic round-barrier
-//!   mode (reproducible byte allocation across clients) and fair mode
-//!   (deficit round-robin with a bounded in-flight budget and typed
-//!   [`ServeError::Busy`] rejections);
-//! * [`wire`] — the length-prefixed frame codec of the socket protocol;
-//! * [`server`] — the Unix-domain-socket frontend over the same core.
+//!   mode (reproducible byte allocation across clients, bit-identical
+//!   at every shard count) and sharded fair mode (per-shard deficit
+//!   round-robin with work stealing, per-client token-bucket rate
+//!   limiting and the typed backpressure classes [`ServeError::Busy`] /
+//!   [`ServeError::RateLimited`] / [`ServeError::Shedding`]);
+//! * [`wire`] — the length-prefixed frame codec of the socket protocol,
+//!   blocking and incremental (nonblocking) flavors;
+//! * [`sys`] — the one-syscall FFI shim (`poll(2)`) the event loops
+//!   multiplex on;
+//! * [`server`] — the Unix-domain-socket frontend: a single-threaded,
+//!   readiness-driven event loop (no thread per connection);
+//! * [`mux`] — the multiplexed closed/open-loop load-generation client.
 //!
 //! See `docs/serving.md` for the architecture and the determinism
 //! contract, and `BENCH_serve.json` (emitted by the `serve_load` bench)
 //! for throughput/latency/backpressure numbers.
 //!
+//! Unsafe code policy: the crate contains exactly one `unsafe` block —
+//! the `poll(2)` call in [`sys`] — with a `// SAFETY:` justification
+//! audited by simlint rule SL105.
+//!
 //! [`RingStream`]: strent_rings::stream::RingStream
 //! [`HealthMonitor`]: strent_trng::HealthMonitor
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod mux;
 pub mod pool;
 pub mod scheduler;
 pub mod server;
 pub mod source;
+pub mod sys;
 pub mod wire;
 
-pub use error::ServeError;
+pub use error::{BackpressureClass, ServeError};
 pub use pool::{PoolChunk, SourcePool, SourceStatus};
-pub use scheduler::{Connector, EntropyClient, EntropyService, SchedulerMode, ServeConfig};
-pub use server::{UdsClient, UdsServer};
+pub use scheduler::{
+    CompletionQueue, Connector, EntropyClient, EntropyService, RateLimit, SchedulerMode,
+    ServeConfig,
+};
+pub use server::{ServerStats, UdsClient, UdsServer};
 pub use source::PooledSource;

@@ -16,6 +16,16 @@
 //! bounded channel, so workers stall (cheaply, in simulated-time work
 //! not yet done) when the consumer falls behind, and memory stays
 //! bounded.
+//!
+//! ## Sharding
+//!
+//! A pool can also be started as one *partition* of a sharded service
+//! ([`SourcePool::start_partition`]): shard `k` of `S` owns exactly the
+//! global slots `{ i | i % S == k }`, builds them with their **global**
+//! indices (so a slot's spec, seed derivation and replacement stream
+//! are identical no matter how many shards exist), and consumes them
+//! round-robin in ascending global-slot order. The full pool is the
+//! special case `S = 1`.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,10 +87,12 @@ impl Default for SourceStatus {
     }
 }
 
-/// A running pool of entropy sources.
+/// A running pool of entropy sources (possibly one shard's partition).
 #[derive(Debug)]
 pub struct SourcePool {
     receivers: Vec<Receiver<PoolChunk>>,
+    /// Global slot index of each receiver, ascending.
+    slots: Vec<usize>,
     workers: Vec<JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
     cursor: usize,
@@ -101,10 +113,42 @@ impl SourcePool {
     /// Returns an error for an invalid configuration or a source that
     /// fails to build (static verification, bad fault plan, …).
     pub fn start(config: &PoolConfig, workers: usize) -> Result<Self, ServeError> {
+        SourcePool::start_partition(config, 1, 0, workers)
+    }
+
+    /// Starts shard `shard` of `shards`: builds only the global slots
+    /// `{ i | i % shards == shard }`, each with its global index, so
+    /// per-slot byte streams are identical at every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SourcePool::start`], plus a config error
+    /// for an out-of-range shard or an empty partition.
+    pub fn start_partition(
+        config: &PoolConfig,
+        shards: usize,
+        shard: usize,
+        workers: usize,
+    ) -> Result<Self, ServeError> {
         config.validate()?;
-        let mut sources = Vec::with_capacity(config.sources.len());
+        if shards == 0 || shard >= shards {
+            return Err(ServeError::Protocol(format!(
+                "shard {shard} of {shards} is not a valid partition"
+            )));
+        }
+        let mut sources = Vec::new();
+        let mut slots = Vec::new();
         for (i, spec) in config.sources.iter().enumerate() {
-            sources.push(PooledSource::build(i, spec, config)?);
+            if i % shards == shard {
+                sources.push(PooledSource::build(i, spec, config)?);
+                slots.push(i);
+            }
+        }
+        if sources.is_empty() {
+            return Err(ServeError::Protocol(format!(
+                "shard {shard} of {shards} owns no slot of a {}-source pool",
+                config.sources.len()
+            )));
         }
         let worker_count = workers.clamp(1, sources.len());
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -137,6 +181,7 @@ impl SourcePool {
 
         Ok(SourcePool {
             receivers,
+            slots,
             workers: handles,
             shutdown,
             cursor: 0,
@@ -147,10 +192,27 @@ impl SourcePool {
         })
     }
 
-    /// Number of pool slots.
+    /// Number of pool slots owned by this pool (partition).
     #[must_use]
     pub fn sources(&self) -> usize {
         self.status.len()
+    }
+
+    /// Global slot indices owned by this pool (partition), ascending.
+    #[must_use]
+    pub fn slots(&self) -> &[usize] {
+        &self.slots
+    }
+
+    /// Last observed status of every owned slot, tagged with its global
+    /// slot index — what a sharded scheduler merges into a full view.
+    #[must_use]
+    pub fn slot_status(&self) -> Vec<(usize, SourceStatus)> {
+        self.slots
+            .iter()
+            .copied()
+            .zip(self.status.iter().copied())
+            .collect()
     }
 
     /// Completed consumption rounds (every source read once per round).
@@ -182,7 +244,9 @@ impl SourcePool {
             .recv_timeout(PRODUCE_TIMEOUT)
             .map_err(|e| match e {
                 RecvTimeoutError::Timeout => ServeError::Timeout,
-                RecvTimeoutError::Disconnected => ServeError::SourceFailed { source: i },
+                RecvTimeoutError::Disconnected => ServeError::SourceFailed {
+                    source: self.slots[i],
+                },
             })?;
         self.status[i] = SourceStatus {
             state: chunk.state,
@@ -325,6 +389,45 @@ mod tests {
         assert_eq!(pool.status().len(), 3);
         pool.shutdown();
         assert!(matches!(pool.next_chunk(), Err(ServeError::Shutdown)));
+    }
+
+    #[test]
+    fn partitions_preserve_global_slot_streams() {
+        let config = small_config(3);
+        // Reference: first chunk of every slot from the unsharded pool.
+        let mut full = SourcePool::start(&config, 1).expect("starts");
+        let mut reference = Vec::new();
+        for slot in 0..3usize {
+            let chunk = full.next_chunk().expect("produces");
+            assert_eq!(chunk.source, slot);
+            reference.push(chunk.bytes);
+        }
+        full.shutdown();
+        // Each shard of a 2-way split must reproduce its slots' chunks
+        // byte-for-byte, under their global indices.
+        for shard in 0..2usize {
+            let mut part = SourcePool::start_partition(&config, 2, shard, 1).expect("starts");
+            let owned: Vec<usize> = (0..3).filter(|i| i % 2 == shard).collect();
+            assert_eq!(part.slots(), owned.as_slice());
+            for &slot in &owned {
+                let chunk = part.next_chunk().expect("produces");
+                assert_eq!(chunk.source, slot);
+                assert_eq!(chunk.bytes, reference[slot], "slot {slot} diverged");
+            }
+            let status = part.slot_status();
+            assert_eq!(status.len(), owned.len());
+            assert_eq!(status[0].0, owned[0]);
+            part.shutdown();
+        }
+    }
+
+    #[test]
+    fn invalid_partitions_are_rejected() {
+        let config = small_config(2);
+        assert!(SourcePool::start_partition(&config, 0, 0, 1).is_err());
+        assert!(SourcePool::start_partition(&config, 2, 2, 1).is_err());
+        // A 4-way split of a 2-source pool leaves shards 2 and 3 empty.
+        assert!(SourcePool::start_partition(&config, 4, 3, 1).is_err());
     }
 
     #[test]

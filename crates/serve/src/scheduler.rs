@@ -1,30 +1,54 @@
-//! The request scheduler and the in-process client API.
+//! The request scheduler — sharded in fair mode, round-barriered in
+//! deterministic mode — and the in-process client API.
 //!
-//! One scheduler thread owns the [`SourcePool`] and is the only
-//! consumer of the pooled byte stream; frontends (the in-process
-//! [`EntropyClient`] and the socket server) are thin message producers
-//! over the same channel. Two scheduling modes:
+//! ## Modes
 //!
-//! * **Deterministic** ([`SchedulerMode::Deterministic`]) — the server
-//!   waits until `expected_clients` clients have registered, then
-//!   serves in *rounds*: a round runs only when every open client has a
-//!   request pending, and grants are issued in ascending client id.
-//!   Which bytes each client receives is then a pure function of the
-//!   pool config and the per-client request traces — independent of
-//!   thread timing, connection order and worker count. This mirrors the
-//!   `SweepRunner` determinism contract at the service boundary.
-//! * **Fair** ([`SchedulerMode::Fair`]) — deficit round-robin: each
-//!   serving pass grants at most one request per client, in ascending
-//!   client id, so a greedy client cannot starve the others. Admission
-//!   is bounded: when `max_in_flight` requests are already queued, new
-//!   arrivals are rejected immediately with the typed
-//!   [`ServeError::Busy`] — backpressure, not unbounded queueing.
+//! * **Deterministic** ([`SchedulerMode::Deterministic`]) — one global
+//!   scheduler thread owns the whole [`SourcePool`] and waits until
+//!   `expected_clients` clients have registered, then serves in
+//!   *rounds*: a round runs only when every open client has a request
+//!   pending, and grants are issued in ascending client id. Which bytes
+//!   each client receives is then a pure function of the pool config
+//!   and the per-client request traces — independent of thread timing,
+//!   connection order, worker count **and shard count**: in this mode
+//!   `shards` only widens the producer worker layout
+//!   (`workers.max(shards)`), never the consumption order, so the
+//!   served allocation is byte-identical at shards 1, 2 and 8 (pinned
+//!   by `tests/sharding.rs` and the `serve_load` determinism section).
+//! * **Fair** ([`SchedulerMode::Fair`]) — one scheduler shard per
+//!   configured core. Shard `k` of `S` owns the pool partition
+//!   `{ slot | slot % S == k }` ([`SourcePool::start_partition`]) and
+//!   the clients `{ id | id % S == k }`. Serving is deficit
+//!   round-robin: each pass grants at most one queued request per
+//!   client, so a greedy client cannot starve its neighbours. An idle
+//!   shard **steals** the oldest queued request from a loaded sibling,
+//!   so one hot shard cannot leave the others' sources idle.
+//!
+//! ## Backpressure classes (fair mode)
+//!
+//! Admission is checked in severity order and every rejection is a
+//! typed *reply*, never a stalled socket:
+//!
+//! 1. [`ServeError::Shedding`] — the service-wide queued count is at or
+//!    over the operator-set [`ServeConfig::shed_limit`] watermark;
+//! 2. [`ServeError::RateLimited`] — the per-client token bucket
+//!    ([`RateLimit`]) lacks tokens for the request, with the refill
+//!    wait advertised in microseconds;
+//! 3. [`ServeError::Busy`] — the home shard's `max_in_flight` budget is
+//!    exhausted.
+//!
+//! Deterministic mode serves a closed, pre-registered client set and
+//! applies none of these (the round barrier is its admission control).
 
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use strentropy::pool::PoolConfig;
 
@@ -35,9 +59,9 @@ use crate::pool::{SourcePool, SourceStatus};
 /// dead ring mid-request stays well under this.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
 
-/// Scheduler idle tick — the loop re-checks for work at least this
-/// often even with no incoming messages.
-const IDLE_TICK: Duration = Duration::from_millis(50);
+/// Scheduler idle tick — a scheduler (or shard) blocked with no local
+/// work re-checks for stealable work and shutdown at least this often.
+const IDLE_TICK: Duration = Duration::from_millis(1);
 
 /// How requests are admitted and ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,13 +72,23 @@ pub enum SchedulerMode {
         /// Clients that must register before any request is served.
         expected_clients: usize,
     },
-    /// Deficit round-robin with a bounded in-flight budget.
+    /// Deficit round-robin with a bounded per-shard in-flight budget.
     Fair {
-        /// Queued requests admitted before new ones get
+        /// Queued requests each shard admits before new ones get
         /// [`ServeError::Busy`]. Zero rejects everything (useful for
         /// drills).
         max_in_flight: usize,
     },
+}
+
+/// Per-client token-bucket rate limit (fair mode only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Steady-state refill rate, in granted bytes per second.
+    pub bytes_per_sec: f64,
+    /// Bucket capacity — the largest burst a client can draw after
+    /// idling.
+    pub burst_bytes: f64,
 }
 
 /// Full service configuration.
@@ -62,13 +96,108 @@ pub enum SchedulerMode {
 pub struct ServeConfig {
     /// The source pool to serve from.
     pub pool: PoolConfig,
-    /// Producer worker threads (clamped to `[1, sources]`).
+    /// Producer worker threads per shard (clamped to `[1, slots]`).
     pub workers: usize,
+    /// Scheduler shards (fair mode; clamped to `[1, sources]`). In
+    /// deterministic mode this only widens the producer worker layout.
+    pub shards: usize,
     /// Scheduling mode.
     pub mode: SchedulerMode,
+    /// Per-client token-bucket rate limit; `None` disables the
+    /// `RateLimited` class. Fair mode only.
+    pub rate_limit: Option<RateLimit>,
+    /// Service-wide queued-request watermark for overload shedding;
+    /// `None` disables the `Shedding` class. Operators set this below
+    /// `shards * max_in_flight` to cap aggregate queueing independent
+    /// of shard count. Fair mode only.
+    pub shed_limit: Option<usize>,
+}
+
+impl ServeConfig {
+    /// A configuration with one worker, one shard and no rate limiting
+    /// or shedding — override fields as needed.
+    #[must_use]
+    pub fn new(pool: PoolConfig, mode: SchedulerMode) -> Self {
+        ServeConfig {
+            pool,
+            workers: 1,
+            shards: 1,
+            mode,
+            rate_limit: None,
+            shed_limit: None,
+        }
+    }
 }
 
 type ReplyTx = SyncSender<Result<Vec<u8>, ServeError>>;
+
+/// One finished grant (or typed rejection) for a queued request.
+#[derive(Debug)]
+pub struct Completion {
+    /// The caller-chosen token identifying the request.
+    pub token: u64,
+    /// The granted bytes or the typed error.
+    pub result: Result<Vec<u8>, ServeError>,
+}
+
+/// A lock-protected completion mailbox with a readiness wake-up, the
+/// asynchronous reply path of the socket event loop: the scheduler
+/// pushes a [`Completion`] and writes one byte into the wake stream,
+/// which the event loop holds in its `poll(2)` set.
+#[derive(Debug)]
+pub struct CompletionQueue {
+    inner: Mutex<Vec<Completion>>,
+    wake: UnixStream,
+}
+
+impl CompletionQueue {
+    /// Wraps the write half of a wake channel (the caller keeps the
+    /// read half in its poll set). `wake` should be nonblocking: a full
+    /// wake pipe means a wake-up is already pending, which is exactly
+    /// when dropping the byte is harmless.
+    #[must_use]
+    pub fn new(wake: UnixStream) -> Self {
+        CompletionQueue {
+            inner: Mutex::new(Vec::new()),
+            wake,
+        }
+    }
+
+    /// Delivers one completion and signals the wake channel.
+    pub fn push(&self, token: u64, result: Result<Vec<u8>, ServeError>) {
+        self.inner
+            .lock()
+            .expect("completion queue lock")
+            .push(Completion { token, result });
+        // One byte per push; WouldBlock means a wake is already queued
+        // and a dead peer means the consumer is gone — both ignorable.
+        let _ = (&self.wake).write(&[1u8]);
+    }
+
+    /// Takes every pending completion.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.inner.lock().expect("completion queue lock"))
+    }
+}
+
+/// Where a grant result is delivered.
+enum Sink {
+    /// A blocked in-process caller.
+    Sync(ReplyTx),
+    /// A completion mailbox (the socket event loop), keyed by token.
+    Queue { queue: Arc<CompletionQueue>, token: u64 },
+}
+
+impl Sink {
+    fn send(self, result: Result<Vec<u8>, ServeError>) {
+        match self {
+            // A vanished caller is not the scheduler's problem.
+            Sink::Sync(reply) => drop(reply.send(result)),
+            Sink::Queue { queue, token } => queue.push(token, result),
+        }
+    }
+}
 
 enum Msg {
     Register {
@@ -78,50 +207,103 @@ enum Msg {
     Request {
         client_id: u32,
         nbytes: usize,
-        reply: ReplyTx,
+        sink: Sink,
     },
     Close {
         client_id: u32,
     },
     Status {
-        reply: SyncSender<Vec<SourceStatus>>,
+        reply: SyncSender<Vec<(usize, SourceStatus)>>,
     },
     Shutdown,
 }
 
-/// The running entropy service: owns the scheduler thread.
+/// The running entropy service: owns one scheduler thread per shard.
 #[derive(Debug)]
 pub struct EntropyService {
-    tx: Sender<Msg>,
-    handle: Option<JoinHandle<()>>,
+    shards: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl EntropyService {
-    /// Builds the pool (fail-fast) and spawns the scheduler thread.
+    /// Builds the pool partitions (fail-fast) and spawns the scheduler
+    /// shard threads.
     ///
     /// # Errors
     ///
     /// Returns an error for an invalid pool configuration or a source
     /// that fails to build.
     pub fn start(config: &ServeConfig) -> Result<Self, ServeError> {
-        let pool = SourcePool::start(&config.pool, config.workers)?;
-        let mode = config.mode;
-        let (tx, rx) = mpsc::channel();
-        let handle = thread::Builder::new()
-            .name("strent-serve-scheduler".to_owned())
-            .spawn(move || Scheduler::new(pool, mode).run(&rx))
-            .map_err(ServeError::Io)?;
-        Ok(EntropyService {
-            tx,
-            handle: Some(handle),
-        })
+        config.pool.validate()?;
+        let slots = config.pool.sources.len();
+        match config.mode {
+            SchedulerMode::Deterministic { .. } => {
+                // One global consumer keeps the round-robin interleave
+                // and the round barrier identical at every shard count;
+                // shards only widen the producer side.
+                let workers = config.workers.max(config.shards).clamp(1, slots.max(1));
+                let pool = SourcePool::start(&config.pool, workers)?;
+                let mode = config.mode;
+                let (tx, rx) = mpsc::channel();
+                // Startup spawn: one scheduler thread per service.
+                let handle = thread::Builder::new()
+                    .name("strent-serve-scheduler".to_owned())
+                    .spawn(move || BarrierScheduler::new(pool, mode).run(&rx))
+                    .map_err(ServeError::Io)?;
+                Ok(EntropyService {
+                    shards: vec![tx],
+                    handles: vec![handle],
+                })
+            }
+            SchedulerMode::Fair { max_in_flight } => {
+                let shard_count = config.shards.clamp(1, slots.max(1));
+                let mut pools = Vec::with_capacity(shard_count);
+                for k in 0..shard_count {
+                    pools.push(SourcePool::start_partition(
+                        &config.pool,
+                        shard_count,
+                        k,
+                        config.workers,
+                    )?);
+                }
+                let shared: Vec<Arc<ShardShared>> = (0..shard_count)
+                    .map(|_| Arc::new(ShardShared::default()))
+                    .collect();
+                let mut senders = Vec::with_capacity(shard_count);
+                let mut handles = Vec::with_capacity(shard_count);
+                for (k, pool) in pools.into_iter().enumerate() {
+                    let (tx, rx) = mpsc::channel();
+                    let shard = FairShard {
+                        pool,
+                        shard_id: k,
+                        shared: shared.clone(),
+                        max_in_flight,
+                        shed_limit: config.shed_limit,
+                        rate: config.rate_limit,
+                        buckets: BTreeMap::new(),
+                        registered: BTreeSet::new(),
+                    };
+                    // Startup spawn: one thread per scheduler shard.
+                    let handle = thread::Builder::new()
+                        .name(format!("strent-serve-shard-{k}"))
+                        .spawn(move || shard.run(&rx))
+                        .map_err(ServeError::Io)?;
+                    senders.push(tx);
+                    handles.push(handle);
+                }
+                Ok(EntropyService {
+                    shards: senders,
+                    handles,
+                })
+            }
+        }
     }
 
     /// A cloneable handle frontends use to register clients.
     #[must_use]
     pub fn connector(&self) -> Connector {
         Connector {
-            tx: self.tx.clone(),
+            shards: self.shards.clone(),
         }
     }
 
@@ -135,31 +317,40 @@ impl EntropyService {
         self.connector().connect(client_id)
     }
 
-    /// Snapshot of every pool slot's health/lifecycle status.
+    /// Snapshot of every pool slot's health/lifecycle status, merged
+    /// across shards in global slot order.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Shutdown`] or [`ServeError::Timeout`] if the
-    /// scheduler cannot answer.
+    /// [`ServeError::Shutdown`] or [`ServeError::Timeout`] if a shard
+    /// cannot answer.
     pub fn status(&self) -> Result<Vec<SourceStatus>, ServeError> {
-        let (reply, rx) = mpsc::sync_channel(1);
-        self.tx
-            .send(Msg::Status { reply })
-            .map_err(|_| ServeError::Shutdown)?;
-        recv_reply(&rx)
+        let mut tagged = Vec::new();
+        for tx in &self.shards {
+            let (reply, rx) = mpsc::sync_channel(1);
+            tx.send(Msg::Status { reply })
+                .map_err(|_| ServeError::Shutdown)?;
+            tagged.extend(recv_reply(&rx)?);
+        }
+        tagged.sort_by_key(|(slot, _)| *slot);
+        Ok(tagged.into_iter().map(|(_, status)| status).collect())
     }
 
-    /// Stops the scheduler (which stops the pool) and joins it.
+    /// Stops every shard (which stops its pool partition) and joins.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Shutdown`] if the scheduler thread panicked.
+    /// [`ServeError::Shutdown`] if a scheduler thread panicked.
     pub fn shutdown(mut self) -> Result<(), ServeError> {
-        let _ = self.tx.send(Msg::Shutdown);
-        if let Some(handle) = self.handle.take() {
-            if handle.join().is_err() {
-                return Err(ServeError::Shutdown);
-            }
+        for tx in &self.shards {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        let mut panicked = false;
+        for handle in self.handles.drain(..) {
+            panicked |= handle.join().is_err();
+        }
+        if panicked {
+            return Err(ServeError::Shutdown);
         }
         Ok(())
     }
@@ -167,21 +358,27 @@ impl EntropyService {
 
 impl Drop for EntropyService {
     fn drop(&mut self) {
-        let _ = self.tx.send(Msg::Shutdown);
-        if let Some(handle) = self.handle.take() {
+        for tx in &self.shards {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// A cloneable client-registration handle (used by the socket server's
-/// connection threads).
+/// A cloneable client-registration handle (used by the socket event
+/// loop). Routes client `id` to shard `id % shards`.
 #[derive(Debug, Clone)]
 pub struct Connector {
-    tx: Sender<Msg>,
+    shards: Vec<Sender<Msg>>,
 }
 
 impl Connector {
+    fn route(&self, client_id: u32) -> &Sender<Msg> {
+        &self.shards[client_id as usize % self.shards.len()]
+    }
+
     /// Registers a client with the given id.
     ///
     /// # Errors
@@ -189,13 +386,13 @@ impl Connector {
     /// Same conditions as [`EntropyService::connect`].
     pub fn connect(&self, client_id: u32) -> Result<EntropyClient, ServeError> {
         let (reply, rx) = mpsc::sync_channel(1);
-        self.tx
+        self.route(client_id)
             .send(Msg::Register { client_id, reply })
             .map_err(|_| ServeError::Shutdown)?;
         recv_reply(&rx)??;
         Ok(EntropyClient {
             id: client_id,
-            tx: self.tx.clone(),
+            tx: self.route(client_id).clone(),
         })
     }
 }
@@ -229,8 +426,9 @@ impl EntropyClient {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Busy`] when the in-flight budget rejected the
-    /// request (retry later); [`ServeError::Shutdown`] /
+    /// A typed backpressure rejection ([`ServeError::Busy`],
+    /// [`ServeError::RateLimited`], [`ServeError::Shedding`]) when
+    /// admission refused the request; [`ServeError::Shutdown`] /
     /// [`ServeError::Timeout`] when the service went away.
     pub fn request(&self, nbytes: usize) -> Result<Vec<u8>, ServeError> {
         if nbytes == 0 {
@@ -241,10 +439,42 @@ impl EntropyClient {
             .send(Msg::Request {
                 client_id: self.id,
                 nbytes,
-                reply,
+                sink: Sink::Sync(reply),
             })
             .map_err(|_| ServeError::Shutdown)?;
         recv_reply(&rx)?
+    }
+
+    /// Submits a request whose result is delivered to `queue` under
+    /// `token` instead of blocking the caller — the socket event loop's
+    /// request path. A zero-byte request completes through the queue
+    /// like any other.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] if the scheduler is gone (nothing was
+    /// queued); every later outcome, including typed backpressure,
+    /// arrives as the completion's `result`.
+    pub fn request_queued(
+        &self,
+        nbytes: usize,
+        queue: &Arc<CompletionQueue>,
+        token: u64,
+    ) -> Result<(), ServeError> {
+        if nbytes == 0 {
+            queue.push(token, Ok(Vec::new()));
+            return Ok(());
+        }
+        self.tx
+            .send(Msg::Request {
+                client_id: self.id,
+                nbytes,
+                sink: Sink::Queue {
+                    queue: Arc::clone(queue),
+                    token,
+                },
+            })
+            .map_err(|_| ServeError::Shutdown)
     }
 
     /// Closes the client explicitly (equivalent to dropping it).
@@ -257,20 +487,24 @@ impl Drop for EntropyClient {
     }
 }
 
+// ---------------------------------------------------------------------
+// Deterministic mode: the global round-barrier scheduler.
+// ---------------------------------------------------------------------
+
 struct ClientSlot {
-    pending: VecDeque<(usize, ReplyTx)>,
+    pending: VecDeque<(usize, Sink)>,
 }
 
-struct Scheduler {
+struct BarrierScheduler {
     pool: SourcePool,
     mode: SchedulerMode,
     clients: BTreeMap<u32, ClientSlot>,
     registered: usize,
 }
 
-impl Scheduler {
+impl BarrierScheduler {
     fn new(pool: SourcePool, mode: SchedulerMode) -> Self {
-        Scheduler {
+        BarrierScheduler {
             pool,
             mode,
             clients: BTreeMap::new(),
@@ -280,8 +514,8 @@ impl Scheduler {
 
     fn run(mut self, rx: &Receiver<Msg>) {
         loop {
-            // Drain every queued message first so the in-flight count
-            // reflects real arrival bursts, then serve.
+            // Drain every queued message first so registrations and
+            // closes are visible before the next round, then serve.
             loop {
                 match rx.try_recv() {
                     Ok(msg) => {
@@ -297,11 +531,12 @@ impl Scheduler {
                     }
                 }
             }
-            self.serve();
-            if !self.has_serveable_work() {
+            if self.barrier_ready() {
+                self.serve_one_pass();
+            } else {
                 // Idle (or barred): block for the next message. The
-                // idle tick bounds the wait so a shutdown flag flip or
-                // a barrier change is never missed for long.
+                // idle tick bounds the wait so a shutdown is never
+                // missed for long.
                 match rx.recv_timeout(IDLE_TICK) {
                     Ok(msg) => {
                         if !self.handle(msg) {
@@ -340,97 +575,336 @@ impl Scheduler {
             Msg::Request {
                 client_id,
                 nbytes,
-                reply,
-            } => self.admit(client_id, nbytes, reply),
+                sink,
+            } => {
+                if self.clients.contains_key(&client_id) {
+                    let slot = self.clients.get_mut(&client_id).expect("checked");
+                    slot.pending.push_back((nbytes, sink));
+                } else {
+                    sink.send(Err(ServeError::Protocol(format!(
+                        "client {client_id} sent a request before registering"
+                    ))));
+                }
+            }
             Msg::Close { client_id } => {
-                // Dropping the slot drops any pending reply senders;
-                // their clients observe Shutdown.
+                // Dropping the slot drops any pending sync senders
+                // (their clients observe Shutdown) and orphans queued
+                // tokens (the event loop ignores stale generations).
                 self.clients.remove(&client_id);
             }
             Msg::Status { reply } => {
-                let _ = reply.send(self.pool.status().to_vec());
+                let _ = reply.send(self.pool.slot_status());
             }
             Msg::Shutdown => return false,
         }
         true
     }
 
-    /// Admission control for one request.
-    fn admit(&mut self, client_id: u32, nbytes: usize, reply: ReplyTx) {
-        if let SchedulerMode::Fair { max_in_flight } = self.mode {
-            let in_flight = self.in_flight();
-            if in_flight >= max_in_flight {
-                let _ = reply.send(Err(ServeError::Busy { in_flight }));
-                return;
-            }
-            // Fair mode admits unregistered clients on first contact.
-            if let Entry::Vacant(slot) = self.clients.entry(client_id) {
-                slot.insert(ClientSlot {
-                    pending: VecDeque::new(),
-                });
-                self.registered += 1;
-            }
-        } else if !self.clients.contains_key(&client_id) {
-            let _ = reply.send(Err(ServeError::Protocol(format!(
-                "client {client_id} sent a request before registering"
-            ))));
-            return;
-        }
-        if let Some(slot) = self.clients.get_mut(&client_id) {
-            slot.pending.push_back((nbytes, reply));
-        }
-    }
-
-    fn in_flight(&self) -> usize {
-        self.clients.values().map(|s| s.pending.len()).sum()
-    }
-
-    fn has_serveable_work(&self) -> bool {
-        match self.mode {
-            SchedulerMode::Deterministic { expected_clients } => {
-                self.barrier_ready(expected_clients)
-            }
-            SchedulerMode::Fair { .. } => self.in_flight() > 0,
-        }
-    }
-
     /// The round barrier: everyone expected has registered, at least
     /// one client is still open, and every open client has a request.
-    fn barrier_ready(&self, expected_clients: usize) -> bool {
+    fn barrier_ready(&self) -> bool {
+        let SchedulerMode::Deterministic { expected_clients } = self.mode else {
+            return false;
+        };
         self.registered >= expected_clients
             && !self.clients.is_empty()
             && self.clients.values().all(|s| !s.pending.is_empty())
     }
 
-    fn serve(&mut self) {
-        match self.mode {
-            SchedulerMode::Deterministic { expected_clients } => {
-                while self.barrier_ready(expected_clients) {
-                    self.serve_one_pass();
-                }
-            }
-            SchedulerMode::Fair { .. } => {
-                while self.in_flight() > 0 {
-                    self.serve_one_pass();
-                }
-            }
-        }
-    }
-
-    /// Grants at most one pending request per client, in ascending
-    /// client-id order.
+    /// Grants one pending request per client, in ascending client-id
+    /// order.
     fn serve_one_pass(&mut self) {
         let ids: Vec<u32> = self.clients.keys().copied().collect();
         for id in ids {
             let Some(slot) = self.clients.get_mut(&id) else {
                 continue;
             };
-            let Some((nbytes, reply)) = slot.pending.pop_front() else {
+            let Some((nbytes, sink)) = slot.pending.pop_front() else {
                 continue;
             };
             let grant = self.pool.read_bytes(nbytes);
-            let _ = reply.send(grant);
+            sink.send(grant);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fair mode: per-core shards with work stealing.
+// ---------------------------------------------------------------------
+
+/// A queued, admitted request. `home` is the shard whose budget it
+/// occupies (always the shard that admitted it; thieves execute the
+/// grant but credit the home shard's budget on completion).
+struct Job {
+    nbytes: usize,
+    sink: Sink,
+    client_id: u32,
+    home: usize,
+}
+
+/// The cross-shard state work stealing needs: the stealable queue and
+/// the admitted-but-unreplied count.
+#[derive(Default)]
+struct ShardShared {
+    injector: Mutex<VecDeque<Job>>,
+    in_flight: AtomicUsize,
+}
+
+/// Per-client token bucket.
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(limit: &RateLimit) -> Self {
+        TokenBucket {
+            tokens: limit.burst_bytes,
+            last: Instant::now(),
+        }
+    }
+
+    /// Takes `nbytes` tokens, or reports the refill wait in µs.
+    fn try_take(&mut self, nbytes: usize, limit: &RateLimit) -> Result<(), u64> {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * limit.bytes_per_sec).min(limit.burst_bytes);
+        #[allow(clippy::cast_precision_loss)]
+        let need = nbytes as f64;
+        if self.tokens >= need {
+            self.tokens -= need;
+            return Ok(());
+        }
+        let wait_s = (need - self.tokens) / limit.bytes_per_sec.max(f64::MIN_POSITIVE);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Err((wait_s * 1e6).min(1e15) as u64 + 1)
+    }
+}
+
+struct FairShard {
+    pool: SourcePool,
+    shard_id: usize,
+    shared: Vec<Arc<ShardShared>>,
+    max_in_flight: usize,
+    shed_limit: Option<usize>,
+    rate: Option<RateLimit>,
+    buckets: BTreeMap<u32, TokenBucket>,
+    registered: BTreeSet<u32>,
+}
+
+impl FairShard {
+    fn run(mut self, rx: &Receiver<Msg>) {
+        loop {
+            loop {
+                match rx.try_recv() {
+                    Ok(msg) => {
+                        if !self.handle(msg) {
+                            self.shutdown();
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.shutdown();
+                        return;
+                    }
+                }
+            }
+            let worked = self.serve_pass();
+            if !worked {
+                // Idle: block for the next message; the tick bounds the
+                // wait so stealable work on a sibling is found quickly.
+                match rx.recv_timeout(IDLE_TICK) {
+                    Ok(msg) => {
+                        if !self.handle(msg) {
+                            self.shutdown();
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.shutdown();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        // Refuse everything still queued locally so no sink is left
+        // dangling, then stop the pool partition.
+        let jobs = std::mem::take(&mut *self.own_queue());
+        for job in jobs {
+            self.shared[job.home].in_flight.fetch_sub(1, Ordering::Relaxed);
+            job.sink.send(Err(ServeError::Shutdown));
+        }
+        self.pool.shutdown();
+    }
+
+    fn own_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.shared[self.shard_id]
+            .injector
+            .lock()
+            .expect("injector lock")
+    }
+
+    /// Applies one message; `false` means shut down.
+    fn handle(&mut self, msg: Msg) -> bool {
+        match msg {
+            Msg::Register { client_id, reply } => {
+                let result = if self.registered.insert(client_id) {
+                    Ok(())
+                } else {
+                    Err(ServeError::Protocol(format!(
+                        "client id {client_id} is already registered"
+                    )))
+                };
+                let _ = reply.send(result);
+            }
+            Msg::Request {
+                client_id,
+                nbytes,
+                sink,
+            } => self.admit(client_id, nbytes, sink),
+            Msg::Close { client_id } => {
+                self.registered.remove(&client_id);
+                self.buckets.remove(&client_id);
+                // Drop the client's still-queued jobs; anything already
+                // stolen or granted completes into a stale token.
+                let mut queue = self.own_queue();
+                let dropped: Vec<Job> = {
+                    let mut kept = VecDeque::with_capacity(queue.len());
+                    let mut dropped = Vec::new();
+                    while let Some(job) = queue.pop_front() {
+                        if job.client_id == client_id {
+                            dropped.push(job);
+                        } else {
+                            kept.push_back(job);
+                        }
+                    }
+                    *queue = kept;
+                    dropped
+                };
+                drop(queue);
+                for job in dropped {
+                    self.shared[job.home].in_flight.fetch_sub(1, Ordering::Relaxed);
+                    job.sink.send(Err(ServeError::Shutdown));
+                }
+            }
+            Msg::Status { reply } => {
+                let _ = reply.send(self.pool.slot_status());
+            }
+            Msg::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Admission control, most severe class first; see module docs.
+    fn admit(&mut self, client_id: u32, nbytes: usize, sink: Sink) {
+        let queued: usize = self
+            .shared
+            .iter()
+            .map(|s| s.in_flight.load(Ordering::Relaxed))
+            .sum();
+        if let Some(limit) = self.shed_limit {
+            if queued >= limit {
+                sink.send(Err(ServeError::Shedding { queued }));
+                return;
+            }
+        }
+        if let Some(limit) = self.rate {
+            let bucket = self
+                .buckets
+                .entry(client_id)
+                .or_insert_with(|| TokenBucket::new(&limit));
+            if let Err(retry_after_us) = bucket.try_take(nbytes, &limit) {
+                sink.send(Err(ServeError::RateLimited { retry_after_us }));
+                return;
+            }
+        }
+        let mine = self.shared[self.shard_id].in_flight.load(Ordering::Relaxed);
+        if mine >= self.max_in_flight {
+            sink.send(Err(ServeError::Busy { in_flight: mine }));
+            return;
+        }
+        // Fair mode admits unregistered clients on first contact.
+        self.registered.insert(client_id);
+        self.shared[self.shard_id]
+            .in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        self.own_queue().push_back(Job {
+            nbytes,
+            sink,
+            client_id,
+            home: self.shard_id,
+        });
+    }
+
+    /// One serving pass: a DRR pass over the local queue (at most one
+    /// job per client, oldest first), or — when the local queue is
+    /// empty — one job stolen from the most loaded sibling. Returns
+    /// whether any grant was issued.
+    fn serve_pass(&mut self) -> bool {
+        let batch = self.pop_local_pass();
+        if !batch.is_empty() {
+            for job in batch {
+                self.grant(job);
+            }
+            return true;
+        }
+        if let Some(job) = self.steal() {
+            self.grant(job);
+            return true;
+        }
+        false
+    }
+
+    /// Takes at most one queued job per client, preserving arrival
+    /// order — the deficit-round-robin pass.
+    fn pop_local_pass(&mut self) -> Vec<Job> {
+        let mut queue = self.own_queue();
+        let mut taken = Vec::new();
+        let mut seen = BTreeSet::new();
+        let mut kept = VecDeque::with_capacity(queue.len());
+        while let Some(job) = queue.pop_front() {
+            if seen.insert(job.client_id) {
+                taken.push(job);
+            } else {
+                kept.push_back(job);
+            }
+        }
+        *queue = kept;
+        taken
+    }
+
+    /// Steals the oldest job from the deepest sibling queue.
+    fn steal(&mut self) -> Option<Job> {
+        let mut victim: Option<usize> = None;
+        let mut depth = 0usize;
+        for (k, shard) in self.shared.iter().enumerate() {
+            if k == self.shard_id {
+                continue;
+            }
+            let queued = shard.injector.lock().expect("injector lock").len();
+            if queued > depth {
+                depth = queued;
+                victim = Some(k);
+            }
+        }
+        let victim = victim?;
+        self.shared[victim]
+            .injector
+            .lock()
+            .expect("injector lock")
+            .pop_front()
+    }
+
+    fn grant(&mut self, job: Job) {
+        let result = self.pool.read_bytes(job.nbytes);
+        self.shared[job.home].in_flight.fetch_sub(1, Ordering::Relaxed);
+        job.sink.send(result);
     }
 }
 
@@ -445,11 +919,9 @@ mod tests {
         pool.sample_period_factor = 2.37;
         pool.batch_raw_bits = 64;
         pool.warmup_periods = 16.0;
-        ServeConfig {
-            pool,
-            workers: 2,
-            mode,
-        }
+        let mut config = ServeConfig::new(pool, mode);
+        config.workers = 2;
+        config
     }
 
     #[test]
@@ -484,6 +956,7 @@ mod tests {
         let err = client.request(8).expect_err("budget 0 rejects everything");
         assert!(err.is_busy(), "{err}");
         assert!(matches!(err, ServeError::Busy { in_flight: 0 }));
+        assert_eq!(err.backpressure(), Some(crate::error::BackpressureClass::Busy));
         service.shutdown().expect("clean shutdown");
     }
 
@@ -499,6 +972,99 @@ mod tests {
         assert!(client.request(0).expect("trivial").is_empty());
         let status = service.status().expect("answers");
         assert_eq!(status.len(), 2);
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn sharded_fair_mode_serves_every_client_and_merges_status() {
+        let mut config = small_serve_config(4, SchedulerMode::Fair { max_in_flight: 8 });
+        config.shards = 2;
+        let service = EntropyService::start(&config).expect("starts");
+        // Clients 0/2 land on shard 0, clients 1/3 on shard 1.
+        for id in 0..4u32 {
+            let client = service.connect(id).expect("registers");
+            let grant = client.request(24).expect("granted");
+            assert_eq!(grant.len(), 24);
+            client.close();
+        }
+        let status = service.status().expect("answers");
+        assert_eq!(status.len(), 4, "all slots visible through the merge");
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn token_bucket_rejects_with_rate_limited_then_refills() {
+        let mut config = small_serve_config(2, SchedulerMode::Fair { max_in_flight: 8 });
+        config.rate_limit = Some(RateLimit {
+            bytes_per_sec: 4000.0,
+            burst_bytes: 16.0,
+        });
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(5).expect("registers");
+        // The burst covers the first 16 bytes; the immediate follow-up
+        // finds an empty bucket.
+        let first = client.request(16).expect("burst granted");
+        assert_eq!(first.len(), 16);
+        let err = client.request(16).expect_err("bucket drained");
+        let ServeError::RateLimited { retry_after_us } = err else {
+            panic!("expected RateLimited, got {err}");
+        };
+        assert!(retry_after_us > 0);
+        assert_eq!(
+            err.backpressure(),
+            Some(crate::error::BackpressureClass::RateLimited)
+        );
+        // 16 bytes at 4000 B/s refill in 4 ms; wait it out and retry.
+        thread::sleep(Duration::from_micros(retry_after_us) + Duration::from_millis(2));
+        let retried = client.request(16).expect("refilled");
+        assert_eq!(retried.len(), 16);
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn shed_limit_zero_rejects_with_shedding_before_any_other_class() {
+        let mut config = small_serve_config(2, SchedulerMode::Fair { max_in_flight: 8 });
+        config.shed_limit = Some(0);
+        // Even with a rate limiter configured, shedding wins: it is the
+        // most severe class and is checked first.
+        config.rate_limit = Some(RateLimit {
+            bytes_per_sec: 1e9,
+            burst_bytes: 1e9,
+        });
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(2).expect("registers");
+        let err = client.request(8).expect_err("shedding everything");
+        assert!(matches!(err, ServeError::Shedding { queued: 0 }), "{err}");
+        assert_eq!(
+            err.backpressure(),
+            Some(crate::error::BackpressureClass::Shedding)
+        );
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn queued_requests_complete_through_the_completion_queue() {
+        let config = small_serve_config(2, SchedulerMode::Fair { max_in_flight: 4 });
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(7).expect("registers");
+        let (wake_tx, wake_rx) = UnixStream::pair().expect("socketpair");
+        wake_tx.set_nonblocking(true).expect("nonblocking");
+        wake_rx.set_nonblocking(true).expect("nonblocking");
+        let queue = Arc::new(CompletionQueue::new(wake_tx));
+        client.request_queued(12, &queue, 0xA1).expect("queued");
+        client.request_queued(0, &queue, 0xA2).expect("trivial");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut done = Vec::new();
+        while done.len() < 2 {
+            assert!(Instant::now() < deadline, "completions never arrived");
+            done.extend(queue.drain());
+            thread::sleep(Duration::from_millis(1));
+        }
+        done.sort_by_key(|c| c.token);
+        assert_eq!(done[0].token, 0xA1);
+        assert_eq!(done[0].result.as_ref().expect("granted").len(), 12);
+        assert_eq!(done[1].token, 0xA2);
+        assert!(done[1].result.as_ref().expect("trivial").is_empty());
         service.shutdown().expect("clean shutdown");
     }
 

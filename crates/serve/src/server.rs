@@ -1,75 +1,162 @@
-//! The Unix-domain-socket frontend.
+//! The Unix-domain-socket frontend: a readiness-driven event loop.
 //!
-//! A [`UdsServer`] listens on a filesystem socket and translates
-//! [`wire`] frames into the same scheduler messages the in-process
-//! [`EntropyClient`](crate::EntropyClient) sends — both frontends share
-//! one core, so scheduling semantics (round barrier, fairness, Busy)
-//! are identical over the socket.
+//! One thread multiplexes every connection through `poll(2)`
+//! ([`crate::sys`]): the listener, a wake channel fed by the
+//! scheduler's [`CompletionQueue`], and a per-connection read/write
+//! state machine over the incremental [`wire::FrameDecoder`]. There is
+//! no thread per connection (simlint rule SL110 forbids one), so a
+//! thousand idle clients cost a thousand descriptors and nothing else —
+//! and the old failure mode where a connection-thread spawn failure
+//! silently dropped the peer is gone: accept and register failures are
+//! typed, counted in [`ServerStats`], and answered with an `ERR` frame
+//! when a peer exists to hear it.
 //!
-//! Liveness discipline (enforced by simlint rule SL108): the accept
-//! loop runs non-blocking with a shutdown check per tick, and every
-//! connection socket is armed with a read timeout before its read loop
-//! starts, so neither a silent peer nor a forgotten connection can keep
-//! the server alive past shutdown.
+//! Request flow: a `REQ` frame is submitted to the scheduler with
+//! [`EntropyClient::request_queued`] under a token carrying the
+//! connection's slot and generation. The grant comes back through the
+//! completion queue; a wake byte makes `poll` return; the reply frame
+//! is buffered on the connection and drained as the socket reports
+//! writable. A completion for a connection that died in the meantime
+//! carries a stale generation and is dropped.
+//!
+//! Liveness discipline (SL108): every socket here is nonblocking; reads
+//! return `WouldBlock` instead of parking the loop, and the poll
+//! timeout bounds the latency of a shutdown-flag check.
 
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use crate::error::ServeError;
-use crate::scheduler::{Connector, EntropyClient};
+use crate::scheduler::{CompletionQueue, Connector, EntropyClient};
+use crate::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
 use crate::wire::{
-    self, OP_BUSY, OP_CLOSE, OP_ERR, OP_HELLO, OP_HELLO_OK, OP_OK, OP_REQ,
+    self, FrameDecoder, OP_BUSY, OP_CLOSE, OP_ERR, OP_HELLO, OP_HELLO_OK, OP_OK,
+    OP_RATE_LIMITED, OP_REQ, OP_SHEDDING,
 };
 
-/// Poll interval of the non-blocking accept loop.
-const ACCEPT_TICK: Duration = Duration::from_millis(5);
-
-/// Read timeout armed on every connection socket; each expiry re-checks
-/// the shutdown flag.
-const CONN_READ_TIMEOUT: Duration = Duration::from_millis(250);
+/// Poll timeout — the upper bound on how long a shutdown request waits
+/// for the loop to notice it.
+const POLL_TIMEOUT_MS: i32 = 100;
 
 /// Read timeout for [`UdsClient`] replies.
 const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(150);
+
+/// Per-read scratch size; one `read` drains at most this many bytes
+/// before the loop moves on to the next ready descriptor.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Connections the loop accepts before parking the listener (far below
+/// the descriptor limit, far above the 1024-client acceptance drill).
+const MAX_CONNS: usize = 16 * 1024;
+
+/// Monotone counters of the socket frontend, shared with the event
+/// loop. Accept/register failures are *counted*, never silently
+/// swallowed — the fix for the old spawn-failure connection drop.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    accept_errors: AtomicU64,
+    register_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+    active: AtomicU64,
+}
+
+impl ServerStats {
+    /// Connections accepted over the server's lifetime.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// `accept(2)` failures (descriptor exhaustion, aborted peers).
+    #[must_use]
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// `HELLO` registrations the scheduler refused (duplicate id,
+    /// shutdown) — each one also answered with a typed `ERR` frame.
+    #[must_use]
+    pub fn register_errors(&self) -> u64 {
+        self.register_errors.load(Ordering::Relaxed)
+    }
+
+    /// Malformed frames and protocol-order violations.
+    #[must_use]
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Currently open connections.
+    #[must_use]
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+}
 
 /// A running socket frontend.
 #[derive(Debug)]
 pub struct UdsServer {
     path: PathBuf,
     shutdown: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    handle: Option<JoinHandle<()>>,
 }
 
 impl UdsServer {
     /// Binds `path` (replacing any stale socket file) and starts the
-    /// accept loop. Clients registered over the socket go through
+    /// event loop. Clients registered over the socket go through
     /// `connector` into the shared scheduler.
     ///
     /// # Errors
     ///
-    /// Returns an error if the socket cannot be bound or configured.
+    /// [`ServeError::Accept`] if the socket cannot be bound, configured
+    /// or the wake channel cannot be created.
     pub fn start(connector: Connector, path: impl AsRef<Path>) -> Result<Self, ServeError> {
         let path = path.as_ref().to_path_buf();
         // A stale socket file from a crashed predecessor would make
         // bind fail; removing a *live* server's socket is the
         // operator's own foot-gun, exactly as with any UDS daemon.
         let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path)?;
-        listener.set_nonblocking(true)?;
+        let listener = UnixListener::bind(&path).map_err(ServeError::Accept)?;
+        listener.set_nonblocking(true).map_err(ServeError::Accept)?;
+        let (wake_tx, wake_rx) = UnixStream::pair().map_err(ServeError::Accept)?;
+        wake_tx.set_nonblocking(true).map_err(ServeError::Accept)?;
+        wake_rx.set_nonblocking(true).map_err(ServeError::Accept)?;
+        let completions = Arc::new(CompletionQueue::new(wake_tx));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
         let flag = Arc::clone(&shutdown);
-        let accept_handle = thread::Builder::new()
-            .name("strent-serve-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &connector, &flag))
-            .map_err(ServeError::Io)?;
+        let counters = Arc::clone(&stats);
+        // Startup spawn: the one event-loop thread per server — every
+        // connection is multiplexed through it, never given a thread.
+        let handle = thread::Builder::new()
+            .name("strent-serve-event-loop".to_owned())
+            .spawn(move || {
+                EventLoop {
+                    listener,
+                    wake_rx,
+                    completions,
+                    connector,
+                    stats: counters,
+                    conns: Vec::new(),
+                    generations: Vec::new(),
+                    free: Vec::new(),
+                }
+                .run(&flag);
+            })
+            .map_err(ServeError::Accept)?;
         Ok(UdsServer {
             path,
             shutdown,
-            accept_handle: Some(accept_handle),
+            stats,
+            handle: Some(handle),
         })
     }
 
@@ -79,15 +166,21 @@ impl UdsServer {
         &self.path
     }
 
-    /// Stops accepting, drains connection threads and removes the
+    /// The frontend's monotone counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops the event loop, drops every connection and removes the
     /// socket file.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Shutdown`] if the accept thread panicked.
+    /// [`ServeError::Shutdown`] if the event-loop thread panicked.
     pub fn shutdown(mut self) -> Result<(), ServeError> {
         self.shutdown.store(true, Ordering::SeqCst);
-        let panicked = match self.accept_handle.take() {
+        let panicked = match self.handle.take() {
             Some(handle) => handle.join().is_err(),
             None => false,
         };
@@ -102,135 +195,405 @@ impl UdsServer {
 impl Drop for UdsServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_handle.take() {
+        if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
         let _ = std::fs::remove_file(&self.path);
     }
 }
 
-fn accept_loop(listener: &UnixListener, connector: &Connector, shutdown: &Arc<AtomicBool>) {
-    // Only this thread touches the registry, so a plain Vec suffices.
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        // The listener is nonblocking; WouldBlock is the idle tick.
-        match listener.accept() {
-            Ok((stream, _addr)) => {
-                let connector = connector.clone();
-                let flag = Arc::clone(shutdown);
-                let spawned = thread::Builder::new()
-                    .name("strent-serve-conn".to_owned())
-                    .spawn(move || connection_loop(stream, &connector, &flag));
-                // On spawn failure the connection is dropped; the peer
-                // sees EOF and retries.
-                if let Ok(handle) = spawned {
-                    connections.push(handle);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
-            Err(_) => break,
-        }
+/// One connection's state machine.
+struct Conn {
+    stream: UnixStream,
+    decoder: FrameDecoder,
+    /// Buffered reply bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Consumed prefix of `wbuf`.
+    wpos: usize,
+    client: Option<EntropyClient>,
+    /// Bumped every time the slot is reused; stale completions carry
+    /// the old generation and are dropped.
+    generation: u32,
+    /// Flush the write buffer, then close.
+    closing: bool,
+}
+
+impl Conn {
+    fn token(&self, slot: usize) -> u64 {
+        ((slot as u64) << 32) | u64::from(self.generation)
     }
-    for handle in connections {
-        let _ = handle.join();
+
+    fn has_backlog(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Appends a frame to the write buffer and opportunistically
+    /// flushes. Returns `false` if the connection is dead.
+    fn send_frame(&mut self, op: u8, payload: &[u8]) -> bool {
+        if wire::encode_frame(&mut self.wbuf, op, payload).is_err() {
+            return false;
+        }
+        self.flush()
+    }
+
+    /// Writes as much of the backlog as the socket accepts. Returns
+    /// `false` if the connection is dead.
+    fn flush(&mut self) -> bool {
+        while self.wpos < self.wbuf.len() {
+            // Nonblocking socket: a full buffer returns WouldBlock and
+            // the poll set picks the flush up on the next writable.
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        true
     }
 }
 
-/// One connection: HELLO, then a REQ/grant loop until CLOSE, EOF,
-/// error, or server shutdown.
-fn connection_loop(mut stream: UnixStream, connector: &Connector, shutdown: &Arc<AtomicBool>) {
-    if stream.set_nonblocking(false).is_err()
-        || stream.set_read_timeout(Some(CONN_READ_TIMEOUT)).is_err()
-    {
-        return;
-    }
-    let mut client: Option<EntropyClient> = None;
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return;
+/// What to do with a connection after handling an event.
+enum ConnFate {
+    Keep,
+    Close,
+}
+
+struct EventLoop {
+    listener: UnixListener,
+    wake_rx: UnixStream,
+    completions: Arc<CompletionQueue>,
+    connector: Connector,
+    stats: Arc<ServerStats>,
+    conns: Vec<Option<Conn>>,
+    /// Per-slot reuse counter, bumped on close so stale completion
+    /// tokens never reach a successor connection.
+    generations: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl EventLoop {
+    fn run(mut self, shutdown: &AtomicBool) {
+        // Poll set layout: [listener, wake, conn, conn, ...].
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::new();
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            fds.clear();
+            slot_of.clear();
+            let at_capacity = self.active_count() >= MAX_CONNS;
+            fds.push(PollFd::new(
+                self.listener.as_raw_fd(),
+                if at_capacity { 0 } else { POLLIN },
+            ));
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            for (slot, conn) in self.conns.iter().enumerate() {
+                if let Some(conn) = conn {
+                    let mut events = POLLIN;
+                    if conn.has_backlog() {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                    slot_of.push(slot);
+                }
+            }
+            if poll_fds(&mut fds, POLL_TIMEOUT_MS).is_err() {
+                // EINVAL/ENOMEM from poll(2) is not survivable for a
+                // multiplexer; exit and let shutdown clean up.
+                break;
+            }
+            if fds[1].readable() {
+                self.drain_wake();
+            }
+            // Completions may land between polls; drain unconditionally.
+            self.deliver_completions();
+            if fds[0].readable() {
+                self.accept_ready();
+            }
+            for (i, fd) in fds.iter().enumerate().skip(2) {
+                let slot = slot_of[i - 2];
+                if fd.writable() {
+                    self.flush_slot(slot);
+                }
+                if fd.readable() {
+                    self.read_slot(slot);
+                }
+            }
         }
-        // The stream carries a read timeout (armed above); an expiry
-        // loops back to the shutdown check.
-        let (op, payload) = match wire::read_frame(&mut stream) {
-            Ok(frame) => frame,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+        // Dropping each Conn drops its EntropyClient, which closes the
+        // scheduler-side client.
+        self.conns.clear();
+    }
+
+    fn active_count(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Swallows pending wake bytes (level-triggered readiness: one
+    /// drained byte per push keeps the channel from filling).
+    fn drain_wake(&mut self) {
+        let mut sink = [0u8; 256];
+        // The wake stream is nonblocking; WouldBlock ends the drain.
+        while let Ok(n) = self.wake_rx.read(&mut sink) {
+            if n < sink.len() {
+                break;
+            }
+        }
+    }
+
+    /// Routes finished grants to their connections' write buffers.
+    fn deliver_completions(&mut self) {
+        for completion in self.completions.drain() {
+            let slot = (completion.token >> 32) as usize;
+            #[allow(clippy::cast_possible_truncation)]
+            let generation = completion.token as u32;
+            let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                continue;
+            };
+            if conn.generation != generation {
                 continue;
             }
-            Err(_) => return,
-        };
-        let ok = match (op, &client) {
-            (OP_HELLO, None) => match wire::parse_u32(&payload) {
-                Ok(id) => match connector.connect(id) {
-                    Ok(c) => {
-                        client = Some(c);
-                        wire::write_frame(&mut stream, OP_HELLO_OK, &[]).is_ok()
-                    }
-                    Err(e) => {
-                        send_err(&mut stream, &e);
-                        false
-                    }
-                },
-                Err(e) => {
-                    send_err(&mut stream, &ServeError::Protocol(e.to_string()));
-                    false
+            let alive = match completion.result {
+                Ok(bytes) => conn.send_frame(OP_OK, &bytes),
+                Err(ServeError::Busy { in_flight }) => {
+                    let count = u32::try_from(in_flight).unwrap_or(u32::MAX);
+                    conn.send_frame(OP_BUSY, &count.to_le_bytes())
                 }
-            },
-            (OP_HELLO, Some(_)) => {
-                send_err(
-                    &mut stream,
-                    &ServeError::Protocol("duplicate HELLO on one connection".to_owned()),
-                );
-                false
-            }
-            (OP_REQ, Some(c)) => match wire::parse_u32(&payload) {
-                Ok(nbytes) => match c.request(nbytes as usize) {
-                    Ok(bytes) => wire::write_frame(&mut stream, OP_OK, &bytes).is_ok(),
-                    Err(ServeError::Busy { in_flight }) => {
-                        let count = u32::try_from(in_flight).unwrap_or(u32::MAX);
-                        wire::write_frame(&mut stream, OP_BUSY, &count.to_le_bytes()).is_ok()
-                    }
-                    Err(e) => {
-                        send_err(&mut stream, &e);
-                        false
-                    }
-                },
-                Err(e) => {
-                    send_err(&mut stream, &ServeError::Protocol(e.to_string()));
-                    false
+                Err(ServeError::RateLimited { retry_after_us }) => {
+                    let us = u32::try_from(retry_after_us).unwrap_or(u32::MAX);
+                    conn.send_frame(OP_RATE_LIMITED, &us.to_le_bytes())
                 }
-            },
-            (OP_REQ, None) => {
-                send_err(
-                    &mut stream,
-                    &ServeError::Protocol("REQ before HELLO".to_owned()),
-                );
-                false
+                Err(ServeError::Shedding { queued }) => {
+                    let count = u32::try_from(queued).unwrap_or(u32::MAX);
+                    conn.send_frame(OP_SHEDDING, &count.to_le_bytes())
+                }
+                Err(e) => {
+                    // Terminal failure: answer, flush, close.
+                    conn.closing = true;
+                    conn.send_frame(OP_ERR, e.to_string().as_bytes())
+                }
+            };
+            if !alive || (conn.closing && !conn.has_backlog()) {
+                self.close_slot(slot);
             }
-            (OP_CLOSE, _) => false,
-            (other, _) => {
-                send_err(
-                    &mut stream,
-                    &ServeError::Protocol(format!("unknown opcode 0x{other:02x}")),
-                );
-                false
-            }
-        };
-        if !ok {
-            // Dropping `client` (if any) sends Close to the scheduler.
-            return;
         }
     }
-}
 
-fn send_err(stream: &mut UnixStream, error: &ServeError) {
-    let _ = wire::write_frame(stream, OP_ERR, error.to_string().as_bytes());
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            // The listener is nonblocking; WouldBlock ends the accept burst.
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        self.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.stats.active.fetch_add(1, Ordering::Relaxed);
+                    let mut conn = Conn {
+                        stream,
+                        decoder: FrameDecoder::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        client: None,
+                        generation: 0,
+                        closing: false,
+                    };
+                    match self.free.pop() {
+                        Some(slot) => {
+                            conn.generation = self.generations[slot];
+                            self.conns[slot] = Some(conn);
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.generations.push(0);
+                        }
+                    }
+                    if self.active_count() >= MAX_CONNS {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Typed and counted (the old code dropped the peer
+                    // without a trace); back off to the next poll round
+                    // so a persistent error cannot spin the loop.
+                    self.stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn flush_slot(&mut self, slot: usize) {
+        let Some(Some(conn)) = self.conns.get_mut(slot) else {
+            return;
+        };
+        let alive = conn.flush();
+        if !alive || (conn.closing && !conn.has_backlog()) {
+            self.close_slot(slot);
+        }
+    }
+
+    /// Reads whatever the socket has, feeds the decoder and handles
+    /// every complete frame.
+    fn read_slot(&mut self, slot: usize) {
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                return;
+            };
+            // The socket is nonblocking: WouldBlock ends the read burst.
+            let n = match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF: the peer is gone; closing the slot drops the
+                    // EntropyClient, which closes the scheduler client.
+                    self.close_slot(slot);
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_slot(slot);
+                    return;
+                }
+            };
+            conn.decoder.feed(&buf[..n]);
+            loop {
+                let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                    return;
+                };
+                match conn.decoder.next_frame() {
+                    Ok(Some((op, payload))) => {
+                        if matches!(self.handle_frame(slot, op, &payload), ConnFate::Close) {
+                            self.close_slot(slot);
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Unrecoverable framing (oversized length).
+                        self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = conn.send_frame(OP_ERR, b"unrecoverable framing error");
+                        self.close_slot(slot);
+                        return;
+                    }
+                }
+            }
+            if n < buf.len() {
+                return;
+            }
+        }
+    }
+
+    /// Handles one decoded frame on one connection.
+    fn handle_frame(&mut self, slot: usize, op: u8, payload: &[u8]) -> ConnFate {
+        let has_client = match self.conns.get(slot) {
+            Some(Some(conn)) => {
+                if conn.closing {
+                    // The session is over; ignore anything after CLOSE.
+                    return ConnFate::Keep;
+                }
+                conn.client.is_some()
+            }
+            _ => return ConnFate::Close,
+        };
+        match (op, has_client) {
+            (OP_HELLO, false) => match wire::parse_u32(payload) {
+                Ok(id) => {
+                    // The registration round trip is the one blocking
+                    // hop on this path; it never touches the pool, so
+                    // the scheduler answers within a serving pass.
+                    let registered = self.connector.connect(id);
+                    let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                        return ConnFate::Close;
+                    };
+                    match registered {
+                        Ok(client) => {
+                            conn.client = Some(client);
+                            if conn.send_frame(OP_HELLO_OK, &[]) {
+                                ConnFate::Keep
+                            } else {
+                                ConnFate::Close
+                            }
+                        }
+                        Err(e) => {
+                            self.stats.register_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = conn.send_frame(OP_ERR, e.to_string().as_bytes());
+                            ConnFate::Close
+                        }
+                    }
+                }
+                Err(e) => self.protocol_error(slot, &e.to_string()),
+            },
+            (OP_HELLO, true) => self.protocol_error(slot, "duplicate HELLO on one connection"),
+            (OP_REQ, true) => match wire::parse_u32(payload) {
+                Ok(nbytes) => {
+                    let completions = Arc::clone(&self.completions);
+                    let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                        return ConnFate::Close;
+                    };
+                    let token = conn.token(slot);
+                    let client = conn.client.as_ref().expect("checked");
+                    match client.request_queued(nbytes as usize, &completions, token) {
+                        Ok(()) => ConnFate::Keep,
+                        Err(e) => {
+                            let _ = conn.send_frame(OP_ERR, e.to_string().as_bytes());
+                            ConnFate::Close
+                        }
+                    }
+                }
+                Err(e) => self.protocol_error(slot, &e.to_string()),
+            },
+            (OP_REQ, false) => self.protocol_error(slot, "REQ before HELLO"),
+            (OP_CLOSE, _) => {
+                let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                    return ConnFate::Close;
+                };
+                // Flush any buffered replies, then close.
+                conn.closing = true;
+                if conn.has_backlog() {
+                    ConnFate::Keep
+                } else {
+                    ConnFate::Close
+                }
+            }
+            (other, _) => self.protocol_error(slot, &format!("unknown opcode 0x{other:02x}")),
+        }
+    }
+
+    fn protocol_error(&mut self, slot: usize, msg: &str) -> ConnFate {
+        self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(Some(conn)) = self.conns.get_mut(slot) {
+            let _ = conn.send_frame(OP_ERR, format!("protocol violation: {msg}").as_bytes());
+        }
+        ConnFate::Close
+    }
+
+    fn close_slot(&mut self, slot: usize) {
+        if let Some(entry) = self.conns.get_mut(slot) {
+            // Dropping the Conn drops its EntropyClient (scheduler-side
+            // Close) and abandons any in-flight tokens to staleness.
+            if entry.take().is_some() {
+                self.stats.active.fetch_sub(1, Ordering::Relaxed);
+                self.generations[slot] = self.generations[slot].wrapping_add(1);
+                self.free.push(slot);
+            }
+        }
+    }
 }
 
 /// A minimal synchronous client for the socket protocol — used by the
-/// load bench, the CI smoke test and integration tests.
+/// deterministic smoke drill and simple integration tests. Load
+/// generation at scale goes through [`crate::mux::MuxClient`], which
+/// multiplexes many connections without a thread each.
 #[derive(Debug)]
 pub struct UdsClient {
     stream: UnixStream,
@@ -265,8 +628,10 @@ impl UdsClient {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Busy`] for a backpressure rejection, transport or
-    /// protocol errors otherwise.
+    /// A typed backpressure rejection ([`ServeError::Busy`],
+    /// [`ServeError::RateLimited`], [`ServeError::Shedding`]) when the
+    /// scheduler refused the request; transport or protocol errors
+    /// otherwise.
     pub fn request(&mut self, nbytes: u32) -> Result<Vec<u8>, ServeError> {
         wire::write_frame(&mut self.stream, OP_REQ, &nbytes.to_le_bytes())?;
         // Reply reads are bounded by the connect-time read timeout.
@@ -275,6 +640,12 @@ impl UdsClient {
             OP_OK => Ok(payload),
             OP_BUSY => Err(ServeError::Busy {
                 in_flight: wire::parse_u32(&payload).unwrap_or(0) as usize,
+            }),
+            OP_RATE_LIMITED => Err(ServeError::RateLimited {
+                retry_after_us: u64::from(wire::parse_u32(&payload).unwrap_or(0)),
+            }),
+            OP_SHEDDING => Err(ServeError::Shedding {
+                queued: wire::parse_u32(&payload).unwrap_or(0) as usize,
             }),
             OP_ERR => Err(ServeError::Protocol(
                 String::from_utf8_lossy(&payload).into_owned(),

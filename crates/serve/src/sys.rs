@@ -1,0 +1,166 @@
+//! Minimal `poll(2)` shim for the readiness-driven socket frontend.
+//!
+//! The workspace vendors pure-Rust stubs only (`docs/offline_deps.md`),
+//! so there is no `libc` crate to lean on. The event loop needs exactly
+//! one syscall that `std` does not expose — `poll(2)` — and this module
+//! is the whole FFI surface: one `#[repr(C)]` struct matching
+//! `struct pollfd` and one foreign function. Everything else in the
+//! crate stays safe Rust; the wake channel, for instance, is a plain
+//! `UnixStream::pair`, not a `pipe(2)` binding.
+//!
+//! The layout contract is stable: on every Linux ABI `struct pollfd` is
+//! `{ int fd; short events; short revents; }` and `nfds_t` is
+//! `unsigned long` (POSIX requires an unsigned integer type; glibc and
+//! musl both use `unsigned long`).
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// There is data to read.
+pub const POLLIN: i16 = 0x001;
+/// Writing will not block (buffer space available).
+pub const POLLOUT: i16 = 0x004;
+/// An error condition on the descriptor (revents only).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One descriptor's interest set and readiness results — ABI-compatible
+/// with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollFd {
+    /// The descriptor to watch (a negative fd is ignored by the kernel,
+    /// which is how unused slots are parked).
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled in by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`, with `revents` cleared.
+    #[must_use]
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported readable data (or a hangup/error,
+    /// which a reader must also observe — the next `read` returns the
+    /// EOF or the error).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Whether the kernel reported the descriptor writable.
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// Whether the kernel reported an exceptional condition (error,
+    /// hangup or an invalid descriptor).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    /// `poll(2)`. Reads `nfds` entries from `fds` and writes back each
+    /// entry's `revents`; never touches memory beyond that slice.
+    fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: core::ffi::c_int) -> core::ffi::c_int;
+}
+
+/// Waits for readiness on `fds`, at most `timeout_ms` milliseconds
+/// (negative blocks indefinitely, zero returns immediately).
+///
+/// Returns the number of entries with a nonzero `revents`. `EINTR` is
+/// swallowed and reported as zero ready descriptors — callers loop
+/// anyway, and a signal must not kill the event loop.
+///
+/// # Errors
+///
+/// Any other `poll(2)` failure (`EINVAL` for an absurd nfds, `ENOMEM`).
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // The kernel reads and writes exactly `fds.len()` entries.
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of
+    // `#[repr(C)]` PollFd entries layout-identical to `struct pollfd`,
+    // and no pointer is retained after the call returns.
+    let rc = unsafe {
+        poll(
+            fds.as_mut_ptr(),
+            fds.len() as core::ffi::c_ulong,
+            timeout_ms,
+        )
+    };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn pollfd_layout_matches_struct_pollfd() {
+        assert_eq!(std::mem::size_of::<PollFd>(), 8);
+        assert_eq!(std::mem::align_of::<PollFd>(), 4);
+    }
+
+    #[test]
+    fn empty_set_times_out_immediately() {
+        let mut fds: Vec<PollFd> = Vec::new();
+        assert_eq!(poll_fds(&mut fds, 0).expect("polls"), 0);
+    }
+
+    #[test]
+    fn readability_is_reported_after_a_write() {
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).expect("polls"), 0, "idle socket");
+        assert!(!fds[0].readable());
+        a.write_all(b"x").expect("writes");
+        let ready = poll_fds(&mut fds, 1000).expect("polls");
+        assert_eq!(ready, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].failed());
+    }
+
+    #[test]
+    fn hangup_is_reported_when_the_peer_drops() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 1000).expect("polls");
+        assert_eq!(ready, 1);
+        // A dropped peer is readable (EOF) and flagged as a hangup.
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn writability_is_immediate_on_a_fresh_socket() {
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let ready = poll_fds(&mut fds, 1000).expect("polls");
+        assert_eq!(ready, 1);
+        assert!(fds[0].writable());
+    }
+}

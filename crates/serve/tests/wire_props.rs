@@ -1,0 +1,155 @@
+//! Property-based tests for the `wire` frame codec under the
+//! fragmentation the nonblocking event loop actually produces.
+//!
+//! A readiness-driven frontend never sees whole frames: the kernel
+//! hands it arbitrary byte runs, cut anywhere — mid-header, mid-length,
+//! mid-payload — and short writes split outgoing frames the same way.
+//! These properties pin the incremental [`FrameDecoder`] to the
+//! blocking codec: any frame sequence, cut at any chunk boundaries,
+//! decodes to exactly the frames that were encoded.
+
+use proptest::prelude::*;
+
+use strent_serve::wire::{
+    encode_frame, read_frame, write_frame, FrameDecoder, MAX_FRAME,
+};
+
+/// A sequence of (opcode, payload) frames with arbitrary opcodes —
+/// the decoder is opcode-agnostic; dispatch happens a layer up.
+fn frames() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    prop::collection::vec(
+        (0u8..=255, prop::collection::vec(0u8..=255, 0..96)),
+        0..12,
+    )
+}
+
+/// Chunk lengths to cut the encoded byte stream at (cycled).
+fn chunk_lens() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..32, 1..8)
+}
+
+fn encode_all(frames: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for (op, payload) in frames {
+        encode_frame(&mut buf, *op, payload).expect("encodes");
+    }
+    buf
+}
+
+/// Feeds `bytes` to a fresh decoder in chunks whose sizes cycle
+/// through `lens`, draining decoded frames after every feed (as the
+/// event loop does after every readable poll).
+fn decode_chunked(bytes: &[u8], lens: &[usize]) -> Vec<(u8, Vec<u8>)> {
+    let mut decoder = FrameDecoder::new();
+    let mut decoded = Vec::new();
+    let mut pos = 0usize;
+    let mut turn = 0usize;
+    while pos < bytes.len() {
+        let len = lens[turn % lens.len()].min(bytes.len() - pos);
+        turn += 1;
+        decoder.feed(&bytes[pos..pos + len]);
+        pos += len;
+        while let Some(frame) = decoder.next_frame().expect("valid stream") {
+            decoded.push(frame);
+        }
+    }
+    assert_eq!(decoder.pending(), 0, "no bytes left behind");
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any frame sequence survives any fragmentation: chunked decode
+    /// reproduces the encoded frames exactly.
+    #[test]
+    fn chunked_decode_round_trips((frames, lens) in (frames(), chunk_lens())) {
+        let bytes = encode_all(&frames);
+        let decoded = decode_chunked(&bytes, &lens);
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Fragmentation is invisible: one-shot decode and chunked decode
+    /// of the same stream agree frame for frame.
+    #[test]
+    fn fragmentation_does_not_change_the_frames(
+        (frames, lens) in (frames(), chunk_lens())
+    ) {
+        let bytes = encode_all(&frames);
+        let whole = decode_chunked(&bytes, &[bytes.len().max(1)]);
+        let split = decode_chunked(&bytes, &lens);
+        prop_assert_eq!(whole, split);
+    }
+
+    /// The incremental encoder and the blocking writer emit identical
+    /// bytes, and the blocking reader accepts the incremental output.
+    #[test]
+    fn incremental_and_blocking_codecs_agree(
+        (op, payload) in (0u8..=255, prop::collection::vec(0u8..=255, 0..96))
+    ) {
+        let mut incremental = Vec::new();
+        encode_frame(&mut incremental, op, &payload).expect("encodes");
+        let mut blocking = Vec::new();
+        write_frame(&mut blocking, op, &payload).expect("writes");
+        prop_assert_eq!(&incremental, &blocking);
+        let mut cursor = std::io::Cursor::new(incremental);
+        let (rop, rpayload) = read_frame(&mut cursor).expect("reads");
+        prop_assert_eq!(rop, op);
+        prop_assert_eq!(rpayload, payload);
+    }
+
+    /// An oversized length field is rejected from the 5-byte header
+    /// alone — no matter how the bytes before it arrived — so a
+    /// malicious peer cannot make the decoder buffer `MAX_FRAME`+
+    /// bytes.
+    #[test]
+    fn oversized_length_rejected_under_any_split(
+        (prefix, lens, extra) in (
+            prop::collection::vec(0u8..=255, 0..32),
+            chunk_lens(),
+            1u32..1024,
+        )
+    ) {
+        // A valid frame first (the prefix as payload), then a header
+        // claiming more than MAX_FRAME.
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, 0x02, &prefix).expect("encodes");
+        bytes.push(0x02);
+        bytes.extend_from_slice(&(MAX_FRAME as u32 + extra).to_le_bytes());
+
+        let mut decoder = FrameDecoder::new();
+        let mut pos = 0usize;
+        let mut turn = 0usize;
+        let mut good_frames = 0usize;
+        let mut rejected = false;
+        while pos < bytes.len() {
+            let len = lens[turn % lens.len()].min(bytes.len() - pos);
+            turn += 1;
+            decoder.feed(&bytes[pos..pos + len]);
+            pos += len;
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(_)) => good_frames += 1,
+                    Ok(None) => break,
+                    Err(err) => {
+                        prop_assert_eq!(
+                            err.kind(),
+                            std::io::ErrorKind::InvalidData
+                        );
+                        rejected = true;
+                        break;
+                    }
+                }
+            }
+            if rejected {
+                break;
+            }
+        }
+        prop_assert!(rejected, "oversized header must be rejected");
+        prop_assert_eq!(good_frames, 1, "the valid frame still decodes");
+        prop_assert!(
+            decoder.pending() <= 5 + lens.iter().max().copied().unwrap_or(0),
+            "rejection happens from the header, not a buffered body"
+        );
+    }
+}

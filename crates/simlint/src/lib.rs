@@ -31,6 +31,7 @@
 //! | SL107 | bare `.unwrap()`/`.expect(...)` on `JoinHandle::join` in non-test `src/` |
 //! | SL108 | unguarded blocking read in `crates/serve` `src/` (no timeout/shutdown guard nearby) |
 //! | SL109 | direct `RingStream::build` in `crates/serve`/`crates/core` `src/` (bypasses the `SourceBackend` selector) |
+//! | SL110 | thread spawn in `crates/serve` `src/` without a lifecycle token nearby (per-connection threads forbidden) |
 //!
 //! Vetted sites are excused either inline (`// simlint: allow(SL102)`
 //! on the offending or preceding line) or via the allowlist file
@@ -507,6 +508,36 @@ fn has_liveness_guard(raw: &[&str], idx: usize) -> bool {
         .any(|l| LIVENESS_GUARDS.iter().any(|g| l.contains(g)))
 }
 
+/// Thread-creation call shapes SL110 looks for in the serving layer.
+/// `.spawn(` catches both `thread::spawn` closures routed through
+/// `Builder` and bare `std::thread::spawn` calls via the first pattern.
+const THREAD_SPAWNS: [&str; 2] = ["thread::spawn", ".spawn("];
+
+/// Lifecycle tokens SL110 accepts on the line or within the 3
+/// preceding raw lines (matched case-insensitively; comments and
+/// thread-name strings both count). These name the only threads the
+/// serving layer is allowed to create: pool workers, scheduler/shard
+/// threads and the event loop, all spawned once at startup — never one
+/// per connection.
+const LIFECYCLE_GUARDS: [&str; 6] = [
+    "worker",
+    "scheduler",
+    "shard",
+    "event-loop",
+    "event loop",
+    "startup",
+];
+
+/// Whether a lifecycle token appears on the raw line or within the 3
+/// preceding raw lines, ignoring case.
+fn has_lifecycle_guard(raw: &[&str], idx: usize) -> bool {
+    let from = idx.saturating_sub(3);
+    raw[from..=idx].iter().any(|l| {
+        let lower = l.to_lowercase();
+        LIFECYCLE_GUARDS.iter().any(|g| lower.contains(g))
+    })
+}
+
 /// Scans one file's source text. `deterministic` enables the SL101-104
 /// rules (hot-path files); the `unsafe` audit (SL105) always runs.
 /// Returns findings not excused inline or by the allowlist.
@@ -674,6 +705,33 @@ pub fn scan_source(
                     .to_owned(),
                 &mut out,
             );
+        }
+        // SL110 keeps per-connection threads out of the serving layer:
+        // the socket frontend is a readiness-driven event loop, so the
+        // only threads strent-serve may create are the named lifecycle
+        // threads (pool workers, scheduler/shard threads, the event
+        // loop itself), spawned once at startup. A spawn with no
+        // lifecycle token nearby is the thread-per-connection pattern
+        // creeping back in — the exact design this rule retired.
+        if !mask[idx] && path.starts_with("crates/serve/") && path.contains("/src/") {
+            for pattern in THREAD_SPAWNS {
+                if line.contains(pattern) && !has_lifecycle_guard(&raw, idx) {
+                    push(
+                        "SL110",
+                        "error",
+                        idx,
+                        format!(
+                            "thread spawn `{pattern}` in the serving layer without a \
+                             lifecycle token: connections are multiplexed by the event \
+                             loop, never given threads; if this is a legitimate \
+                             worker/scheduler/shard/event-loop startup spawn, name the \
+                             thread or say so within the 3 preceding lines"
+                        ),
+                        &mut out,
+                    );
+                    break;
+                }
+            }
         }
     }
     out
@@ -1014,6 +1072,57 @@ mod tests {
     }
 
     #[test]
+    fn thread_spawn_fires_sl110_in_the_serving_layer() {
+        let scan_serve = |src: &str| {
+            scan_source("crates/serve/src/server.rs", src, false, &Allowlist::empty())
+                .into_iter()
+                .filter(|d| d.code == "SL110")
+                .collect::<Vec<_>>()
+        };
+        // The per-connection pattern, both spellings.
+        for bad in [
+            "std::thread::spawn(move || handle(stream));\n",
+            "let h = thread::Builder::new()\n    .spawn(move || handle(stream));\n",
+        ] {
+            assert_eq!(scan_serve(bad).len(), 1, "{bad:?} must fire once");
+        }
+        // A lifecycle token on the line or within the 3 preceding raw
+        // lines excuses the spawn; thread names and comments count,
+        // case-insensitively.
+        for good in [
+            "let h = thread::Builder::new()\n    .name(\"strent-serve-event-loop\".to_owned())\n    .spawn(run)?;\n",
+            "let h = thread::Builder::new()\n    .name(format!(\"strent-serve-worker-{w}\"))\n    .spawn(work)?;\n",
+            "// Startup spawn: one scheduler thread per service.\nlet h = thread::spawn(run);\n",
+            "let name = format!(\"strent-serve-shard-{k}\");\nlet h = builder.spawn(run)?;\n",
+        ] {
+            assert!(scan_serve(good).is_empty(), "{good:?} fired: {:?}", scan_serve(good));
+        }
+        // The rule is scoped: other crates and serve's own tests may
+        // spawn freely (the load harness and drills need threads).
+        let elsewhere = scan_source(
+            "crates/bench/src/bin/serve_load.rs",
+            "std::thread::spawn(move || handle(stream));\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(elsewhere.iter().all(|d| d.code != "SL110"));
+        let in_tests = scan_source(
+            "crates/serve/tests/sharding.rs",
+            "std::thread::spawn(move || handle(stream));\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(in_tests.iter().all(|d| d.code != "SL110"));
+        let in_test_mod = scan_serve(concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { std::thread::spawn(|| ()); }\n",
+            "}\n",
+        ));
+        assert!(in_test_mod.is_empty(), "{in_test_mod:?}");
+    }
+
+    #[test]
     fn safety_comment_satisfies_the_unsafe_audit() {
         let source = "// SAFETY: index bounds checked above.\nfn f() { unsafe { x() } }\n";
         assert!(scan_det(source).is_empty());
@@ -1158,7 +1267,7 @@ mod tests {
             // SL108/SL109 are scoped to the serving layer, so their
             // fixtures are labelled there; the rest pose as
             // deterministic-crate files.
-            let crate_dir = if matches!(code, "SL108" | "SL109") {
+            let crate_dir = if matches!(code, "SL108" | "SL109" | "SL110") {
                 "serve"
             } else {
                 "sim"

@@ -74,6 +74,7 @@ fn self_test(root: &Path) -> Result<(), String> {
         ("join_unwrap.rs", "SL107"),
         ("blocking_recv.rs", "SL108"),
         ("ring_stream_bypass.rs", "SL109"),
+        ("conn_thread_spawn.rs", "SL110"),
     ];
     for (file, code) in expect {
         let path = fixtures.join(file);
@@ -82,7 +83,7 @@ fn self_test(root: &Path) -> Result<(), String> {
         // Fixtures are labelled as deterministic-crate files so the
         // determinism rules apply; the SL108/SL109 fixtures are
         // labelled in the serving layer, those rules' scope.
-        let crate_dir = if matches!(code, "SL108" | "SL109") {
+        let crate_dir = if matches!(code, "SL108" | "SL109" | "SL110") {
             "serve"
         } else {
             "sim"

@@ -140,46 +140,78 @@ else
     echo "robustness manifest: python3 unavailable, validation skipped"
 fi
 
-echo "== serve smoke (pool determinism, fault drill, UDS frontend) =="
+echo "== serve smoke (shard determinism, scaling gate, 1024-conn UDS frontend) =="
 serve_out="$(mktemp -t BENCH_serve.XXXXXX.json)"
 serve_sock="$(mktemp -u -t strent-serve-ci.XXXXXX.sock)"
-trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock"' EXIT
-# --smoke drives a UDS server on a temp socket with 3 concurrent
-# clients and checks the served allocation byte-for-byte against an
-# in-process pool replay; the binary exits nonzero if any invariant
-# (worker-count digest identity, fault containment, clean shutdown)
-# fails.
+serve_check="$(mktemp -t check_serve.XXXXXX.py)"
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check"' EXIT
+# --smoke drives ≥1024 multiplexed connections through the poll event
+# loop on a temp socket plus a 3-client deterministic byte-for-byte
+# replay; the binary exits nonzero if any invariant (shard-count digest
+# identity, ≥2x shard scaling, backpressure classes, fault containment,
+# clean shutdown) fails.
 STRENT_LINT=deny cargo run -q --release -p strent-bench --bin serve_load --offline -- \
     --quick --smoke --socket "$serve_sock" --out "$serve_out"
 [ -s "$serve_out" ] || { echo "BENCH_serve.json was not emitted"; exit 1; }
 [ -e "$serve_sock" ] && { echo "serve smoke left its socket behind"; exit 1; }
-if command -v python3 >/dev/null 2>&1; then
-    python3 - "$serve_out" <<'PY'
+# One validator for both the fresh smoke output and the committed
+# artifact at the repo root — the schema and invariants must hold for
+# each.
+cat > "$serve_check" <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))
-assert report["schema"] == "strentropy-bench-serve/1", report
+assert report["schema"] == "strentropy-bench-serve/2", report["schema"]
+assert report["host_cpus"] >= 1, report
 det = report["determinism"]
-digests = {d["fnv1a64"] for d in det["worker_digests"]}
-workers = sorted(d["workers"] for d in det["worker_digests"])
-assert workers == [1, 2, 8], workers
+digests = {d["fnv1a64"] for d in det["shard_digests"]}
+shards = sorted(d["shards"] for d in det["shard_digests"])
+assert shards == [1, 2, 8], shards
 assert len(digests) == 1 and det["bit_identical"], det
 assert det["matches_pool_replay"], det
-load = report["load"]
-assert load["grants"] > 0 and load["total_bytes"] > 0, load
-assert load["throughput_bytes_per_sec"] > 0, load
-assert 0 <= load["rejection_rate"] <= 1, load
-assert load["latency_p99_us"] >= load["latency_p50_us"] >= 0, load
+closed = report["closed_loop"]
+assert [p["clients"] for p in closed["points"]] == [1, 16, 128, 1024], closed
+for p in closed["points"]:
+    assert p["throughput_rps"] > 0, p
+    assert p["latency_p999_us"] >= p["latency_p99_us"] >= p["latency_p50_us"] >= 0, p
+assert closed["saturation_rps"] > 0, closed
+open_loop = report["open_loop"]
+assert len(open_loop["points"]) == 3, open_loop
+for p in open_loop["points"]:
+    assert p["throughput_rps"] > 0 and p["latency_p99_us"] > 0, p
+scaling = report["shard_scaling"]
+assert scaling["harness"] == "in_process", scaling
+for backend in ("full_sim", "surrogate"):
+    pts = [p for p in scaling["points"] if p["backend"] == backend]
+    assert sorted(p["shards"] for p in pts) == [1, 2, 4, 8], pts
+assert scaling["speedup_8v1"] >= 2.0, scaling
+bp = report["backpressure"]
+assert bp["busy"] > 0 and bp["rate_limited"] > 0 and bp["shed"] > 0, bp
+assert bp["all_classes_observed"], bp
 fault = report["fault_drill"]
 assert fault["alarms"] >= 1 and fault["replacements"] >= 1, fault
 assert fault["bytes_per_alarm"] > 0 and fault["health_clean"], fault
 smoke = report["uds_smoke"]
-assert smoke["clients"] == 3 and smoke["bytes_served"] > 0, smoke
+assert smoke["mux_clients"] >= 1024 and smoke["mux_errors"] == 0, smoke
+assert smoke["accepted"] >= 1024 and smoke["accept_errors"] == 0, smoke
+assert smoke["register_errors"] == 0 and smoke["drained"], smoke
+assert smoke["replay_clients"] == 3 and smoke["bytes_served"] > 0, smoke
 assert smoke["deterministic"] and smoke["clean_shutdown"], smoke
-print(f"BENCH_serve.json: valid, digest {digests.pop()} at workers {workers}, "
-      f"{fault['bytes_per_alarm']:.0f} bytes/alarm")
+print(f"{sys.argv[2]}: valid, digest {digests.pop()} at shards {shards}, "
+      f"speedup 8v1 {scaling['speedup_8v1']:.2f}x, "
+      f"{smoke['accepted']} conns accepted")
 PY
+if command -v python3 >/dev/null 2>&1; then
+    python3 "$serve_check" "$serve_out" "serve smoke output"
 else
     echo "BENCH_serve.json: python3 unavailable, validation skipped"
+fi
+
+echo "== committed BENCH_serve.json (schema + invariants) =="
+[ -s BENCH_serve.json ] || { echo "committed BENCH_serve.json missing"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 "$serve_check" BENCH_serve.json "committed BENCH_serve.json"
+else
+    echo "committed BENCH_serve.json: python3 unavailable, validation skipped"
 fi
 
 echo "== degradation campaign smoke (quick, netlist lints denied) =="

@@ -12,6 +12,13 @@ pub fn vetted_wall_clock_stat() -> u128 {
     std::time::Instant::now().elapsed().as_nanos()
 }
 
+pub fn derived_stream(run_seed: u64) -> SimRng {
+    // Seed material flows from the run seed: SL204 accepts provenance
+    // through the binding chain.
+    let stream_seed = run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    SimRng::seed_from_u64(stream_seed)
+}
+
 pub fn documented_unsafe(values: &[u64]) -> u64 {
     if values.is_empty() {
         return 0;

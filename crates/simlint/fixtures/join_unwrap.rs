@@ -13,6 +13,15 @@ pub fn swallow_worker_panics(workers: usize) -> Vec<u64> {
         .collect()
 }
 
+pub fn swallow_via_binding() -> u64 {
+    let worker = std::thread::spawn(|| 7u64);
+    let outcome = worker.join();
+    // The old same-line heuristic is blind here: `.join()` and
+    // `.unwrap()` never share a line. Receiver provenance tracks the
+    // handle through the binding and still fires.
+    outcome.unwrap()
+}
+
 pub fn path_joins_never_fire(root: &std::path::Path) -> String {
     // `Path::join` takes an argument — not the JoinHandle signature.
     root.join("scripts").join("ci.sh").to_str().unwrap().to_owned()

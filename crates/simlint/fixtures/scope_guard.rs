@@ -1,0 +1,17 @@
+//! Fixture: the 3-line-window blind spot (SL205). Scanned as
+//! `crates/serve/src/scope_guard.rs` by the self-test.
+//!
+//! The guard sits two raw lines above the risky call — close enough to
+//! satisfy SL108's proximity window — but it lives in a *sibling*
+//! branch, so on the path where `probe` is false nothing governs the
+//! accept. Scope-aware checking requires the guard to dominate the
+//! call in the block tree and fires here.
+
+use std::os::unix::net::UnixListener;
+
+pub fn accept_with_a_sibling_guard(listener: &UnixListener, probe: bool) {
+    if probe {
+        listener.set_nonblocking(true).ok();
+    }
+    let _ = listener.accept();
+}

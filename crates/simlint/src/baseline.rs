@@ -1,0 +1,232 @@
+//! Grandfathering baseline: deny-on-*new*-findings.
+//!
+//! A baseline file records the vetted pre-existing findings as
+//! `(path, code) -> count` with a justification, so a new rule can land
+//! in deny mode without rewriting history: scans subtract the baseline
+//! and fail only on findings beyond it. `--write-baseline` emits the
+//! current scan in this format; stale entries (more grandfathered than
+//! found) are reported so the file shrinks as sites get fixed.
+//!
+//! Line format, one entry per line (`#` starts a comment):
+//!
+//! ```text
+//! <path> <code> <count> [justification...]
+//! ```
+
+use crate::{ScanReport, SourceDiagnostic};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// The outcome of subtracting a baseline from a scan.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings suppressed as grandfathered.
+    pub suppressed: usize,
+    /// Entries whose recorded count exceeds what the scan found —
+    /// candidates for removal, as `(path, code, unused)`.
+    pub stale: Vec<(String, String, usize)>,
+}
+
+impl Baseline {
+    /// An empty baseline (nothing grandfathered).
+    #[must_use]
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Parses the baseline format; malformed lines are rejected so a
+    /// typo cannot silently grandfather nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(path), Some(code), Some(count)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected '<path> <code> <count> [reason]', got {raw:?}",
+                    i + 1
+                ));
+            };
+            if !code.starts_with("SL") {
+                return Err(format!(
+                    "baseline line {}: {code:?} is not an SLxxx code",
+                    i + 1
+                ));
+            }
+            let count: usize = count.parse().map_err(|_| {
+                format!("baseline line {}: {count:?} is not a count", i + 1)
+            })?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline line {}: a zero count grandfathers nothing — delete the entry",
+                    i + 1
+                ));
+            }
+            *entries
+                .entry((path.replace('\\', "/"), code.to_owned()))
+                .or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads and parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO or parse failure as a message.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Whether the baseline grandfathers anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Subtracts the baseline from `report` in place: for each
+    /// `(path, code)` entry the first `count` findings (in the
+    /// report's sorted order) are suppressed; everything beyond the
+    /// grandfathered count stays and still fails `--deny`.
+    pub fn apply(&self, report: &mut ScanReport) -> BaselineOutcome {
+        let mut budget: BTreeMap<(String, String), usize> = self.entries.clone();
+        let mut outcome = BaselineOutcome::default();
+        report.diagnostics.retain(|d| {
+            let key = (d.path.clone(), d.code.to_owned());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    outcome.suppressed += 1;
+                    false
+                }
+                _ => true,
+            }
+        });
+        outcome.stale = budget
+            .into_iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|((path, code), n)| (path, code, n))
+            .collect();
+        outcome
+    }
+
+    /// Renders `diagnostics` in the baseline format (counts per
+    /// `(path, code)`, sorted), ready to commit as the grandfather
+    /// file for `--baseline`.
+    #[must_use]
+    pub fn render(diagnostics: &[SourceDiagnostic]) -> String {
+        let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for d in diagnostics {
+            *counts.entry((d.path.as_str(), d.code)).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# simlint baseline: grandfathered findings (deny mode fails only on NEW ones).\n\
+             # Format: <path> <code> <count> [justification]. Keep every entry justified.\n",
+        );
+        for ((path, code), n) in counts {
+            out.push_str(&format!("{path} {code} {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, code: &'static str, line: usize) -> SourceDiagnostic {
+        SourceDiagnostic {
+            code,
+            severity: "error",
+            path: path.to_owned(),
+            line,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn apply_suppresses_up_to_the_grandfathered_count() {
+        let base = Baseline::parse("crates/serve/src/s.rs SL203 2 control channels\n")
+            .expect("parses");
+        let mut report = ScanReport {
+            files_scanned: 1,
+            diagnostics: vec![
+                diag("crates/serve/src/s.rs", "SL203", 10),
+                diag("crates/serve/src/s.rs", "SL203", 20),
+                diag("crates/serve/src/s.rs", "SL203", 30),
+                diag("crates/serve/src/s.rs", "SL202", 5),
+            ],
+            ..ScanReport::default()
+        };
+        let outcome = base.apply(&mut report);
+        assert_eq!(outcome.suppressed, 2);
+        assert!(outcome.stale.is_empty());
+        // The third SL203 and the SL202 are NEW findings and survive.
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].line, 30);
+        assert_eq!(report.diagnostics[1].code, "SL202");
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let base =
+            Baseline::parse("crates/serve/src/s.rs SL203 3\n").expect("parses");
+        let mut report = ScanReport {
+            files_scanned: 1,
+            diagnostics: vec![diag("crates/serve/src/s.rs", "SL203", 10)],
+            ..ScanReport::default()
+        };
+        let outcome = base.apply(&mut report);
+        assert_eq!(outcome.suppressed, 1);
+        assert_eq!(
+            outcome.stale,
+            vec![("crates/serve/src/s.rs".to_owned(), "SL203".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Baseline::parse("just/a/path SL203\n").is_err(), "missing count");
+        assert!(Baseline::parse("p NOTACODE 1\n").is_err());
+        assert!(Baseline::parse("p SL203 zero\n").is_err());
+        assert!(Baseline::parse("p SL203 0\n").is_err(), "zero count");
+        assert!(Baseline::parse("# comment only\n\n").expect("ok").is_empty());
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let diags = vec![
+            diag("a.rs", "SL203", 1),
+            diag("a.rs", "SL203", 2),
+            diag("b.rs", "SL201", 3),
+        ];
+        let text = Baseline::render(&diags);
+        let base = Baseline::parse(&text).expect("round-trips");
+        let mut report = ScanReport {
+            files_scanned: 1,
+            diagnostics: diags,
+            ..ScanReport::default()
+        };
+        let outcome = base.apply(&mut report);
+        assert_eq!(outcome.suppressed, 3);
+        assert!(report.is_clean());
+    }
+}

@@ -16,27 +16,64 @@ cargo test -q --workspace --offline
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== simlint self-test (every SL1xx code fires on its fixture) =="
+echo "== simlint self-test (every SL1xx/SL2xx code fires on its fixture) =="
+# Also fails if the fixture directory and the rule registry disagree, so
+# a new rule cannot land without a firing fixture (and vice versa).
 cargo run -q --release -p simlint --offline -- --self-test
 
-echo "== simlint (deny mode, clean tree) =="
+echo "== simlint (deny mode, allowlist + grandfather baseline) =="
+# Deny mode fails on any finding beyond the committed baseline AND on
+# stale baseline entries, so the grandfather ledger only ever shrinks.
 cargo run -q --release -p simlint --offline -- \
-    --deny --allowlist scripts/simlint.allow
+    --deny --allowlist scripts/simlint.allow \
+    --baseline scripts/simlint.baseline
 
-echo "== simlint JSON shape =="
+echo "== simlint JSON shape (version 2: rule counts + scan timing) =="
 if command -v python3 >/dev/null 2>&1; then
     cargo run -q --release -p simlint --offline -- \
-        --allowlist scripts/simlint.allow --json \
+        --allowlist scripts/simlint.allow \
+        --baseline scripts/simlint.baseline --json \
         | python3 -c "
 import json, sys
 report = json.load(sys.stdin)
-assert report['version'] == 1, report
+assert report['version'] == 2, report
 assert report['files_scanned'] > 40, report
+assert 'scan_ms' in report, sorted(report)
+counts = report['rule_counts']
+assert len(counts) == 15 and all(c.startswith('SL') for c in counts), counts
+assert all(n == 0 for n in counts.values()), counts
+assert report['suppressed'] == 2, report['suppressed']
 assert report['diagnostics'] == [], report['diagnostics']
-print(f\"simlint JSON: valid, {report['files_scanned']} files scanned\")
+print(f\"simlint JSON: valid v2, {report['files_scanned']} files, \"
+      f\"{len(counts)} rules, {report['suppressed']} grandfathered\")
 "
 else
     echo "simlint JSON: python3 unavailable, validation skipped"
+fi
+
+echo "== simlint catalog vs docs (rule table drift) =="
+# docs/static_analysis.md documents every rule in `| code | severity |
+# scope | ... |` table rows; they must match --catalog exactly.
+if command -v python3 >/dev/null 2>&1; then
+    cargo run -q --release -p simlint --offline -- --catalog \
+        | python3 -c "
+import json, re, sys
+catalog = {(r['code'], r['severity'], r['scope'])
+           for r in json.load(sys.stdin)['rules']}
+rows = set()
+for line in open('docs/static_analysis.md'):
+    m = re.match(r'^\| *(SL\d{3}) *\| *(\w+) *\| *([\w+-]+) *\|', line)
+    if m:
+        rows.add(m.groups())
+missing = catalog - rows
+extra = rows - catalog
+assert not missing and not extra, (
+    f'docs/static_analysis.md drifted from --catalog: '
+    f'missing={sorted(missing)} extra={sorted(extra)}')
+print(f'simlint catalog: {len(catalog)} rules documented, no drift')
+"
+else
+    echo "simlint catalog: python3 unavailable, validation skipped"
 fi
 
 echo "== bench_sweep smoke (quick, netlist lints denied) =="

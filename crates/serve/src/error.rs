@@ -47,6 +47,11 @@ pub enum ServeError {
     /// The service (or a pool worker) is shutting down; no more bytes
     /// will be produced.
     Shutdown,
+    /// The service is draining for a graceful shutdown: queued grants
+    /// are still being served, but no new request is admitted. A typed
+    /// refusal, distinct from [`ServeError::Shutdown`] so clients can
+    /// fail over instead of retrying.
+    Draining,
     /// A pool source stopped producing (its worker died or the source
     /// hit an unrecoverable simulator error).
     SourceFailed {
@@ -78,6 +83,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::Accept(e) => write!(f, "frontend accept/register failed: {e}"),
             ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::Draining => {
+                write!(f, "service is draining; new requests are refused")
+            }
             ServeError::SourceFailed { source } => {
                 write!(f, "pool source {source} stopped producing")
             }

@@ -26,7 +26,13 @@
 //!   multiplex on;
 //! * [`server`] — the Unix-domain-socket frontend: a single-threaded,
 //!   readiness-driven event loop (no thread per connection);
-//! * [`mux`] — the multiplexed closed/open-loop load-generation client.
+//! * [`mux`] — the multiplexed closed/open-loop load-generation client;
+//! * [`supervisor`] — restart policies with deterministic jittered
+//!   backoff, typed incident records, and the `supervise` loop every
+//!   long-lived service thread runs under (panic → restart → escalate
+//!   → quarantine);
+//! * [`chaos`] — seed-deterministic chaos plans and the loop-boundary
+//!   injector the `serve_chaos` drill arms against a live service.
 //!
 //! See `docs/serving.md` for the architecture and the determinism
 //! contract, and `BENCH_serve.json` (emitted by the `serve_load` bench)
@@ -41,20 +47,26 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod error;
 pub mod mux;
 pub mod pool;
 pub mod scheduler;
 pub mod server;
 pub mod source;
+pub mod supervisor;
 pub mod sys;
 pub mod wire;
 
+pub use chaos::{ChaosAction, ChaosInjector, ChaosPlan};
 pub use error::{BackpressureClass, ServeError};
 pub use pool::{PoolChunk, SourcePool, SourceStatus};
 pub use scheduler::{
     CompletionQueue, Connector, EntropyClient, EntropyService, RateLimit, SchedulerMode,
     ServeConfig,
 };
-pub use server::{ServerStats, UdsClient, UdsServer};
+pub use server::{ServerOptions, ServerStats, UdsClient, UdsServer};
 pub use source::PooledSource;
+pub use supervisor::{
+    Deadline, Incident, IncidentKind, IncidentLog, RestartPolicy, SupervisionOutcome,
+};

@@ -26,6 +26,20 @@
 //! are identical no matter how many shards exist), and consumes them
 //! round-robin in ascending global-slot order. The full pool is the
 //! special case `S = 1`.
+//!
+//! ## Supervision
+//!
+//! Every worker runs its producer loop under
+//! [`supervise`](crate::supervisor::supervise): a panic (injected by a
+//! chaos drill via `SourceSpec::panic_after_batches`, or a genuine
+//! simulator bug) is caught, and before the restart the panicked slot
+//! is **rebuilt from its spec and fast-forwarded** by its
+//! already-delivered batch count — per-source streams are pure
+//! functions of `(SourceSpec, PoolConfig)`, so the rebuilt source
+//! resumes at exactly the next undelivered batch and the consumer
+//! never sees a duplicated, dropped or reordered byte. Exhausting the
+//! restart budget escalates: the worker's senders drop and the
+//! consumer sees a typed `SourceFailed`, never a silent stall.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,10 +48,11 @@ use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use strentropy::pool::{PoolConfig, SourceState, SourceStats};
+use strentropy::pool::{PoolConfig, SourceSpec, SourceState, SourceStats};
 
 use crate::error::ServeError;
 use crate::source::PooledSource;
+use crate::supervisor::{supervise, IncidentLog, RestartPolicy};
 
 /// Batches a source may run ahead of the consumer.
 const CHANNEL_DEPTH: usize = 2;
@@ -100,6 +115,7 @@ pub struct SourcePool {
     status: Vec<SourceStatus>,
     buffer: VecDeque<u8>,
     finished: bool,
+    incidents: IncidentLog,
 }
 
 impl SourcePool {
@@ -119,6 +135,8 @@ impl SourcePool {
     /// Starts shard `shard` of `shards`: builds only the global slots
     /// `{ i | i % shards == shard }`, each with its global index, so
     /// per-slot byte streams are identical at every shard count.
+    /// Workers run under the default [`RestartPolicy`] with a fresh
+    /// incident log.
     ///
     /// # Errors
     ///
@@ -129,6 +147,31 @@ impl SourcePool {
         shards: usize,
         shard: usize,
         workers: usize,
+    ) -> Result<Self, ServeError> {
+        SourcePool::start_partition_supervised(
+            config,
+            shards,
+            shard,
+            workers,
+            &RestartPolicy::default(),
+            &IncidentLog::new(),
+        )
+    }
+
+    /// [`SourcePool::start_partition`] with an explicit worker restart
+    /// policy and a shared incident log (the scheduler passes its own
+    /// log so shard and worker incidents land in one place).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SourcePool::start_partition`].
+    pub fn start_partition_supervised(
+        config: &PoolConfig,
+        shards: usize,
+        shard: usize,
+        workers: usize,
+        policy: &RestartPolicy,
+        incidents: &IncidentLog,
     ) -> Result<Self, ServeError> {
         config.validate()?;
         if shards == 0 || shard >= shards {
@@ -162,19 +205,47 @@ impl SourcePool {
         }
 
         let status = vec![SourceStatus::default(); sources.len()];
-        let mut groups: Vec<Vec<(PooledSource, SyncSender<PoolChunk>)>> =
-            (0..worker_count).map(|_| Vec::new()).collect();
+        let mut groups: Vec<Vec<WorkerSlot>> = (0..worker_count).map(|_| Vec::new()).collect();
         for (i, source) in sources.into_iter().enumerate() {
             let tx = senders[i].take().expect("one sender per source");
-            groups[i % worker_count].push((source, tx));
+            let global = slots[i];
+            let spec = config.sources[global].clone();
+            groups[i % worker_count].push(WorkerSlot {
+                panic_pending: spec.panic_after_batches.is_some(),
+                source,
+                tx,
+                global,
+                spec,
+                delivered: 0,
+            });
         }
 
         let mut handles = Vec::with_capacity(worker_count);
         for (w, group) in groups.into_iter().enumerate() {
             let flag = Arc::clone(&shutdown);
+            let policy = policy.clone();
+            let log = incidents.clone();
+            let mut state = WorkerState {
+                slots: group,
+                config: config.clone(),
+                active: None,
+            };
             let handle = thread::Builder::new()
                 .name(format!("strent-serve-worker-{w}"))
-                .spawn(move || worker_loop(group, &flag))
+                .spawn(move || {
+                    let unit = format!("worker-{w}");
+                    // Escalation drops the state (and with it every
+                    // sender), so the consumer sees SourceFailed — a
+                    // typed end, never a silent stall.
+                    let _ = supervise(
+                        &unit,
+                        &policy,
+                        &log,
+                        &mut state,
+                        |s| repair_worker(s, &flag),
+                        |s| produce_loop(s, &flag),
+                    );
+                })
                 .map_err(ServeError::Io)?;
             handles.push(handle);
         }
@@ -189,7 +260,14 @@ impl SourcePool {
             status,
             buffer: VecDeque::new(),
             finished: false,
+            incidents: incidents.clone(),
         })
+    }
+
+    /// The incident log this pool's workers record into.
+    #[must_use]
+    pub fn incident_log(&self) -> &IncidentLog {
+        &self.incidents
     }
 
     /// Number of pool slots owned by this pool (partition).
@@ -300,34 +378,77 @@ impl Drop for SourcePool {
     }
 }
 
-/// Producer loop: round-robin over the worker's sources, pushing each
-/// batch into that source's bounded channel.
-fn worker_loop(mut group: Vec<(PooledSource, SyncSender<PoolChunk>)>, shutdown: &AtomicBool) {
-    let mut rounds = vec![0u64; group.len()];
+/// One pool slot as a worker sees it: the live source, its outbound
+/// channel, and the bookkeeping the repair path needs to rebuild the
+/// source after a panic.
+struct WorkerSlot {
+    source: PooledSource,
+    tx: SyncSender<PoolChunk>,
+    /// Global pool slot index (streams are keyed by it).
+    global: usize,
+    /// The spec the slot was built from — rebuilt verbatim on repair.
+    spec: SourceSpec,
+    /// Batches already handed to the consumer channel; the repair path
+    /// fast-forwards a rebuilt source by exactly this count.
+    delivered: u64,
+    /// One-shot chaos trigger state (`SourceSpec::panic_after_batches`):
+    /// cleared *before* the panic fires so a restarted body does not
+    /// re-panic forever.
+    panic_pending: bool,
+}
+
+/// A worker's whole mutable state, held outside the supervision unwind
+/// boundary so a restart resumes exactly where the panic interrupted.
+struct WorkerState {
+    slots: Vec<WorkerSlot>,
+    config: PoolConfig,
+    /// Slot being produced when the body panicked — the only slot whose
+    /// internal stream state may be mid-batch and needs a rebuild.
+    active: Option<usize>,
+}
+
+/// Supervised producer body: round-robin over the worker's sources,
+/// pushing each batch into that source's bounded channel. Returning
+/// normally (shutdown, consumer gone, unrecoverable source) completes
+/// the supervision loop.
+fn produce_loop(state: &mut WorkerState, shutdown: &AtomicBool) {
     'outer: loop {
-        if shutdown.load(Ordering::Relaxed) {
+        if shutdown.load(Ordering::Relaxed) || state.slots.is_empty() {
             break;
         }
-        for (k, (source, tx)) in group.iter_mut().enumerate() {
+        for k in 0..state.slots.len() {
             if shutdown.load(Ordering::Relaxed) {
                 break 'outer;
             }
-            let Ok(bytes) = source.next_batch() else {
+            state.active = Some(k);
+            let slot = &mut state.slots[k];
+            let trigger = slot.spec.panic_after_batches.unwrap_or(u64::MAX);
+            if slot.panic_pending && slot.delivered >= trigger {
+                // Chaos drill: fire once, at the clean between-batches
+                // boundary, so the repair path's rebuild-and-fast-forward
+                // provably reproduces the stream position.
+                slot.panic_pending = false;
+                panic!(
+                    "injected worker panic: slot {} after {} delivered batches",
+                    slot.global, slot.delivered
+                );
+            }
+            let Ok(bytes) = slot.source.next_batch() else {
                 // Unrecoverable simulator error: drop every sender so
                 // the consumer sees the disconnect as SourceFailed.
+                state.active = None;
                 break 'outer;
             };
             let mut chunk = PoolChunk {
-                round: rounds[k],
-                source: source.index(),
+                round: slot.delivered,
+                source: slot.source.index(),
                 bytes,
-                state: source.state(),
-                stats: source.stats(),
-                generation: source.generation(),
+                state: slot.source.state(),
+                stats: slot.source.stats(),
+                generation: slot.source.generation(),
             };
-            rounds[k] += 1;
             loop {
-                match tx.try_send(chunk) {
+                match slot.tx.try_send(chunk) {
                     Ok(()) => break,
                     Err(TrySendError::Full(back)) => {
                         chunk = back;
@@ -339,6 +460,45 @@ fn worker_loop(mut group: Vec<(PooledSource, SyncSender<PoolChunk>)>, shutdown: 
                     Err(TrySendError::Disconnected(_)) => break 'outer,
                 }
             }
+            slot.delivered += 1;
+            state.active = None;
+        }
+    }
+}
+
+/// Pre-restart repair: rebuild the slot the panic interrupted and
+/// fast-forward it past every batch already delivered. Streams are pure
+/// functions of `(SourceSpec, PoolConfig)`, so the replayed source is
+/// byte-identical to the lost one — including its health/quarantine
+/// lifecycle position. A slot that cannot be rebuilt is removed, which
+/// drops its sender and surfaces as a typed `SourceFailed`.
+fn repair_worker(state: &mut WorkerState, shutdown: &AtomicBool) {
+    let Some(k) = state.active.take() else {
+        return;
+    };
+    if k >= state.slots.len() {
+        return;
+    }
+    let slot = &state.slots[k];
+    match PooledSource::build(slot.global, &slot.spec, &state.config) {
+        Ok(mut fresh) => {
+            let mut replayed = 0u64;
+            while replayed < state.slots[k].delivered {
+                if shutdown.load(Ordering::Relaxed) {
+                    // Mid-repair shutdown: leave the stale source in
+                    // place; the restarted body exits immediately.
+                    return;
+                }
+                if fresh.next_batch().is_err() {
+                    state.slots.remove(k);
+                    return;
+                }
+                replayed += 1;
+            }
+            state.slots[k].source = fresh;
+        }
+        Err(_) => {
+            state.slots.remove(k);
         }
     }
 }
@@ -438,6 +598,34 @@ mod tests {
             SourcePool::start(&config, 1),
             Err(ServeError::Config(_))
         ));
+    }
+
+    #[test]
+    fn worker_panic_recovery_is_byte_transparent() {
+        let config = small_config(2);
+        let mut clean = SourcePool::start(&config, 1).expect("starts");
+        let expected = clean.read_bytes(64).expect("reads");
+        clean.shutdown();
+
+        // Same pool, but slot 0's worker panics after one delivered
+        // batch; supervision must rebuild, fast-forward and resume
+        // without perturbing a single byte.
+        let mut chaotic = config.clone();
+        chaotic.sources[0] = chaotic.sources[0].clone().with_panic_after(1);
+        let log = IncidentLog::new();
+        let policy = RestartPolicy {
+            initial_backoff: Duration::from_micros(100),
+            ..RestartPolicy::default()
+        };
+        let mut pool =
+            SourcePool::start_partition_supervised(&chaotic, 1, 0, 2, &policy, &log)
+                .expect("starts");
+        let bytes = pool.read_bytes(64).expect("reads through the panic");
+        pool.shutdown();
+        assert_eq!(bytes, expected, "recovery perturbed the stream");
+        assert_eq!(log.count_of("panic"), 1, "the trigger is one-shot");
+        assert_eq!(log.count_of("restarted"), 1);
+        assert_eq!(pool.incident_log().count_of("escalated"), 0);
     }
 
     #[test]

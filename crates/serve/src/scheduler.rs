@@ -42,9 +42,9 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::io::Write;
+use std::io::{ErrorKind, Write};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -52,8 +52,10 @@ use std::time::{Duration, Instant};
 
 use strentropy::pool::PoolConfig;
 
+use crate::chaos::{ChaosAction, ChaosInjector};
 use crate::error::ServeError;
 use crate::pool::{SourcePool, SourceStatus};
+use crate::supervisor::{supervise, IncidentKind, IncidentLog, RestartPolicy, SupervisionOutcome};
 
 /// How long a client waits for its grant. Generous: a pool rebuilding a
 /// dead ring mid-request stays well under this.
@@ -111,11 +113,18 @@ pub struct ServeConfig {
     /// `shards * max_in_flight` to cap aggregate queueing independent
     /// of shard count. Fair mode only.
     pub shed_limit: Option<usize>,
+    /// Restart policy every supervised unit (scheduler shards, pool
+    /// workers) runs under.
+    pub restart: RestartPolicy,
+    /// Chaos triggers polled at scheduler loop boundaries; `None` (the
+    /// default) injects nothing. Drills arm this.
+    pub chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl ServeConfig {
-    /// A configuration with one worker, one shard and no rate limiting
-    /// or shedding — override fields as needed.
+    /// A configuration with one worker, one shard, no rate limiting or
+    /// shedding, the default restart policy and no chaos — override
+    /// fields as needed.
     #[must_use]
     pub fn new(pool: PoolConfig, mode: SchedulerMode) -> Self {
         ServeConfig {
@@ -125,6 +134,8 @@ impl ServeConfig {
             mode,
             rate_limit: None,
             shed_limit: None,
+            restart: RestartPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -148,6 +159,8 @@ pub struct Completion {
 pub struct CompletionQueue {
     inner: Mutex<Vec<Completion>>,
     wake: UnixStream,
+    wake_full: AtomicU64,
+    wake_errors: AtomicU64,
 }
 
 impl CompletionQueue {
@@ -160,6 +173,8 @@ impl CompletionQueue {
         CompletionQueue {
             inner: Mutex::new(Vec::new()),
             wake,
+            wake_full: AtomicU64::new(0),
+            wake_errors: AtomicU64::new(0),
         }
     }
 
@@ -169,9 +184,46 @@ impl CompletionQueue {
             .lock()
             .expect("completion queue lock")
             .push(Completion { token, result });
-        // One byte per push; WouldBlock means a wake is already queued
-        // and a dead peer means the consumer is gone — both ignorable.
-        let _ = (&self.wake).write(&[1u8]);
+        // EAGAIN-safe wake: a full pipe (`WouldBlock`) is benign — the
+        // consumer polls the read half level-triggered and at least one
+        // unread byte is already in the pipe, so the wakeup cannot be
+        // lost — but it is *counted*, never silently swallowed. A
+        // transient `Interrupted` retries once; anything else means the
+        // consumer is gone and is counted as a wake error.
+        match (&self.wake).write(&[1u8]) {
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                self.wake_full.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {
+                match (&self.wake).write(&[1u8]) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        self.wake_full.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.wake_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                self.wake_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Wake-pipe writes dropped because the pipe was already full (a
+    /// pending wakeup made them redundant; level-triggered polling
+    /// guarantees delivery).
+    #[must_use]
+    pub fn wake_full(&self) -> u64 {
+        self.wake_full.load(Ordering::Relaxed)
+    }
+
+    /// Wake-pipe writes that failed outright (consumer gone).
+    #[must_use]
+    pub fn wake_errors(&self) -> u64 {
+        self.wake_errors.load(Ordering::Relaxed)
     }
 
     /// Takes every pending completion.
@@ -215,6 +267,13 @@ enum Msg {
     Status {
         reply: SyncSender<Vec<(usize, SourceStatus)>>,
     },
+    /// Graceful-drain phase 2: stop admitting, serve what is queued
+    /// until the deadline, refuse the remainder typed. Replies whether
+    /// the queue fully drained in time.
+    Drain {
+        deadline: Instant,
+        reply: SyncSender<bool>,
+    },
     Shutdown,
 }
 
@@ -223,6 +282,8 @@ enum Msg {
 pub struct EntropyService {
     shards: Vec<Sender<Msg>>,
     handles: Vec<JoinHandle<()>>,
+    incidents: IncidentLog,
+    quarantined: Arc<Vec<AtomicBool>>,
 }
 
 impl EntropyService {
@@ -236,44 +297,83 @@ impl EntropyService {
     pub fn start(config: &ServeConfig) -> Result<Self, ServeError> {
         config.pool.validate()?;
         let slots = config.pool.sources.len();
+        let incidents = IncidentLog::new();
         match config.mode {
             SchedulerMode::Deterministic { .. } => {
                 // One global consumer keeps the round-robin interleave
                 // and the round barrier identical at every shard count;
                 // shards only widen the producer side.
                 let workers = config.workers.max(config.shards).clamp(1, slots.max(1));
-                let pool = SourcePool::start(&config.pool, workers)?;
+                let pool = SourcePool::start_partition_supervised(
+                    &config.pool,
+                    1,
+                    0,
+                    workers,
+                    &config.restart,
+                    &incidents,
+                )?;
                 let mode = config.mode;
+                let quarantined = Arc::new(vec![AtomicBool::new(false)]);
                 let (tx, rx) = mpsc::channel();
+                let policy = config.restart.clone();
+                let log = incidents.clone();
+                let chaos = config.chaos.clone();
+                let flags = Arc::clone(&quarantined);
+                let mut sched = BarrierScheduler::new(pool, mode, chaos, log.clone());
                 // Startup spawn: one scheduler thread per service.
                 let handle = thread::Builder::new()
                     .name("strent-serve-scheduler".to_owned())
-                    .spawn(move || BarrierScheduler::new(pool, mode).run(&rx))
+                    .spawn(move || {
+                        let outcome = supervise(
+                            "scheduler",
+                            &policy,
+                            &log,
+                            &mut sched,
+                            |_| {},
+                            |s| s.run(&rx),
+                        );
+                        if let SupervisionOutcome::Escalated { .. } = outcome {
+                            flags[0].store(true, Ordering::SeqCst);
+                            log.record(
+                                "scheduler",
+                                IncidentKind::Quarantined,
+                                "restart budget exhausted; pending requests refused",
+                            );
+                            sched.abandon();
+                        }
+                    })
                     .map_err(ServeError::Io)?;
                 Ok(EntropyService {
                     shards: vec![tx],
                     handles: vec![handle],
+                    incidents,
+                    quarantined,
                 })
             }
             SchedulerMode::Fair { max_in_flight } => {
                 let shard_count = config.shards.clamp(1, slots.max(1));
                 let mut pools = Vec::with_capacity(shard_count);
                 for k in 0..shard_count {
-                    pools.push(SourcePool::start_partition(
+                    pools.push(SourcePool::start_partition_supervised(
                         &config.pool,
                         shard_count,
                         k,
                         config.workers,
+                        &config.restart,
+                        &incidents,
                     )?);
                 }
                 let shared: Vec<Arc<ShardShared>> = (0..shard_count)
                     .map(|_| Arc::new(ShardShared::default()))
                     .collect();
+                let quarantined: Arc<Vec<AtomicBool>> = Arc::new(
+                    (0..shard_count).map(|_| AtomicBool::new(false)).collect(),
+                );
                 let mut senders = Vec::with_capacity(shard_count);
                 let mut handles = Vec::with_capacity(shard_count);
                 for (k, pool) in pools.into_iter().enumerate() {
                     let (tx, rx) = mpsc::channel();
-                    let shard = FairShard {
+                    let mut shard = FairShard {
                         pool,
                         shard_id: k,
                         shared: shared.clone(),
@@ -282,11 +382,41 @@ impl EntropyService {
                         rate: config.rate_limit,
                         buckets: BTreeMap::new(),
                         registered: BTreeSet::new(),
+                        ticks: 0,
+                        chaos: config.chaos.clone(),
+                        draining: false,
+                        log: incidents.clone(),
                     };
+                    let policy = config.restart.clone();
+                    let log = incidents.clone();
+                    let flags = Arc::clone(&quarantined);
                     // Startup spawn: one thread per scheduler shard.
                     let handle = thread::Builder::new()
                         .name(format!("strent-serve-shard-{k}"))
-                        .spawn(move || shard.run(&rx))
+                        .spawn(move || {
+                            let unit = format!("shard-{k}");
+                            let outcome = supervise(
+                                &unit,
+                                &policy,
+                                &log,
+                                &mut shard,
+                                |_| {},
+                                |s| s.run(&rx),
+                            );
+                            if let SupervisionOutcome::Escalated { .. } = outcome {
+                                // Quarantine: new registrations reroute
+                                // to the next healthy sibling; what was
+                                // already queued is refused typed (or
+                                // was stolen by siblings first).
+                                flags[k].store(true, Ordering::SeqCst);
+                                log.record(
+                                    &unit,
+                                    IncidentKind::Quarantined,
+                                    "restart budget exhausted; clients rerouted to siblings",
+                                );
+                                shard.shutdown();
+                            }
+                        })
                         .map_err(ServeError::Io)?;
                     senders.push(tx);
                     handles.push(handle);
@@ -294,9 +424,28 @@ impl EntropyService {
                 Ok(EntropyService {
                     shards: senders,
                     handles,
+                    incidents,
+                    quarantined,
                 })
             }
         }
+    }
+
+    /// The incident log every supervised unit of this service (shards,
+    /// workers) records into.
+    #[must_use]
+    pub fn incidents(&self) -> &IncidentLog {
+        &self.incidents
+    }
+
+    /// Per-shard quarantine flags (true once a shard exhausted its
+    /// restart budget and was taken out of rotation).
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<bool> {
+        self.quarantined
+            .iter()
+            .map(|flag| flag.load(Ordering::SeqCst))
+            .collect()
     }
 
     /// A cloneable handle frontends use to register clients.
@@ -304,6 +453,7 @@ impl EntropyService {
     pub fn connector(&self) -> Connector {
         Connector {
             shards: self.shards.clone(),
+            quarantined: Arc::clone(&self.quarantined),
         }
     }
 
@@ -334,6 +484,46 @@ impl EntropyService {
         }
         tagged.sort_by_key(|(slot, _)| *slot);
         Ok(tagged.into_iter().map(|(_, status)| status).collect())
+    }
+
+    /// Graceful-drain phase: every shard stops admitting new requests
+    /// (refusing them with [`ServeError::Draining`]), serves what is
+    /// already queued until `budget` elapses, and refuses the
+    /// remainder typed. Returns whether every shard fully drained in
+    /// time; a shard that already escalated counts as not drained.
+    pub fn drain(&self, budget: Duration) -> bool {
+        let deadline = Instant::now() + budget;
+        let mut all = true;
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for tx in &self.shards {
+            let (reply, rx) = mpsc::sync_channel(1);
+            if tx.send(Msg::Drain { deadline, reply }).is_err() {
+                all = false;
+                continue;
+            }
+            replies.push(rx);
+        }
+        for rx in replies {
+            match recv_reply(&rx) {
+                Ok(drained) => all &= drained,
+                Err(_) => all = false,
+            }
+        }
+        all
+    }
+
+    /// The full graceful-shutdown state machine: stop admitting, drain
+    /// in-flight grants within `budget`, then stop the shards (which
+    /// flush and stop their pool partitions) and join every thread.
+    /// Returns whether the drain completed before the deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] if a scheduler thread panicked.
+    pub fn shutdown_graceful(self, budget: Duration) -> Result<bool, ServeError> {
+        let drained = self.drain(budget);
+        self.shutdown()?;
+        Ok(drained)
     }
 
     /// Stops every shard (which stops its pool partition) and joins.
@@ -368,15 +558,29 @@ impl Drop for EntropyService {
 }
 
 /// A cloneable client-registration handle (used by the socket event
-/// loop). Routes client `id` to shard `id % shards`.
+/// loop). Routes client `id` to its home shard `id % shards` — or,
+/// when that shard has been quarantined by escalation, walks forward
+/// to the first healthy sibling so registration keeps working through
+/// a shard loss.
 #[derive(Debug, Clone)]
 pub struct Connector {
     shards: Vec<Sender<Msg>>,
+    quarantined: Arc<Vec<AtomicBool>>,
 }
 
 impl Connector {
     fn route(&self, client_id: u32) -> &Sender<Msg> {
-        &self.shards[client_id as usize % self.shards.len()]
+        let n = self.shards.len();
+        let home = client_id as usize % n;
+        for step in 0..n {
+            let k = (home + step) % n;
+            if !self.quarantined[k].load(Ordering::SeqCst) {
+                return &self.shards[k];
+            }
+        }
+        // Every shard quarantined: send to the home shard and let the
+        // dead channel surface as a typed Shutdown.
+        &self.shards[home]
     }
 
     /// Registers a client with the given id.
@@ -385,14 +589,18 @@ impl Connector {
     ///
     /// Same conditions as [`EntropyService::connect`].
     pub fn connect(&self, client_id: u32) -> Result<EntropyClient, ServeError> {
+        // Resolve the route once and pin the client to it, so a
+        // quarantine flag flipping mid-registration cannot split the
+        // register and request paths across two shards.
+        let route = self.route(client_id).clone();
         let (reply, rx) = mpsc::sync_channel(1);
-        self.route(client_id)
+        route
             .send(Msg::Register { client_id, reply })
             .map_err(|_| ServeError::Shutdown)?;
         recv_reply(&rx)??;
         Ok(EntropyClient {
             id: client_id,
-            tx: self.route(client_id).clone(),
+            tx: route,
         })
     }
 }
@@ -500,20 +708,59 @@ struct BarrierScheduler {
     mode: SchedulerMode,
     clients: BTreeMap<u32, ClientSlot>,
     registered: usize,
+    /// Loop-boundary counter the chaos injector is keyed on. Persists
+    /// across supervised restarts so one-shot triggers stay one-shot.
+    ticks: u64,
+    chaos: Option<Arc<ChaosInjector>>,
+    draining: bool,
+    log: IncidentLog,
 }
 
 impl BarrierScheduler {
-    fn new(pool: SourcePool, mode: SchedulerMode) -> Self {
+    fn new(
+        pool: SourcePool,
+        mode: SchedulerMode,
+        chaos: Option<Arc<ChaosInjector>>,
+        log: IncidentLog,
+    ) -> Self {
         BarrierScheduler {
             pool,
             mode,
             clients: BTreeMap::new(),
             registered: 0,
+            ticks: 0,
+            chaos,
+            draining: false,
+            log,
         }
     }
 
-    fn run(mut self, rx: &Receiver<Msg>) {
+    /// Escalation path: refuse everything still pending (typed, never
+    /// silent) and stop the pool.
+    fn abandon(&mut self) {
+        for (_, slot) in std::mem::take(&mut self.clients) {
+            for (_, sink) in slot.pending {
+                sink.send(Err(ServeError::Shutdown));
+            }
+        }
+        self.pool.shutdown();
+    }
+
+    fn run(&mut self, rx: &Receiver<Msg>) {
         loop {
+            // Chaos triggers fire only here, at the clean top-of-loop
+            // boundary — no message half-applied, no grant half-issued
+            // — so a supervised restart resumes byte-transparently.
+            self.ticks += 1;
+            if let Some(chaos) = &self.chaos {
+                match chaos.poll(0, self.ticks) {
+                    Some(ChaosAction::Panic) => {
+                        panic!("injected scheduler panic at tick {}", self.ticks)
+                    }
+                    Some(ChaosAction::Stall(pause)) => thread::sleep(pause),
+                    None => {}
+                }
+            }
             // Drain every queued message first so registrations and
             // closes are visible before the next round, then serve.
             loop {
@@ -558,16 +805,20 @@ impl BarrierScheduler {
     fn handle(&mut self, msg: Msg) -> bool {
         match msg {
             Msg::Register { client_id, reply } => {
-                let result = match self.clients.entry(client_id) {
-                    Entry::Occupied(_) => Err(ServeError::Protocol(format!(
-                        "client id {client_id} is already registered"
-                    ))),
-                    Entry::Vacant(slot) => {
-                        slot.insert(ClientSlot {
-                            pending: VecDeque::new(),
-                        });
-                        self.registered += 1;
-                        Ok(())
+                let result = if self.draining {
+                    Err(ServeError::Draining)
+                } else {
+                    match self.clients.entry(client_id) {
+                        Entry::Occupied(_) => Err(ServeError::Protocol(format!(
+                            "client id {client_id} is already registered"
+                        ))),
+                        Entry::Vacant(slot) => {
+                            slot.insert(ClientSlot {
+                                pending: VecDeque::new(),
+                            });
+                            self.registered += 1;
+                            Ok(())
+                        }
                     }
                 };
                 let _ = reply.send(result);
@@ -577,7 +828,9 @@ impl BarrierScheduler {
                 nbytes,
                 sink,
             } => {
-                if self.clients.contains_key(&client_id) {
+                if self.draining {
+                    sink.send(Err(ServeError::Draining));
+                } else if self.clients.contains_key(&client_id) {
                     let slot = self.clients.get_mut(&client_id).expect("checked");
                     slot.pending.push_back((nbytes, sink));
                 } else {
@@ -595,7 +848,39 @@ impl BarrierScheduler {
             Msg::Status { reply } => {
                 let _ = reply.send(self.pool.slot_status());
             }
+            Msg::Drain { deadline, reply } => {
+                self.draining = true;
+                let drained = self.drain_until(deadline);
+                if !drained {
+                    self.log.record(
+                        "scheduler",
+                        IncidentKind::DrainTimedOut,
+                        "deterministic drain deadline hit; remainder refused",
+                    );
+                }
+                let _ = reply.send(drained);
+            }
             Msg::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Serves the already-pending requests until the queues are empty
+    /// or the deadline passes; no new request can arrive (admission is
+    /// closed), so repeated passes over the pending set are still
+    /// deterministic. Anything left at the deadline is refused with
+    /// [`ServeError::Draining`].
+    fn drain_until(&mut self, deadline: Instant) -> bool {
+        while self.clients.values().any(|s| !s.pending.is_empty()) {
+            if Instant::now() >= deadline {
+                for slot in self.clients.values_mut() {
+                    while let Some((_, sink)) = slot.pending.pop_front() {
+                        sink.send(Err(ServeError::Draining));
+                    }
+                }
+                return false;
+            }
+            self.serve_one_pass();
         }
         true
     }
@@ -691,11 +976,31 @@ struct FairShard {
     rate: Option<RateLimit>,
     buckets: BTreeMap<u32, TokenBucket>,
     registered: BTreeSet<u32>,
+    /// Loop-boundary counter the chaos injector is keyed on. Persists
+    /// across supervised restarts so one-shot triggers stay one-shot.
+    ticks: u64,
+    chaos: Option<Arc<ChaosInjector>>,
+    draining: bool,
+    log: IncidentLog,
 }
 
 impl FairShard {
-    fn run(mut self, rx: &Receiver<Msg>) {
+    fn run(&mut self, rx: &Receiver<Msg>) {
         loop {
+            // Chaos triggers fire only here, at the clean top-of-loop
+            // boundary — between serving passes, never mid-grant — so
+            // a supervised restart resumes without losing a job.
+            self.ticks += 1;
+            if let Some(chaos) = &self.chaos {
+                match chaos.poll(self.shard_id, self.ticks) {
+                    Some(ChaosAction::Panic) => panic!(
+                        "injected shard {} panic at tick {}",
+                        self.shard_id, self.ticks
+                    ),
+                    Some(ChaosAction::Stall(pause)) => thread::sleep(pause),
+                    None => {}
+                }
+            }
             loop {
                 match rx.try_recv() {
                     Ok(msg) => {
@@ -754,7 +1059,9 @@ impl FairShard {
     fn handle(&mut self, msg: Msg) -> bool {
         match msg {
             Msg::Register { client_id, reply } => {
-                let result = if self.registered.insert(client_id) {
+                let result = if self.draining {
+                    Err(ServeError::Draining)
+                } else if self.registered.insert(client_id) {
                     Ok(())
                 } else {
                     Err(ServeError::Protocol(format!(
@@ -796,13 +1103,56 @@ impl FairShard {
             Msg::Status { reply } => {
                 let _ = reply.send(self.pool.slot_status());
             }
+            Msg::Drain { deadline, reply } => {
+                self.draining = true;
+                let drained = self.drain_until(deadline);
+                if !drained {
+                    self.log.record(
+                        &format!("shard-{}", self.shard_id),
+                        IncidentKind::DrainTimedOut,
+                        "drain deadline hit; remainder refused",
+                    );
+                }
+                let _ = reply.send(drained);
+            }
             Msg::Shutdown => return false,
         }
         true
     }
 
+    /// Serves the local queue until it is empty or the deadline
+    /// passes; admission is already closed, and siblings may keep
+    /// stealing concurrently. Anything left at the deadline is refused
+    /// with [`ServeError::Draining`] — typed, never dropped.
+    fn drain_until(&mut self, deadline: Instant) -> bool {
+        loop {
+            if Instant::now() >= deadline {
+                let jobs = std::mem::take(&mut *self.own_queue());
+                if jobs.is_empty() {
+                    return true;
+                }
+                for job in jobs {
+                    self.shared[job.home].in_flight.fetch_sub(1, Ordering::Relaxed);
+                    job.sink.send(Err(ServeError::Draining));
+                }
+                return false;
+            }
+            let batch = self.pop_local_pass();
+            if batch.is_empty() {
+                return true;
+            }
+            for job in batch {
+                self.grant(job);
+            }
+        }
+    }
+
     /// Admission control, most severe class first; see module docs.
     fn admit(&mut self, client_id: u32, nbytes: usize, sink: Sink) {
+        if self.draining {
+            sink.send(Err(ServeError::Draining));
+            return;
+        }
         let queued: usize = self
             .shared
             .iter()
@@ -902,8 +1252,18 @@ impl FairShard {
     }
 
     fn grant(&mut self, job: Job) {
+        /// Releases the home shard's budget on drop, so a panic inside
+        /// `read_bytes` (the sink drops too — the client observes a
+        /// typed disconnect) cannot leak the in-flight count and wedge
+        /// admission forever.
+        struct InFlightGuard<'a>(&'a AtomicUsize);
+        impl Drop for InFlightGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let _guard = InFlightGuard(&self.shared[job.home].in_flight);
         let result = self.pool.read_bytes(job.nbytes);
-        self.shared[job.home].in_flight.fetch_sub(1, Ordering::Relaxed);
         job.sink.send(result);
     }
 }
@@ -995,8 +1355,11 @@ mod tests {
     #[test]
     fn token_bucket_rejects_with_rate_limited_then_refills() {
         let mut config = small_serve_config(2, SchedulerMode::Fair { max_in_flight: 8 });
+        // The slow refill keeps the bucket empty for 80 ms — wide
+        // enough that scheduling hiccups between the burst grant and
+        // the follow-up cannot refill it under a loaded test host.
         config.rate_limit = Some(RateLimit {
-            bytes_per_sec: 4000.0,
+            bytes_per_sec: 200.0,
             burst_bytes: 16.0,
         });
         let service = EntropyService::start(&config).expect("starts");
@@ -1014,7 +1377,7 @@ mod tests {
             err.backpressure(),
             Some(crate::error::BackpressureClass::RateLimited)
         );
-        // 16 bytes at 4000 B/s refill in 4 ms; wait it out and retry.
+        // 16 bytes at 200 B/s refill in 80 ms; wait it out and retry.
         thread::sleep(Duration::from_micros(retry_after_us) + Duration::from_millis(2));
         let retried = client.request(16).expect("refilled");
         assert_eq!(retried.len(), 16);
@@ -1080,6 +1443,80 @@ mod tests {
         let _first = service.connect(3).expect("registers");
         let err = service.connect(3).expect_err("duplicate id");
         assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn drain_closes_admission_with_a_typed_refusal() {
+        let config = small_serve_config(2, SchedulerMode::Fair { max_in_flight: 4 });
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(1).expect("registers");
+        let first = client.request(8).expect("granted");
+        assert_eq!(first.len(), 8);
+        assert!(
+            service.drain(Duration::from_secs(5)),
+            "empty queues drain instantly"
+        );
+        let err = client.request(8).expect_err("draining refuses requests");
+        assert!(matches!(err, ServeError::Draining), "{err}");
+        let err = service.connect(9).expect_err("draining refuses registration");
+        assert!(matches!(err, ServeError::Draining), "{err}");
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn scheduler_panic_restart_preserves_served_bytes() {
+        let mode = SchedulerMode::Deterministic {
+            expected_clients: 1,
+        };
+        let serve = |chaos: Option<Arc<ChaosInjector>>| {
+            let mut config = small_serve_config(2, mode);
+            config.restart.initial_backoff = Duration::from_micros(100);
+            config.chaos = chaos;
+            let service = EntropyService::start(&config).expect("starts");
+            let client = service.connect(0).expect("registers");
+            let mut served = Vec::new();
+            for n in [8usize, 16, 8] {
+                served.extend(client.request(n).expect("granted"));
+            }
+            client.close();
+            let incidents = service.incidents().snapshot().len();
+            service.shutdown().expect("clean shutdown");
+            (served, incidents)
+        };
+        let (clean, _) = serve(None);
+        let plan = crate::chaos::ChaosPlan::derive(11);
+        let (chaotic, incidents) = serve(Some(ChaosInjector::from_plan(&plan, 1)));
+        assert_eq!(chaotic, clean, "supervised restart perturbed served bytes");
+        assert!(incidents >= 2, "panic and restart were recorded");
+    }
+
+    #[test]
+    fn escalated_shard_quarantines_and_reroutes_new_clients() {
+        let mut config = small_serve_config(4, SchedulerMode::Fair { max_in_flight: 8 });
+        config.shards = 2;
+        config.restart = RestartPolicy {
+            initial_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+            max_restarts: 2,
+            window: Duration::from_secs(60),
+            jitter_seed: 5,
+        };
+        config.chaos = Some(ChaosInjector::escalation_storm(0, 2));
+        let service = EntropyService::start(&config).expect("starts");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !service.quarantined()[0] {
+            assert!(Instant::now() < deadline, "shard 0 never escalated");
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!service.quarantined()[1], "sibling stays healthy");
+        // Client 0's home shard is dead; the connector walks to shard 1.
+        let client = service.connect(0).expect("reroutes to the healthy sibling");
+        let grant = client.request(16).expect("granted by the sibling");
+        assert_eq!(grant.len(), 16);
+        assert!(service.incidents().count_of("quarantined") >= 1);
+        assert!(service.incidents().count_of("escalated") >= 1);
+        client.close();
         service.shutdown().expect("clean shutdown");
     }
 

@@ -22,6 +22,26 @@
 //! Liveness discipline (SL108): every socket here is nonblocking; reads
 //! return `WouldBlock` instead of parking the loop, and the poll
 //! timeout bounds the latency of a shutdown-flag check.
+//!
+//! ## Hardening
+//!
+//! Three defenses keep one bad peer from degrading the loop for
+//! everyone else ([`ServerOptions`] tunes them):
+//!
+//! * **Error budget** — a decodable but invalid frame (unknown opcode,
+//!   malformed payload, protocol-order violation) is answered with a
+//!   typed `ERR` frame and *charged* against the connection's strike
+//!   budget; the connection survives until the budget is spent.
+//!   Unrecoverable framing (an oversized length prefix) still closes
+//!   immediately — past that point the byte stream cannot be re-synced.
+//! * **Idle reaping** — a connection with no outstanding request, no
+//!   buffered reply and no frame activity for [`ServerOptions::idle_timeout`]
+//!   is closed and counted in [`ServerStats::idle_reaped`]; a slowloris
+//!   peer holds a descriptor only until the reaper's next pass.
+//! * **Graceful drain** — [`UdsServer::shutdown_graceful`] walks the
+//!   shutdown state machine: stop accepting, deliver every in-flight
+//!   grant, flush write buffers, then close sockets and join — bounded
+//!   by a deadline so a wedged peer cannot hold shutdown hostage.
 
 use std::io::{ErrorKind, Read, Write};
 use std::os::unix::io::AsRawFd;
@@ -30,10 +50,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
 use crate::scheduler::{CompletionQueue, Connector, EntropyClient};
+use crate::supervisor::Deadline;
 use crate::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
 use crate::wire::{
     self, FrameDecoder, OP_BUSY, OP_CLOSE, OP_ERR, OP_HELLO, OP_HELLO_OK, OP_OK,
@@ -65,6 +86,9 @@ pub struct ServerStats {
     register_errors: AtomicU64,
     protocol_errors: AtomicU64,
     active: AtomicU64,
+    idle_reaped: AtomicU64,
+    wake_full: AtomicU64,
+    wake_errors: AtomicU64,
 }
 
 impl ServerStats {
@@ -98,6 +122,52 @@ impl ServerStats {
     pub fn active(&self) -> u64 {
         self.active.load(Ordering::Relaxed)
     }
+
+    /// Idle connections reaped by [`ServerOptions::idle_timeout`] —
+    /// each one had no outstanding request and no frame activity for
+    /// the full timeout (the slowloris defense).
+    #[must_use]
+    pub fn idle_reaped(&self) -> u64 {
+        self.idle_reaped.load(Ordering::Relaxed)
+    }
+
+    /// Wake-pipe writes absorbed because the pipe was already full —
+    /// benign under level-triggered polling (at least one unread byte
+    /// already guarantees the next `poll` returns), mirrored from the
+    /// [`CompletionQueue`] so operators see EAGAIN pressure.
+    #[must_use]
+    pub fn wake_full(&self) -> u64 {
+        self.wake_full.load(Ordering::Relaxed)
+    }
+
+    /// Wake-pipe writes that failed with a real error (not
+    /// full-pipe EAGAIN); completions still land because the loop
+    /// drains the queue unconditionally every tick.
+    #[must_use]
+    pub fn wake_errors(&self) -> u64 {
+        self.wake_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Tunables of the socket frontend's hardening layer.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Close a connection with no outstanding request and no frame
+    /// activity for this long (`None` disables the reaper). Reaped
+    /// connections are counted in [`ServerStats::idle_reaped`].
+    pub idle_timeout: Option<Duration>,
+    /// Decodable-but-invalid frames a connection may send before it is
+    /// closed; each one is answered with a typed `ERR` frame first.
+    pub error_budget: u32,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            idle_timeout: None,
+            error_budget: 4,
+        }
+    }
 }
 
 /// A running socket frontend.
@@ -107,6 +177,13 @@ pub struct UdsServer {
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     handle: Option<JoinHandle<()>>,
+    epoch: Instant,
+    /// Drain deadline in milliseconds after `epoch`; `0` = not
+    /// draining. One word so the event loop can read it locklessly.
+    drain: Arc<AtomicU64>,
+    /// Set by the event loop when a drain completed with every grant
+    /// delivered and every write buffer flushed before the deadline.
+    drained_clean: Arc<AtomicBool>,
 }
 
 impl UdsServer {
@@ -119,6 +196,20 @@ impl UdsServer {
     /// [`ServeError::Accept`] if the socket cannot be bound, configured
     /// or the wake channel cannot be created.
     pub fn start(connector: Connector, path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        Self::start_with_options(connector, path, ServerOptions::default())
+    }
+
+    /// [`UdsServer::start`] with explicit hardening tunables.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Accept`] if the socket cannot be bound, configured
+    /// or the wake channel cannot be created.
+    pub fn start_with_options(
+        connector: Connector,
+        path: impl AsRef<Path>,
+        options: ServerOptions,
+    ) -> Result<Self, ServeError> {
         let path = path.as_ref().to_path_buf();
         // A stale socket file from a crashed predecessor would make
         // bind fail; removing a *live* server's socket is the
@@ -132,8 +223,13 @@ impl UdsServer {
         let completions = Arc::new(CompletionQueue::new(wake_tx));
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        let epoch = Instant::now();
+        let drain = Arc::new(AtomicU64::new(0));
+        let drained_clean = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let counters = Arc::clone(&stats);
+        let drain_word = Arc::clone(&drain);
+        let drained_flag = Arc::clone(&drained_clean);
         // Startup spawn: the one event-loop thread per server — every
         // connection is multiplexed through it, never given a thread.
         let handle = thread::Builder::new()
@@ -145,6 +241,10 @@ impl UdsServer {
                     completions,
                     connector,
                     stats: counters,
+                    options,
+                    epoch,
+                    drain: drain_word,
+                    drained_clean: drained_flag,
                     conns: Vec::new(),
                     generations: Vec::new(),
                     free: Vec::new(),
@@ -157,6 +257,9 @@ impl UdsServer {
             shutdown,
             stats,
             handle: Some(handle),
+            epoch,
+            drain,
+            drained_clean,
         })
     }
 
@@ -190,6 +293,33 @@ impl UdsServer {
         }
         Ok(())
     }
+
+    /// The graceful shutdown state machine: stop accepting new
+    /// connections, deliver every in-flight grant, flush every write
+    /// buffer, then close sockets and join — all within `budget`.
+    ///
+    /// Returns `Ok(true)` when every connection quiesced before the
+    /// deadline; `Ok(false)` when the budget expired with work still
+    /// buffered (the loop then closes connections as a plain shutdown
+    /// would).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] if the event-loop thread panicked.
+    pub fn shutdown_graceful(mut self, budget: Duration) -> Result<bool, ServeError> {
+        #[allow(clippy::cast_possible_truncation)]
+        let deadline_ms = ((self.epoch.elapsed() + budget).as_millis() as u64).max(1);
+        self.drain.store(deadline_ms, Ordering::SeqCst);
+        let panicked = match self.handle.take() {
+            Some(handle) => handle.join().is_err(),
+            None => false,
+        };
+        let _ = std::fs::remove_file(&self.path);
+        if panicked {
+            return Err(ServeError::Shutdown);
+        }
+        Ok(self.drained_clean.load(Ordering::SeqCst))
+    }
 }
 
 impl Drop for UdsServer {
@@ -216,6 +346,14 @@ struct Conn {
     generation: u32,
     /// Flush the write buffer, then close.
     closing: bool,
+    /// Requests submitted to the scheduler whose grants have not come
+    /// back yet — the drain and the idle reaper both key on zero.
+    outstanding: u32,
+    /// Last complete frame (or accept) on this connection; the idle
+    /// reaper's staleness clock.
+    last_frame: Instant,
+    /// Decodable-but-invalid frames charged against the error budget.
+    strikes: u32,
 }
 
 impl Conn {
@@ -268,6 +406,10 @@ struct EventLoop {
     completions: Arc<CompletionQueue>,
     connector: Connector,
     stats: Arc<ServerStats>,
+    options: ServerOptions,
+    epoch: Instant,
+    drain: Arc<AtomicU64>,
+    drained_clean: Arc<AtomicBool>,
     conns: Vec<Option<Conn>>,
     /// Per-slot reuse counter, bumped on close so stale completion
     /// tokens never reach a successor connection.
@@ -286,10 +428,14 @@ impl EventLoop {
             }
             fds.clear();
             slot_of.clear();
+            let drain_ms = self.drain.load(Ordering::Relaxed);
+            let draining = drain_ms != 0;
             let at_capacity = self.active_count() >= MAX_CONNS;
             fds.push(PollFd::new(
                 self.listener.as_raw_fd(),
-                if at_capacity { 0 } else { POLLIN },
+                // Draining parks the listener: step one of the graceful
+                // shutdown is to stop accepting.
+                if at_capacity || draining { 0 } else { POLLIN },
             ));
             fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
             for (slot, conn) in self.conns.iter().enumerate() {
@@ -324,6 +470,28 @@ impl EventLoop {
                     self.read_slot(slot);
                 }
             }
+            // Mirror the wake-pipe pressure counters from the
+            // completion queue so they surface in ServerStats.
+            self.stats
+                .wake_full
+                .store(self.completions.wake_full(), Ordering::Relaxed);
+            self.stats
+                .wake_errors
+                .store(self.completions.wake_errors(), Ordering::Relaxed);
+            self.reap_idle();
+            if draining {
+                if self.quiescent() {
+                    // Every grant delivered, every write buffer
+                    // flushed: a clean drain.
+                    self.drained_clean.store(true, Ordering::SeqCst);
+                    break;
+                }
+                if self.epoch.elapsed() >= Duration::from_millis(drain_ms) {
+                    // Deadline-bounded: a wedged peer cannot hold
+                    // shutdown hostage.
+                    break;
+                }
+            }
         }
         // Dropping each Conn drops its EntropyClient, which closes the
         // scheduler-side client.
@@ -332,6 +500,39 @@ impl EventLoop {
 
     fn active_count(&self) -> usize {
         self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every connection has delivered its grants and flushed
+    /// its write buffer — the drain's exit condition.
+    fn quiescent(&self) -> bool {
+        self.conns.iter().flatten().all(|conn| {
+            conn.outstanding == 0 && !conn.has_backlog()
+        })
+    }
+
+    /// Closes connections with nothing outstanding, nothing buffered
+    /// and no frame activity within the idle timeout (the slowloris
+    /// defense). Disabled when no timeout is configured.
+    fn reap_idle(&mut self) {
+        let Some(timeout) = self.options.idle_timeout else {
+            return;
+        };
+        let stale: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, conn)| {
+                let conn = conn.as_ref()?;
+                let idle = conn.outstanding == 0
+                    && !conn.has_backlog()
+                    && conn.last_frame.elapsed() >= timeout;
+                idle.then_some(slot)
+            })
+            .collect();
+        for slot in stale {
+            self.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+            self.close_slot(slot);
+        }
     }
 
     /// Swallows pending wake bytes (level-triggered readiness: one
@@ -358,6 +559,7 @@ impl EventLoop {
             if conn.generation != generation {
                 continue;
             }
+            conn.outstanding = conn.outstanding.saturating_sub(1);
             let alive = match completion.result {
                 Ok(bytes) => conn.send_frame(OP_OK, &bytes),
                 Err(ServeError::Busy { in_flight }) => {
@@ -404,6 +606,9 @@ impl EventLoop {
                         client: None,
                         generation: 0,
                         closing: false,
+                        outstanding: 0,
+                        last_frame: Instant::now(),
+                        strikes: 0,
                     };
                     match self.free.pop() {
                         Some(slot) => {
@@ -472,6 +677,7 @@ impl EventLoop {
                 };
                 match conn.decoder.next_frame() {
                     Ok(Some((op, payload))) => {
+                        conn.last_frame = Instant::now();
                         if matches!(self.handle_frame(slot, op, &payload), ConnFate::Close) {
                             self.close_slot(slot);
                             return;
@@ -543,7 +749,10 @@ impl EventLoop {
                     let token = conn.token(slot);
                     let client = conn.client.as_ref().expect("checked");
                     match client.request_queued(nbytes as usize, &completions, token) {
-                        Ok(()) => ConnFate::Keep,
+                        Ok(()) => {
+                            conn.outstanding += 1;
+                            ConnFate::Keep
+                        }
                         Err(e) => {
                             let _ = conn.send_frame(OP_ERR, e.to_string().as_bytes());
                             ConnFate::Close
@@ -569,10 +778,20 @@ impl EventLoop {
         }
     }
 
+    /// Answers a decodable-but-invalid frame with a typed `ERR` and
+    /// charges it against the connection's error budget. The peer
+    /// survives until the budget is spent — one poisoned frame must not
+    /// tear down a connection that is otherwise making progress, and it
+    /// never tears down the event loop.
     fn protocol_error(&mut self, slot: usize, msg: &str) -> ConnFate {
         self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let budget = self.options.error_budget;
         if let Some(Some(conn)) = self.conns.get_mut(slot) {
-            let _ = conn.send_frame(OP_ERR, format!("protocol violation: {msg}").as_bytes());
+            conn.strikes += 1;
+            let alive = conn.send_frame(OP_ERR, format!("protocol violation: {msg}").as_bytes());
+            if alive && conn.strikes <= budget {
+                return ConnFate::Keep;
+            }
         }
         ConnFate::Close
     }
@@ -597,7 +816,19 @@ impl EventLoop {
 #[derive(Debug)]
 pub struct UdsClient {
     stream: UnixStream,
+    path: PathBuf,
+    client_id: u32,
 }
+
+/// First reconnect backoff; doubles per attempt up to
+/// [`RECONNECT_BACKOFF_CAP`].
+const RECONNECT_BACKOFF: Duration = Duration::from_micros(200);
+
+/// Reconnect backoff ceiling.
+const RECONNECT_BACKOFF_CAP: Duration = Duration::from_millis(20);
+
+/// Reconnect attempts before giving up.
+const RECONNECT_ATTEMPTS: u32 = 50;
 
 impl UdsClient {
     /// Connects to the server socket and registers `client_id`.
@@ -607,9 +838,14 @@ impl UdsClient {
     /// Transport errors, or [`ServeError::Protocol`] if the server
     /// rejected the registration.
     pub fn connect(path: impl AsRef<Path>, client_id: u32) -> Result<Self, ServeError> {
-        let stream = UnixStream::connect(path)?;
+        let path = path.as_ref().to_path_buf();
+        let stream = UnixStream::connect(&path)?;
         stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
-        let mut client = UdsClient { stream };
+        let mut client = UdsClient {
+            stream,
+            path,
+            client_id,
+        };
         wire::write_frame(&mut client.stream, OP_HELLO, &client_id.to_le_bytes())?;
         // Reply reads are bounded by the read timeout set above.
         let (op, payload) = wire::read_frame(&mut client.stream)?;
@@ -624,6 +860,33 @@ impl UdsClient {
         }
     }
 
+    /// Drops the current connection and dials a fresh one under the
+    /// same client id, with capped exponential backoff across attempts.
+    /// The old socket is shut down *first* so the server observes EOF
+    /// and releases the registration before the new `HELLO` arrives;
+    /// the retry loop rides out the unregister/re-register race.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once the attempt budget is spent.
+    pub fn reconnect(&mut self) -> Result<(), ServeError> {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let mut backoff = RECONNECT_BACKOFF;
+        let mut last = ServeError::Timeout;
+        for _ in 0..RECONNECT_ATTEMPTS {
+            match Self::connect(&self.path, self.client_id) {
+                Ok(fresh) => {
+                    self.stream = fresh.stream;
+                    return Ok(());
+                }
+                Err(e) => last = e,
+            }
+            thread::sleep(backoff);
+            backoff = (backoff * 2).min(RECONNECT_BACKOFF_CAP);
+        }
+        Err(last)
+    }
+
     /// Requests `nbytes` bytes over the socket.
     ///
     /// # Errors
@@ -634,6 +897,69 @@ impl UdsClient {
     /// otherwise.
     pub fn request(&mut self, nbytes: u32) -> Result<Vec<u8>, ServeError> {
         wire::write_frame(&mut self.stream, OP_REQ, &nbytes.to_le_bytes())?;
+        self.read_reply()
+    }
+
+    /// [`UdsClient::request`] with retry semantics that cannot
+    /// duplicate or drop entropy bytes, bounded by a deadline.
+    ///
+    /// The write/read split decides what is safe to retry:
+    ///
+    /// * a failed **write** cannot have reached the scheduler — the
+    ///   client reconnects (capped backoff) and resends;
+    /// * a typed backpressure **reply** ([`ServeError::Busy`],
+    ///   [`ServeError::RateLimited`], [`ServeError::Shedding`]) means
+    ///   the scheduler refused the request without consuming bytes —
+    ///   the client waits (honoring the `retry_after_us` hint, backing
+    ///   off harder on shedding) and resends;
+    /// * a transport error **after** a fully-written request is
+    ///   terminal: the grant may already have consumed bytes from the
+    ///   deterministic allocation, and resending would double-spend it.
+    ///
+    /// # Errors
+    ///
+    /// The last rejection once `budget` expires; terminal transport,
+    /// protocol, or service errors immediately.
+    pub fn request_resilient(
+        &mut self,
+        nbytes: u32,
+        budget: Duration,
+    ) -> Result<Vec<u8>, ServeError> {
+        let deadline = Deadline::after(budget);
+        let mut backoff = RECONNECT_BACKOFF;
+        loop {
+            if let Err(e) = wire::write_frame(&mut self.stream, OP_REQ, &nbytes.to_le_bytes()) {
+                // Nothing reached the scheduler: reconnect and resend.
+                if deadline.expired() {
+                    return Err(e.into());
+                }
+                self.reconnect()?;
+                continue;
+            }
+            let err = match self.read_reply() {
+                Ok(bytes) => return Ok(bytes),
+                Err(err) => err,
+            };
+            let wait = match &err {
+                ServeError::RateLimited { retry_after_us } => {
+                    Duration::from_micros((*retry_after_us).max(1))
+                }
+                ServeError::Shedding { .. } => backoff * 4,
+                ServeError::Busy { .. } => backoff,
+                // Anything else after a fully-written REQ is terminal:
+                // retrying could double-spend served bytes.
+                _ => return Err(err),
+            };
+            if deadline.expired() {
+                return Err(err);
+            }
+            thread::sleep(wait.min(deadline.remaining()));
+            backoff = (backoff * 2).min(RECONNECT_BACKOFF_CAP);
+        }
+    }
+
+    /// Reads and classifies one reply frame.
+    fn read_reply(&mut self) -> Result<Vec<u8>, ServeError> {
         // Reply reads are bounded by the connect-time read timeout.
         let (op, payload) = wire::read_frame(&mut self.stream)?;
         match op {

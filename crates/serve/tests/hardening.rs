@@ -1,0 +1,170 @@
+//! Integration tests for the socket frontend's hardening layer:
+//! idle-connection reaping, per-connection error budgets, the graceful
+//! drain state machine and the resilient client, all exercised over a
+//! live Unix-domain socket.
+
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use strent_serve::wire::{self, OP_ERR, OP_HELLO, OP_HELLO_OK, OP_OK, OP_REQ};
+use strent_serve::{
+    EntropyService, SchedulerMode, ServeConfig, ServerOptions, UdsClient, UdsServer,
+};
+use strentropy::pool::PoolConfig;
+
+fn small_pool() -> PoolConfig {
+    let mut config = PoolConfig::mixed_default(2, 7341);
+    config.batch_raw_bits = 192;
+    config
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("strent-hard-{tag}-{}.sock", std::process::id()))
+}
+
+fn fair_service() -> EntropyService {
+    let config = ServeConfig::new(small_pool(), SchedulerMode::Fair { max_in_flight: 8 });
+    EntropyService::start(&config).expect("service starts")
+}
+
+/// A connection that completes HELLO and then goes silent (the
+/// slowloris shape) is reaped once the idle timeout passes, counted in
+/// the typed `idle_reaped` stat, and the server keeps serving.
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let service = fair_service();
+    let path = sock_path("reap");
+    let options = ServerOptions {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServerOptions::default()
+    };
+    let server = UdsServer::start_with_options(service.connector(), &path, options)
+        .expect("server starts");
+    let stats = server.stats();
+
+    // The slowloris peer: registers, then never sends another byte.
+    let slow = UdsClient::connect(&path, 1).expect("slow client registers");
+    // A healthy client proves the loop stays live around the reap.
+    let mut healthy = UdsClient::connect(&path, 2).expect("healthy client registers");
+    assert_eq!(healthy.request(16).expect("grant").len(), 16);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats.idle_reaped() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        stats.idle_reaped() >= 1,
+        "idle connection was never reaped (reaped={})",
+        stats.idle_reaped()
+    );
+
+    // Fresh connections are still accepted and served after the reap.
+    let mut fresh = UdsClient::connect(&path, 3).expect("post-reap client registers");
+    assert_eq!(fresh.request(8).expect("grant").len(), 8);
+    drop((slow, healthy, fresh));
+    server.shutdown().expect("server stops");
+    service.shutdown().expect("service stops");
+}
+
+/// Decodable-but-invalid frames are answered with typed `ERR` frames
+/// and charged against the error budget: the connection keeps working
+/// under the budget (a valid request still succeeds between poisons)
+/// and is closed only once the budget is spent.
+#[test]
+fn error_budget_tolerates_poison_frames_then_closes() {
+    let service = fair_service();
+    let path = sock_path("budget");
+    let options = ServerOptions {
+        idle_timeout: None,
+        error_budget: 3,
+    };
+    let server = UdsServer::start_with_options(service.connector(), &path, options)
+        .expect("server starts");
+
+    let mut stream = UnixStream::connect(&path).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout set");
+    wire::write_frame(&mut stream, OP_HELLO, &9u32.to_le_bytes()).expect("hello");
+    // Replies below are bounded by the read timeout set above.
+    let (op, _) = wire::read_frame(&mut stream).expect("hello reply");
+    assert_eq!(op, OP_HELLO_OK);
+
+    // Three poison frames (opcode outside the protocol): each one is
+    // an ERR reply, none closes the connection.
+    for strike in 1..=3u32 {
+        wire::write_frame(&mut stream, 0x40, &[]).expect("poison accepted");
+        let (op, payload) = wire::read_frame(&mut stream).expect("err reply");
+        assert_eq!(op, OP_ERR, "strike {strike} must get a typed ERR");
+        assert!(String::from_utf8_lossy(&payload).contains("protocol violation"));
+    }
+
+    // The connection is still functional under the budget.
+    wire::write_frame(&mut stream, OP_REQ, &16u32.to_le_bytes()).expect("req");
+    let (op, payload) = wire::read_frame(&mut stream).expect("grant reply");
+    assert_eq!(op, OP_OK);
+    assert_eq!(payload.len(), 16);
+
+    // The fourth strike exceeds the budget: one last ERR, then EOF.
+    wire::write_frame(&mut stream, 0x41, &[]).expect("final poison");
+    let (op, _) = wire::read_frame(&mut stream).expect("final err");
+    assert_eq!(op, OP_ERR);
+    if let Ok((op, _)) = wire::read_frame(&mut stream) {
+        panic!("expected close after budget, got opcode 0x{op:02x}");
+    }
+
+    server.shutdown().expect("server stops");
+    service.shutdown().expect("service stops");
+}
+
+/// `shutdown_graceful` reports a clean drain when every grant has been
+/// delivered and every write buffer flushed before the deadline.
+#[test]
+fn graceful_shutdown_drains_cleanly() {
+    let service = fair_service();
+    let path = sock_path("drain");
+    let server = UdsServer::start(service.connector(), &path).expect("server starts");
+
+    let mut client = UdsClient::connect(&path, 31).expect("registers");
+    for _ in 0..4 {
+        assert_eq!(client.request(32).expect("grant").len(), 32);
+    }
+    client.close().expect("close frame");
+
+    let drained = server
+        .shutdown_graceful(Duration::from_secs(10))
+        .expect("no event-loop panic");
+    assert!(drained, "drain must quiesce with no in-flight work left");
+    service.shutdown().expect("service stops");
+}
+
+/// The resilient request path survives a dropped connection: after
+/// `reconnect` the same client id is re-registered and served, and
+/// `request_resilient` succeeds within its deadline.
+#[test]
+fn resilient_client_reconnects_and_serves() {
+    let service = fair_service();
+    let path = sock_path("resilient");
+    let server = UdsServer::start(service.connector(), &path).expect("server starts");
+
+    let mut client = UdsClient::connect(&path, 57).expect("registers");
+    assert_eq!(
+        client
+            .request_resilient(24, Duration::from_secs(10))
+            .expect("grant")
+            .len(),
+        24
+    );
+    client.reconnect().expect("reconnects under the same id");
+    assert_eq!(
+        client
+            .request_resilient(40, Duration::from_secs(10))
+            .expect("grant after reconnect")
+            .len(),
+        40
+    );
+    drop(client);
+    server.shutdown().expect("server stops");
+    service.shutdown().expect("service stops");
+}

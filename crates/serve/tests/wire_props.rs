@@ -152,4 +152,79 @@ proptest! {
             "rejection happens from the header, not a buffered body"
         );
     }
+
+    /// Mid-frame teardown: a peer that disconnects partway through a
+    /// frame leaves the decoder holding an arbitrary truncated stream.
+    /// Whatever the cut point and fragmentation, the decoder never
+    /// panics and yields exactly the complete frames that precede the
+    /// cut — the truncated tail is held, never surfaced as a frame.
+    #[test]
+    fn mid_frame_teardown_never_panics_or_fabricates(
+        (frames, lens, cut_frac) in (frames(), chunk_lens(), 0.0f64..1.0)
+    ) {
+        let bytes = encode_all(&frames);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation,
+                clippy::cast_sign_loss)]
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let truncated = &bytes[..cut.min(bytes.len())];
+        let decoded = {
+            // decode_chunked asserts pending()==0; a teardown stream
+            // legitimately holds a partial tail, so decode inline.
+            let mut decoder = FrameDecoder::new();
+            let mut decoded = Vec::new();
+            let mut pos = 0usize;
+            let mut turn = 0usize;
+            while pos < truncated.len() {
+                let len = lens[turn % lens.len()].min(truncated.len() - pos);
+                turn += 1;
+                decoder.feed(&truncated[pos..pos + len]);
+                pos += len;
+                while let Some(frame) = decoder.next_frame().expect("valid prefix") {
+                    decoded.push(frame);
+                }
+            }
+            prop_assert_eq!(decoder.pending(), truncated.len()
+                - decoded.iter().map(|(_, p)| 5 + p.len()).sum::<usize>());
+            decoded
+        };
+        // The decoded frames are exactly a prefix of the originals.
+        prop_assert!(decoded.len() <= frames.len());
+        prop_assert_eq!(&decoded[..], &frames[..decoded.len()]);
+    }
+
+    /// Shutdown during a partial write: the server flushes its write
+    /// buffer in arbitrary short-write runs, and a shutdown can land
+    /// after any number of them. The surviving client sees only the
+    /// complete byte-identical frames the flushed prefix contains —
+    /// never a truncated frame surfaced as if it were whole.
+    #[test]
+    fn shutdown_during_partial_write_yields_only_whole_frames(
+        (frames, lens, flushed_chunks) in (frames(), chunk_lens(), 0usize..16)
+    ) {
+        let bytes = encode_all(&frames);
+        // Replay the event loop's flush: short writes of cycling sizes,
+        // stopped cold after `flushed_chunks` of them (the shutdown).
+        let mut flushed = 0usize;
+        for turn in 0..flushed_chunks {
+            let len = lens[turn % lens.len()].min(bytes.len() - flushed);
+            flushed += len;
+            if flushed == bytes.len() {
+                break;
+            }
+        }
+        let on_the_wire = &bytes[..flushed];
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(on_the_wire);
+        let mut decoded = Vec::new();
+        while let Some(frame) = decoder.next_frame().expect("valid prefix") {
+            decoded.push(frame);
+        }
+        // Only complete frames, byte-identical to what was encoded.
+        prop_assert!(decoded.len() <= frames.len());
+        prop_assert_eq!(&decoded[..], &frames[..decoded.len()]);
+        // The dangling tail (if any) is shorter than one whole frame.
+        let consumed: usize = decoded.iter().map(|(_, p)| 5 + p.len()).sum();
+        prop_assert!(on_the_wire.len() - consumed
+            < frames.get(decoded.len()).map_or(usize::MAX, |(_, p)| 5 + p.len()));
+    }
 }

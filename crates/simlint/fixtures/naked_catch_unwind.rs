@@ -1,0 +1,11 @@
+//! SL111 fixture: a bare `catch_unwind` in the serving layer with no
+//! supervision discipline nearby. The caught panic is swallowed — the
+//! unit neither comes back nor tells anyone it died, which is exactly
+//! the silently-dead-thread failure this rule retires.
+
+fn run_once(job: impl FnOnce() + std::panic::UnwindSafe) {
+    let outcome = std::panic::catch_unwind(job);
+    if outcome.is_err() {
+        // The panic payload vanishes here; nothing repairs the unit.
+    }
+}

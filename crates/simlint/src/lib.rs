@@ -76,7 +76,7 @@ pub struct RuleInfo {
 
 /// Every rule the scanner knows, in code order. A row here without a
 /// fixture (or a fixture without a row) fails the self-test.
-pub const RULES: [RuleInfo; 15] = [
+pub const RULES: [RuleInfo; 16] = [
     RuleInfo {
         code: "SL101",
         severity: "error",
@@ -155,6 +155,14 @@ pub const RULES: [RuleInfo; 15] = [
         scope: "serve-src",
         summary: "thread spawn with no lifecycle token within 3 lines",
         fixture: "conn_thread_spawn.rs",
+        fixture_crate: "serve",
+    },
+    RuleInfo {
+        code: "SL111",
+        severity: "error",
+        scope: "serve-src",
+        summary: "catch_unwind with no supervision token within 3 lines",
+        fixture: "naked_catch_unwind.rs",
         fixture_crate: "serve",
     },
     RuleInfo {
@@ -750,6 +758,24 @@ fn has_lifecycle_guard(raw: &[&str], idx: usize) -> bool {
     })
 }
 
+/// Supervision tokens SL111 accepts on the line or within the 3
+/// preceding raw lines (matched case-insensitively; comments count).
+/// A `catch_unwind` in the serving layer must belong to a
+/// restart/backoff/escalation discipline — a caught panic that is
+/// neither restarted nor escalated is a silently dead unit.
+const SUPERVISION_GUARDS: [&str; 5] =
+    ["restart", "backoff", "escalat", "supervis", "resume"];
+
+/// Whether a supervision token appears on the raw line or within the 3
+/// preceding raw lines, ignoring case.
+fn has_supervision_guard(raw: &[&str], idx: usize) -> bool {
+    let from = idx.saturating_sub(3);
+    raw[from..=idx].iter().any(|l| {
+        let lower = l.to_lowercase();
+        SUPERVISION_GUARDS.iter().any(|g| lower.contains(g))
+    })
+}
+
 /// Scans one file's source text. `deterministic` enables the SL101-104
 /// rules (hot-path files); the `unsafe` audit (SL105) always runs.
 /// Returns findings not excused inline or by the allowlist.
@@ -960,6 +986,29 @@ pub fn scan_source_ext(
                     break;
                 }
             }
+        }
+        // SL111 keeps panic recovery supervised: the serving layer's
+        // only legitimate `catch_unwind` is the restart boundary of a
+        // supervision loop. A catch with no restart/backoff/escalation
+        // token nearby swallows the panic and leaves a silently dead
+        // unit — the exact failure the supervisor was built to retire.
+        if !mask[idx]
+            && path.starts_with("crates/serve/")
+            && path.contains("/src/")
+            && line.contains("catch_unwind")
+            && !has_supervision_guard(&raw, idx)
+        {
+            push(
+                "SL111",
+                "error",
+                idx,
+                "catch_unwind in the serving layer without a supervision token: \
+                 route the recovery through the supervise loop (restart, backoff, \
+                 escalate) or say which discipline applies within the 3 preceding \
+                 lines"
+                    .to_owned(),
+                &mut out,
+            );
         }
     }
     // Semantic findings (provenance-aware SL107 plus SL2xx) and
@@ -1383,6 +1432,63 @@ mod tests {
             "#[cfg(test)]\n",
             "mod tests {\n",
             "    fn t() { std::thread::spawn(|| ()); }\n",
+            "}\n",
+        ));
+        assert!(in_test_mod.is_empty(), "{in_test_mod:?}");
+    }
+
+    #[test]
+    fn naked_catch_unwind_fires_sl111_in_the_serving_layer() {
+        let scan_serve = |src: &str| {
+            scan_source(
+                "crates/serve/src/supervisor.rs",
+                src,
+                false,
+                &Allowlist::empty(),
+            )
+            .into_iter()
+            .filter(|d| d.code == "SL111")
+            .collect::<Vec<_>>()
+        };
+        // The naked catch: the panic is swallowed with no discipline.
+        for bad in [
+            "let r = std::panic::catch_unwind(body);\n",
+            "let r = catch_unwind(AssertUnwindSafe(|| job.run()));\n",
+        ] {
+            assert_eq!(scan_serve(bad).len(), 1, "{bad:?} must fire once");
+        }
+        // A supervision token on the line or within the 3 preceding
+        // raw lines excuses the catch; comments count, ignoring case.
+        for good in [
+            "// The restart-with-backoff supervision boundary.\nlet r = catch_unwind(AssertUnwindSafe(&mut body));\n",
+            "let restarts = policy.max_restarts;\nlet r = std::panic::catch_unwind(body);\n",
+            "// Escalate after the window fills.\nlet r = catch_unwind(run);\n",
+        ] {
+            assert!(
+                scan_serve(good).is_empty(),
+                "{good:?} fired: {:?}",
+                scan_serve(good)
+            );
+        }
+        // Scoped to serve src: other crates and serve's tests are free.
+        let elsewhere = scan_source(
+            "crates/bench/src/bin/serve_chaos.rs",
+            "let r = std::panic::catch_unwind(body);\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(elsewhere.iter().all(|d| d.code != "SL111"));
+        let in_tests = scan_source(
+            "crates/serve/tests/hardening.rs",
+            "let r = std::panic::catch_unwind(body);\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(in_tests.iter().all(|d| d.code != "SL111"));
+        let in_test_mod = scan_serve(concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let _ = std::panic::catch_unwind(|| ()); }\n",
             "}\n",
         ));
         assert!(in_test_mod.is_empty(), "{in_test_mod:?}");

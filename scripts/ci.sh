@@ -40,7 +40,7 @@ assert report['version'] == 2, report
 assert report['files_scanned'] > 40, report
 assert 'scan_ms' in report, sorted(report)
 counts = report['rule_counts']
-assert len(counts) == 15 and all(c.startswith('SL') for c in counts), counts
+assert len(counts) == 16 and all(c.startswith('SL') for c in counts), counts
 assert all(n == 0 for n in counts.values()), counts
 assert report['suppressed'] == 2, report['suppressed']
 assert report['diagnostics'] == [], report['diagnostics']
@@ -251,11 +251,54 @@ else
     echo "committed BENCH_serve.json: python3 unavailable, validation skipped"
 fi
 
+echo "== chaos drill smoke (supervision, drain, resilient clients) =="
+chaos_out="$(mktemp -t BENCH_chaos.XXXXXX.json)"
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check" "$chaos_out"' EXIT
+# serve_chaos derives every injection (worker panics, shard stalls,
+# slowloris, poison frames, partial writes, mid-stream disconnects, a
+# quarantine storm) from one seed, then asserts bounded recovery,
+# byte-identical deterministic output with chaos on vs off, and a
+# balanced request ledger. It exits nonzero if any drill fails.
+STRENT_LINT=deny cargo run -q --release -p strent-bench --bin serve_chaos --offline -- \
+    --quick --out "$chaos_out"
+[ -s "$chaos_out" ] || { echo "BENCH_chaos.json was not emitted"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$chaos_out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "strentropy-bench-chaos/1", report["schema"]
+det = report["determinism"]
+assert det["identical"], det
+assert det["injected_panics"] >= 1, "chaos-on runs injected nothing"
+assert {r["shards"] for r in det["runs"]} == {1, 2, 8}, det["runs"]
+rec = report["recovery"]
+assert rec["bounded"] and rec["grants"] == rec["requests"], rec
+assert rec["max_grant_ms"] < rec["bound_ms"], rec
+assert rec["panics"] >= 1 and rec["restarts"] >= 1, rec
+storm = report["quarantine_storm"]
+assert storm["quarantined"] and storm["rerouted_bytes"] > 0, storm
+uds = report["uds"]
+assert uds["zero_silent_drops"], uds
+acct = uds["accounting"]
+assert acct["issued"] == (acct["granted"] + acct["typed_rejections"]
+                          + acct["abandoned"]), acct
+assert uds["slowloris_reaped"] >= 1 and uds["poison_survived"], uds
+drain = report["drain"]
+assert drain["server_drained"] and drain["service_drained"], drain
+print(f"BENCH_chaos.json: valid, {det['injected_panics']} panics injected, "
+      f"recovery worst {rec['max_grant_ms']:.1f}ms of {rec['bound_ms']:.0f}ms, "
+      f"ledger {acct['issued']} issued = {acct['granted']} granted "
+      f"+ {acct['typed_rejections']} rejected + {acct['abandoned']} abandoned")
+PY
+else
+    echo "BENCH_chaos.json: python3 unavailable, validation skipped"
+fi
+
 echo "== degradation campaign smoke (quick, netlist lints denied) =="
 # Every fault class must alarm the online health tests on both ring
 # families: 8 scenario rows, all marked detected, zero marked NO.
 degradation="$(mktemp -t degradation.XXXXXX.txt)"
-trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$degradation"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check" "$chaos_out" "$degradation"' EXIT
 STRENT_LINT=deny cargo run -q --release -p strent-bench \
     --bin repro_degradation --offline -- --quick --deny-lints > "$degradation"
 detected=$(grep -c ' yes$' "$degradation" || true)

@@ -1,0 +1,217 @@
+//! Bit-pattern entropy model: min-entropy lower bounds for a sampled
+//! oscillator as a function of the sampling ratio `q = sigma / T`.
+//!
+//! Model (Saarinen's bit-pattern analysis of ring-oscillator jitter):
+//! the sampled source is a free-running oscillator of period `T` whose
+//! phase diffuses between sample instants by a zero-mean Gaussian of
+//! standard deviation `sigma` (the jitter *accumulated over one sampler
+//! period*, not the per-cycle jitter — take it from
+//! [`crate::jitter::accumulated_jitter`] or [`crate::allan`] at the
+//! decimation factor). The sampled bit is the oscillator level, i.e.
+//! `1` when the wrapped phase sits in the first half period. Given the
+//! current phase `u` (in periods), the next bit is `1` with probability
+//!
+//! ```text
+//! p1(u) = sum_m  Phi((m + 1/2 - u)/q) - Phi((m - u)/q)
+//! ```
+//!
+//! (a wrapped Gaussian mass over the high half-periods). The best
+//! guess of the next bit succeeds with `pmax(u) = max(p1, 1 - p1)`,
+//! and averaging over the stationary (uniform) phase gives the
+//! per-bit lower bound reported here:
+//!
+//! ```text
+//! H_min(q) = -log2( E_u[ pmax(u) ] )
+//! ```
+//!
+//! By Jensen's inequality this sits *below* the phase-averaged
+//! conditional min-entropy, so it is a conservative claim: the true
+//! unpredictability of the stream is at least `H_min(q)` bits per bit.
+//! `H_min` is monotone in `q`, `0` at `q = 0` (a noiseless sampled
+//! divider is deterministic) and approaches `1` once the phase fully
+//! decorrelates between samples (`q` around one period).
+
+use crate::error::AnalysisError;
+use crate::jitter;
+use crate::special::normal_cdf;
+use crate::stats;
+
+/// Midpoint-rule resolution of the phase average in
+/// [`min_entropy_bound`]. Fixed so the bound is bit-reproducible.
+pub const INTEGRATION_POINTS: usize = 1024;
+
+/// Computes the sampling ratio `q = sigma / T`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidParameter`] unless `sigma_ps` is
+/// finite and non-negative and `period_ps` is finite and positive.
+pub fn sampling_ratio(sigma_ps: f64, period_ps: f64) -> Result<f64, AnalysisError> {
+    if !(sigma_ps.is_finite() && sigma_ps >= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "sigma_ps",
+            constraint: "finite and non-negative",
+        });
+    }
+    if !(period_ps.is_finite() && period_ps > 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "period_ps",
+            constraint: "finite and positive",
+        });
+    }
+    Ok(sigma_ps / period_ps)
+}
+
+/// The analytical per-bit min-entropy lower bound `H_min(q)` of the
+/// phase-diffusion model (module docs), for sampling ratio `q`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidParameter`] unless `q` is finite
+/// and non-negative.
+pub fn min_entropy_bound(q: f64) -> Result<f64, AnalysisError> {
+    if !(q.is_finite() && q >= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "q",
+            constraint: "finite and non-negative",
+        });
+    }
+    if q == 0.0 {
+        return Ok(0.0);
+    }
+    // Enough wrapped-Gaussian terms that the truncated tail is far
+    // below the integration error: 5 sigma on either side.
+    let wraps = (5.0 * q).ceil() as i64 + 1;
+    let n = INTEGRATION_POINTS;
+    let mut mean_pmax = 0.0;
+    for j in 0..n {
+        let u = (j as f64 + 0.5) / n as f64;
+        let mut p1 = 0.0;
+        for m in -wraps..=wraps {
+            let m = m as f64;
+            p1 += normal_cdf((m + 0.5 - u) / q) - normal_cdf((m - u) / q);
+        }
+        mean_pmax += p1.max(1.0 - p1);
+    }
+    mean_pmax /= n as f64;
+    Ok((-mean_pmax.log2()).clamp(0.0, 1.0))
+}
+
+/// The asymptotic *Shannon*-entropy lower bound of the same model,
+/// `1 - 4 / (pi^2 ln 2) * exp(-2 pi^2 q^2)`, clamped to `[0, 1]`.
+/// Shannon entropy never sits below min-entropy, so this bound always
+/// dominates [`min_entropy_bound`]; it is reported alongside it for
+/// comparison with the elementary-source literature.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidParameter`] unless `q` is finite
+/// and non-negative.
+pub fn shannon_entropy_bound(q: f64) -> Result<f64, AnalysisError> {
+    if !(q.is_finite() && q >= 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "q",
+            constraint: "finite and non-negative",
+        });
+    }
+    let pi2 = std::f64::consts::PI * std::f64::consts::PI;
+    let h = 1.0 - 4.0 / (pi2 * std::f64::consts::LN_2) * (-2.0 * pi2 * q * q).exp();
+    Ok(h.clamp(0.0, 1.0))
+}
+
+/// A fully-derived sampling bound: the measured inputs and the bounds
+/// they imply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingBound {
+    /// Mean oscillator period, ps.
+    pub period_ps: f64,
+    /// Jitter accumulated over one sampler period, ps.
+    pub sigma_acc_ps: f64,
+    /// Sampling ratio `q = sigma_acc / period`.
+    pub ratio: f64,
+    /// The min-entropy lower bound per sampled bit.
+    pub min_entropy: f64,
+    /// The Shannon-entropy lower bound per sampled bit.
+    pub shannon_entropy: f64,
+}
+
+/// Derives the full [`SamplingBound`] from a measured period series
+/// and the sampler decimation factor `m` (the sampler period in units
+/// of the oscillator period, rounded to cycles): the accumulated
+/// jitter over `m` cycles comes from
+/// [`crate::jitter::accumulated_jitter`], the mean period from the
+/// series itself.
+///
+/// # Errors
+///
+/// Propagates the jitter measurement's errors (at least `m + 2`
+/// periods are required) and the bound's parameter checks.
+pub fn bound_from_periods(periods_ps: &[f64], m: usize) -> Result<SamplingBound, AnalysisError> {
+    let sigma_acc_ps = jitter::accumulated_jitter(periods_ps, m)?;
+    let period_ps = stats::mean(periods_ps)?;
+    let ratio = sampling_ratio(sigma_acc_ps, period_ps)?;
+    Ok(SamplingBound {
+        period_ps,
+        sigma_acc_ps,
+        ratio,
+        min_entropy: min_entropy_bound(ratio)?,
+        shannon_entropy: shannon_entropy_bound(ratio)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(sampling_ratio(-1.0, 100.0).is_err());
+        assert!(sampling_ratio(1.0, 0.0).is_err());
+        assert!(min_entropy_bound(f64::NAN).is_err());
+        assert!(min_entropy_bound(-0.1).is_err());
+        assert!(shannon_entropy_bound(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn bound_is_zero_without_jitter_and_saturates_with_it() {
+        assert_eq!(min_entropy_bound(0.0).unwrap(), 0.0);
+        let h_tiny = min_entropy_bound(1e-4).unwrap();
+        assert!(h_tiny < 1e-3, "q->0 must kill the bound, got {h_tiny}");
+        let h_big = min_entropy_bound(2.0).unwrap();
+        assert!(h_big > 0.999, "q=2 should saturate, got {h_big}");
+    }
+
+    #[test]
+    fn bound_is_monotone_in_q() {
+        let qs = [0.01, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
+        let hs: Vec<f64> = qs.iter().map(|&q| min_entropy_bound(q).unwrap()).collect();
+        for pair in hs.windows(2) {
+            assert!(pair[1] >= pair[0], "bound not monotone: {hs:?}");
+        }
+    }
+
+    #[test]
+    fn shannon_bound_dominates_min_entropy_bound() {
+        for q in [0.05, 0.1, 0.2, 0.3, 0.5, 1.0] {
+            let hmin = min_entropy_bound(q).unwrap();
+            let hsh = shannon_entropy_bound(q).unwrap();
+            assert!(
+                hsh >= hmin - 1e-12,
+                "Shannon {hsh} below min-entropy {hmin} at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_from_periods_matches_direct_computation() {
+        // A synthetic series with known mean and per-cycle sigma.
+        let periods: Vec<f64> = (0..256)
+            .map(|i| 1000.0 + if i % 2 == 0 { 25.0 } else { -25.0 })
+            .collect();
+        let b = bound_from_periods(&periods, 3).unwrap();
+        assert!((b.period_ps - 1000.0).abs() < 1e-9);
+        assert!(b.ratio > 0.0);
+        assert_eq!(b.min_entropy, min_entropy_bound(b.ratio).unwrap());
+        assert!(b.shannon_entropy >= b.min_entropy);
+    }
+}

@@ -26,6 +26,18 @@ pub enum AnalysisError {
     /// Data was degenerate for the requested operation (e.g. zero
     /// variance where a spread is required).
     DegenerateData(&'static str),
+    /// A streaming estimator was asked for a result before it had seen
+    /// enough samples for the estimate to mean anything — distinct from
+    /// [`AnalysisError::NotEnoughData`] in that the caller is expected
+    /// to *handle* it (keep feeding, publish "unknown") rather than
+    /// treat it as a usage error. Returning a spurious 0-entropy
+    /// estimate here is exactly the failure mode this variant retires.
+    InsufficientData {
+        /// Minimum number of samples (bits, transitions) required.
+        needed: usize,
+        /// Number actually observed.
+        got: usize,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -39,6 +51,13 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::NonFiniteData => write!(f, "input contained non-finite values"),
             AnalysisError::DegenerateData(what) => write!(f, "degenerate data: {what}"),
+            AnalysisError::InsufficientData { needed, got } => {
+                write!(
+                    f,
+                    "estimator has seen {got} samples but needs {needed} before its \
+                     estimate is meaningful"
+                )
+            }
         }
     }
 }
@@ -78,6 +97,8 @@ mod tests {
         assert!(AnalysisError::DegenerateData("zero variance")
             .to_string()
             .contains("zero variance"));
+        let short = AnalysisError::InsufficientData { needed: 64, got: 3 }.to_string();
+        assert!(short.contains("64") && short.contains("3"));
     }
 
     #[test]

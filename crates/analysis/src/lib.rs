@@ -14,6 +14,12 @@
 //! * [`fit`] — least-squares fits: linear, `c*sqrt(x)` (Fig. 11's jitter
 //!   accumulation law) and the Charlie-diagram hyperbola;
 //! * [`jitter`] — period jitter, cycle-to-cycle jitter, accumulated jitter;
+//! * [`entropy`] — the bit-pattern model: min-entropy lower bounds as a
+//!   function of the sampling ratio `sigma/T`;
+//! * [`markov`] — order-`k` Markov min-entropy estimation over delivered
+//!   bitstreams, with small-sample confidence haircuts;
+//! * [`patterns`] — overlapping bit-pattern censuses: most-common
+//!   pattern, direct pattern min-entropy, uniformity chi-square;
 //! * [`divider`] — the paper's on-chip measurement method (Eq. 6):
 //!   estimate `sigma_p` from the cycle-to-cycle jitter of a divided clock;
 //! * [`allan`] — Allan variance of period series;
@@ -45,12 +51,15 @@
 
 pub mod allan;
 pub mod divider;
+pub mod entropy;
 pub mod error;
 pub mod fit;
 pub mod frequency;
 pub mod histogram;
 pub mod jitter;
+pub mod markov;
 pub mod normality;
+pub mod patterns;
 pub mod special;
 pub mod spectrum;
 pub mod stats;

@@ -50,6 +50,86 @@ pub fn goertzel_power(samples: &[f64], frequency: f64) -> Result<f64, AnalysisEr
     Ok(power.max(0.0))
 }
 
+/// Self-clocked lock-in amplitude: the amplitude of a sinusoidal
+/// component of known frequency in a period series whose sample
+/// instants are the accumulated periods themselves (a real counter's
+/// sampling). `frequency` is in cycles per unit of the series' own
+/// time base (for a picosecond series and a tone in MHz, pass
+/// `freq_mhz * 1e-6`). This is the time-domain twin of
+/// [`goertzel_power`] for unevenly self-sampled data — the detector
+/// the differential-measurement scenario uses to quantify common-mode
+/// rejection.
+///
+/// # Errors
+///
+/// Returns an error for fewer than 16 samples, non-finite data, or a
+/// non-positive frequency.
+pub fn self_clocked_lockin_amplitude(
+    periods: &[f64],
+    frequency: f64,
+) -> Result<f64, AnalysisError> {
+    require_finite(periods, 16)?;
+    if !(frequency.is_finite() && frequency > 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "frequency",
+            constraint: "finite and positive",
+        });
+    }
+    let mut t = 0.0;
+    let times: Vec<f64> = periods
+        .iter()
+        .map(|&p| {
+            let start = t;
+            t += p;
+            start
+        })
+        .collect();
+    lockin_amplitude_at(&times, periods, frequency)
+}
+
+/// Lock-in amplitude of a tone of known `frequency` in `samples` taken
+/// at explicit `times` (same units as `1 / frequency`). Lets a caller
+/// correlate *two* series against the same clock — e.g. a differential
+/// period series evaluated at the reference ring's edge instants, so
+/// the common-mode tone estimate and its differential residual are
+/// produced by the identical detector.
+///
+/// # Errors
+///
+/// Returns an error for fewer than 16 samples, non-finite data,
+/// mismatched lengths, or a non-positive frequency.
+pub fn lockin_amplitude_at(
+    times: &[f64],
+    samples: &[f64],
+    frequency: f64,
+) -> Result<f64, AnalysisError> {
+    require_finite(samples, 16)?;
+    require_finite(times, 16)?;
+    if times.len() != samples.len() {
+        return Err(AnalysisError::InvalidParameter {
+            name: "times",
+            constraint: "same length as samples",
+        });
+    }
+    if !(frequency.is_finite() && frequency > 0.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "frequency",
+            constraint: "finite and positive",
+        });
+    }
+    let omega = std::f64::consts::TAU * frequency;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let mut i_sum = 0.0;
+    let mut q_sum = 0.0;
+    for (&t, &x) in times.iter().zip(samples) {
+        let centered = x - mean;
+        i_sum += centered * (omega * t).sin();
+        q_sum += centered * (omega * t).cos();
+    }
+    let n = samples.len() as f64;
+    Ok(2.0 * (i_sum * i_sum + q_sum * q_sum).sqrt() / n)
+}
+
 /// The full (mean-removed) periodogram: `bins` equally spaced
 /// frequencies from just above DC to Nyquist.
 ///
@@ -103,6 +183,36 @@ mod tests {
         (0..n)
             .map(|k| 1000.0 + amplitude * (std::f64::consts::TAU * freq * k as f64).sin())
             .collect()
+    }
+
+    #[test]
+    fn self_clocked_lockin_recovers_amplitude_and_cancels_in_difference() {
+        // A 1000 ps clock with a 6 ps tone at 1e-4 cycles/ps.
+        let freq = 1e-4;
+        let mut t = 0.0;
+        let periods: Vec<f64> = (0..4096)
+            .map(|_| {
+                let p = 1000.0 + 6.0 * (std::f64::consts::TAU * freq * t).sin();
+                t += p;
+                p
+            })
+            .collect();
+        let a = self_clocked_lockin_amplitude(&periods, freq).expect("valid");
+        assert!((a - 6.0).abs() < 0.5, "lock-in amplitude {a}");
+        // The same tone in two series evaluated against one clock
+        // cancels in their difference.
+        let times: Vec<f64> = periods
+            .iter()
+            .scan(0.0, |acc, &p| {
+                let start = *acc;
+                *acc += p;
+                Some(start)
+            })
+            .collect();
+        let diff = vec![0.0; periods.len()];
+        let residual = lockin_amplitude_at(&times, &diff, freq).expect("valid");
+        assert!(residual < 1e-9, "difference residual {residual}");
+        assert!(lockin_amplitude_at(&times[..8], &diff[..8], freq).is_err());
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Emits `BENCH_entropy.json`: the cost and the calibration of the
+//! entropy-estimation subsystem.
+//!
+//! Three sections:
+//!
+//! 1. **Estimator throughput** — the serving layer's sliding-window
+//!    [`RateEstimator`] fed with deterministic pseudorandom bytes, per
+//!    Markov order: bit-feed rate (the per-batch cost every pool slot
+//!    pays) and verdict-evaluation rate (the on-demand
+//!    `entropy_rate()` rebuild).
+//! 2. **Bound-vs-Markov agreement** — the EXT-ENTROPY sweep rows
+//!    (analytic min-entropy bound vs the order-`k` Markov estimate on
+//!    the same physics), with the worst undercut compared against the
+//!    documented [`AGREEMENT_BAND`].
+//! 3. **Differential CMRR** — the paired-ring common-mode-rejection
+//!    table from the same experiment.
+//!
+//! The JSON is hand-formatted — the workspace builds offline against
+//! stub crates, so no serializer is assumed.
+//!
+//! Usage: `bench_entropy [--quick|--full] [--seed N] [--out PATH]`
+//! (default `--quick`, `BENCH_entropy.json` in the current directory).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use strent_serve::RateEstimator;
+use strent_sim::RngTree;
+use strentropy::experiments::ext_entropy::{self, AGREEMENT_BAND, MARKOV_ORDER};
+use strentropy::experiments::Effort;
+
+/// Markov orders probed by the throughput section.
+const ORDERS: [usize; 3] = [1, 2, 4];
+
+/// Sliding-window size for the throughput probes — the serving
+/// default's order of magnitude.
+const WINDOW_BITS: usize = 4_096;
+
+/// RNG key for the throughput byte stream.
+const FEED_RNG_KEY: u64 = 0xE57B;
+
+struct Options {
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        quick: true,
+        seed: strentropy::calibration::PAPER_SEED,
+        out: "BENCH_entropy.json".to_owned(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--full" => options.quick = false,
+            "--seed" => {
+                let value = args.next().ok_or("--seed requires a value")?;
+                options.seed = value.parse().map_err(|_| format!("invalid seed: {value}"))?;
+            }
+            "--out" => options.out = args.next().ok_or("--out requires a value")?.clone(),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// One order's measured estimator cost.
+struct EstimatorProbe {
+    order: usize,
+    feed_bits: usize,
+    feed_ns: u128,
+    evals: usize,
+    eval_ns: u128,
+    /// The final verdict, bits/bit — a sanity anchor (a balanced
+    /// pseudorandom stream must score high).
+    bits_per_bit: f64,
+}
+
+impl EstimatorProbe {
+    fn feed_mbits_per_sec(&self) -> f64 {
+        if self.feed_ns == 0 {
+            return 0.0;
+        }
+        self.feed_bits as f64 * 1e3 / self.feed_ns as f64
+    }
+
+    fn evals_per_sec(&self) -> f64 {
+        if self.eval_ns == 0 {
+            return 0.0;
+        }
+        self.evals as f64 * 1e9 / self.eval_ns as f64
+    }
+}
+
+/// Feeds `feed_bytes` pseudorandom bytes through a fresh estimator of
+/// the given order, then times `evals` on-demand verdicts; best wall
+/// time of `reps` runs per phase.
+fn probe_estimator(
+    order: usize,
+    seed: u64,
+    feed_bytes: usize,
+    evals: usize,
+    reps: usize,
+) -> Result<EstimatorProbe, String> {
+    let mut rng = RngTree::new(seed).stream(FEED_RNG_KEY);
+    let bytes: Vec<u8> = (0..feed_bytes.div_ceil(8))
+        .flat_map(|_| rng.next_u64().to_le_bytes())
+        .take(feed_bytes)
+        .collect();
+    let mut best_feed: Option<u128> = None;
+    let mut best_eval: Option<u128> = None;
+    let mut bits_per_bit = 0.0;
+    for _ in 0..reps {
+        let mut estimator =
+            RateEstimator::new(order, WINDOW_BITS).map_err(|e| format!("order {order}: {e}"))?;
+        let started = Instant::now();
+        estimator.feed_bytes(&bytes);
+        let feed_ns = started.elapsed().as_nanos();
+        let started = Instant::now();
+        let mut verdict = None;
+        for _ in 0..evals {
+            verdict = estimator.entropy_rate();
+        }
+        let eval_ns = started.elapsed().as_nanos();
+        bits_per_bit = verdict
+            .ok_or_else(|| format!("order {order}: saturated window withheld a verdict"))?
+            .bits_per_bit();
+        if best_feed.is_none_or(|b| feed_ns < b) {
+            best_feed = Some(feed_ns);
+        }
+        if best_eval.is_none_or(|b| eval_ns < b) {
+            best_eval = Some(eval_ns);
+        }
+    }
+    Ok(EstimatorProbe {
+        order,
+        feed_bits: feed_bytes * 8,
+        feed_ns: best_feed.expect("at least one rep ran"),
+        evals,
+        eval_ns: best_eval.expect("at least one rep ran"),
+        bits_per_bit,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}\nusage: bench_entropy [--quick|--full] [--seed N] [--out PATH]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (feed_bytes, evals, reps, effort) = if options.quick {
+        (262_144, 64, 2, Effort::Quick)
+    } else {
+        (1_048_576, 256, 3, Effort::Full)
+    };
+    eprintln!(
+        "# bench_entropy: {} fed bytes/order, {evals} evals, seed {}, best of {reps}",
+        feed_bytes, options.seed
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"strentropy-bench-entropy/1\",");
+    let _ = writeln!(
+        json,
+        "  \"effort\": \"{}\",",
+        if options.quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"window_bits\": {WINDOW_BITS},");
+    let _ = writeln!(json, "  \"feed_bytes_per_order\": {feed_bytes},");
+
+    json.push_str("  \"estimator\": [\n");
+    for (i, &order) in ORDERS.iter().enumerate() {
+        let probe = match probe_estimator(order, options.seed, feed_bytes, evals, reps) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("estimator probe failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "# order {}: feed {:.1} Mbit/s, {:.0} evals/s, verdict {:.4} bits/bit",
+            probe.order,
+            probe.feed_mbits_per_sec(),
+            probe.evals_per_sec(),
+            probe.bits_per_bit
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"order\": {}, \"feed_bits\": {}, \"feed_ns\": {}, \
+             \"feed_mbits_per_sec\": {:.2}, \"evals\": {}, \"eval_ns\": {}, \
+             \"evals_per_sec\": {:.0}, \"bits_per_bit\": {:.4}}}{}",
+            probe.order,
+            probe.feed_bits,
+            probe.feed_ns,
+            probe.feed_mbits_per_sec(),
+            probe.evals,
+            probe.eval_ns,
+            probe.evals_per_sec(),
+            probe.bits_per_bit,
+            if i + 1 == ORDERS.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+
+    let result = match ext_entropy::run(effort, options.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("EXT-ENTROPY failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = writeln!(json, "  \"markov_order\": {MARKOV_ORDER},");
+    let _ = writeln!(json, "  \"agreement_band\": {AGREEMENT_BAND},");
+    json.push_str("  \"agreement\": [\n");
+    let mut worst = f64::INFINITY;
+    for (i, row) in result.rows.iter().enumerate() {
+        worst = worst.min(row.agreement());
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"factor\": {:.0}, \"ratio\": {:.6}, \
+             \"bound\": {:.4}, \"shannon_bound\": {:.4}, \"markov\": {:.4}, \
+             \"agreement\": {:.4}}}{}",
+            row.label,
+            row.factor,
+            row.ratio,
+            row.bound,
+            row.shannon_bound,
+            row.markov,
+            row.agreement(),
+            if i + 1 == result.rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"worst_agreement\": {worst:.4},");
+    let within = worst >= -AGREEMENT_BAND;
+    let _ = writeln!(json, "  \"within_band\": {within},");
+    eprintln!("# worst agreement {worst:+.4} (band -{AGREEMENT_BAND})");
+
+    json.push_str("  \"differential\": [\n");
+    for (i, out) in result.differential.iter().enumerate() {
+        eprintln!(
+            "# {}: CMRR {:.1} dB, det/thermal {:.2}",
+            out.label,
+            out.cmrr_db(),
+            out.det_to_thermal()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"single_tone_ps\": {:.3}, \
+             \"differential_tone_ps\": {:.4}, \"cmrr_db\": {:.2}, \
+             \"det_to_thermal\": {:.4}}}{}",
+            out.label,
+            out.single_tone_ps,
+            out.differential_tone_ps,
+            out.cmrr_db(),
+            out.det_to_thermal(),
+            if i + 1 == result.differential.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let min_cmrr = result
+        .differential
+        .iter()
+        .map(|out| out.cmrr_db())
+        .fold(f64::INFINITY, f64::min);
+    let _ = writeln!(json, "  \"min_cmrr_db\": {min_cmrr:.2}");
+    json.push_str("}\n");
+
+    if !within {
+        eprintln!("estimator undercut the bound beyond the band");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {} (min CMRR {min_cmrr:.1} dB)", options.out);
+    ExitCode::SUCCESS
+}

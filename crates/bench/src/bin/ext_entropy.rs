@@ -1,0 +1,9 @@
+//! Regenerates the EXT-ENTROPY result (analytic min-entropy bound vs
+//! Markov estimate, plus the differential CMRR table). See
+//! `strentropy::experiments::ext_entropy`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    strent_bench::repro_main("ext_entropy", strentropy::experiments::ext_entropy::run)
+}

@@ -10,6 +10,7 @@ pub mod degradation;
 pub mod ext_charlie;
 pub mod ext_coherent;
 pub mod ext_det;
+pub mod ext_entropy;
 pub mod ext_flicker;
 pub mod ext_method;
 pub mod ext_mode;

@@ -38,6 +38,15 @@ pub enum RingSpec {
     Iro32,
 }
 
+/// Smallest analytic min-entropy bound the pool will adopt as its
+/// claimed rate. Below this the derived claim would drag the SP 800-90B
+/// cutoffs into never-fire territory (an RCT cutoff of hundreds of
+/// identical bits detects nothing in a 256-bit batch), so the pool
+/// falls back to the EXT-DEGRADATION claim the health tests were
+/// characterized against. The honest bound remains available from
+/// [`RingSpec::analytic_entropy_bound`] for reporting.
+pub const DERIVED_CLAIM_FLOOR: f64 = 0.05;
+
 impl RingSpec {
     /// A short stable label (used in reports and JSON).
     #[must_use]
@@ -46,6 +55,64 @@ impl RingSpec {
             RingSpec::Str32 => "str32",
             RingSpec::Str64 => "str64",
             RingSpec::Iro32 => "iro32",
+        }
+    }
+
+    /// The analytic per-bit min-entropy lower bound of this preset on
+    /// the given board at the given sampling period (a multiple of the
+    /// ring period): accumulated jitter over the sampling interval is
+    /// `sigma_period * sqrt(factor)` (white phase diffusion), the
+    /// quality ratio is that over the ring period, and the bound is the
+    /// bit-pattern model's (`strent_analysis::entropy`).
+    ///
+    /// Returns `None` instead of an error when the inputs leave the
+    /// model's domain (non-finite or sub-unity factor, degenerate
+    /// board) — callers fall back to the characterized claim.
+    #[must_use]
+    pub fn analytic_entropy_bound(
+        &self,
+        board: &Board,
+        sample_period_factor: f64,
+    ) -> Option<f64> {
+        if !(sample_period_factor.is_finite() && sample_period_factor >= 1.0) {
+            return None;
+        }
+        use strent_rings::analytic;
+        let (period_ps, sigma_period_ps) = match self {
+            RingSpec::Str32 | RingSpec::Str64 => {
+                let StreamConfig::Str(config) = self.stream_config() else {
+                    return None;
+                };
+                (
+                    analytic::str_period_ps(&config, board),
+                    analytic::str_sigma_period_ps(board),
+                )
+            }
+            RingSpec::Iro32 => {
+                let StreamConfig::Iro(config) = self.stream_config() else {
+                    return None;
+                };
+                (
+                    analytic::iro_period_ps(&config, board),
+                    analytic::iro_sigma_period_ps(&config, board),
+                )
+            }
+        };
+        let sigma_acc_ps = sigma_period_ps * sample_period_factor.sqrt();
+        let q = strent_analysis::entropy::sampling_ratio(sigma_acc_ps, period_ps).ok()?;
+        strent_analysis::entropy::min_entropy_bound(q).ok()
+    }
+
+    /// The claimed per-bit min-entropy the pool gates this preset with:
+    /// the analytic bound when it clears [`DERIVED_CLAIM_FLOOR`],
+    /// otherwise the EXT-DEGRADATION claim ([`degradation::CLAIMED_H`])
+    /// whose detection latency the health tests were calibrated
+    /// against.
+    #[must_use]
+    pub fn claimed_entropy(&self, board: &Board, sample_period_factor: f64) -> f64 {
+        match self.analytic_entropy_bound(board, sample_period_factor) {
+            Some(bound) if bound >= DERIVED_CLAIM_FLOOR => bound,
+            _ => degradation::CLAIMED_H,
         }
     }
 
@@ -188,6 +255,19 @@ pub struct PoolConfig {
     /// Re-lock windows a quarantined source may fail before it is
     /// declared unrecoverable and replaced by a fresh ring.
     pub max_relock_windows: usize,
+    /// Markov order of the online per-source entropy-rate estimator
+    /// (`strent_analysis::markov` over the delivered conditioned bits).
+    pub entropy_order: usize,
+    /// Sliding-window length, in delivered bits, the online estimator
+    /// re-estimates over. Must hold the `(4 << order).max(64)`
+    /// transitions a verdict requires *plus* the `order` priming bits.
+    pub entropy_window_bits: usize,
+    /// Demotion threshold as a fraction of the claimed min-entropy:
+    /// a source whose online estimate drops below
+    /// `demote_fraction * claimed_min_entropy` is weighted down by
+    /// entropy-aware consumption (it keeps producing and keeps being
+    /// health-tested; demotion only slows how fast the pool drains it).
+    pub demote_fraction: f64,
 }
 
 impl PoolConfig {
@@ -215,6 +295,9 @@ impl PoolConfig {
             relock_cv_threshold: 0.05,
             relock_window_periods: 64.0,
             max_relock_windows: 256,
+            entropy_order: 2,
+            entropy_window_bits: 4096,
+            demote_fraction: 0.5,
         }
     }
 
@@ -282,7 +365,38 @@ impl PoolConfig {
         if self.max_relock_windows == 0 {
             return Err(bad("max_relock_windows", "at least one re-lock attempt"));
         }
+        if !(1..=strent_analysis::markov::MAX_ORDER).contains(&self.entropy_order) {
+            return Err(bad(
+                "entropy_order",
+                "between 1 and the supported Markov order",
+            ));
+        }
+        // `required` transitions for a verdict, plus the `order` bits
+        // that prime the context (and so record no transition): a
+        // window any smaller could never produce an estimate.
+        let required = (4u64 << self.entropy_order).max(64) as usize + self.entropy_order;
+        if self.entropy_window_bits < required {
+            return Err(bad(
+                "entropy_window_bits",
+                "window must hold the required transitions plus the priming bits",
+            ));
+        }
+        if !(self.demote_fraction.is_finite()
+            && self.demote_fraction > 0.0
+            && self.demote_fraction <= 1.0)
+        {
+            return Err(bad("demote_fraction", "in (0, 1]"));
+        }
         Ok(())
+    }
+
+    /// The online-estimate level below which a source is demoted:
+    /// `demote_fraction * claimed_min_entropy`, as an
+    /// [`EntropyEstimate`] so the serving layer compares in the same
+    /// fixed-point domain it publishes.
+    #[must_use]
+    pub fn demotion_threshold(&self) -> EntropyEstimate {
+        EntropyEstimate::from_bits_per_bit(self.demote_fraction * self.claimed_min_entropy)
     }
 
     /// Conditioned bits a full healthy batch yields (before byte
@@ -297,6 +411,45 @@ impl PoolConfig {
             ConditionerKind::VonNeumann => self.batch_raw_bits / 4,
             ConditionerKind::XorDecimate(f) => self.batch_raw_bits / f as usize,
         }
+    }
+}
+
+/// A per-bit min-entropy estimate in fixed-point **millibits**
+/// (thousandths of a bit per bit, 0..=1000) — the unit the serving
+/// layer publishes online estimates in. Fixed point keeps the type
+/// `Copy + Eq + Ord` so estimates can live in stats structs, be
+/// compared against thresholds, and cross thread boundaries without
+/// float-equality traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntropyEstimate(u16);
+
+impl EntropyEstimate {
+    /// Converts a bits-per-bit rate (clamped to `[0, 1]`; NaN maps to
+    /// 0) into millibits.
+    #[must_use]
+    pub fn from_bits_per_bit(h: f64) -> Self {
+        let h = if h.is_finite() { h.clamp(0.0, 1.0) } else { 0.0 };
+        // Round-to-nearest keeps 1.0 -> 1000 exact.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        EntropyEstimate((h * 1000.0).round() as u16)
+    }
+
+    /// The raw millibit value (0..=1000).
+    #[must_use]
+    pub fn millibits(&self) -> u16 {
+        self.0
+    }
+
+    /// Back to bits per bit.
+    #[must_use]
+    pub fn bits_per_bit(&self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+}
+
+impl std::fmt::Display for EntropyEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}", self.bits_per_bit())
     }
 }
 
@@ -432,6 +585,135 @@ mod tests {
             assert!(err.to_string().contains(field), "{field}: {err}");
         }
         good.validate().expect("baseline stays valid");
+    }
+
+    #[test]
+    fn validation_rejects_bad_estimator_fields() {
+        let good = PoolConfig::mixed_default(3, 1);
+        for (field, config) in [
+            ("entropy_order", PoolConfig {
+                entropy_order: 0,
+                ..good.clone()
+            }),
+            ("entropy_order", PoolConfig {
+                entropy_order: strent_analysis::markov::MAX_ORDER + 1,
+                ..good.clone()
+            }),
+            ("entropy_window_bits", PoolConfig {
+                entropy_window_bits: 8,
+                ..good.clone()
+            }),
+            // One bit short of required transitions + priming bits at
+            // the default order 2: 64 + 2 = 66.
+            ("entropy_window_bits", PoolConfig {
+                entropy_window_bits: 65,
+                ..good.clone()
+            }),
+            ("demote_fraction", PoolConfig {
+                demote_fraction: 0.0,
+                ..good.clone()
+            }),
+            ("demote_fraction", PoolConfig {
+                demote_fraction: 1.5,
+                ..good.clone()
+            }),
+        ] {
+            let err = config.validate().expect_err(field);
+            assert!(err.to_string().contains(field), "{field}: {err}");
+        }
+        // The minimal viable window is accepted.
+        PoolConfig {
+            entropy_window_bits: 66,
+            ..good
+        }
+        .validate()
+        .expect("minimal window validates");
+    }
+
+    #[test]
+    fn entropy_estimate_fixed_point_round_trips() {
+        assert_eq!(EntropyEstimate::from_bits_per_bit(1.0).millibits(), 1000);
+        assert_eq!(EntropyEstimate::from_bits_per_bit(0.0).millibits(), 0);
+        assert_eq!(EntropyEstimate::from_bits_per_bit(f64::NAN).millibits(), 0);
+        assert_eq!(EntropyEstimate::from_bits_per_bit(7.0).millibits(), 1000);
+        let h = EntropyEstimate::from_bits_per_bit(0.8575);
+        assert_eq!(h.millibits(), 858);
+        assert!((h.bits_per_bit() - 0.858).abs() < 1e-12);
+        assert_eq!(h.to_string(), "0.858");
+        // Ordered like the underlying rate.
+        assert!(EntropyEstimate::from_bits_per_bit(0.4) < EntropyEstimate::from_bits_per_bit(0.5));
+    }
+
+    #[test]
+    fn derived_claim_falls_back_below_the_floor() {
+        let pool = PoolConfig::mixed_default(3, 42);
+        let board = pool.sources[0].board(0);
+        // At the default sampling factor the accumulated jitter is a few
+        // ps against a multi-ns period: the honest bound is tiny...
+        let bound = RingSpec::Str32
+            .analytic_entropy_bound(&board, pool.sample_period_factor)
+            .expect("bound computes");
+        assert!(bound > 0.0 && bound < DERIVED_CLAIM_FLOOR, "bound {bound}");
+        // ...so the gating claim falls back to the characterized one and
+        // the default pool behaves exactly as before this tier existed.
+        let claimed = RingSpec::Str32.claimed_entropy(&board, pool.sample_period_factor);
+        assert!((claimed - degradation::CLAIMED_H).abs() < f64::EPSILON);
+        // Out-of-domain factors also fall back instead of erroring.
+        assert!(RingSpec::Iro32.analytic_entropy_bound(&board, 0.5).is_none());
+        assert!(
+            (RingSpec::Iro32.claimed_entropy(&board, f64::NAN) - degradation::CLAIMED_H).abs()
+                < f64::EPSILON
+        );
+    }
+
+    #[test]
+    fn derived_claim_engages_at_slow_sampling() {
+        // Crank the sampling interval until accumulated jitter is a
+        // meaningful fraction of the period: q grows as sqrt(factor), so
+        // a factor of ~400k takes STR-32's q from ~3.5e-3 to ~2.2 and
+        // the bound saturates near 1 — now the derived claim is adopted.
+        let board = SourceSpec::new(RingSpec::Str32, 1).board(0);
+        let factor = 400_000.0;
+        let bound = RingSpec::Str32
+            .analytic_entropy_bound(&board, factor)
+            .expect("bound computes");
+        assert!(bound > 0.9, "bound {bound}");
+        let claimed = RingSpec::Str32.claimed_entropy(&board, factor);
+        assert!((claimed - bound).abs() < f64::EPSILON);
+        // Bound grows monotonically with the sampling factor.
+        let slower = RingSpec::Str32
+            .analytic_entropy_bound(&board, 4.0 * factor)
+            .expect("bound computes");
+        assert!(slower >= bound);
+    }
+
+    #[test]
+    fn str_bound_beats_iro_at_equal_factor() {
+        // Same board, same sampling factor: the STR's L-independent
+        // jitter against its short period yields a higher q — the
+        // paper's entropy-rate advantage, visible straight from the
+        // presets.
+        let board = SourceSpec::new(RingSpec::Str32, 1).board(0);
+        for factor in [100.0, 10_000.0, 100_000.0] {
+            let str_bound = RingSpec::Str32
+                .analytic_entropy_bound(&board, factor)
+                .expect("bound computes");
+            let iro_bound = RingSpec::Iro32
+                .analytic_entropy_bound(&board, factor)
+                .expect("bound computes");
+            assert!(
+                str_bound >= iro_bound,
+                "factor {factor}: STR {str_bound} vs IRO {iro_bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn demotion_threshold_scales_with_claim() {
+        let mut pool = PoolConfig::mixed_default(1, 1);
+        pool.claimed_min_entropy = 0.8;
+        pool.demote_fraction = 0.5;
+        assert_eq!(pool.demotion_threshold().millibits(), 400);
     }
 
     #[test]

@@ -98,10 +98,126 @@ impl FlickerProcess {
     }
 }
 
+/// A shared **global-jitter** process: the deterministic, board-wide
+/// jitter component — supply ripple at a known tone — that every ring
+/// on the die sees identically (common mode), as opposed to the
+/// per-stage thermal noise each ring draws privately.
+///
+/// A differential measurement pair is built by applying the *same*
+/// process to both rings' boards while each ring keeps its own thermal
+/// seed: subtracting the two period series then cancels the common
+/// mode, and the residual tone quantifies the rejection (see
+/// `strent_rings::differential`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalJitterProcess {
+    amplitude_v: f64,
+    freq_mhz: f64,
+}
+
+impl GlobalJitterProcess {
+    /// Creates a process: a supply ripple of the given amplitude
+    /// (volts) at the given tone (MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude is negative or the frequency is not
+    /// positive (compile-time configuration, not runtime data).
+    #[must_use]
+    pub fn new(amplitude_v: f64, freq_mhz: f64) -> Self {
+        assert!(
+            amplitude_v.is_finite() && amplitude_v >= 0.0,
+            "global-jitter amplitude must be non-negative, got {amplitude_v}"
+        );
+        assert!(
+            freq_mhz.is_finite() && freq_mhz > 0.0,
+            "global-jitter frequency must be positive, got {freq_mhz}"
+        );
+        GlobalJitterProcess {
+            amplitude_v,
+            freq_mhz,
+        }
+    }
+
+    /// A disabled process (no common-mode component).
+    #[must_use]
+    pub fn disabled() -> Self {
+        GlobalJitterProcess {
+            amplitude_v: 0.0,
+            freq_mhz: 1.0,
+        }
+    }
+
+    /// Whether the process injects anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.amplitude_v > 0.0
+    }
+
+    /// The ripple amplitude, volts.
+    #[must_use]
+    pub fn amplitude_v(&self) -> f64 {
+        self.amplitude_v
+    }
+
+    /// The tone frequency, MHz.
+    #[must_use]
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// The tone frequency in cycles per picosecond — the unit a
+    /// lock-in detector over picosecond period series wants.
+    #[must_use]
+    pub fn tone_per_ps(&self) -> f64 {
+        self.freq_mhz * 1e-6
+    }
+
+    /// A copy of `board` with this process applied: the supply becomes
+    /// a sine of the board's current DC level, this amplitude and this
+    /// tone. Both members of a differential pair must be modulated
+    /// from the same process for the common mode to be common.
+    #[must_use]
+    pub fn modulated(&self, board: &crate::board::Board) -> crate::board::Board {
+        let mut out = board.clone();
+        let dc = board.supply().dc_level();
+        out.set_supply(crate::supply::Supply::sine(dc, self.amplitude_v, self.freq_mhz));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use strent_sim::RngTree;
+
+    #[test]
+    fn global_process_modulates_a_board_copy() {
+        use crate::board::Board;
+        use crate::tech::Technology;
+
+        let board = Board::new(Technology::cyclone_iii(), 0, 1);
+        let process = GlobalJitterProcess::new(0.012, 5.0);
+        assert!(process.is_enabled());
+        assert!((process.tone_per_ps() - 5e-6).abs() < 1e-18);
+        let modulated = process.modulated(&board);
+        // Same DC level, but the supply now swings around it...
+        let dc = board.supply().dc_level();
+        assert_eq!(modulated.supply().dc_level(), dc);
+        let quarter_ps = 1.0 / (4.0 * 5e-6);
+        assert!((modulated.supply().voltage_at(quarter_ps) - (dc + 0.012)).abs() < 1e-9);
+        // ...while the original board is untouched.
+        assert_eq!(board.supply().voltage_at(quarter_ps), dc);
+        // A disabled process modulates nothing.
+        let idle = GlobalJitterProcess::disabled();
+        assert!(!idle.is_enabled());
+        assert_eq!(idle.modulated(&board).supply().voltage_at(quarter_ps), dc);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_global_amplitude_rejected() {
+        let _ = GlobalJitterProcess::new(-0.01, 5.0);
+    }
 
     #[test]
     fn disabled_process_is_identity() {

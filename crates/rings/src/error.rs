@@ -31,6 +31,10 @@ pub enum RingError {
     /// The pre-simulation static verifier rejected the netlist or
     /// configuration under the deny policy (see [`crate::lint`]).
     Lint(Vec<Diagnostic>),
+    /// A statistical computation over measured series failed (the
+    /// differential scenario runs lock-in detection and jitter
+    /// measurements as part of the run).
+    Analysis(strent_analysis::AnalysisError),
 }
 
 impl RingError {
@@ -81,6 +85,7 @@ impl fmt::Display for RingError {
                 }
                 Ok(())
             }
+            RingError::Analysis(e) => write!(f, "measurement analysis failed: {e}"),
         }
     }
 }
@@ -89,8 +94,15 @@ impl Error for RingError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RingError::Sim(e) => Some(e),
+            RingError::Analysis(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<strent_analysis::AnalysisError> for RingError {
+    fn from(e: strent_analysis::AnalysisError) -> Self {
+        RingError::Analysis(e)
     }
 }
 

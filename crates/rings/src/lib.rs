@@ -20,6 +20,10 @@
 //!   (Fig. 5) from simulated traces;
 //! * [`measure`] — convenience runners that build a ring, simulate it and
 //!   return period series ready for `strent-analysis`;
+//! * [`differential`] — paired-ring differential measurement: two
+//!   matched rings share a global-jitter process (common-mode supply
+//!   tone) while keeping private thermal seeds; subtracting their
+//!   period series quantifies the common-mode rejection ratio;
 //! * [`stream`] — long-running incremental sources for the serving
 //!   layer: one ring kept alive indefinitely, advanced in batches, with
 //!   trace pruning so memory stays bounded over uptime;
@@ -57,6 +61,7 @@
 pub mod analytic;
 pub mod charlie;
 pub mod counter;
+pub mod differential;
 pub mod divider;
 pub mod error;
 pub mod fault;

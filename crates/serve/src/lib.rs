@@ -9,11 +9,16 @@
 //! * [`source`] — one pool slot: a live [`RingStream`] + sampler +
 //!   conditioner + [`HealthMonitor`], with the quarantine → drain →
 //!   re-lock → (readmit | replace) lifecycle;
+//! * [`estimator`] — the per-source sliding-window Markov min-entropy
+//!   estimator scoring the *delivered* bits online; its verdicts ride
+//!   on every chunk and drive the pool's weighted consumption and the
+//!   frontend's entropy gauges (see `docs/entropy_estimation.md`);
 //! * [`pool`] — N sources produced by W worker threads, consumed in a
 //!   deterministic round-robin interleave so the served stream is
 //!   independent of W (the `SweepRunner` determinism contract, applied
 //!   to a service); a pool can also run as one shard's partition of the
-//!   global slot set;
+//!   global slot set, and fair mode may weight its consumption by the
+//!   online entropy estimates ([`ConsumptionPolicy`]);
 //! * [`scheduler`] — the request scheduler: deterministic round-barrier
 //!   mode (reproducible byte allocation across clients, bit-identical
 //!   at every shard count) and sharded fair mode (per-shard deficit
@@ -49,6 +54,7 @@
 
 pub mod chaos;
 pub mod error;
+pub mod estimator;
 pub mod mux;
 pub mod pool;
 pub mod scheduler;
@@ -60,7 +66,8 @@ pub mod wire;
 
 pub use chaos::{ChaosAction, ChaosInjector, ChaosPlan};
 pub use error::{BackpressureClass, ServeError};
-pub use pool::{PoolChunk, SourcePool, SourceStatus};
+pub use estimator::RateEstimator;
+pub use pool::{ConsumptionPolicy, PoolChunk, SourcePool, SourceStatus};
 pub use scheduler::{
     CompletionQueue, Connector, EntropyClient, EntropyService, RateLimit, SchedulerMode,
     ServeConfig,

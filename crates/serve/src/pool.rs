@@ -48,7 +48,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use strentropy::pool::{PoolConfig, SourceSpec, SourceState, SourceStats};
+use strentropy::pool::{EntropyEstimate, PoolConfig, SourceSpec, SourceState, SourceStats};
 
 use crate::error::ServeError;
 use crate::source::PooledSource;
@@ -63,6 +63,39 @@ const PRODUCE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Producer backoff while its bounded channel is full.
 const SEND_BACKOFF: Duration = Duration::from_micros(200);
+
+/// Chunks a healthy slot receives per weighted-consumption cycle.
+pub const HEALTHY_WEIGHT: u64 = 4;
+
+/// Chunks a demoted slot receives per weighted-consumption cycle — it
+/// keeps contributing (and keeps its estimate fresh), just less often.
+pub const DEMOTED_WEIGHT: u64 = 1;
+
+/// How [`SourcePool::next_chunk`] orders consumption across slots.
+///
+/// Both policies are pure functions of the delivered chunks (the
+/// entropy estimates they weight by ride *on* the chunks), so either
+/// way the served stream stays worker-count and shard-count invariant.
+/// The deterministic scheduler always runs [`ConsumptionPolicy::Strict`]
+/// — its byte-allocation contract is pinned by digest tests — while
+/// fair mode may opt into weighting via `ServeConfig::entropy_weighting`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsumptionPolicy {
+    /// Strict round-robin by slot index: round `r` takes batch `r` of
+    /// every slot in ascending order.
+    #[default]
+    Strict,
+    /// Credit-based weighted round-robin: each refill cycle grants
+    /// [`HEALTHY_WEIGHT`] chunks to slots whose published entropy
+    /// estimate clears `threshold` (or is still unavailable — a short
+    /// window is "no verdict yet", never "low entropy") and
+    /// [`DEMOTED_WEIGHT`] to slots below it.
+    Weighted {
+        /// Demotion threshold, normally
+        /// `PoolConfig::demotion_threshold()`.
+        threshold: EntropyEstimate,
+    },
+}
 
 /// One health-passed byte batch, tagged with its origin.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +112,9 @@ pub struct PoolChunk {
     pub stats: SourceStats,
     /// Ring generation that produced the batch.
     pub generation: u64,
+    /// Online min-entropy estimate of the source's delivered window
+    /// after this batch (`None` while the window is too short).
+    pub entropy: Option<EntropyEstimate>,
 }
 
 /// Last observed condition of one pool slot.
@@ -90,6 +126,9 @@ pub struct SourceStatus {
     pub stats: SourceStats,
     /// Ring generation.
     pub generation: u64,
+    /// Last published entropy estimate (`None` until the source's
+    /// sliding window saturates).
+    pub entropy: Option<EntropyEstimate>,
 }
 
 impl Default for SourceStatus {
@@ -98,6 +137,7 @@ impl Default for SourceStatus {
             state: SourceState::Healthy,
             stats: SourceStats::default(),
             generation: 0,
+            entropy: None,
         }
     }
 }
@@ -111,6 +151,11 @@ pub struct SourcePool {
     workers: Vec<JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
     cursor: usize,
+    policy: ConsumptionPolicy,
+    /// Chunks each slot may still draw this weighted cycle (empty under
+    /// [`ConsumptionPolicy::Strict`], refilled from the slot statuses
+    /// when exhausted).
+    credits: Vec<u64>,
     rounds_completed: u64,
     status: Vec<SourceStatus>,
     buffer: VecDeque<u8>,
@@ -217,6 +262,7 @@ impl SourcePool {
                 global,
                 spec,
                 delivered: 0,
+                pending: None,
             });
         }
 
@@ -256,6 +302,8 @@ impl SourcePool {
             workers: handles,
             shutdown,
             cursor: 0,
+            policy: ConsumptionPolicy::Strict,
+            credits: Vec::new(),
             rounds_completed: 0,
             status,
             buffer: VecDeque::new(),
@@ -305,8 +353,62 @@ impl SourcePool {
         &self.status
     }
 
-    /// The next chunk in the deterministic interleave (round-robin by
-    /// slot index).
+    /// The consumption policy currently in force.
+    #[must_use]
+    pub fn consumption_policy(&self) -> ConsumptionPolicy {
+        self.policy
+    }
+
+    /// Switches the consumption policy. Changing policy discards any
+    /// partially-spent weighted cycle; the per-source streams themselves
+    /// are untouched (a policy only reorders which slot is read next).
+    pub fn set_consumption_policy(&mut self, policy: ConsumptionPolicy) {
+        self.policy = policy;
+        self.credits.clear();
+    }
+
+    /// The per-cycle chunk budget of a slot with the given published
+    /// estimate: an estimate below the threshold demotes the slot; a
+    /// missing estimate (window still short — the estimator's typed
+    /// `InsufficientData` case) keeps full weight, because "no verdict
+    /// yet" must never read as "low entropy".
+    fn consumption_weight(entropy: Option<EntropyEstimate>, threshold: EntropyEstimate) -> u64 {
+        match entropy {
+            Some(estimate) if estimate < threshold => DEMOTED_WEIGHT,
+            _ => HEALTHY_WEIGHT,
+        }
+    }
+
+    /// The slot the current policy reads next (refilling the weighted
+    /// credit cycle from the latest slot statuses when exhausted).
+    fn next_slot(&mut self) -> usize {
+        let n = self.receivers.len();
+        match self.policy {
+            ConsumptionPolicy::Strict => self.cursor,
+            ConsumptionPolicy::Weighted { threshold } => {
+                if self.credits.len() != n || self.credits.iter().all(|&c| c == 0) {
+                    self.credits = self
+                        .status
+                        .iter()
+                        .map(|s| Self::consumption_weight(s.entropy, threshold))
+                        .collect();
+                }
+                let mut i = self.cursor % n;
+                // Terminates: every weight is at least DEMOTED_WEIGHT,
+                // so a fresh refill leaves no all-zero credit vector.
+                while self.credits[i] == 0 {
+                    i = (i + 1) % n;
+                }
+                i
+            }
+        }
+    }
+
+    /// The next chunk in the deterministic interleave — strict
+    /// round-robin by slot index, or the credit-weighted order under
+    /// [`ConsumptionPolicy::Weighted`]. Either way the interleave is a
+    /// pure function of the delivered chunks, independent of worker
+    /// count.
     ///
     /// # Errors
     ///
@@ -317,7 +419,7 @@ impl SourcePool {
         if self.finished {
             return Err(ServeError::Shutdown);
         }
-        let i = self.cursor;
+        let i = self.next_slot();
         let chunk = self.receivers[i]
             .recv_timeout(PRODUCE_TIMEOUT)
             .map_err(|e| match e {
@@ -330,10 +432,22 @@ impl SourcePool {
             state: chunk.state,
             stats: chunk.stats,
             generation: chunk.generation,
+            entropy: chunk.entropy,
         };
-        self.cursor = (self.cursor + 1) % self.receivers.len();
-        if self.cursor == 0 {
-            self.rounds_completed += 1;
+        match self.policy {
+            ConsumptionPolicy::Strict => {
+                self.cursor = (self.cursor + 1) % self.receivers.len();
+                if self.cursor == 0 {
+                    self.rounds_completed += 1;
+                }
+            }
+            ConsumptionPolicy::Weighted { .. } => {
+                self.credits[i] -= 1;
+                self.cursor = (i + 1) % self.receivers.len();
+                if self.credits.iter().all(|&c| c == 0) {
+                    self.rounds_completed += 1;
+                }
+            }
         }
         Ok(chunk)
     }
@@ -391,6 +505,12 @@ struct WorkerSlot {
     /// Batches already handed to the consumer channel; the repair path
     /// fast-forwards a rebuilt source by exactly this count.
     delivered: u64,
+    /// A produced batch whose channel was full — retried before the
+    /// slot produces again, so per-slot order is preserved while the
+    /// worker keeps its *other* slots flowing (weighted consumption
+    /// drains slots at different rates; head-of-line blocking here
+    /// would stall every slot behind the slowest-drained one).
+    pending: Option<PoolChunk>,
     /// One-shot chaos trigger state (`SourceSpec::panic_after_batches`):
     /// cleared *before* the panic fires so a restarted body does not
     /// re-panic forever.
@@ -416,12 +536,34 @@ fn produce_loop(state: &mut WorkerState, shutdown: &AtomicBool) {
         if shutdown.load(Ordering::Relaxed) || state.slots.is_empty() {
             break;
         }
+        // Whether any send landed this pass; an all-full pass sleeps
+        // instead of spinning.
+        let mut sent_any = false;
         for k in 0..state.slots.len() {
             if shutdown.load(Ordering::Relaxed) {
                 break 'outer;
             }
             state.active = Some(k);
             let slot = &mut state.slots[k];
+            // Retry a batch stashed while this slot's channel was full
+            // before producing anything new, preserving per-slot order.
+            if let Some(chunk) = slot.pending.take() {
+                match slot.tx.try_send(chunk) {
+                    Ok(()) => {
+                        slot.delivered += 1;
+                        sent_any = true;
+                    }
+                    Err(TrySendError::Full(back)) => {
+                        // Still full: park it again and keep the
+                        // worker's other slots flowing — no
+                        // head-of-line blocking across slots.
+                        slot.pending = Some(back);
+                        state.active = None;
+                        continue;
+                    }
+                    Err(TrySendError::Disconnected(_)) => break 'outer,
+                }
+            }
             let trigger = slot.spec.panic_after_batches.unwrap_or(u64::MAX);
             if slot.panic_pending && slot.delivered >= trigger {
                 // Chaos drill: fire once, at the clean between-batches
@@ -439,29 +581,27 @@ fn produce_loop(state: &mut WorkerState, shutdown: &AtomicBool) {
                 state.active = None;
                 break 'outer;
             };
-            let mut chunk = PoolChunk {
+            let chunk = PoolChunk {
                 round: slot.delivered,
                 source: slot.source.index(),
                 bytes,
                 state: slot.source.state(),
                 stats: slot.source.stats(),
                 generation: slot.source.generation(),
+                entropy: slot.source.entropy(),
             };
-            loop {
-                match slot.tx.try_send(chunk) {
-                    Ok(()) => break,
-                    Err(TrySendError::Full(back)) => {
-                        chunk = back;
-                        if shutdown.load(Ordering::Relaxed) {
-                            break 'outer;
-                        }
-                        thread::sleep(SEND_BACKOFF);
-                    }
-                    Err(TrySendError::Disconnected(_)) => break 'outer,
+            match slot.tx.try_send(chunk) {
+                Ok(()) => {
+                    slot.delivered += 1;
+                    sent_any = true;
                 }
+                Err(TrySendError::Full(back)) => slot.pending = Some(back),
+                Err(TrySendError::Disconnected(_)) => break 'outer,
             }
-            slot.delivered += 1;
             state.active = None;
+        }
+        if !sent_any {
+            thread::sleep(SEND_BACKOFF);
         }
     }
 }
@@ -496,6 +636,10 @@ fn repair_worker(state: &mut WorkerState, shutdown: &AtomicBool) {
                 replayed += 1;
             }
             state.slots[k].source = fresh;
+            // The rebuilt source reproduces every batch from
+            // `delivered` onward; a stashed unsent chunk (also batch
+            // `delivered`) would be served twice if kept.
+            state.slots[k].pending = None;
         }
         Err(_) => {
             state.slots.remove(k);
@@ -578,6 +722,109 @@ mod tests {
             assert_eq!(status.len(), owned.len());
             assert_eq!(status[0].0, owned[0]);
             part.shutdown();
+        }
+    }
+
+    /// A config whose sources publish an estimate after their first
+    /// delivered batch (128 delivered bits > the 65-bit order-1 floor).
+    fn estimator_config(sources: usize) -> PoolConfig {
+        let mut config = small_config(sources);
+        config.entropy_order = 1;
+        config.entropy_window_bits = 128;
+        config.batch_raw_bits = 128;
+        config
+    }
+
+    #[test]
+    fn weighted_policy_with_no_demotions_matches_strict() {
+        let config = estimator_config(3);
+        let mut strict = SourcePool::start(&config, 2).expect("starts");
+        let expected = strict.read_bytes(96).expect("reads");
+        strict.shutdown();
+
+        let mut weighted = SourcePool::start(&config, 2).expect("starts");
+        // Threshold 0: no estimate can fall below it, every slot keeps
+        // HEALTHY_WEIGHT, and the weighted order degenerates to the
+        // strict round-robin — weighting only ever *reorders*, it
+        // never changes per-slot bytes.
+        let policy = ConsumptionPolicy::Weighted {
+            threshold: EntropyEstimate::from_bits_per_bit(0.0),
+        };
+        weighted.set_consumption_policy(policy);
+        assert_eq!(weighted.consumption_policy(), policy);
+        let bytes = weighted.read_bytes(96).expect("reads");
+        weighted.shutdown();
+        assert_eq!(bytes, expected, "uniform weights must reproduce strict order");
+    }
+
+    #[test]
+    fn weighted_policy_demotes_low_scoring_slots() {
+        let config = estimator_config(3);
+        // Probe the estimate each slot will have published when the
+        // first weighted cycle ends (after 4 delivered batches) —
+        // streams are pure functions of (spec, config), so a rebuilt
+        // source replays the pool's slots exactly.
+        let mut after4 = Vec::new();
+        for (i, spec) in config.sources.iter().enumerate() {
+            let mut source = PooledSource::build(i, spec, &config).expect("builds");
+            for _ in 0..4 {
+                source.next_batch().expect("produces");
+            }
+            after4.push(source.entropy().expect("saturated window"));
+        }
+        let lo = *after4.iter().min().expect("slots");
+        let hi = *after4.iter().max().expect("slots");
+        assert!(lo < hi, "presets must score apart for this drill: {after4:?}");
+        // One millibit above the lowest scorer: it (and any tie) is
+        // demoted, everyone else keeps full weight.
+        let threshold =
+            EntropyEstimate::from_bits_per_bit(f64::from(lo.millibits() + 1) / 1000.0);
+        let demoted: Vec<bool> = after4.iter().map(|&e| e < threshold).collect();
+
+        let mut pool = SourcePool::start(&config, 2).expect("starts");
+        pool.set_consumption_policy(ConsumptionPolicy::Weighted { threshold });
+        // Cycle 1: no verdict has been consumed yet, so every slot
+        // holds full weight — 3 slots x HEALTHY_WEIGHT chunks.
+        for _ in 0..12 {
+            pool.next_chunk().expect("produces");
+        }
+        assert_eq!(pool.rounds_completed(), 1);
+        // Cycle 2 refills from the published estimates: each slot's
+        // share is exactly its weight.
+        let cycle: u64 = demoted
+            .iter()
+            .map(|&d| if d { DEMOTED_WEIGHT } else { HEALTHY_WEIGHT })
+            .sum();
+        let mut seen = [0u64; 3];
+        for _ in 0..cycle {
+            seen[pool.next_chunk().expect("produces").source] += 1;
+        }
+        for (i, &was_demoted) in demoted.iter().enumerate() {
+            let want = if was_demoted { DEMOTED_WEIGHT } else { HEALTHY_WEIGHT };
+            assert_eq!(seen[i], want, "slot {i} drew the wrong share: {seen:?}");
+        }
+        assert_eq!(pool.rounds_completed(), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn weighted_stream_is_worker_count_invariant() {
+        let config = estimator_config(3);
+        let policy = ConsumptionPolicy::Weighted {
+            threshold: config.demotion_threshold(),
+        };
+        let mut reference: Option<Vec<u8>> = None;
+        for workers in [1usize, 2, 8] {
+            let mut pool = SourcePool::start(&config, workers).expect("starts");
+            pool.set_consumption_policy(policy);
+            let bytes = pool.read_bytes(256).expect("reads");
+            pool.shutdown();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(expected) => {
+                    assert_eq!(&bytes, expected, "{workers} workers diverged");
+                }
+            }
         }
     }
 

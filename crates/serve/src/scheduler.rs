@@ -54,7 +54,7 @@ use strentropy::pool::PoolConfig;
 
 use crate::chaos::{ChaosAction, ChaosInjector};
 use crate::error::ServeError;
-use crate::pool::{SourcePool, SourceStatus};
+use crate::pool::{ConsumptionPolicy, SourcePool, SourceStatus};
 use crate::supervisor::{supervise, IncidentKind, IncidentLog, RestartPolicy, SupervisionOutcome};
 
 /// How long a client waits for its grant. Generous: a pool rebuilding a
@@ -113,6 +113,14 @@ pub struct ServeConfig {
     /// `shards * max_in_flight` to cap aggregate queueing independent
     /// of shard count. Fair mode only.
     pub shed_limit: Option<usize>,
+    /// Weight pool consumption by each source's online Markov
+    /// min-entropy estimate: sources whose published estimate falls
+    /// below `pool.demotion_threshold()` are demoted to a
+    /// [`DEMOTED_WEIGHT`](crate::pool::DEMOTED_WEIGHT)-per-cycle share.
+    /// **Fair mode only** — the deterministic round barrier ignores the
+    /// flag and always consumes strictly, so its byte-allocation digest
+    /// stays identical at every shard count with or without weighting.
+    pub entropy_weighting: bool,
     /// Restart policy every supervised unit (scheduler shards, pool
     /// workers) runs under.
     pub restart: RestartPolicy,
@@ -134,6 +142,7 @@ impl ServeConfig {
             mode,
             rate_limit: None,
             shed_limit: None,
+            entropy_weighting: false,
             restart: RestartPolicy::default(),
             chaos: None,
         }
@@ -354,14 +363,24 @@ impl EntropyService {
                 let shard_count = config.shards.clamp(1, slots.max(1));
                 let mut pools = Vec::with_capacity(shard_count);
                 for k in 0..shard_count {
-                    pools.push(SourcePool::start_partition_supervised(
+                    let mut pool = SourcePool::start_partition_supervised(
                         &config.pool,
                         shard_count,
                         k,
                         config.workers,
                         &config.restart,
                         &incidents,
-                    )?);
+                    )?;
+                    if config.entropy_weighting {
+                        // Each shard weights its own partition by the
+                        // estimates riding on its delivered chunks — a
+                        // pure function of those chunks, so still
+                        // worker-count invariant per shard.
+                        pool.set_consumption_policy(ConsumptionPolicy::Weighted {
+                            threshold: config.pool.demotion_threshold(),
+                        });
+                    }
+                    pools.push(pool);
                 }
                 let shared: Vec<Arc<ShardShared>> = (0..shard_count)
                     .map(|_| Arc::new(ShardShared::default()))
@@ -475,15 +494,7 @@ impl EntropyService {
     /// [`ServeError::Shutdown`] or [`ServeError::Timeout`] if a shard
     /// cannot answer.
     pub fn status(&self) -> Result<Vec<SourceStatus>, ServeError> {
-        let mut tagged = Vec::new();
-        for tx in &self.shards {
-            let (reply, rx) = mpsc::sync_channel(1);
-            tx.send(Msg::Status { reply })
-                .map_err(|_| ServeError::Shutdown)?;
-            tagged.extend(recv_reply(&rx)?);
-        }
-        tagged.sort_by_key(|(slot, _)| *slot);
-        Ok(tagged.into_iter().map(|(_, status)| status).collect())
+        self.connector().status()
     }
 
     /// Graceful-drain phase: every shard stops admitting new requests
@@ -602,6 +613,26 @@ impl Connector {
             id: client_id,
             tx: route,
         })
+    }
+
+    /// Snapshot of every pool slot's health, lifecycle and entropy
+    /// status, merged across shards in global slot order — what a
+    /// frontend feeds into `ServerStats::publish_entropy`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] or [`ServeError::Timeout`] if a shard
+    /// cannot answer.
+    pub fn status(&self) -> Result<Vec<SourceStatus>, ServeError> {
+        let mut tagged = Vec::new();
+        for tx in &self.shards {
+            let (reply, rx) = mpsc::sync_channel(1);
+            tx.send(Msg::Status { reply })
+                .map_err(|_| ServeError::Shutdown)?;
+            tagged.extend(recv_reply(&rx)?);
+        }
+        tagged.sort_by_key(|(slot, _)| *slot);
+        Ok(tagged.into_iter().map(|(_, status)| status).collect())
     }
 }
 
@@ -1516,6 +1547,67 @@ mod tests {
         assert_eq!(grant.len(), 16);
         assert!(service.incidents().count_of("quarantined") >= 1);
         assert!(service.incidents().count_of("escalated") >= 1);
+        client.close();
+        service.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn deterministic_digests_ignore_entropy_weighting_at_any_shard_count() {
+        let serve = |shards: usize, weighting: bool| {
+            let mut config = small_serve_config(
+                3,
+                SchedulerMode::Deterministic {
+                    expected_clients: 1,
+                },
+            );
+            config.shards = shards;
+            config.entropy_weighting = weighting;
+            let service = EntropyService::start(&config).expect("starts");
+            let client = service.connect(0).expect("registers");
+            let mut served = Vec::new();
+            for n in [16usize, 8, 24] {
+                served.extend(client.request(n).expect("granted"));
+            }
+            client.close();
+            service.shutdown().expect("clean shutdown");
+            served
+        };
+        // The deterministic scheduler always consumes strictly, so the
+        // weighting flag must never move a byte at any shard count.
+        let baseline = serve(1, false);
+        for shards in [1usize, 2, 8] {
+            assert_eq!(
+                serve(shards, true),
+                baseline,
+                "weighting perturbed the deterministic stream at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn fair_mode_entropy_weighting_publishes_estimates_and_serves() {
+        let mut config = small_serve_config(3, SchedulerMode::Fair { max_in_flight: 8 });
+        // A window small enough to saturate within the drill, so every
+        // slot has a published verdict by the time we read the status.
+        config.pool.entropy_order = 1;
+        config.pool.entropy_window_bits = 128;
+        config.pool.batch_raw_bits = 128;
+        config.entropy_weighting = true;
+        let service = EntropyService::start(&config).expect("starts");
+        let client = service.connect(4).expect("registers");
+        let grant = client.request(256).expect("granted under weighting");
+        assert_eq!(grant.len(), 256);
+        let status = service.status().expect("answers");
+        assert_eq!(status.len(), 3);
+        assert!(
+            status.iter().all(|s| s.entropy.is_some()),
+            "every slot delivered enough bits for a verdict: {status:?}"
+        );
+        let stats = crate::server::ServerStats::default();
+        stats.publish_entropy(&status, config.pool.demotion_threshold());
+        assert_eq!(stats.entropy_known(), 3);
+        assert!(stats.entropy_min_millibits() > 0, "raw streams carry entropy");
+        assert!(stats.entropy_demoted() <= 3);
         client.close();
         service.shutdown().expect("clean shutdown");
     }

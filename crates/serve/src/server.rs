@@ -52,7 +52,10 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use strentropy::pool::EntropyEstimate;
+
 use crate::error::ServeError;
+use crate::pool::SourceStatus;
 use crate::scheduler::{CompletionQueue, Connector, EntropyClient};
 use crate::supervisor::Deadline;
 use crate::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
@@ -89,6 +92,16 @@ pub struct ServerStats {
     idle_reaped: AtomicU64,
     wake_full: AtomicU64,
     wake_errors: AtomicU64,
+    /// Pool slots whose online entropy estimate has a verdict (the
+    /// rest are still filling their sliding windows — the estimator's
+    /// typed `InsufficientData` case, counted as unknown, not as zero).
+    entropy_known: AtomicU64,
+    /// Slots whose published estimate sits below the demotion
+    /// threshold (the pool's weighted consumption throttles them).
+    entropy_demoted: AtomicU64,
+    /// Lowest published estimate, in millibits per bit (0 when no slot
+    /// has a verdict yet — check [`ServerStats::entropy_known`]).
+    entropy_min_millibits: AtomicU64,
 }
 
 impl ServerStats {
@@ -146,6 +159,52 @@ impl ServerStats {
     #[must_use]
     pub fn wake_errors(&self) -> u64 {
         self.wake_errors.load(Ordering::Relaxed)
+    }
+
+    /// Pool slots with a published entropy verdict at the last
+    /// [`ServerStats::publish_entropy`] refresh.
+    #[must_use]
+    pub fn entropy_known(&self) -> u64 {
+        self.entropy_known.load(Ordering::Relaxed)
+    }
+
+    /// Slots below the demotion threshold at the last refresh.
+    #[must_use]
+    pub fn entropy_demoted(&self) -> u64 {
+        self.entropy_demoted.load(Ordering::Relaxed)
+    }
+
+    /// Lowest published estimate at the last refresh, millibits per
+    /// bit; 0 with [`ServerStats::entropy_known`] = 0 means "no
+    /// verdict yet", not a dead source.
+    #[must_use]
+    pub fn entropy_min_millibits(&self) -> u64 {
+        self.entropy_min_millibits.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the per-source entropy estimates (one
+    /// [`SourceStatus`] per pool slot, e.g. from [`Connector::status`])
+    /// into the gauge set operators scrape. Slots without a verdict —
+    /// short windows, the estimator's typed `InsufficientData` case —
+    /// count as *unknown*, never as demoted or zero-entropy.
+    pub fn publish_entropy(&self, statuses: &[SourceStatus], threshold: EntropyEstimate) {
+        let mut known = 0u64;
+        let mut demoted = 0u64;
+        let mut min: Option<EntropyEstimate> = None;
+        for status in statuses {
+            let Some(estimate) = status.entropy else {
+                continue;
+            };
+            known += 1;
+            if estimate < threshold {
+                demoted += 1;
+            }
+            min = Some(min.map_or(estimate, |m| m.min(estimate)));
+        }
+        self.entropy_known.store(known, Ordering::Relaxed);
+        self.entropy_demoted.store(demoted, Ordering::Relaxed);
+        self.entropy_min_millibits
+            .store(min.map_or(0, |m| u64::from(m.millibits())), Ordering::Relaxed);
     }
 }
 

@@ -21,9 +21,10 @@ use strent_sim::{RngTree, SimRng, Time};
 use strent_trng::postprocess::StreamConditioner;
 use strent_trng::sampler::Sampler;
 use strent_trng::{BitString, HealthMonitor};
-use strentropy::pool::{PoolConfig, SourceSpec, SourceState, SourceStats};
+use strentropy::pool::{EntropyEstimate, PoolConfig, SourceSpec, SourceState, SourceStats};
 
 use crate::error::ServeError;
+use crate::estimator::RateEstimator;
 
 /// RNG stream key for metastability coin flips — distinct from any
 /// component key the simulator derives from the same seed.
@@ -49,6 +50,8 @@ pub struct PooledSource {
     /// Start instant of the next raw batch, ps.
     cursor_ps: f64,
     bit_carry: BitString,
+    /// Sliding-window Markov estimator over the *delivered* bits.
+    estimator: RateEstimator,
 }
 
 impl PooledSource {
@@ -92,6 +95,7 @@ impl PooledSource {
             generation: 0,
             cursor_ps: config.warmup_periods * period,
             bit_carry: BitString::new(),
+            estimator: RateEstimator::new(config.entropy_order, config.entropy_window_bits)?,
             stream,
         })
     }
@@ -118,6 +122,17 @@ impl PooledSource {
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The online min-entropy estimate of this source's recently
+    /// *delivered* bits, or `None` while the sliding window is still
+    /// too short for a verdict — "no estimate yet", never "zero
+    /// entropy", so a freshly started or re-locked source is not
+    /// penalised for its empty window (the estimator's typed
+    /// `InsufficientData` case, mapped to `None` below).
+    #[must_use]
+    pub fn entropy(&self) -> Option<EntropyEstimate> {
+        self.estimator.entropy_rate()
     }
 
     /// The waveform backend the fallback rules actually selected (may
@@ -191,6 +206,9 @@ impl PooledSource {
                 continue;
             }
             let packed = self.bit_carry.slice(0, whole_bytes * 8).pack().to_vec();
+            // Only bytes that actually leave the source are scored:
+            // the estimate describes what consumers receive.
+            self.estimator.feed_bytes(&packed);
             self.bit_carry = self
                 .bit_carry
                 .slice(whole_bytes * 8, self.bit_carry.len() - whole_bytes * 8);
@@ -227,6 +245,8 @@ impl PooledSource {
         self.monitor.reset();
         self.conditioner = StreamConditioner::new(self.config.conditioner);
         self.bit_carry = BitString::new();
+        // The pre-alarm window no longer describes the re-locked ring.
+        self.estimator.reset();
         self.cursor_ps =
             resume_ps + self.config.warmup_periods * self.stream.expected_period_ps();
         self.state = SourceState::Healthy;
@@ -254,6 +274,9 @@ impl PooledSource {
         self.monitor.reset();
         self.conditioner = StreamConditioner::new(self.config.conditioner);
         self.bit_carry = BitString::new();
+        // A fresh ring starts a fresh stream; stale bits would blend
+        // two generations into one estimate.
+        self.estimator.reset();
         self.cursor_ps = warmup;
         self.state = SourceState::Healthy;
         Ok(())
@@ -341,6 +364,27 @@ mod tests {
         let (rct, apt) =
             health::scan(&bits, config.claimed_min_entropy).expect("valid claim");
         assert_eq!((rct, apt), (0, 0), "served surrogate bytes are health-clean");
+    }
+
+    #[test]
+    fn delivered_bits_drive_the_published_estimate() {
+        let spec = SourceSpec::new(RingSpec::Str32, 11);
+        let mut config = test_config();
+        config.entropy_order = 1;
+        config.entropy_window_bits = 128;
+        let mut source = PooledSource::build(0, &spec, &config).expect("builds");
+        assert_eq!(source.entropy(), None, "no verdict before any delivery");
+        let mut delivered = Vec::new();
+        while delivered.len() * 8 < 256 {
+            delivered.extend(source.next_batch().expect("produces"));
+        }
+        let estimate = source.entropy().expect("saturated window has a verdict");
+        assert!(estimate.bits_per_bit() > 0.0);
+        // The published estimate is a pure function of the served
+        // bytes: replaying them through a fresh window reproduces it.
+        let mut mirror = RateEstimator::new(1, 128).expect("valid");
+        mirror.feed_bytes(&delivered);
+        assert_eq!(mirror.entropy_rate(), Some(estimate));
     }
 
     #[test]

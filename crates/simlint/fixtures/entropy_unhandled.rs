@@ -1,0 +1,15 @@
+//! SL112 fixture: the serving layer consumes an entropy estimate with
+//! no acknowledgement of the estimator's typed no-verdict case. An
+//! underfed window means "no estimate yet", never "zero entropy" — a
+//! consumer that conflates the two demotes every freshly started or
+//! re-locked source for having served too few bytes.
+
+fn weight_for(slot: &PooledSource, threshold: u64) -> u64 {
+    let verdict = slot.estimator.entropy_rate();
+    // An absent verdict is scored as zero entropy: the underfed window
+    // of a freshly re-locked source demotes it instantly.
+    match verdict.map_or(0, |h| u64::from(h.millibits())) {
+        h if h < threshold => 1,
+        _ => 4,
+    }
+}

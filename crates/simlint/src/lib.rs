@@ -76,7 +76,7 @@ pub struct RuleInfo {
 
 /// Every rule the scanner knows, in code order. A row here without a
 /// fixture (or a fixture without a row) fails the self-test.
-pub const RULES: [RuleInfo; 16] = [
+pub const RULES: [RuleInfo; 17] = [
     RuleInfo {
         code: "SL101",
         severity: "error",
@@ -163,6 +163,14 @@ pub const RULES: [RuleInfo; 16] = [
         scope: "serve-src",
         summary: "catch_unwind with no supervision token within 3 lines",
         fixture: "naked_catch_unwind.rs",
+        fixture_crate: "serve",
+    },
+    RuleInfo {
+        code: "SL112",
+        severity: "error",
+        scope: "serve-src",
+        summary: "entropy-estimate consumer with no InsufficientData note within 3 lines",
+        fixture: "entropy_unhandled.rs",
         fixture_crate: "serve",
     },
     RuleInfo {
@@ -776,6 +784,22 @@ fn has_supervision_guard(raw: &[&str], idx: usize) -> bool {
     })
 }
 
+/// Entropy-estimate call shapes SL112 looks for in the serving layer:
+/// the sliding-window estimator's verdict and the batch Markov
+/// estimator. Both report an underfed window through the typed
+/// `InsufficientData` case, and a consumer that conflates it with zero
+/// entropy demotes freshly started or re-locked sources for having
+/// served too few bytes.
+const ENTROPY_ESTIMATE_CALLS: [&str; 2] = [".entropy_rate(", "markov_min_entropy("];
+
+/// Whether an `InsufficientData` note appears on the raw line or within
+/// the 3 preceding raw lines (comments count: a doc line spelling out
+/// the no-verdict-yet semantics is exactly what the rule wants).
+fn has_insufficient_data_note(raw: &[&str], idx: usize) -> bool {
+    let from = idx.saturating_sub(3);
+    raw[from..=idx].iter().any(|l| l.contains("InsufficientData"))
+}
+
 /// Scans one file's source text. `deterministic` enables the SL101-104
 /// rules (hot-path files); the `unsafe` audit (SL105) always runs.
 /// Returns findings not excused inline or by the allowlist.
@@ -1009,6 +1033,31 @@ pub fn scan_source_ext(
                     .to_owned(),
                 &mut out,
             );
+        }
+        // SL112 keeps the InsufficientData contract honest: an underfed
+        // estimator window means "no verdict yet", never "zero
+        // entropy". A serving-layer consumer of the entropy estimate
+        // that does not acknowledge the typed case nearby is one
+        // refactor away from demoting every freshly started or
+        // re-locked source for its empty window.
+        if !mask[idx] && path.starts_with("crates/serve/") && path.contains("/src/") {
+            for pattern in ENTROPY_ESTIMATE_CALLS {
+                if line.contains(pattern) && !has_insufficient_data_note(&raw, idx) {
+                    push(
+                        "SL112",
+                        "error",
+                        idx,
+                        format!(
+                            "entropy-estimate call `{pattern}` in the serving layer \
+                             without an InsufficientData note: say how the underfed \
+                             window (\"no verdict yet\", never zero entropy) is \
+                             handled within the 3 preceding lines"
+                        ),
+                        &mut out,
+                    );
+                    break;
+                }
+            }
         }
     }
     // Semantic findings (provenance-aware SL107 plus SL2xx) and
@@ -1489,6 +1538,57 @@ mod tests {
             "#[cfg(test)]\n",
             "mod tests {\n",
             "    fn t() { let _ = std::panic::catch_unwind(|| ()); }\n",
+            "}\n",
+        ));
+        assert!(in_test_mod.is_empty(), "{in_test_mod:?}");
+    }
+
+    #[test]
+    fn unacknowledged_entropy_estimate_fires_sl112_in_the_serving_layer() {
+        let scan_serve = |src: &str| {
+            scan_source("crates/serve/src/pool.rs", src, false, &Allowlist::empty())
+                .into_iter()
+                .filter(|d| d.code == "SL112")
+                .collect::<Vec<_>>()
+        };
+        // Consuming the estimate with no word on the underfed case.
+        for bad in [
+            "let h = slot.estimator.entropy_rate();\n",
+            "let h = markov_min_entropy(&bits, 2).unwrap();\n",
+        ] {
+            assert_eq!(scan_serve(bad).len(), 1, "{bad:?} must fire once");
+        }
+        // An InsufficientData note on the line or within the 3
+        // preceding raw lines excuses the call; comments count.
+        for good in [
+            "// InsufficientData maps to None: no verdict yet.\nlet h = slot.estimator.entropy_rate();\n",
+            "// The typed InsufficientData case is \"no verdict yet\",\n// never zero entropy.\nlet h = markov_min_entropy(&bits, 2)?;\n",
+        ] {
+            assert!(
+                scan_serve(good).is_empty(),
+                "{good:?} fired: {:?}",
+                scan_serve(good)
+            );
+        }
+        // Scoped to serve src: other crates and serve's tests are free.
+        let elsewhere = scan_source(
+            "crates/core/src/experiments/ext_entropy.rs",
+            "let h = markov_min_entropy(&bits, 2)?;\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(elsewhere.iter().all(|d| d.code != "SL112"));
+        let in_tests = scan_source(
+            "crates/serve/tests/sharding.rs",
+            "let h = est.entropy_rate();\n",
+            false,
+            &Allowlist::empty(),
+        );
+        assert!(in_tests.iter().all(|d| d.code != "SL112"));
+        let in_test_mod = scan_serve(concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let _ = est.entropy_rate(); }\n",
             "}\n",
         ));
         assert!(in_test_mod.is_empty(), "{in_test_mod:?}");

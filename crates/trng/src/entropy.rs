@@ -151,6 +151,31 @@ pub fn elementary_entropy_bound(quality_factor: f64) -> f64 {
     h.clamp(0.0, 1.0)
 }
 
+/// Order-`k` Markov *min*-entropy estimate of a delivered bitstream,
+/// delegating to [`strent_analysis::markov`]: upper-confidence
+/// transition probabilities (small-sample haircut), most-likely-path
+/// min-entropy per bit, in `[0, 1]`.
+///
+/// Unlike the frequency estimators above, a stream too short to
+/// support the order does **not** collapse to a 0-entropy answer — it
+/// is a typed refusal the caller must handle.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InsufficientData`] (wrapped in
+/// [`TrngError::Analysis`]) when the stream is shorter than
+/// `order + 1` bits or too thin for a meaningful estimate, and
+/// [`TrngError::Analysis`] with `InvalidParameter` for an unsupported
+/// order.
+///
+/// [`AnalysisError::InsufficientData`]: strent_analysis::AnalysisError::InsufficientData
+pub fn markov_min_entropy(bits: &BitString, order: usize) -> Result<f64, TrngError> {
+    Ok(strent_analysis::markov::markov_min_entropy(
+        bits.as_slice(),
+        order,
+    )?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +184,24 @@ mod tests {
     fn random_bits(n: usize, seed: u64) -> BitString {
         let mut rng = RngTree::new(seed).stream(0);
         (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect()
+    }
+
+    #[test]
+    fn markov_min_entropy_refuses_short_streams_with_typed_error() {
+        let short: BitString = [1u8, 0].iter().copied().collect();
+        match markov_min_entropy(&short, 3) {
+            Err(TrngError::Analysis(strent_analysis::AnalysisError::InsufficientData {
+                needed,
+                got,
+            })) => {
+                assert_eq!((needed, got), (4, 2));
+            }
+            other => panic!("expected InsufficientData, got {other:?}"),
+        }
+        // With enough data the estimate answers and stays in range.
+        let bits = random_bits(16_384, 3);
+        let h = markov_min_entropy(&bits, 2).expect("enough data");
+        assert!(h > 0.8 && h <= 1.0, "fair stream estimated {h}");
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct StreamConditioner {
     /// XOR decimation: parity and fill of the current block.
     acc: u8,
     filled: u32,
+    /// Lifetime raw bits fed in.
+    raw_fed: u64,
+    /// Lifetime conditioned bits emitted.
+    emitted: u64,
 }
 
 impl StreamConditioner {
@@ -88,6 +92,8 @@ impl StreamConditioner {
             held: None,
             acc: 0,
             filled: 0,
+            raw_fed: 0,
+            emitted: 0,
         }
     }
 
@@ -132,7 +138,38 @@ impl StreamConditioner {
                 }
             }
         }
+        self.raw_fed += chunk.len() as u64;
+        self.emitted += out.len() as u64;
         out
+    }
+
+    /// Lifetime count of raw bits fed in.
+    #[must_use]
+    pub fn raw_bits_fed(&self) -> u64 {
+        self.raw_fed
+    }
+
+    /// Lifetime count of conditioned bits emitted.
+    #[must_use]
+    pub fn emitted_bits(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The *effective sample count* of the emitted stream: how many raw
+    /// samples are folded into the bits delivered so far. An entropy
+    /// estimator sizing its small-sample haircut must use this, not the
+    /// emitted length — an `xor4` stream of `n` bits summarizes `4n`
+    /// raw samples. Raw pass-through reports the emitted count, XOR
+    /// decimation `factor` raw bits per output, von Neumann the two
+    /// raw bits of each *emitting* pair (dropped pairs carry no output
+    /// to attribute them to).
+    #[must_use]
+    pub fn effective_samples(&self) -> u64 {
+        match self.kind {
+            ConditionerKind::Raw => self.emitted,
+            ConditionerKind::VonNeumann => self.emitted * 2,
+            ConditionerKind::XorDecimate(f) => self.emitted * u64::from(f),
+        }
     }
 
     /// Raw bits currently carried (an unfinished pair or block) — at
@@ -194,8 +231,25 @@ pub fn von_neumann(bits: &BitString) -> BitString {
 /// Panics if `factor == 0`.
 #[must_use]
 pub fn xor_decimate(bits: &BitString, factor: usize) -> BitString {
+    xor_decimate_counted(bits, factor).0
+}
+
+/// [`xor_decimate`] plus the effective sample count of the output: the
+/// number of raw samples folded into the emitted bits (`factor` per
+/// output bit; a trailing partial block is dropped and not counted).
+/// Entropy estimators working on decimated streams must size their
+/// confidence haircuts with this count, not the decimated length.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+#[must_use]
+pub fn xor_decimate_counted(bits: &BitString, factor: usize) -> (BitString, u64) {
     let factor = u32::try_from(factor).unwrap_or(0);
-    StreamConditioner::new(ConditionerKind::XorDecimate(factor)).feed(bits)
+    let mut stream = StreamConditioner::new(ConditionerKind::XorDecimate(factor));
+    let out = stream.feed(bits);
+    let effective = stream.effective_samples();
+    (out, effective)
 }
 
 /// Parity filter: an alias of [`xor_decimate`] kept for the literature
@@ -332,6 +386,37 @@ mod tests {
         assert_eq!(xd.pending_bits(), 2);
         assert_eq!(xd.feed(&second).as_slice(), &[0]);
         assert_eq!(xd.raw_bits_per_output(), 3);
+    }
+
+    #[test]
+    fn effective_sample_counts_are_reported() {
+        // xor3 over 10 bits: 3 outputs from 9 raw bits, 1 carried.
+        let raw = biased_bits(10, 0.5);
+        let (out, effective) = xor_decimate_counted(&raw, 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(effective, 9);
+
+        let mut xd = StreamConditioner::new(ConditionerKind::XorDecimate(3));
+        let _ = xd.feed(&raw);
+        assert_eq!(xd.raw_bits_fed(), 10);
+        assert_eq!(xd.emitted_bits(), 3);
+        assert_eq!(xd.effective_samples(), 9);
+        // The carried partial block joins the count once it completes.
+        let _ = xd.feed(&biased_bits(2, 0.5));
+        assert_eq!(xd.effective_samples(), 12);
+
+        // Raw pass-through: every emitted bit is its own sample.
+        let mut id = StreamConditioner::new(ConditionerKind::Raw);
+        let _ = id.feed(&raw);
+        assert_eq!(id.effective_samples(), 10);
+
+        // Von Neumann: two raw bits per emitting pair.
+        let mut vn = StreamConditioner::new(ConditionerKind::VonNeumann);
+        let pairs: BitString = [0u8, 1, 1, 1, 1, 0].iter().copied().collect();
+        let out = vn.feed(&pairs);
+        assert_eq!(out.len(), 2);
+        assert_eq!(vn.effective_samples(), 4);
+        assert_eq!(vn.raw_bits_fed(), 6);
     }
 
     #[test]

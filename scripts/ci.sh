@@ -40,7 +40,7 @@ assert report['version'] == 2, report
 assert report['files_scanned'] > 40, report
 assert 'scan_ms' in report, sorted(report)
 counts = report['rule_counts']
-assert len(counts) == 16 and all(c.startswith('SL') for c in counts), counts
+assert len(counts) == 17 and all(c.startswith('SL') for c in counts), counts
 assert all(n == 0 for n in counts.values()), counts
 assert report['suppressed'] == 2, report['suppressed']
 assert report['diagnostics'] == [], report['diagnostics']
@@ -151,9 +151,45 @@ else
     echo "BENCH_surrogate.json: python3 unavailable, validation skipped"
 fi
 
+echo "== entropy estimation gate (bound vs Markov agreement, CMRR) =="
+# bench_entropy exits nonzero on its own if the Markov estimator
+# undercuts the analytic bound beyond the documented band; the JSON
+# check then holds the subsystem to its calibration claims: STR >= IRO
+# bound at equal sampling, measurable common-mode rejection, and a
+# live estimator verdict on a balanced stream.
+entropy_out="$(mktemp -t BENCH_entropy.XXXXXX.json)"
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$entropy_out"' EXIT
+cargo run -q --release -p strent-bench --bin bench_entropy --offline -- \
+    --quick --seed 2012 --out "$entropy_out"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$entropy_out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "strentropy-bench-entropy/1", report["schema"]
+for probe in report["estimator"]:
+    assert probe["feed_mbits_per_sec"] > 0 and probe["evals_per_sec"] > 0, probe
+    assert probe["bits_per_bit"] > 0.6, f"balanced stream scored low: {probe}"
+rows = report["agreement"]
+assert len(rows) == 9, f"expected 9 sweep rows, got {len(rows)}"
+band = report["agreement_band"]
+assert report["within_band"] and report["worst_agreement"] >= -band, report
+by = lambda label: sorted((r for r in rows if r["label"] == label),
+                          key=lambda r: r["factor"])
+for s, i in zip(by("str32"), by("iro32")):
+    assert s["bound"] >= i["bound"], f"STR bound below IRO: {s} vs {i}"
+diff = report["differential"]
+assert len(diff) == 2 and report["min_cmrr_db"] > 15.0, report
+print(f"BENCH_entropy.json: valid, worst agreement "
+      f"{report['worst_agreement']:+.4f} (band -{band}), "
+      f"min CMRR {report['min_cmrr_db']:.1f} dB")
+PY
+else
+    echo "BENCH_entropy.json: python3 unavailable, validation skipped"
+fi
+
 echo "== robustness smoke (panic isolation, watchdogs, partial results) =="
 manifest="$(mktemp -t robustness_manifest.XXXXXX.json)"
-trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$entropy_out" "$manifest"' EXIT
 # Without --keep-going the injected failures must force a non-zero exit...
 if cargo run -q --release -p strent-bench --bin robustness_smoke --offline \
     > "$manifest" 2>/dev/null; then
@@ -181,7 +217,7 @@ echo "== serve smoke (shard determinism, scaling gate, 1024-conn UDS frontend) =
 serve_out="$(mktemp -t BENCH_serve.XXXXXX.json)"
 serve_sock="$(mktemp -u -t strent-serve-ci.XXXXXX.sock)"
 serve_check="$(mktemp -t check_serve.XXXXXX.py)"
-trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$entropy_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check"' EXIT
 # --smoke drives ≥1024 multiplexed connections through the poll event
 # loop on a temp socket plus a 3-client deterministic byte-for-byte
 # replay; the binary exits nonzero if any invariant (shard-count digest
@@ -253,7 +289,7 @@ fi
 
 echo "== chaos drill smoke (supervision, drain, resilient clients) =="
 chaos_out="$(mktemp -t BENCH_chaos.XXXXXX.json)"
-trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check" "$chaos_out"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$entropy_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check" "$chaos_out"' EXIT
 # serve_chaos derives every injection (worker panics, shard stalls,
 # slowloris, poison frames, partial writes, mid-stream disconnects, a
 # quarantine storm) from one seed, then asserts bounded recovery,
@@ -298,7 +334,7 @@ echo "== degradation campaign smoke (quick, netlist lints denied) =="
 # Every fault class must alarm the online health tests on both ring
 # families: 8 scenario rows, all marked detected, zero marked NO.
 degradation="$(mktemp -t degradation.XXXXXX.txt)"
-trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check" "$chaos_out" "$degradation"' EXIT
+trap 'rm -f "$out" "$engine_out" "$surrogate_out" "$entropy_out" "$manifest" "$serve_out" "$serve_sock" "$serve_check" "$chaos_out" "$degradation"' EXIT
 STRENT_LINT=deny cargo run -q --release -p strent-bench \
     --bin repro_degradation --offline -- --quick --deny-lints > "$degradation"
 detected=$(grep -c ' yes$' "$degradation" || true)
